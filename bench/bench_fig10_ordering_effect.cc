@@ -1,0 +1,79 @@
+// Reproduces Fig. 10 of the paper: the effect of the correspondence-ordering
+// strategy (Random vs information-gain Heuristic) on the quality of the
+// *instantiated* matching H (Algorithm 2), with user-effort budgets from 0%
+// to 15%. Shape to check: Heuristic dominates Random in both precision and
+// recall (paper: average gaps ≈ +0.12 precision, +0.08 recall), with the
+// curves meeting at 0% effort.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "datasets/standard.h"
+#include "sim/experiment.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace smn {
+namespace {
+
+int Run() {
+  const size_t runs = bench::Runs();
+  std::cout << "=== Fig. 10: ordering strategies vs instantiation quality "
+               "(BP, averaged over "
+            << runs << " runs) ===\n";
+  const StandardDataset bp = MakeBpDataset();
+  Rng rng(2014);
+  const auto setup = BuildExperimentSetup(bp.config, bp.vocabulary,
+                                          MatcherKind::kComaLike, &rng);
+  if (!setup.ok()) {
+    std::cerr << setup.status() << "\n";
+    return 1;
+  }
+
+  CurveOptions options;
+  options.checkpoints = {0.0, 0.025, 0.05, 0.075, 0.10, 0.125, 0.15};
+  options.runs = runs;
+  options.instantiate = true;
+  options.network_options.store.target_samples = 500;
+  options.network_options.store.min_samples = 100;
+  options.instantiation_options.iterations = 300;
+  options.seed = 11;
+
+  options.strategy = StrategyKind::kRandom;
+  const auto random_curve = RunReconciliationCurve(*setup, options);
+  options.strategy = StrategyKind::kInformationGain;
+  const auto heuristic_curve = RunReconciliationCurve(*setup, options);
+  if (!random_curve.ok() || !heuristic_curve.ok()) {
+    std::cerr << "curve failed\n";
+    return 1;
+  }
+
+  TablePrinter table({"Effort (%)", "Prec(H) Random", "Prec(H) Heuristic",
+                      "Rec(H) Random", "Rec(H) Heuristic"});
+  double precision_gap = 0.0;
+  double recall_gap = 0.0;
+  for (size_t i = 0; i < random_curve->size(); ++i) {
+    table.AddRow(
+        {FormatDouble(100.0 * options.checkpoints[i], 1),
+         FormatDouble((*random_curve)[i].instantiation_precision, 3),
+         FormatDouble((*heuristic_curve)[i].instantiation_precision, 3),
+         FormatDouble((*random_curve)[i].instantiation_recall, 3),
+         FormatDouble((*heuristic_curve)[i].instantiation_recall, 3)});
+    precision_gap += (*heuristic_curve)[i].instantiation_precision -
+                     (*random_curve)[i].instantiation_precision;
+    recall_gap += (*heuristic_curve)[i].instantiation_recall -
+                  (*random_curve)[i].instantiation_recall;
+  }
+  table.Print(std::cout);
+  const double points = static_cast<double>(random_curve->size());
+  std::cout << "\nAverage Heuristic-Random gap: precision "
+            << FormatDouble(precision_gap / points, 3) << ", recall "
+            << FormatDouble(recall_gap / points, 3)
+            << " (paper: +0.12 / +0.08).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace smn
+
+int main() { return smn::Run(); }

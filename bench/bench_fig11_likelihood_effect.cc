@@ -1,0 +1,75 @@
+// Reproduces Fig. 11 of the paper: the effect of the maximal-likelihood
+// criterion on instantiation. Both configurations reconcile with the
+// information-gain heuristic; one instantiates with the likelihood
+// tie-breaker of Problem 2, the other with repair distance only. Shape to
+// check: the likelihood-aware variant dominates in both precision and
+// recall.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "datasets/standard.h"
+#include "sim/experiment.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace smn {
+namespace {
+
+int Run() {
+  const size_t runs = bench::Runs();
+  std::cout << "=== Fig. 11: likelihood criterion vs instantiation quality "
+               "(BP, averaged over "
+            << runs << " runs) ===\n";
+  const StandardDataset bp = MakeBpDataset();
+  Rng rng(2014);
+  const auto setup = BuildExperimentSetup(bp.config, bp.vocabulary,
+                                          MatcherKind::kComaLike, &rng);
+  if (!setup.ok()) {
+    std::cerr << setup.status() << "\n";
+    return 1;
+  }
+
+  CurveOptions options;
+  options.checkpoints = {0.0, 0.025, 0.05, 0.075, 0.10, 0.125, 0.15};
+  options.runs = runs;
+  options.strategy = StrategyKind::kInformationGain;
+  options.instantiate = true;
+  options.network_options.store.target_samples = 500;
+  options.network_options.store.min_samples = 100;
+  options.instantiation_options.iterations = 300;
+  options.seed = 13;
+
+  options.instantiation_options.use_likelihood = false;
+  const auto without = RunReconciliationCurve(*setup, options);
+  options.instantiation_options.use_likelihood = true;
+  const auto with = RunReconciliationCurve(*setup, options);
+  if (!without.ok() || !with.ok()) {
+    std::cerr << "curve failed\n";
+    return 1;
+  }
+
+  TablePrinter table({"Effort (%)", "Prec(H) w/o Lik", "Prec(H) w/ Lik",
+                      "Rec(H) w/o Lik", "Rec(H) w/ Lik"});
+  double precision_gap = 0.0;
+  for (size_t i = 0; i < with->size(); ++i) {
+    table.AddRow({FormatDouble(100.0 * options.checkpoints[i], 1),
+                  FormatDouble((*without)[i].instantiation_precision, 3),
+                  FormatDouble((*with)[i].instantiation_precision, 3),
+                  FormatDouble((*without)[i].instantiation_recall, 3),
+                  FormatDouble((*with)[i].instantiation_recall, 3)});
+    precision_gap += (*with)[i].instantiation_precision -
+                     (*without)[i].instantiation_precision;
+  }
+  table.Print(std::cout);
+  std::cout << "\nAverage precision gain from the likelihood criterion: "
+            << FormatDouble(precision_gap / static_cast<double>(with->size()), 3)
+            << "\nShape to check: the with-likelihood curves sit on or above "
+               "the without-likelihood curves at every effort level.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace smn
+
+int main() { return smn::Run(); }

@@ -1,0 +1,83 @@
+// Reproduces Fig. 7 of the paper: sampling effectiveness measured as the
+// normalized K-L divergence KLratio = D(P||Q) / D(P||U), where P is the
+// exact instance distribution (exhaustive enumeration), Q the sampled
+// distribution with 2^(|C|/2) samples, and U the max-entropy baseline
+// (u_c = 0.5). |C| ranges over 10..20; the paper reports KLratio below ~2%.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "bench/synthetic_networks.h"
+#include "core/exact_enumerator.h"
+#include "core/feedback.h"
+#include "core/sample_store.h"
+#include "sim/metrics.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace smn {
+namespace {
+
+int Run() {
+  std::cout << "=== Fig. 7: sampling effectiveness (KLratio %) ===\n";
+  TablePrinter table({"#Correspondences", "#Samples", "#Instances(exact)",
+                      "KLratio (%)", "KLratio@4096 (%)"});
+  for (size_t candidates = 10; candidates <= 20; ++candidates) {
+    const size_t paper_samples = 1ULL << (candidates / 2);
+    double ratio_sum = 0.0;
+    double ratio4k_sum = 0.0;
+    double instances_sum = 0.0;
+    size_t settings = 0;
+    for (uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+      bench::SyntheticNetwork synthetic =
+          bench::BuildTinyNetwork(candidates, seed);
+      Feedback feedback(candidates);
+      ExactEnumerator enumerator(synthetic.network, synthetic.constraints);
+      const auto exact = enumerator.Enumerate(feedback);
+      if (!exact.ok()) return 1;
+      if (exact->instances.empty()) continue;
+
+      // Two sampling budgets: the paper's 2^(|C|/2) (tiny at small |C|) and
+      // a fixed 4096 to show the estimate converging toward exact.
+      double ratios[2] = {0.0, 0.0};
+      const size_t budgets[2] = {paper_samples, 4096};
+      for (int b = 0; b < 2; ++b) {
+        SampleStoreOptions options;
+        options.target_samples = budgets[b];
+        options.min_samples = 1;   // Fidelity: no exhaustion shortcut here.
+        options.exact_threshold = 0;  // Pure sampling; exact is the oracle.
+        // Longer walks decorrelate the chain on these tiny, cycle-heavy
+        // networks (see EXPERIMENTS.md for the fidelity discussion).
+        options.sampler.walk_steps = 16;
+        SampleStore store(synthetic.network, synthetic.constraints, options);
+        Rng rng(seed * 31 + candidates);
+        if (!store.Initialize(feedback, &rng).ok()) return 1;
+        ratios[b] =
+            KlRatio(exact->probabilities, store.ComputeProbabilities());
+      }
+      ratio_sum += ratios[0];
+      ratio4k_sum += ratios[1];
+      instances_sum += static_cast<double>(exact->instances.size());
+      ++settings;
+    }
+    if (settings == 0) continue;
+    table.AddRow({std::to_string(candidates), std::to_string(paper_samples),
+                  FormatDouble(instances_sum / settings, 0),
+                  FormatDouble(100.0 * ratio_sum / settings, 2),
+                  FormatDouble(100.0 * ratio4k_sum / settings, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape to check: KLratio shrinks as |C| (and with it the "
+               "2^(|C|/2) sample budget) grows, and collapses further at the "
+               "fixed 4096-sample budget — the sampled distribution converges "
+               "to the exact one and is far closer to it than the "
+               "max-entropy baseline (ratio << 100%). The paper reports <2% "
+               "under its protocol.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace smn
+
+int main() { return smn::Run(); }

@@ -1,0 +1,72 @@
+// Reproduces Fig. 9 of the paper: network uncertainty and precision of the
+// remaining candidates (C \ F-) as functions of user effort, for the Random
+// baseline vs the information-gain Heuristic, averaged over several runs on
+// the BP dataset. Shapes to check: the Heuristic curve reaches near-zero
+// uncertainty around ~50% effort while Random still carries substantial
+// uncertainty — the paper reports effort savings up to 48% — and precision
+// climbs mirror-image to the uncertainty drop.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "datasets/standard.h"
+#include "sim/experiment.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace smn {
+namespace {
+
+int Run() {
+  const size_t runs = bench::Runs();
+  std::cout << "=== Fig. 9: uncertainty reduction on BP (averaged over "
+            << runs << " runs; paper uses 50) ===\n";
+  const StandardDataset bp = MakeBpDataset();
+  Rng rng(2014);
+  const auto setup = BuildExperimentSetup(bp.config, bp.vocabulary,
+                                          MatcherKind::kComaLike, &rng);
+  if (!setup.ok()) {
+    std::cerr << setup.status() << "\n";
+    return 1;
+  }
+
+  CurveOptions options;
+  options.checkpoints = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.75, 1.0};
+  options.runs = runs;
+  options.network_options.store.target_samples = 500;
+  options.network_options.store.min_samples = 100;
+  options.seed = 7;
+
+  TablePrinter table({"Effort (%)", "H(Random)", "H(Heuristic)",
+                      "Prec C\\F- (Random)", "Prec C\\F- (Heuristic)"});
+  options.strategy = StrategyKind::kRandom;
+  const auto random_curve = RunReconciliationCurve(*setup, options);
+  options.strategy = StrategyKind::kInformationGain;
+  const auto heuristic_curve = RunReconciliationCurve(*setup, options);
+  if (!random_curve.ok() || !heuristic_curve.ok()) {
+    std::cerr << "curve failed\n";
+    return 1;
+  }
+  const double h0 = (*random_curve)[0].uncertainty;
+  for (size_t i = 0; i < random_curve->size(); ++i) {
+    table.AddRow(
+        {FormatDouble(100.0 * options.checkpoints[i], 0),
+         FormatDouble((*random_curve)[i].uncertainty / std::max(h0, 1e-9), 3),
+         FormatDouble((*heuristic_curve)[i].uncertainty / std::max(h0, 1e-9), 3),
+         FormatDouble((*random_curve)[i].precision_remaining, 3),
+         FormatDouble((*heuristic_curve)[i].precision_remaining, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nUncertainty normalized by the initial H = "
+            << FormatDouble(h0, 1) << " bits; |C| = "
+            << setup->network.correspondence_count() << ".\n"
+            << "Shape to check: Heuristic ~0 by mid-effort while Random "
+               "remains well above; precision inversely mirrors "
+               "uncertainty.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace smn
+
+int main() { return smn::Run(); }

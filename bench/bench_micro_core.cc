@@ -1,0 +1,109 @@
+// Google-benchmark microbenchmarks of the engine hot paths: the repair of a
+// single addition (Algorithm 4 + closure), one random-walk transition, full
+// sample-chain draws, information-gain computation over the sample matrix,
+// and the instantiation local search (Algorithm 2).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/synthetic_networks.h"
+#include "core/feedback.h"
+#include "core/instantiation.h"
+#include "core/probabilistic_network.h"
+#include "core/repair.h"
+#include "core/sampler.h"
+
+namespace smn {
+namespace {
+
+void BM_RepairSingleAddition(benchmark::State& state) {
+  const size_t candidates = static_cast<size_t>(state.range(0));
+  bench::SyntheticNetwork synthetic =
+      bench::BuildScalingNetwork(candidates, 0.5, 42);
+  Feedback feedback(synthetic.network.correspondence_count());
+  Sampler sampler(synthetic.network, synthetic.constraints);
+  Rng rng(7);
+  // Start from a representative mid-walk state.
+  std::vector<DynamicBitset> seed_samples;
+  sampler.SampleChain(feedback, 1, &rng, &seed_samples).ok();
+  const DynamicBitset base = seed_samples.front();
+
+  const size_t n = synthetic.network.correspondence_count();
+  for (auto _ : state) {
+    DynamicBitset instance = base;
+    const CorrespondenceId added = static_cast<CorrespondenceId>(rng.Index(n));
+    benchmark::DoNotOptimize(
+        RepairInstance(synthetic.constraints, feedback, added, &instance));
+  }
+}
+BENCHMARK(BM_RepairSingleAddition)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_SamplerWalkStep(benchmark::State& state) {
+  const size_t candidates = static_cast<size_t>(state.range(0));
+  bench::SyntheticNetwork synthetic =
+      bench::BuildScalingNetwork(candidates, 0.5, 43);
+  Feedback feedback(synthetic.network.correspondence_count());
+  Sampler sampler(synthetic.network, synthetic.constraints);
+  Rng rng(11);
+  DynamicBitset current(synthetic.network.correspondence_count());
+  for (auto _ : state) {
+    auto next = sampler.NextInstance(current, feedback, &rng);
+    current = std::move(next).value();
+    benchmark::DoNotOptimize(current);
+  }
+}
+BENCHMARK(BM_SamplerWalkStep)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_SampleChain(benchmark::State& state) {
+  const size_t candidates = static_cast<size_t>(state.range(0));
+  bench::SyntheticNetwork synthetic =
+      bench::BuildScalingNetwork(candidates, 0.5, 44);
+  Feedback feedback(synthetic.network.correspondence_count());
+  Sampler sampler(synthetic.network, synthetic.constraints);
+  Rng rng(13);
+  for (auto _ : state) {
+    std::vector<DynamicBitset> out;
+    sampler.SampleChain(feedback, 10, &rng, &out).ok();
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SampleChain)->Arg(128)->Arg(1024);
+
+void BM_InformationGains(benchmark::State& state) {
+  const size_t candidates = static_cast<size_t>(state.range(0));
+  bench::SyntheticNetwork synthetic =
+      bench::BuildScalingNetwork(candidates, 0.5, 45);
+  ProbabilisticNetworkOptions options;
+  options.store.target_samples = 500;
+  options.store.min_samples = 100;
+  Rng rng(17);
+  auto pmn = ProbabilisticNetwork::Create(synthetic.network,
+                                          synthetic.constraints, options, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pmn->InformationGains());
+  }
+}
+BENCHMARK(BM_InformationGains)->Arg(128)->Arg(512);
+
+void BM_Instantiate(benchmark::State& state) {
+  const size_t candidates = static_cast<size_t>(state.range(0));
+  bench::SyntheticNetwork synthetic =
+      bench::BuildScalingNetwork(candidates, 0.5, 46);
+  ProbabilisticNetworkOptions options;
+  options.store.target_samples = 300;
+  options.store.min_samples = 50;
+  Rng rng(19);
+  auto pmn = ProbabilisticNetwork::Create(synthetic.network,
+                                          synthetic.constraints, options, &rng);
+  InstantiationOptions instantiation;
+  instantiation.iterations = 100;
+  const Instantiator instantiator(instantiation);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(instantiator.Instantiate(*pmn, &rng));
+  }
+}
+BENCHMARK(BM_Instantiate)->Arg(128)->Arg(512);
+
+}  // namespace
+}  // namespace smn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+#ifndef SMN_BENCH_BENCH_UTIL_H_
+#define SMN_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace smn {
+namespace bench {
+
+/// Reads a double knob from the environment ("SMN_BENCH_SCALE=1.0"), falling
+/// back to `fallback`. The benches default to scaled-down datasets so the
+/// whole suite finishes in minutes; set SMN_BENCH_SCALE=1 SMN_BENCH_RUNS=50
+/// to reproduce the paper's full protocol (see EXPERIMENTS.md).
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atof(value);
+}
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed <= 0 ? fallback : static_cast<size_t>(parsed);
+}
+
+/// Dataset scale shared by the heavy benches.
+inline double Scale() { return EnvDouble("SMN_BENCH_SCALE", 0.50); }
+
+/// Averaging runs for the reconciliation curves (paper: 50).
+inline size_t Runs() { return EnvSize("SMN_BENCH_RUNS", 5); }
+
+}  // namespace bench
+}  // namespace smn
+
+#endif  // SMN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,116 @@
+#ifndef SMN_BENCH_SYNTHETIC_NETWORKS_H_
+#define SMN_BENCH_SYNTHETIC_NETWORKS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "constraints/cycle.h"
+#include "constraints/one_to_one.h"
+#include "core/constraint_set.h"
+#include "core/network.h"
+#include "datasets/random_graph.h"
+#include "util/rng.h"
+
+namespace smn {
+namespace bench {
+
+struct SyntheticNetwork {
+  Network network;
+  ConstraintSet constraints;
+};
+
+/// Builds a network with exactly `target_candidates` random candidate
+/// correspondences over an Erdős–Rényi interaction graph — the scaling setup
+/// of Fig. 6 (the paper varies |C| from 2^7 to 2^12 over random graphs).
+/// `schema_count` and the per-schema attribute count are derived from the
+/// target so that candidate density per attribute stays realistic (~2).
+inline SyntheticNetwork BuildScalingNetwork(size_t target_candidates,
+                                            double edge_probability,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  const size_t schema_count = 12;
+  const size_t attrs_per_schema =
+      std::max<size_t>(4, target_candidates / (2 * schema_count));
+
+  InteractionGraph graph(0);
+  // Redraw until the graph has at least one edge (tiny probability issue).
+  do {
+    graph = ErdosRenyiGraph(schema_count, edge_probability, &rng);
+  } while (graph.edge_count() == 0);
+
+  NetworkBuilder builder;
+  std::vector<std::vector<AttributeId>> attributes(schema_count);
+  for (size_t s = 0; s < schema_count; ++s) {
+    const SchemaId schema = builder.AddSchema("S" + std::to_string(s));
+    for (size_t a = 0; a < attrs_per_schema; ++a) {
+      attributes[s].push_back(
+          builder.AddAttribute(schema, "a" + std::to_string(a)).value());
+    }
+  }
+  for (const auto& [a, b] : graph.edges()) builder.AddEdge(a, b);
+
+  size_t added = 0;
+  size_t failures = 0;
+  const auto& edges = graph.edges();
+  while (added < target_candidates && failures < 64 * target_candidates) {
+    const auto& [s1, s2] = edges[rng.Index(edges.size())];
+    const AttributeId a = attributes[s1][rng.Index(attrs_per_schema)];
+    const AttributeId b = attributes[s2][rng.Index(attrs_per_schema)];
+    if (builder.AddCorrespondence(a, b, rng.UniformDouble()).ok()) {
+      ++added;
+    } else {
+      ++failures;  // Duplicate pair; try again.
+    }
+  }
+
+  Network network = builder.Build().value();
+  ConstraintSet constraints;
+  constraints.Add(std::make_unique<OneToOneConstraint>());
+  constraints.Add(std::make_unique<CycleConstraint>());
+  constraints.Compile(network).ok();
+  return SyntheticNetwork{std::move(network), std::move(constraints)};
+}
+
+/// Small-|C| network for the exact-vs-sampled comparison of Fig. 7: three
+/// schemas, complete graph, exactly `candidates` random correspondences.
+/// The default attribute count keeps the pair space tight so that chains
+/// with in-C closings (i.e. closable triangles) actually occur.
+inline SyntheticNetwork BuildTinyNetwork(size_t candidates, uint64_t seed,
+                                         size_t attrs_per_schema = 0) {
+  Rng rng(seed);
+  const size_t schema_count = 3;
+  if (attrs_per_schema == 0) {
+    attrs_per_schema = std::max<size_t>(3, candidates / 3);
+  }
+  NetworkBuilder builder;
+  std::vector<std::vector<AttributeId>> attributes(schema_count);
+  for (size_t s = 0; s < schema_count; ++s) {
+    const SchemaId schema = builder.AddSchema("S" + std::to_string(s));
+    for (size_t a = 0; a < attrs_per_schema; ++a) {
+      attributes[s].push_back(
+          builder.AddAttribute(schema, "a" + std::to_string(a)).value());
+    }
+  }
+  builder.AddCompleteGraph();
+  size_t added = 0;
+  while (added < candidates) {
+    const SchemaId s1 = static_cast<SchemaId>(rng.Index(schema_count));
+    SchemaId s2 = static_cast<SchemaId>(rng.Index(schema_count));
+    if (s1 == s2) continue;
+    const AttributeId a = attributes[s1][rng.Index(attrs_per_schema)];
+    const AttributeId b = attributes[s2][rng.Index(attrs_per_schema)];
+    if (builder.AddCorrespondence(a, b, rng.UniformDouble()).ok()) ++added;
+  }
+  Network network = builder.Build().value();
+  ConstraintSet constraints;
+  constraints.Add(std::make_unique<OneToOneConstraint>());
+  constraints.Add(std::make_unique<CycleConstraint>());
+  constraints.Compile(network).ok();
+  return SyntheticNetwork{std::move(network), std::move(constraints)};
+}
+
+}  // namespace bench
+}  // namespace smn
+
+#endif  // SMN_BENCH_SYNTHETIC_NETWORKS_H_

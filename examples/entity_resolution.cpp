@@ -1,0 +1,108 @@
+// Beyond schemas: the paper's conclusion suggests applying pay-as-you-go
+// reconciliation to other integration tasks such as entity resolution. This
+// example does exactly that: three customer databases hold records of the
+// same people under varying spellings; record-linkage candidates take the
+// role of correspondences, "one record links to at most one record per other
+// source" is the one-to-one constraint, and identity transitivity across
+// sources is the cycle constraint. The entire core engine is reused
+// unchanged — only the interpretation differs.
+//
+// Build & run:  ./build/examples/entity_resolution
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "constraints/cycle.h"
+#include "constraints/one_to_one.h"
+#include "core/instantiation.h"
+#include "core/probabilistic_network.h"
+#include "matchers/string_metrics.h"
+#include "util/string_util.h"
+
+using namespace smn;
+
+int main() {
+  // Each "schema" is a data source; each "attribute" is a person record.
+  const std::vector<std::vector<std::string>> sources = {
+      {"John A. Smith", "Maria Garcia", "Wei Chen"},
+      {"J. Smith", "M. Garcia", "Chen Wei", "Robert Miller"},
+      {"John Smith", "Maria S. Garcia", "Bob Miller"},
+  };
+
+  NetworkBuilder builder;
+  std::vector<std::vector<AttributeId>> records(sources.size());
+  for (size_t s = 0; s < sources.size(); ++s) {
+    const SchemaId source = builder.AddSchema("DB" + std::to_string(s + 1));
+    for (const std::string& name : sources[s]) {
+      records[s].push_back(builder.AddAttribute(source, name).value());
+    }
+  }
+  builder.AddCompleteGraph();
+
+  // Candidate links from a cheap name-similarity blocker.
+  for (size_t s1 = 0; s1 < sources.size(); ++s1) {
+    for (size_t s2 = s1 + 1; s2 < sources.size(); ++s2) {
+      for (size_t i = 0; i < sources[s1].size(); ++i) {
+        for (size_t j = 0; j < sources[s2].size(); ++j) {
+          const double score = JaroWinklerSimilarity(
+              ToLowerAscii(sources[s1][i]), ToLowerAscii(sources[s2][j]));
+          if (score >= 0.62) {
+            builder.AddCorrespondence(records[s1][i], records[s2][j], score)
+                .value();
+          }
+        }
+      }
+    }
+  }
+  Network network = builder.Build().value();
+
+  ConstraintSet constraints;
+  constraints.Add(std::make_unique<OneToOneConstraint>());  // 1 link per pair.
+  constraints.Add(std::make_unique<CycleConstraint>());     // Transitivity.
+  if (!constraints.Compile(network).ok()) return 1;
+
+  Rng rng(99);
+  auto pmn = ProbabilisticNetwork::Create(network, constraints, {}, &rng);
+  if (!pmn.ok()) {
+    std::cerr << pmn.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "Candidate record links (" << network.correspondence_count()
+            << " total):\n";
+  for (CorrespondenceId c = 0; c < network.correspondence_count(); ++c) {
+    std::cout << "  " << network.DescribeCorrespondence(c)
+              << "  p=" << FormatDouble(pmn->probability(c), 2) << "\n";
+  }
+  std::cout << "Uncertainty: " << FormatDouble(pmn->Uncertainty(), 2)
+            << " bits\n\n";
+
+  // One expert assertion: "Robert Miller in DB2 is Bob Miller in DB3".
+  const auto miller = network.FindCorrespondence(records[1][3], records[2][2]);
+  if (miller.has_value()) {
+    if (!pmn->Assert(*miller, true, &rng).ok()) return 1;
+    std::cout << "Expert confirmed: "
+              << network.DescribeCorrespondence(*miller) << "\n";
+  }
+
+  const Instantiator instantiator;
+  const auto result = instantiator.Instantiate(*pmn, &rng);
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nConsistent entity-resolution result ("
+            << result->instance.Count() << " links, "
+            << "repair distance " << result->repair_distance << "):\n";
+  result->instance.ForEachSetBit([&](size_t c) {
+    std::cout << "  "
+              << network.DescribeCorrespondence(static_cast<CorrespondenceId>(c))
+              << "\n";
+  });
+  std::cout << "\nThe one-to-one and transitivity constraints pruned the "
+               "ambiguous links without\nany entity-resolution-specific "
+               "code: the probabilistic matching network is task-agnostic.\n";
+  return 0;
+}

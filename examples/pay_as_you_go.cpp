@@ -1,0 +1,67 @@
+// Pay-as-you-go reconciliation in action: watch the instantiated matching
+// improve as the expert budget grows, under a selectable ordering strategy.
+// A compact, runnable version of the paper's Fig. 10 experiment.
+//
+// Build & run:  ./build/examples/pay_as_you_go [random|ig|entropy|minprob]
+
+#include <cstring>
+#include <iostream>
+
+#include "datasets/standard.h"
+#include "sim/experiment.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace smn;
+
+int main(int argc, char** argv) {
+  StrategyKind strategy = StrategyKind::kInformationGain;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "random") == 0) strategy = StrategyKind::kRandom;
+    if (std::strcmp(argv[1], "entropy") == 0)
+      strategy = StrategyKind::kMaxEntropy;
+    if (std::strcmp(argv[1], "minprob") == 0)
+      strategy = StrategyKind::kMinProbability;
+  }
+
+  const StandardDataset bp = MakeBpDataset();
+  Rng rng(2014);
+  const auto setup = BuildExperimentSetup(bp.config, bp.vocabulary,
+                                          MatcherKind::kComaLike, &rng);
+  if (!setup.ok()) {
+    std::cerr << setup.status() << "\n";
+    return 1;
+  }
+  std::cout << "Business-partner network: "
+            << setup->network.correspondence_count()
+            << " candidate correspondences; strategy: "
+            << StrategyKindName(strategy) << "\n\n";
+
+  CurveOptions options;
+  options.strategy = strategy;
+  options.checkpoints = {0.0, 0.05, 0.10, 0.15, 0.25, 0.50};
+  options.runs = 3;
+  options.instantiate = true;
+  options.network_options.store.target_samples = 500;
+  options.network_options.store.min_samples = 100;
+  options.seed = 5;
+  const auto curve = RunReconciliationCurve(*setup, options);
+  if (!curve.ok()) {
+    std::cerr << curve.status() << "\n";
+    return 1;
+  }
+
+  TablePrinter table({"Effort (%)", "Uncertainty (bits)", "Prec(H)", "Rec(H)"});
+  for (size_t i = 0; i < curve->size(); ++i) {
+    table.AddRow({FormatDouble(100.0 * options.checkpoints[i], 1),
+                  FormatDouble((*curve)[i].uncertainty, 1),
+                  FormatDouble((*curve)[i].instantiation_precision, 3),
+                  FormatDouble((*curve)[i].instantiation_recall, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nEvery row is a usable, constraint-consistent matching — "
+               "that is the pay-as-you-go\nguarantee. Try "
+               "'./pay_as_you_go random' to compare against the unguided "
+               "baseline.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "constraints/cycle.h"
+
+namespace smn {
+
+Status CycleConstraint::Compile(const Network& network) {
+  const size_t n = network.correspondence_count();
+  chains_.clear();
+  chains_at_.assign(n, {});
+  closing_of_.assign(n, {});
+
+  // Chains pivot on a shared attribute: for attribute b, correspondences
+  // a~b and b~c chain when a and c live in different schemas and the three
+  // schemas form a triangle of the interaction graph.
+  for (AttributeId pivot = 0; pivot < network.attribute_count(); ++pivot) {
+    const auto& incident = network.CorrespondencesAt(pivot);
+    for (size_t i = 0; i < incident.size(); ++i) {
+      const Correspondence& ci = network.correspondence(incident[i]);
+      const AttributeId end_i = ci.OtherEnd(pivot);
+      const SchemaId schema_i = network.attribute(end_i).schema;
+      for (size_t j = i + 1; j < incident.size(); ++j) {
+        const Correspondence& cj = network.correspondence(incident[j]);
+        const AttributeId end_j = cj.OtherEnd(pivot);
+        const SchemaId schema_j = network.attribute(end_j).schema;
+        if (schema_i == schema_j) continue;  // One-to-one territory.
+        if (!network.graph().HasEdge(schema_i, schema_j)) continue;
+        const auto closing = network.FindCorrespondence(end_i, end_j);
+        const uint32_t chain_index = static_cast<uint32_t>(chains_.size());
+        chains_.push_back(Chain{ci.id, cj.id,
+                                closing.value_or(kInvalidCorrespondence)});
+        chains_at_[ci.id].push_back(chain_index);
+        chains_at_[cj.id].push_back(chain_index);
+        if (closing.has_value()) closing_of_[*closing].push_back(chain_index);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool CycleConstraint::IsSatisfied(const DynamicBitset& selection) const {
+  for (const Chain& chain : chains_) {
+    if (ChainViolated(chain, selection)) return false;
+  }
+  return true;
+}
+
+void CycleConstraint::FindViolations(const DynamicBitset& selection,
+                                     std::vector<Violation>* out) const {
+  for (const Chain& chain : chains_) {
+    if (ChainViolated(chain, selection)) out->push_back(MakeViolation(chain));
+  }
+}
+
+void CycleConstraint::FindViolationsInvolving(const DynamicBitset& selection,
+                                              CorrespondenceId c,
+                                              std::vector<Violation>* out) const {
+  for (uint32_t index : chains_at_[c]) {
+    const Chain& chain = chains_[index];
+    if (ChainViolated(chain, selection)) out->push_back(MakeViolation(chain));
+  }
+}
+
+void CycleConstraint::FindViolationsCreatedByRemoval(
+    const DynamicBitset& selection, CorrespondenceId removed,
+    std::vector<Violation>* out) const {
+  // Removing a closing correspondence re-opens every triangle it closed.
+  for (uint32_t index : closing_of_[removed]) {
+    const Chain& chain = chains_[index];
+    if (selection.Test(chain.first) && selection.Test(chain.second)) {
+      out->push_back(MakeViolation(chain));
+    }
+  }
+}
+
+bool CycleConstraint::AdditionViolates(const DynamicBitset& selection,
+                                       CorrespondenceId candidate) const {
+  for (uint32_t index : chains_at_[candidate]) {
+    const Chain& chain = chains_[index];
+    const CorrespondenceId partner =
+        chain.first == candidate ? chain.second : chain.first;
+    if (!selection.Test(partner)) continue;
+    if (chain.closing == kInvalidCorrespondence ||
+        !selection.Test(chain.closing)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t CycleConstraint::CountViolationsInvolving(const DynamicBitset& selection,
+                                                 CorrespondenceId c) const {
+  size_t count = 0;
+  for (uint32_t index : chains_at_[c]) {
+    if (ChainViolated(chains_[index], selection)) ++count;
+  }
+  return count;
+}
+
+}  // namespace smn

@@ -1,0 +1,82 @@
+#ifndef SMN_CONSTRAINTS_CYCLE_H_
+#define SMN_CONSTRAINTS_CYCLE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/constraint.h"
+
+namespace smn {
+
+/// The cycle constraint of the paper: when schemas are matched in a cycle,
+/// matched attributes must form a closed cycle. Compiled over the triangles
+/// of the interaction graph: for every pair of selected correspondences
+/// a~b (s1,s2) and b~c (s2,s3) that chain through a shared attribute b across
+/// two edges of a triangle, the closing correspondence a~c must be selected
+/// too.
+///
+/// Compilation enumerates all chain entries (c1, c2, closing). When the
+/// closing correspondence is not even a candidate in C, the pair (c1, c2) can
+/// never appear together in a consistent instance; such entries are "hard
+/// conflicts" (closing == kInvalidCorrespondence).
+class CycleConstraint : public Constraint {
+ public:
+  /// One chained pair and its closing correspondence.
+  struct Chain {
+    CorrespondenceId first;
+    CorrespondenceId second;
+    /// The correspondence closing the triangle, or kInvalidCorrespondence
+    /// when C contains no such candidate (hard conflict).
+    CorrespondenceId closing;
+  };
+
+  std::string_view name() const override { return "cycle"; }
+
+  Status Compile(const Network& network) override;
+
+  bool IsSatisfied(const DynamicBitset& selection) const override;
+
+  void FindViolations(const DynamicBitset& selection,
+                      std::vector<Violation>* out) const override;
+
+  void FindViolationsInvolving(const DynamicBitset& selection,
+                               CorrespondenceId c,
+                               std::vector<Violation>* out) const override;
+
+  void FindViolationsCreatedByRemoval(const DynamicBitset& selection,
+                                      CorrespondenceId removed,
+                                      std::vector<Violation>* out) const override;
+
+  bool AdditionViolates(const DynamicBitset& selection,
+                        CorrespondenceId candidate) const override;
+
+  size_t CountViolationsInvolving(const DynamicBitset& selection,
+                                  CorrespondenceId c) const override;
+
+  /// All compiled chain entries (exposed for the exact enumerator's fast
+  /// path, diagnostics, and tests).
+  const std::vector<Chain>& chains() const { return chains_; }
+
+ private:
+  /// True when the chain is violated by `selection` (both members selected,
+  /// closing absent or nonexistent).
+  bool ChainViolated(const Chain& chain, const DynamicBitset& selection) const {
+    return selection.Test(chain.first) && selection.Test(chain.second) &&
+           (chain.closing == kInvalidCorrespondence ||
+            !selection.Test(chain.closing));
+  }
+
+  Violation MakeViolation(const Chain& chain) const {
+    return Violation{name(), {chain.first, chain.second}, chain.closing};
+  }
+
+  std::vector<Chain> chains_;
+  // Per correspondence: indices into chains_ where it participates as a
+  // chain member, and where it acts as the closing correspondence.
+  std::vector<std::vector<uint32_t>> chains_at_;
+  std::vector<std::vector<uint32_t>> closing_of_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_CONSTRAINTS_CYCLE_H_

@@ -1,0 +1,79 @@
+#include "constraints/one_to_one.h"
+
+namespace smn {
+
+Status OneToOneConstraint::Compile(const Network& network) {
+  const size_t n = network.correspondence_count();
+  conflicts_.assign(n, DynamicBitset(n));
+  conflict_pair_count_ = 0;
+  // Conflicts arise only between correspondences sharing an attribute: walk
+  // each attribute's incident candidates and mark pairs whose other
+  // endpoints land in the same schema.
+  for (AttributeId a = 0; a < network.attribute_count(); ++a) {
+    const auto& incident = network.CorrespondencesAt(a);
+    for (size_t i = 0; i < incident.size(); ++i) {
+      const Correspondence& ci = network.correspondence(incident[i]);
+      for (size_t j = i + 1; j < incident.size(); ++j) {
+        const Correspondence& cj = network.correspondence(incident[j]);
+        const AttributeId other_i = ci.OtherEnd(a);
+        const AttributeId other_j = cj.OtherEnd(a);
+        if (network.attribute(other_i).schema ==
+            network.attribute(other_j).schema) {
+          conflicts_[ci.id].Set(cj.id);
+          conflicts_[cj.id].Set(ci.id);
+          ++conflict_pair_count_;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool OneToOneConstraint::IsSatisfied(const DynamicBitset& selection) const {
+  bool ok = true;
+  selection.ForEachSetBit([&](size_t c) {
+    if (ok && conflicts_[c].Intersects(selection)) ok = false;
+  });
+  return ok;
+}
+
+void OneToOneConstraint::FindViolations(const DynamicBitset& selection,
+                                        std::vector<Violation>* out) const {
+  selection.ForEachSetBit([&](size_t c) {
+    DynamicBitset row = conflicts_[c];
+    row &= selection;
+    row.ForEachSetBit([&](size_t other) {
+      if (other > c) {  // Report each conflicting pair once.
+        out->push_back(Violation{
+            name(),
+            {static_cast<CorrespondenceId>(c),
+             static_cast<CorrespondenceId>(other)},
+            kInvalidCorrespondence});
+      }
+    });
+  });
+}
+
+void OneToOneConstraint::FindViolationsInvolving(const DynamicBitset& selection,
+                                                 CorrespondenceId c,
+                                                 std::vector<Violation>* out) const {
+  DynamicBitset row = conflicts_[c];
+  row &= selection;
+  row.ForEachSetBit([&](size_t other) {
+    out->push_back(Violation{name(),
+                             {c, static_cast<CorrespondenceId>(other)},
+                             kInvalidCorrespondence});
+  });
+}
+
+bool OneToOneConstraint::AdditionViolates(const DynamicBitset& selection,
+                                          CorrespondenceId candidate) const {
+  return conflicts_[candidate].Intersects(selection);
+}
+
+size_t OneToOneConstraint::CountViolationsInvolving(
+    const DynamicBitset& selection, CorrespondenceId c) const {
+  return conflicts_[c].IntersectionCount(selection);
+}
+
+}  // namespace smn

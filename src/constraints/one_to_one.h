@@ -1,0 +1,56 @@
+#ifndef SMN_CONSTRAINTS_ONE_TO_ONE_H_
+#define SMN_CONSTRAINTS_ONE_TO_ONE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/constraint.h"
+
+namespace smn {
+
+/// The one-to-one constraint of the paper: each attribute of one schema is
+/// matched to at most one attribute of any other schema. Two candidate
+/// correspondences conflict exactly when they share one endpoint and their
+/// other endpoints belong to the same schema (e.g. a~b and a~b' with
+/// b, b' ∈ s2).
+///
+/// Compilation builds a pairwise conflict graph as adjacency bitsets over C,
+/// making every query a handful of word-parallel bitset operations.
+class OneToOneConstraint : public Constraint {
+ public:
+  std::string_view name() const override { return "one-to-one"; }
+
+  Status Compile(const Network& network) override;
+
+  bool IsSatisfied(const DynamicBitset& selection) const override;
+
+  void FindViolations(const DynamicBitset& selection,
+                      std::vector<Violation>* out) const override;
+
+  void FindViolationsInvolving(const DynamicBitset& selection,
+                               CorrespondenceId c,
+                               std::vector<Violation>* out) const override;
+
+  bool AdditionViolates(const DynamicBitset& selection,
+                        CorrespondenceId candidate) const override;
+
+  size_t CountViolationsInvolving(const DynamicBitset& selection,
+                                  CorrespondenceId c) const override;
+
+  /// Conflict adjacency row of correspondence `c` (exposed for the exact
+  /// enumerator's fast path and for diagnostics).
+  const DynamicBitset& ConflictRow(CorrespondenceId c) const {
+    return conflicts_[c];
+  }
+
+  /// Total number of conflicting candidate pairs in the network.
+  size_t conflict_pair_count() const { return conflict_pair_count_; }
+
+ private:
+  std::vector<DynamicBitset> conflicts_;
+  size_t conflict_pair_count_ = 0;
+};
+
+}  // namespace smn
+
+#endif  // SMN_CONSTRAINTS_ONE_TO_ONE_H_

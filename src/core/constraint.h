@@ -1,0 +1,75 @@
+#ifndef SMN_CORE_CONSTRAINT_H_
+#define SMN_CORE_CONSTRAINT_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/network.h"
+#include "core/types.h"
+#include "core/violation.h"
+#include "util/dynamic_bitset.h"
+#include "util/status.h"
+
+namespace smn {
+
+/// A network-level integrity constraint γ ∈ Γ. Implementations compile the
+/// constraint against a concrete Network once (building whatever lookup
+/// tables they need) and then answer violation queries over correspondence
+/// selections, which are bitsets over the candidate set C.
+///
+/// The engine relies on a structural property shared by the constraints
+/// studied in the paper: in a selection that currently satisfies the
+/// constraint, adding one correspondence can only introduce violations that
+/// involve the added correspondence, and removing one correspondence can only
+/// introduce violations reported by FindViolationsCreatedByRemoval. This is
+/// what makes the maximality check of Definition 1 and the incremental repair
+/// of Algorithm 4 sound.
+class Constraint {
+ public:
+  virtual ~Constraint() = default;
+
+  /// Stable name used in violation reports ("one-to-one", "cycle").
+  virtual std::string_view name() const = 0;
+
+  /// Builds internal tables for `network`. Must be called before any query.
+  /// The network must outlive this constraint.
+  virtual Status Compile(const Network& network) = 0;
+
+  /// True when `selection` satisfies this constraint.
+  virtual bool IsSatisfied(const DynamicBitset& selection) const = 0;
+
+  /// Appends all violations present in `selection` to `out`.
+  virtual void FindViolations(const DynamicBitset& selection,
+                              std::vector<Violation>* out) const = 0;
+
+  /// Appends the violations in `selection` that involve `c` (which must be
+  /// selected) to `out`.
+  virtual void FindViolationsInvolving(const DynamicBitset& selection,
+                                       CorrespondenceId c,
+                                       std::vector<Violation>* out) const = 0;
+
+  /// Appends violations that exist in `selection` only because `removed` was
+  /// just cleared from it. Anti-monotone constraints (one-to-one) never
+  /// produce any; the cycle constraint does when `removed` closed a triangle
+  /// whose two chain members are still selected.
+  virtual void FindViolationsCreatedByRemoval(
+      const DynamicBitset& selection, CorrespondenceId removed,
+      std::vector<Violation>* out) const {
+    (void)selection;
+    (void)removed;
+    (void)out;
+  }
+
+  /// True when adding `candidate` (not currently selected) to a selection
+  /// that satisfies this constraint would create at least one violation.
+  virtual bool AdditionViolates(const DynamicBitset& selection,
+                                CorrespondenceId candidate) const = 0;
+
+  /// Number of violations in `selection` that involve `c`.
+  virtual size_t CountViolationsInvolving(const DynamicBitset& selection,
+                                          CorrespondenceId c) const = 0;
+};
+
+}  // namespace smn
+
+#endif  // SMN_CORE_CONSTRAINT_H_

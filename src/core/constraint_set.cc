@@ -1,0 +1,77 @@
+#include "core/constraint_set.h"
+
+#include <cassert>
+
+namespace smn {
+
+void ConstraintSet::Add(std::unique_ptr<Constraint> constraint) {
+  assert(!compiled_ && "Add must precede Compile");
+  constraints_.push_back(std::move(constraint));
+}
+
+Status ConstraintSet::Compile(const Network& network) {
+  for (auto& c : constraints_) {
+    SMN_RETURN_IF_ERROR(c->Compile(network));
+  }
+  compiled_ = true;
+  return Status::OK();
+}
+
+bool ConstraintSet::IsSatisfied(const DynamicBitset& selection) const {
+  assert(compiled_);
+  for (const auto& c : constraints_) {
+    if (!c->IsSatisfied(selection)) return false;
+  }
+  return true;
+}
+
+std::vector<Violation> ConstraintSet::FindViolations(
+    const DynamicBitset& selection) const {
+  assert(compiled_);
+  std::vector<Violation> violations;
+  for (const auto& c : constraints_) {
+    c->FindViolations(selection, &violations);
+  }
+  return violations;
+}
+
+std::vector<Violation> ConstraintSet::FindViolationsInvolving(
+    const DynamicBitset& selection, CorrespondenceId c) const {
+  assert(compiled_);
+  std::vector<Violation> violations;
+  for (const auto& constraint : constraints_) {
+    constraint->FindViolationsInvolving(selection, c, &violations);
+  }
+  return violations;
+}
+
+std::vector<Violation> ConstraintSet::FindViolationsCreatedByRemoval(
+    const DynamicBitset& selection, CorrespondenceId removed) const {
+  assert(compiled_);
+  std::vector<Violation> violations;
+  for (const auto& constraint : constraints_) {
+    constraint->FindViolationsCreatedByRemoval(selection, removed, &violations);
+  }
+  return violations;
+}
+
+bool ConstraintSet::AdditionViolates(const DynamicBitset& selection,
+                                     CorrespondenceId candidate) const {
+  assert(compiled_);
+  for (const auto& c : constraints_) {
+    if (c->AdditionViolates(selection, candidate)) return true;
+  }
+  return false;
+}
+
+size_t ConstraintSet::CountViolationsInvolving(const DynamicBitset& selection,
+                                               CorrespondenceId c) const {
+  assert(compiled_);
+  size_t total = 0;
+  for (const auto& constraint : constraints_) {
+    total += constraint->CountViolationsInvolving(selection, c);
+  }
+  return total;
+}
+
+}  // namespace smn

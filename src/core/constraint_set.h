@@ -1,0 +1,62 @@
+#ifndef SMN_CORE_CONSTRAINT_SET_H_
+#define SMN_CORE_CONSTRAINT_SET_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/constraint.h"
+#include "util/status.h"
+
+namespace smn {
+
+/// The conjunction Γ = {γ1, ..., γn} of integrity constraints, compiled
+/// against one Network. A selection satisfies the set when it satisfies every
+/// member ("C' ⊨ Γ").
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+  ConstraintSet(ConstraintSet&&) = default;
+  ConstraintSet& operator=(ConstraintSet&&) = default;
+
+  /// Adds a constraint. Must happen before Compile.
+  void Add(std::unique_ptr<Constraint> constraint);
+
+  /// Compiles every constraint against `network`; the network must outlive
+  /// this set.
+  Status Compile(const Network& network);
+
+  size_t size() const { return constraints_.size(); }
+  const Constraint& constraint(size_t i) const { return *constraints_[i]; }
+
+  /// True when `selection` satisfies all constraints.
+  bool IsSatisfied(const DynamicBitset& selection) const;
+
+  /// All violations across all constraints.
+  std::vector<Violation> FindViolations(const DynamicBitset& selection) const;
+
+  /// Violations in `selection` involving the selected correspondence `c`.
+  std::vector<Violation> FindViolationsInvolving(const DynamicBitset& selection,
+                                                 CorrespondenceId c) const;
+
+  /// Violations that exist only because `removed` was just cleared from
+  /// `selection` (e.g. re-opened triangles of the cycle constraint).
+  std::vector<Violation> FindViolationsCreatedByRemoval(
+      const DynamicBitset& selection, CorrespondenceId removed) const;
+
+  /// True when adding `candidate` to a currently-consistent `selection`
+  /// would violate some constraint.
+  bool AdditionViolates(const DynamicBitset& selection,
+                        CorrespondenceId candidate) const;
+
+  /// Total number of violations involving `c` across all constraints.
+  size_t CountViolationsInvolving(const DynamicBitset& selection,
+                                  CorrespondenceId c) const;
+
+ private:
+  std::vector<std::unique_ptr<Constraint>> constraints_;
+  bool compiled_ = false;
+};
+
+}  // namespace smn
+
+#endif  // SMN_CORE_CONSTRAINT_SET_H_

@@ -1,0 +1,30 @@
+#ifndef SMN_CORE_CORRESPONDENCE_H_
+#define SMN_CORE_CORRESPONDENCE_H_
+
+#include "core/types.h"
+
+namespace smn {
+
+/// An attribute correspondence (a, b) between two schemas, as produced by a
+/// matcher. Stored in canonical form: the endpoint belonging to the schema
+/// with the smaller id comes first. `confidence` is the raw matcher score in
+/// [0, 1]; the paper treats it as unreliable and recomputes probabilities
+/// from the constraint structure instead.
+struct Correspondence {
+  CorrespondenceId id = kInvalidCorrespondence;
+  AttributeId left = kInvalidAttribute;
+  AttributeId right = kInvalidAttribute;
+  SchemaId left_schema = kInvalidSchema;
+  SchemaId right_schema = kInvalidSchema;
+  double confidence = 0.0;
+
+  /// True when this correspondence touches attribute `a`.
+  bool Involves(AttributeId a) const { return left == a || right == a; }
+
+  /// Returns the endpoint that is not `a`. Requires Involves(a).
+  AttributeId OtherEnd(AttributeId a) const { return left == a ? right : left; }
+};
+
+}  // namespace smn
+
+#endif  // SMN_CORE_CORRESPONDENCE_H_

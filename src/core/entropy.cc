@@ -1,0 +1,18 @@
+#include "core/entropy.h"
+
+#include <cmath>
+
+namespace smn {
+
+double BinaryEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double NetworkUncertainty(const std::vector<double>& probabilities) {
+  double total = 0.0;
+  for (double p : probabilities) total += BinaryEntropy(p);
+  return total;
+}
+
+}  // namespace smn

@@ -1,0 +1,20 @@
+#ifndef SMN_CORE_ENTROPY_H_
+#define SMN_CORE_ENTROPY_H_
+
+#include <vector>
+
+namespace smn {
+
+/// Entropy of a Bernoulli(p) variable in bits:
+/// -p·log2(p) - (1-p)·log2(1-p); 0 at p ∈ {0, 1}.
+double BinaryEntropy(double p);
+
+/// The network uncertainty H(C, P) of Equation 3: the sum of the binary
+/// entropies of all correspondence probabilities. Certain correspondences
+/// (p ∈ {0, 1}) contribute nothing, so H = 0 iff exactly one matching
+/// instance remains.
+double NetworkUncertainty(const std::vector<double>& probabilities);
+
+}  // namespace smn
+
+#endif  // SMN_CORE_ENTROPY_H_

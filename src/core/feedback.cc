@@ -1,0 +1,29 @@
+#include "core/feedback.h"
+
+namespace smn {
+
+Status Feedback::Approve(CorrespondenceId c) {
+  if (c >= approved_.size()) {
+    return Status::OutOfRange("Approve: correspondence id out of range");
+  }
+  if (disapproved_.Test(c)) {
+    return Status::FailedPrecondition(
+        "Approve: correspondence was already disapproved");
+  }
+  approved_.Set(c);
+  return Status::OK();
+}
+
+Status Feedback::Disapprove(CorrespondenceId c) {
+  if (c >= disapproved_.size()) {
+    return Status::OutOfRange("Disapprove: correspondence id out of range");
+  }
+  if (approved_.Test(c)) {
+    return Status::FailedPrecondition(
+        "Disapprove: correspondence was already approved");
+  }
+  disapproved_.Set(c);
+  return Status::OK();
+}
+
+}  // namespace smn

@@ -1,0 +1,64 @@
+#ifndef SMN_CORE_FEEDBACK_H_
+#define SMN_CORE_FEEDBACK_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "util/dynamic_bitset.h"
+#include "util/status.h"
+
+namespace smn {
+
+/// The user input F = <F+, F-> of the paper: the sets of approved and
+/// disapproved correspondences collected during reconciliation. The two sets
+/// stay disjoint; assertions are treated as ground truth (probability 1/0).
+class Feedback {
+ public:
+  /// Creates empty feedback over a candidate set of `correspondence_count`.
+  explicit Feedback(size_t correspondence_count)
+      : approved_(correspondence_count), disapproved_(correspondence_count) {}
+
+  /// Records the expert's approval of `c`. Fails when c was already
+  /// disapproved (assertions are final) ; re-approving is a no-op.
+  Status Approve(CorrespondenceId c);
+
+  /// Records the expert's disapproval of `c`. Fails when c was already
+  /// approved; re-disapproving is a no-op.
+  Status Disapprove(CorrespondenceId c);
+
+  /// Records an assertion in one call: approve when `approved` is true.
+  Status Assert(CorrespondenceId c, bool approved) {
+    return approved ? Approve(c) : Disapprove(c);
+  }
+
+  bool IsApproved(CorrespondenceId c) const { return approved_.Test(c); }
+  bool IsDisapproved(CorrespondenceId c) const { return disapproved_.Test(c); }
+  bool IsAsserted(CorrespondenceId c) const {
+    return IsApproved(c) || IsDisapproved(c);
+  }
+
+  /// |F+ ∪ F-|, the numerator of the paper's user-effort measure.
+  size_t asserted_count() const {
+    return approved_.Count() + disapproved_.Count();
+  }
+
+  size_t approved_count() const { return approved_.Count(); }
+  size_t disapproved_count() const { return disapproved_.Count(); }
+  size_t correspondence_count() const { return approved_.size(); }
+
+  const DynamicBitset& approved() const { return approved_; }
+  const DynamicBitset& disapproved() const { return disapproved_; }
+
+  /// True when `instance` respects the feedback: F+ ⊆ I and F- ∩ I = ∅.
+  bool IsRespectedBy(const DynamicBitset& instance) const {
+    return instance.Contains(approved_) && !instance.Intersects(disapproved_);
+  }
+
+ private:
+  DynamicBitset approved_;
+  DynamicBitset disapproved_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_CORE_FEEDBACK_H_

@@ -1,0 +1,122 @@
+#include "core/instantiation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "core/matching_instance.h"
+#include "core/repair.h"
+
+namespace smn {
+
+double InstanceLogLikelihood(const DynamicBitset& instance,
+                             const std::vector<double>& probabilities) {
+  constexpr double kFloor = 1e-12;
+  double total = 0.0;
+  instance.ForEachSetBit([&](size_t c) {
+    total += std::log(std::max(probabilities[c], kFloor));
+  });
+  return total;
+}
+
+Instantiator::Instantiator(InstantiationOptions options) : options_(options) {}
+
+StatusOr<InstantiationResult> Instantiator::Instantiate(
+    const ProbabilisticNetwork& pmn, Rng* rng) const {
+  const Network& network = pmn.network();
+  const ConstraintSet& constraints = pmn.constraints();
+  const Feedback& feedback = pmn.feedback();
+  const std::vector<double>& probabilities = pmn.probabilities();
+  const size_t n = network.correspondence_count();
+
+  // Ranks (repair distance, likelihood) lexicographically; likelihood only
+  // participates when enabled (Fig. 11 ablation).
+  auto better = [&](size_t dist_a, double ll_a, size_t dist_b, double ll_b) {
+    if (dist_a != dist_b) return dist_a < dist_b;
+    return options_.use_likelihood && ll_a > ll_b;
+  };
+
+  // Step 1: initialization — greedy pick-up among the maintained samples.
+  DynamicBitset best(n);
+  bool have_best = false;
+  size_t best_distance = n + 1;
+  double best_ll = -std::numeric_limits<double>::infinity();
+  for (const DynamicBitset& sample : pmn.samples()) {
+    const size_t distance = RepairDistance(sample, n);
+    const double ll = InstanceLogLikelihood(sample, probabilities);
+    if (!have_best || better(distance, ll, best_distance, best_ll)) {
+      best = sample;
+      best_distance = distance;
+      best_ll = ll;
+      have_best = true;
+    }
+  }
+  if (!have_best) {
+    // No samples (empty store): fall back to the smallest consistent seed.
+    // F+ may be chain-open (non-monotone cycle constraint); closure-repair
+    // completes it or reports a genuinely contradictory approval set.
+    best = feedback.approved();
+    if (!constraints.IsSatisfied(best)) {
+      SMN_RETURN_IF_ERROR(RepairAll(constraints, feedback, &best));
+    }
+    Maximalize(constraints, feedback, rng, &best);
+    best_distance = RepairDistance(best, n);
+    best_ll = InstanceLogLikelihood(best, probabilities);
+  }
+
+  // Step 2: optimization — randomized local search with tabu memory.
+  DynamicBitset current = best;
+  std::deque<CorrespondenceId> tabu;
+  DynamicBitset tabu_member(n);
+  std::vector<CorrespondenceId> eligible;
+  std::vector<double> weights;
+  for (size_t iteration = 0; iteration < options_.iterations; ++iteration) {
+    eligible.clear();
+    weights.clear();
+    for (CorrespondenceId c = 0; c < n; ++c) {
+      if (current.Test(c) || feedback.IsDisapproved(c) || tabu_member.Test(c)) {
+        continue;
+      }
+      eligible.push_back(c);
+      weights.push_back(probabilities[c]);
+    }
+    if (eligible.empty()) break;  // Everything tried recently or selected.
+
+    // Fitness-proportionate selection: high-probability correspondences are
+    // likelier to be consistent with the rest of the instance.
+    const CorrespondenceId chosen = eligible[rng->RouletteWheel(weights)];
+    tabu.push_back(chosen);
+    tabu_member.Set(chosen);
+    if (tabu.size() > options_.tabu_size) {
+      tabu_member.Reset(tabu.front());
+      tabu.pop_front();
+    }
+
+    SMN_RETURN_IF_ERROR(
+        RepairInstance(constraints, feedback, chosen, &current));
+
+    const size_t distance = RepairDistance(current, n);
+    const double ll = InstanceLogLikelihood(current, probabilities);
+    if (better(distance, ll, best_distance, best_ll)) {
+      best = current;
+      best_distance = distance;
+      best_ll = ll;
+    }
+  }
+
+  if (options_.maximalize_result) {
+    Maximalize(constraints, feedback, rng, &best);
+    best_distance = RepairDistance(best, n);
+    best_ll = InstanceLogLikelihood(best, probabilities);
+  }
+
+  InstantiationResult result;
+  result.instance = std::move(best);
+  result.repair_distance = best_distance;
+  result.log_likelihood = best_ll;
+  return result;
+}
+
+}  // namespace smn

@@ -1,0 +1,65 @@
+#ifndef SMN_CORE_INSTANTIATION_H_
+#define SMN_CORE_INSTANTIATION_H_
+
+#include "core/probabilistic_network.h"
+#include "util/dynamic_bitset.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace smn {
+
+/// Tuning knobs for the instantiation heuristic (Algorithm 2).
+struct InstantiationOptions {
+  /// Upper bound k on local-search iterations.
+  size_t iterations = 200;
+  /// Capacity of the tabu queue T: recently tried correspondences are barred
+  /// from re-selection until they age out.
+  size_t tabu_size = 25;
+  /// When true (Problem 2), ties on repair distance are broken by the
+  /// likelihood u(I) = Π p_c. Disabling this reproduces the "without
+  /// likelihood" ablation of Fig. 11.
+  bool use_likelihood = true;
+  /// Greedily extend the final answer to a maximal instance. Never hurts the
+  /// repair distance (objective i); ablation knob for Definition-1 fidelity.
+  bool maximalize_result = true;
+};
+
+/// An instantiated matching H with its quality measures.
+struct InstantiationResult {
+  DynamicBitset instance;
+  /// Δ(H, C) = |C| - |H|: candidate correspondences sacrificed for
+  /// consistency.
+  size_t repair_distance = 0;
+  /// log u(H) = Σ_{c ∈ H} log p_c (probabilities floored at 1e-12 so a
+  /// zero-probability member yields a very negative, comparable value).
+  double log_likelihood = 0.0;
+};
+
+/// Algorithm 2 of the paper: derives a single trusted, constraint-consistent
+/// matching from the probabilistic matching network at any point during
+/// reconciliation. Greedily seeds from the best available sample (minimum
+/// repair distance, then maximum likelihood), then runs a randomized local
+/// search — roulette-wheel addition proportional to p_c, repair of the
+/// violations the addition causes, and a tabu list against re-trying recent
+/// additions — keeping the best instance seen.
+class Instantiator {
+ public:
+  explicit Instantiator(InstantiationOptions options = {});
+
+  /// Runs the heuristic against the current network state.
+  StatusOr<InstantiationResult> Instantiate(const ProbabilisticNetwork& pmn,
+                                            Rng* rng) const;
+
+  const InstantiationOptions& options() const { return options_; }
+
+ private:
+  InstantiationOptions options_;
+};
+
+/// Log-likelihood of an instance under probabilities P (floored at 1e-12).
+double InstanceLogLikelihood(const DynamicBitset& instance,
+                             const std::vector<double>& probabilities);
+
+}  // namespace smn
+
+#endif  // SMN_CORE_INSTANTIATION_H_

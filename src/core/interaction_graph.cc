@@ -1,0 +1,50 @@
+#include "core/interaction_graph.h"
+
+#include <algorithm>
+
+namespace smn {
+
+InteractionGraph::InteractionGraph(size_t schema_count)
+    : schema_count_(schema_count), adjacency_(schema_count) {}
+
+Status InteractionGraph::AddEdge(SchemaId a, SchemaId b) {
+  if (a == b) {
+    return Status::InvalidArgument("interaction graph edge must not be a self-loop");
+  }
+  if (a >= schema_count_ || b >= schema_count_) {
+    return Status::OutOfRange("interaction graph edge endpoint out of range");
+  }
+  if (HasEdge(a, b)) {
+    return Status::AlreadyExists("interaction graph edge already present");
+  }
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  edges_.emplace_back(std::min(a, b), std::max(a, b));
+  return Status::OK();
+}
+
+bool InteractionGraph::HasEdge(SchemaId a, SchemaId b) const {
+  if (a >= schema_count_ || b >= schema_count_) return false;
+  const auto& smaller =
+      adjacency_[a].size() <= adjacency_[b].size() ? adjacency_[a] : adjacency_[b];
+  const SchemaId target = adjacency_[a].size() <= adjacency_[b].size() ? b : a;
+  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+std::vector<std::array<SchemaId, 3>> InteractionGraph::Triangles() const {
+  std::vector<std::array<SchemaId, 3>> triangles;
+  for (const auto& [a, b] : edges_) {
+    // For each edge (a < b), every common neighbor c > b closes a triangle;
+    // restricting to c > b reports each triangle exactly once.
+    for (SchemaId c : adjacency_[a]) {
+      if (c > b && HasEdge(b, c)) triangles.push_back({a, b, c});
+    }
+  }
+  return triangles;
+}
+
+bool InteractionGraph::IsComplete() const {
+  return edges_.size() == schema_count_ * (schema_count_ - 1) / 2;
+}
+
+}  // namespace smn

@@ -1,0 +1,56 @@
+#ifndef SMN_CORE_INTERACTION_GRAPH_H_
+#define SMN_CORE_INTERACTION_GRAPH_H_
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace smn {
+
+/// The interaction graph G_S: vertices are schemas, and an edge (si, sj)
+/// means the pair needs to be matched. Undirected, no self-loops.
+class InteractionGraph {
+ public:
+  /// Creates a graph over `schema_count` vertices with no edges.
+  explicit InteractionGraph(size_t schema_count);
+
+  size_t schema_count() const { return schema_count_; }
+  size_t edge_count() const { return edges_.size(); }
+
+  /// Adds the undirected edge (a, b). Fails on self-loops, out-of-range
+  /// vertices, or duplicate edges.
+  Status AddEdge(SchemaId a, SchemaId b);
+
+  bool HasEdge(SchemaId a, SchemaId b) const;
+
+  /// All edges as (min, max) schema-id pairs, in insertion order.
+  const std::vector<std::pair<SchemaId, SchemaId>>& edges() const {
+    return edges_;
+  }
+
+  /// Neighbors of schema `s`.
+  const std::vector<SchemaId>& Neighbors(SchemaId s) const {
+    return adjacency_[s];
+  }
+
+  /// All triangles {a < b < c} with all three pairwise edges present. The
+  /// cycle constraint is compiled over these (3-cycles are the building block
+  /// of the closed-cycle condition; longer cycles decompose into chained
+  /// triangles on complete graphs).
+  std::vector<std::array<SchemaId, 3>> Triangles() const;
+
+  /// True when every pair of schemas is connected.
+  bool IsComplete() const;
+
+ private:
+  size_t schema_count_;
+  std::vector<std::vector<SchemaId>> adjacency_;
+  std::vector<std::pair<SchemaId, SchemaId>> edges_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_CORE_INTERACTION_GRAPH_H_

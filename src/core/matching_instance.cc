@@ -1,0 +1,61 @@
+#include "core/matching_instance.h"
+
+#include <vector>
+
+namespace smn {
+
+bool IsConsistentInstance(const ConstraintSet& constraints,
+                          const Feedback& feedback,
+                          const DynamicBitset& selection) {
+  return feedback.IsRespectedBy(selection) && constraints.IsSatisfied(selection);
+}
+
+bool IsMaximalInstance(const ConstraintSet& constraints,
+                       const Feedback& feedback,
+                       const DynamicBitset& selection) {
+  const size_t n = selection.size();
+  for (CorrespondenceId c = 0; c < n; ++c) {
+    if (selection.Test(c) || feedback.IsDisapproved(c)) continue;
+    if (!constraints.AdditionViolates(selection, c)) return false;
+  }
+  return true;
+}
+
+bool IsMatchingInstance(const ConstraintSet& constraints,
+                        const Feedback& feedback,
+                        const DynamicBitset& selection) {
+  return IsConsistentInstance(constraints, feedback, selection) &&
+         IsMaximalInstance(constraints, feedback, selection);
+}
+
+void Maximalize(const ConstraintSet& constraints, const Feedback& feedback,
+                Rng* rng, DynamicBitset* selection) {
+  const size_t n = selection->size();
+  std::vector<CorrespondenceId> candidates;
+  candidates.reserve(n);
+  for (CorrespondenceId c = 0; c < n; ++c) {
+    if (!selection->Test(c) && !feedback.IsDisapproved(c)) {
+      candidates.push_back(c);
+    }
+  }
+  rng->Shuffle(&candidates);
+  // Additions can unlock further additions (a new closing correspondence may
+  // make a chained pair addable), so iterate to a fixpoint.
+  bool added = true;
+  while (added) {
+    added = false;
+    for (CorrespondenceId c : candidates) {
+      if (selection->Test(c)) continue;
+      if (!constraints.AdditionViolates(*selection, c)) {
+        selection->Set(c);
+        added = true;
+      }
+    }
+  }
+}
+
+size_t RepairDistance(const DynamicBitset& instance, size_t candidate_count) {
+  return candidate_count - instance.Count();
+}
+
+}  // namespace smn

@@ -1,0 +1,172 @@
+#include "core/network.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace smn {
+
+namespace {
+
+uint64_t PackPair(AttributeId a, AttributeId b) {
+  const AttributeId lo = std::min(a, b);
+  const AttributeId hi = std::max(a, b);
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+const char* AttributeTypeToString(AttributeType type) {
+  switch (type) {
+    case AttributeType::kUnknown:
+      return "unknown";
+    case AttributeType::kString:
+      return "string";
+    case AttributeType::kInteger:
+      return "integer";
+    case AttributeType::kDecimal:
+      return "decimal";
+    case AttributeType::kDate:
+      return "date";
+    case AttributeType::kBoolean:
+      return "boolean";
+  }
+  return "unknown";
+}
+
+Network::Network(std::vector<Schema> schemas, std::vector<Attribute> attributes,
+                 InteractionGraph graph,
+                 std::vector<Correspondence> correspondences)
+    : schemas_(std::move(schemas)),
+      attributes_(std::move(attributes)),
+      graph_(std::move(graph)),
+      correspondences_(std::move(correspondences)),
+      by_attribute_(attributes_.size()) {
+  for (const Correspondence& c : correspondences_) {
+    by_attribute_[c.left].push_back(c.id);
+    by_attribute_[c.right].push_back(c.id);
+    by_pair_.emplace(PackPair(c.left, c.right), c.id);
+  }
+}
+
+std::optional<CorrespondenceId> Network::FindCorrespondence(
+    AttributeId a, AttributeId b) const {
+  auto it = by_pair_.find(PackPair(a, b));
+  if (it == by_pair_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<CorrespondenceId> Network::CorrespondencesBetween(
+    SchemaId s1, SchemaId s2) const {
+  const SchemaId lo = std::min(s1, s2);
+  const SchemaId hi = std::max(s1, s2);
+  std::vector<CorrespondenceId> result;
+  for (const Correspondence& c : correspondences_) {
+    if (c.left_schema == lo && c.right_schema == hi) result.push_back(c.id);
+  }
+  return result;
+}
+
+std::string Network::DescribeCorrespondence(CorrespondenceId id) const {
+  const Correspondence& c = correspondences_[id];
+  std::string out = schemas_[c.left_schema].name();
+  out += '.';
+  out += attributes_[c.left].name;
+  out += " ~ ";
+  out += schemas_[c.right_schema].name();
+  out += '.';
+  out += attributes_[c.right].name;
+  out += " (";
+  out += FormatDouble(c.confidence, 2);
+  out += ')';
+  return out;
+}
+
+SchemaId NetworkBuilder::AddSchema(std::string name) {
+  const SchemaId id = static_cast<SchemaId>(schemas_.size());
+  schemas_.emplace_back(id, std::move(name));
+  return id;
+}
+
+StatusOr<AttributeId> NetworkBuilder::AddAttribute(SchemaId schema,
+                                                   std::string name,
+                                                   AttributeType type) {
+  if (schema >= schemas_.size()) {
+    return Status::OutOfRange("AddAttribute: unknown schema id");
+  }
+  for (AttributeId existing : schemas_[schema].attributes()) {
+    if (attributes_[existing].name == name) {
+      return Status::AlreadyExists("AddAttribute: duplicate attribute name '" +
+                                   name + "' in schema " +
+                                   schemas_[schema].name());
+    }
+  }
+  const AttributeId id = static_cast<AttributeId>(attributes_.size());
+  attributes_.push_back(Attribute{id, schema, std::move(name), type});
+  schemas_[schema].AddAttribute(id);
+  return id;
+}
+
+Status NetworkBuilder::AddEdge(SchemaId a, SchemaId b) {
+  if (!edges_added_) {
+    graph_ = InteractionGraph(schemas_.size());
+    edges_added_ = true;
+  }
+  return graph_.AddEdge(a, b);
+}
+
+void NetworkBuilder::AddCompleteGraph() {
+  graph_ = InteractionGraph(schemas_.size());
+  edges_added_ = true;
+  for (SchemaId a = 0; a < schemas_.size(); ++a) {
+    for (SchemaId b = a + 1; b < schemas_.size(); ++b) {
+      graph_.AddEdge(a, b);  // Cannot fail: fresh graph, distinct vertices.
+    }
+  }
+}
+
+StatusOr<CorrespondenceId> NetworkBuilder::AddCorrespondence(AttributeId a,
+                                                             AttributeId b,
+                                                             double confidence) {
+  if (a >= attributes_.size() || b >= attributes_.size()) {
+    return Status::OutOfRange("AddCorrespondence: unknown attribute id");
+  }
+  SchemaId sa = attributes_[a].schema;
+  SchemaId sb = attributes_[b].schema;
+  if (sa == sb) {
+    return Status::InvalidArgument(
+        "AddCorrespondence: both attributes belong to schema " +
+        schemas_[sa].name());
+  }
+  if (!graph_.HasEdge(sa, sb)) {
+    return Status::FailedPrecondition(
+        "AddCorrespondence: schema pair is not an interaction graph edge");
+  }
+  const uint64_t key = PackPair(a, b);
+  if (by_pair_.count(key) > 0) {
+    return Status::AlreadyExists("AddCorrespondence: duplicate correspondence");
+  }
+  // Canonical orientation: smaller schema id on the left.
+  AttributeId left = a, right = b;
+  if (sb < sa) {
+    std::swap(left, right);
+    std::swap(sa, sb);
+  }
+  const CorrespondenceId id = static_cast<CorrespondenceId>(correspondences_.size());
+  correspondences_.push_back(Correspondence{id, left, right, sa, sb, confidence});
+  by_pair_.emplace(key, id);
+  return id;
+}
+
+StatusOr<Network> NetworkBuilder::Build() {
+  if (schemas_.empty()) {
+    return Status::FailedPrecondition("Build: network has no schemas");
+  }
+  if (!edges_added_) {
+    graph_ = InteractionGraph(schemas_.size());
+  }
+  return Network(std::move(schemas_), std::move(attributes_), std::move(graph_),
+                 std::move(correspondences_));
+}
+
+}  // namespace smn

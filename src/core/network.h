@@ -1,0 +1,134 @@
+#ifndef SMN_CORE_NETWORK_H_
+#define SMN_CORE_NETWORK_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/correspondence.h"
+#include "core/interaction_graph.h"
+#include "core/schema.h"
+#include "core/types.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace smn {
+
+/// A network of schemas N = <S, G_S, Γ, C> minus the constraints: the
+/// schemas, the interaction graph, and the candidate correspondence set C.
+/// Constraints are attached separately via ConstraintSet so that the same
+/// network can be analyzed under different constraint regimes.
+///
+/// Immutable after construction (build one with NetworkBuilder). All engine
+/// components (sampler, reconciler, instantiation) hold a const reference.
+class Network {
+ public:
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  const std::vector<Schema>& schemas() const { return schemas_; }
+  const Schema& schema(SchemaId id) const { return schemas_[id]; }
+  size_t schema_count() const { return schemas_.size(); }
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const Attribute& attribute(AttributeId id) const { return attributes_[id]; }
+  size_t attribute_count() const { return attributes_.size(); }
+
+  const InteractionGraph& graph() const { return graph_; }
+
+  const std::vector<Correspondence>& correspondences() const {
+    return correspondences_;
+  }
+  const Correspondence& correspondence(CorrespondenceId id) const {
+    return correspondences_[id];
+  }
+  size_t correspondence_count() const { return correspondences_.size(); }
+
+  /// Finds the candidate correspondence connecting attributes `a` and `b`
+  /// (order-insensitive), or nullopt when the pair is not a candidate.
+  std::optional<CorrespondenceId> FindCorrespondence(AttributeId a,
+                                                     AttributeId b) const;
+
+  /// Ids of all candidate correspondences that touch attribute `a`.
+  const std::vector<CorrespondenceId>& CorrespondencesAt(AttributeId a) const {
+    return by_attribute_[a];
+  }
+
+  /// Candidate correspondences between the (unordered) schema pair; empty
+  /// when the pair is not an edge of the interaction graph or has no
+  /// candidates.
+  std::vector<CorrespondenceId> CorrespondencesBetween(SchemaId s1,
+                                                       SchemaId s2) const;
+
+  /// Human-readable rendering "SA.productionDate ~ SB.date (0.83)".
+  std::string DescribeCorrespondence(CorrespondenceId id) const;
+
+ private:
+  friend class NetworkBuilder;
+  Network(std::vector<Schema> schemas, std::vector<Attribute> attributes,
+          InteractionGraph graph, std::vector<Correspondence> correspondences);
+
+  std::vector<Schema> schemas_;
+  std::vector<Attribute> attributes_;
+  InteractionGraph graph_;
+  std::vector<Correspondence> correspondences_;
+  // attribute id -> candidate correspondences touching it.
+  std::vector<std::vector<CorrespondenceId>> by_attribute_;
+  // Packed (min_attr, max_attr) -> correspondence id.
+  std::unordered_map<uint64_t, CorrespondenceId> by_pair_;
+};
+
+/// Incremental builder for Network. Usage:
+///
+///   NetworkBuilder b;
+///   SchemaId sa = b.AddSchema("SA");
+///   AttributeId pd = *b.AddAttribute(sa, "productionDate");
+///   b.AddEdge(sa, sb);
+///   b.AddCorrespondence(pd, date, 0.9);
+///   SMN_ASSIGN_OR_RETURN(Network net, b.Build());
+class NetworkBuilder {
+ public:
+  NetworkBuilder() : graph_(0) {}
+
+  /// Adds a schema and returns its id.
+  SchemaId AddSchema(std::string name);
+
+  /// Adds an attribute to `schema`. Fails when the schema id is unknown or
+  /// the attribute name duplicates an existing name in the same schema.
+  StatusOr<AttributeId> AddAttribute(SchemaId schema, std::string name,
+                                     AttributeType type = AttributeType::kUnknown);
+
+  /// Declares that two schemas need to be matched.
+  Status AddEdge(SchemaId a, SchemaId b);
+
+  /// Adds edges between every pair of schemas.
+  void AddCompleteGraph();
+
+  /// Adds a candidate correspondence between two attributes of different
+  /// schemas whose schema pair is an edge of the interaction graph.
+  /// Duplicates are rejected.
+  StatusOr<CorrespondenceId> AddCorrespondence(AttributeId a, AttributeId b,
+                                               double confidence);
+
+  size_t schema_count() const { return schemas_.size(); }
+  size_t correspondence_count() const { return correspondences_.size(); }
+
+  /// Finalizes the network. The builder is left in a moved-from state.
+  StatusOr<Network> Build();
+
+ private:
+  std::vector<Schema> schemas_;
+  std::vector<Attribute> attributes_;
+  InteractionGraph graph_;
+  std::vector<Correspondence> correspondences_;
+  std::unordered_map<uint64_t, CorrespondenceId> by_pair_;
+  bool edges_added_ = false;
+};
+
+}  // namespace smn
+
+#endif  // SMN_CORE_NETWORK_H_

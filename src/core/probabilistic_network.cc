@@ -1,0 +1,100 @@
+#include "core/probabilistic_network.h"
+
+#include "core/entropy.h"
+
+namespace smn {
+
+ProbabilisticNetwork::ProbabilisticNetwork(const Network& network,
+                                           const ConstraintSet& constraints,
+                                           ProbabilisticNetworkOptions options)
+    : network_(&network),
+      constraints_(&constraints),
+      store_(network, constraints, options.store),
+      feedback_(network.correspondence_count()) {}
+
+StatusOr<ProbabilisticNetwork> ProbabilisticNetwork::Create(
+    const Network& network, const ConstraintSet& constraints,
+    ProbabilisticNetworkOptions options, Rng* rng) {
+  ProbabilisticNetwork pmn(network, constraints, options);
+  SMN_RETURN_IF_ERROR(pmn.store_.Initialize(pmn.feedback_, rng));
+  pmn.RefreshProbabilities();
+  return pmn;
+}
+
+Status ProbabilisticNetwork::Assert(CorrespondenceId c, bool approved,
+                                    Rng* rng) {
+  SMN_RETURN_IF_ERROR(feedback_.Assert(c, approved));
+  SMN_RETURN_IF_ERROR(store_.ApplyAssertion(c, approved, feedback_, rng));
+  RefreshProbabilities();
+  return Status::OK();
+}
+
+void ProbabilisticNetwork::RefreshProbabilities() {
+  probabilities_ = store_.ComputeProbabilities();
+  // Assertions are ground truth: pin them regardless of sampling noise.
+  for (CorrespondenceId c = 0; c < probabilities_.size(); ++c) {
+    if (feedback_.IsApproved(c)) probabilities_[c] = 1.0;
+    if (feedback_.IsDisapproved(c)) probabilities_[c] = 0.0;
+  }
+}
+
+double ProbabilisticNetwork::Uncertainty() const {
+  return NetworkUncertainty(probabilities_);
+}
+
+std::vector<CorrespondenceId> ProbabilisticNetwork::UncertainCorrespondences()
+    const {
+  std::vector<CorrespondenceId> result;
+  for (CorrespondenceId c = 0; c < probabilities_.size(); ++c) {
+    if (probabilities_[c] > 0.0 && probabilities_[c] < 1.0) {
+      result.push_back(c);
+    }
+  }
+  return result;
+}
+
+std::vector<DynamicBitset> ProbabilisticNetwork::BuildMembershipColumns() const {
+  const size_t n = network_->correspondence_count();
+  const auto& samples = store_.samples();
+  std::vector<DynamicBitset> columns(n, DynamicBitset(samples.size()));
+  for (size_t i = 0; i < samples.size(); ++i) {
+    samples[i].ForEachSetBit([&](size_t c) { columns[c].Set(i); });
+  }
+  return columns;
+}
+
+std::vector<double> ProbabilisticNetwork::InformationGains() const {
+  const size_t n = network_->correspondence_count();
+  std::vector<double> gains(n, 0.0);
+  const auto& samples = store_.samples();
+  const size_t m = samples.size();
+  if (m == 0) return gains;
+
+  const std::vector<DynamicBitset> columns = BuildMembershipColumns();
+  std::vector<size_t> totals(n, 0);
+  for (size_t c = 0; c < n; ++c) totals[c] = columns[c].Count();
+
+  const double h_now = Uncertainty();
+  for (CorrespondenceId c = 0; c < n; ++c) {
+    const size_t with_c = totals[c];
+    if (with_c == 0 || with_c == m) continue;  // Certain: IG is zero.
+    const double p_c = static_cast<double>(with_c) / static_cast<double>(m);
+    // Partition Ω* on membership of c. H(C, P+) uses the samples containing
+    // c; H(C, P-) the rest. The intersection counts give both at once.
+    double h_plus = 0.0;
+    double h_minus = 0.0;
+    const size_t without_c = m - with_c;
+    for (size_t x = 0; x < n; ++x) {
+      const size_t joint = columns[x].IntersectionCount(columns[c]);
+      h_plus += BinaryEntropy(static_cast<double>(joint) /
+                              static_cast<double>(with_c));
+      h_minus += BinaryEntropy(static_cast<double>(totals[x] - joint) /
+                               static_cast<double>(without_c));
+    }
+    const double h_conditional = p_c * h_plus + (1.0 - p_c) * h_minus;
+    gains[c] = h_now - h_conditional;
+  }
+  return gains;
+}
+
+}  // namespace smn

@@ -1,0 +1,90 @@
+#ifndef SMN_CORE_PROBABILISTIC_NETWORK_H_
+#define SMN_CORE_PROBABILISTIC_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/constraint_set.h"
+#include "core/feedback.h"
+#include "core/network.h"
+#include "core/sample_store.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace smn {
+
+/// Tuning knobs for the probabilistic matching network.
+struct ProbabilisticNetworkOptions {
+  SampleStoreOptions store;
+};
+
+/// The probabilistic matching network <N, P> of the paper: the single state
+/// carried through reconciliation. Wraps the candidate network, the
+/// maintained sample set Ω*, the user feedback F and the derived
+/// correspondence probabilities P, and answers the decision-theoretic
+/// queries (network uncertainty, information gain) that drive uncertainty
+/// reduction.
+///
+/// The wrapped Network and ConstraintSet must outlive this object.
+class ProbabilisticNetwork {
+ public:
+  /// Builds the network state and draws the initial sample set.
+  static StatusOr<ProbabilisticNetwork> Create(
+      const Network& network, const ConstraintSet& constraints,
+      ProbabilisticNetworkOptions options, Rng* rng);
+
+  ProbabilisticNetwork(ProbabilisticNetwork&&) = default;
+  ProbabilisticNetwork& operator=(ProbabilisticNetwork&&) = default;
+
+  const Network& network() const { return *network_; }
+  const ConstraintSet& constraints() const { return *constraints_; }
+  const Feedback& feedback() const { return feedback_; }
+
+  /// Current probabilities P (Equation 2). Asserted correspondences have
+  /// probability exactly 1 or 0.
+  const std::vector<double>& probabilities() const { return probabilities_; }
+  double probability(CorrespondenceId c) const { return probabilities_[c]; }
+
+  /// Records an expert assertion, runs view maintenance on Ω*, and refreshes
+  /// P. Fails when `c` contradicts an earlier assertion.
+  Status Assert(CorrespondenceId c, bool approved, Rng* rng);
+
+  /// The network uncertainty H(C, P) of Equation 3, in bits.
+  double Uncertainty() const;
+
+  /// All correspondences whose probability is strictly between 0 and 1 —
+  /// the candidates eligible for assertion in Algorithm 1.
+  std::vector<CorrespondenceId> UncertainCorrespondences() const;
+
+  /// Information gain IG(c) of Equations 4-5 for every correspondence,
+  /// computed by partitioning Ω* on membership of c (certain correspondences
+  /// get 0). One pass over the sample/correspondence membership matrix; no
+  /// re-sampling involved.
+  std::vector<double> InformationGains() const;
+
+  /// The maintained sample multiset Ω*.
+  const std::vector<DynamicBitset>& samples() const { return store_.samples(); }
+
+  /// True when Ω* provably holds every matching instance.
+  bool exhausted() const { return store_.exhausted(); }
+
+ private:
+  ProbabilisticNetwork(const Network& network, const ConstraintSet& constraints,
+                       ProbabilisticNetworkOptions options);
+
+  void RefreshProbabilities();
+
+  /// Membership column of each correspondence over the current samples:
+  /// bit i of column c is set iff sample i contains c.
+  std::vector<DynamicBitset> BuildMembershipColumns() const;
+
+  const Network* network_;
+  const ConstraintSet* constraints_;
+  SampleStore store_;
+  Feedback feedback_;
+  std::vector<double> probabilities_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_CORE_PROBABILISTIC_NETWORK_H_

@@ -1,0 +1,51 @@
+#include "core/reconciler.h"
+
+namespace smn {
+
+Reconciler::Reconciler(ProbabilisticNetwork* pmn, SelectionStrategy* strategy,
+                       AssertionOracle oracle)
+    : pmn_(pmn), strategy_(strategy), oracle_(std::move(oracle)) {}
+
+StatusOr<ReconcileStep> Reconciler::Step(Rng* rng) {
+  const std::optional<CorrespondenceId> selected = strategy_->Select(*pmn_, rng);
+  if (!selected.has_value()) {
+    return Status::NotFound("reconciliation complete: no uncertain correspondence");
+  }
+  const bool approved = oracle_(*selected);
+  SMN_RETURN_IF_ERROR(pmn_->Assert(*selected, approved, rng));
+
+  ReconcileStep step;
+  step.correspondence = *selected;
+  step.approved = approved;
+  step.uncertainty_after = pmn_->Uncertainty();
+  const size_t total = pmn_->network().correspondence_count();
+  step.effort_after =
+      total == 0 ? 0.0
+                 : static_cast<double>(pmn_->feedback().asserted_count()) /
+                       static_cast<double>(total);
+  return step;
+}
+
+StatusOr<ReconcileTrace> Reconciler::Run(const ReconcileGoal& goal, Rng* rng) {
+  ReconcileTrace trace;
+  trace.initial_uncertainty = pmn_->Uncertainty();
+  for (;;) {
+    if (goal.max_assertions.has_value() &&
+        trace.steps.size() >= *goal.max_assertions) {
+      break;
+    }
+    if (goal.uncertainty_threshold.has_value() &&
+        pmn_->Uncertainty() <= *goal.uncertainty_threshold) {
+      break;
+    }
+    auto step = Step(rng);
+    if (!step.ok()) {
+      if (step.status().code() == StatusCode::kNotFound) break;  // Converged.
+      return step.status();
+    }
+    trace.steps.push_back(*step);
+  }
+  return trace;
+}
+
+}  // namespace smn

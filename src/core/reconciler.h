@@ -1,0 +1,70 @@
+#ifndef SMN_CORE_RECONCILER_H_
+#define SMN_CORE_RECONCILER_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/probabilistic_network.h"
+#include "core/selection_strategy.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace smn {
+
+/// Answers assertion requests during reconciliation: returns true to approve
+/// the correspondence, false to disapprove. In experiments this is backed by
+/// the ground-truth oracle; in production it would prompt a human expert.
+using AssertionOracle = std::function<bool(CorrespondenceId)>;
+
+/// The reconciliation goal δ of Algorithm 1. Reconciliation stops when any
+/// configured bound is reached, or when no uncertain correspondence remains.
+struct ReconcileGoal {
+  /// Effort budget: maximum number of assertions (the paper's k).
+  std::optional<size_t> max_assertions;
+  /// Stop once H(C, P) drops to or below this threshold.
+  std::optional<double> uncertainty_threshold;
+};
+
+/// One executed feedback step.
+struct ReconcileStep {
+  CorrespondenceId correspondence = kInvalidCorrespondence;
+  bool approved = false;
+  /// H(C, P') after integrating this assertion.
+  double uncertainty_after = 0.0;
+  /// User effort E = |F+ ∪ F-| / |C| after this assertion.
+  double effort_after = 0.0;
+};
+
+/// Full record of a reconciliation run, for effort/uncertainty curves.
+struct ReconcileTrace {
+  double initial_uncertainty = 0.0;
+  std::vector<ReconcileStep> steps;
+};
+
+/// The generic uncertainty-reduction procedure of Algorithm 1: repeatedly
+/// select an uncertain correspondence (strategy), elicit its assertion
+/// (oracle), and integrate the feedback into the probabilistic matching
+/// network.
+class Reconciler {
+ public:
+  /// All three collaborators must outlive the reconciler.
+  Reconciler(ProbabilisticNetwork* pmn, SelectionStrategy* strategy,
+             AssertionOracle oracle);
+
+  /// Executes one select-elicit-integrate iteration. Returns NotFound when
+  /// no uncertain correspondence remains.
+  StatusOr<ReconcileStep> Step(Rng* rng);
+
+  /// Runs Algorithm 1 until the goal is met or the network is certain.
+  StatusOr<ReconcileTrace> Run(const ReconcileGoal& goal, Rng* rng);
+
+ private:
+  ProbabilisticNetwork* pmn_;
+  SelectionStrategy* strategy_;
+  AssertionOracle oracle_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_CORE_RECONCILER_H_

@@ -1,0 +1,142 @@
+#include "core/repair.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace smn {
+namespace {
+
+/// Shared repair loop. `violations` must list exactly the violations present
+/// in `*instance`; `protected_added` is the correspondence shielded from
+/// removal alongside F+ (or kInvalidCorrespondence for none). When
+/// `allow_cascade` is set, closures may introduce follow-up violations
+/// (required to complete a chain-open F+ where removal is forbidden); the
+/// conservative mode keeps the walk repair local and well-behaved.
+Status RepairLoop(const ConstraintSet& constraints, const Feedback& feedback,
+                  CorrespondenceId protected_added,
+                  std::vector<Violation> violations, DynamicBitset* instance,
+                  const RepairOptions& options, bool allow_cascade_closures) {
+  const size_t n = instance->size();
+  std::vector<uint32_t> counts(n, 0);
+  bool added_protected = protected_added != kInvalidCorrespondence;
+  // Each correspondence gets at most one closure attempt per repair call;
+  // this bounds the additions and guarantees termination.
+  DynamicBitset closure_tried(n);
+
+  while (!violations.empty()) {
+    // Phase 1: close an open chain. Tier one accepts only closings that
+    // introduce no new violations; tier two (needed when the open chain sits
+    // inside the protected F+, where removal is not an option) accepts a
+    // closing that cascades, queueing the violations it introduces. The
+    // once-per-correspondence closure bound keeps both tiers terminating.
+    if (options.close_cycles) {
+      bool closed = false;
+      for (const bool allow_cascade : {false, true}) {
+        if (allow_cascade && !allow_cascade_closures) break;
+        for (const Violation& violation : violations) {
+          const CorrespondenceId missing = violation.missing;
+          if (missing == kInvalidCorrespondence || instance->Test(missing) ||
+              feedback.IsDisapproved(missing) || closure_tried.Test(missing)) {
+            continue;
+          }
+          instance->Set(missing);
+          std::vector<Violation> introduced =
+              constraints.FindViolationsInvolving(*instance, missing);
+          if (!introduced.empty() && !allow_cascade) {
+            instance->Reset(missing);  // Retry in the cascading tier.
+            continue;
+          }
+          closure_tried.Set(missing);
+          // Drop every violation this closing correspondence fixes; queue
+          // whatever the cascade opened.
+          std::vector<Violation> remaining;
+          remaining.reserve(violations.size() + introduced.size());
+          for (Violation& v : violations) {
+            if (v.missing != missing) remaining.push_back(std::move(v));
+          }
+          for (Violation& v : introduced) remaining.push_back(std::move(v));
+          violations = std::move(remaining);
+          closed = true;
+          break;
+        }
+        if (closed) break;
+      }
+      if (closed) continue;
+    }
+
+    // Phase 2: greedy removal of the most-violating correspondence.
+    std::fill(counts.begin(), counts.end(), 0);
+    for (const Violation& v : violations) {
+      for (CorrespondenceId p : v.participants) ++counts[p];
+    }
+    auto pick_victim = [&](bool protect_added) -> CorrespondenceId {
+      CorrespondenceId best = kInvalidCorrespondence;
+      uint32_t best_count = 0;
+      for (CorrespondenceId c = 0; c < n; ++c) {
+        if (counts[c] == 0 || !instance->Test(c)) continue;
+        if (feedback.IsApproved(c)) continue;
+        if (protect_added && c == protected_added) continue;
+        if (counts[c] > best_count) {
+          best_count = counts[c];
+          best = c;
+        }
+      }
+      return best;
+    };
+
+    CorrespondenceId victim = pick_victim(added_protected);
+    if (victim == kInvalidCorrespondence && added_protected) {
+      // Only the added correspondence itself can resolve the violations.
+      added_protected = false;
+      victim = pick_victim(false);
+    }
+    if (victim == kInvalidCorrespondence) {
+      return Status::Internal(
+          "repair: violations involve only approved correspondences; "
+          "the approved set F+ is itself inconsistent");
+    }
+
+    instance->Reset(victim);
+    std::vector<Violation> next;
+    next.reserve(violations.size());
+    for (Violation& v : violations) {
+      if (!v.Involves(victim)) next.push_back(std::move(v));
+    }
+    // Removals can re-open triangles of the cycle constraint.
+    for (Violation& v :
+         constraints.FindViolationsCreatedByRemoval(*instance, victim)) {
+      next.push_back(std::move(v));
+    }
+    violations = std::move(next);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RepairInstance(const ConstraintSet& constraints, const Feedback& feedback,
+                      CorrespondenceId added, DynamicBitset* instance,
+                      const RepairOptions& options) {
+  if (added >= instance->size()) {
+    return Status::OutOfRange("RepairInstance: correspondence id out of range");
+  }
+  if (instance->Test(added)) {
+    // Already present in a consistent instance: nothing to do.
+    return Status::OK();
+  }
+  instance->Set(added);
+  // The base instance was consistent, so every violation involves `added`.
+  std::vector<Violation> violations =
+      constraints.FindViolationsInvolving(*instance, added);
+  return RepairLoop(constraints, feedback, added, std::move(violations),
+                    instance, options, /*allow_cascade_closures=*/false);
+}
+
+Status RepairAll(const ConstraintSet& constraints, const Feedback& feedback,
+                 DynamicBitset* instance, const RepairOptions& options) {
+  return RepairLoop(constraints, feedback, kInvalidCorrespondence,
+                    constraints.FindViolations(*instance), instance, options,
+                    /*allow_cascade_closures=*/true);
+}
+
+}  // namespace smn

@@ -1,0 +1,115 @@
+#include "core/sample_store.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "core/exact_enumerator.h"
+
+namespace smn {
+
+SampleStore::SampleStore(const Network& network,
+                         const ConstraintSet& constraints,
+                         SampleStoreOptions options)
+    : network_(network),
+      constraints_(constraints),
+      sampler_(network, constraints, options.sampler),
+      options_(options) {}
+
+Status SampleStore::Initialize(const Feedback& feedback, Rng* rng) {
+  samples_.clear();
+  exhausted_ = false;
+  return TopUp(feedback, rng);
+}
+
+Status SampleStore::ApplyAssertion(CorrespondenceId c, bool approved,
+                                   const Feedback& feedback, Rng* rng) {
+  // View maintenance: approvals keep the instances containing c,
+  // disapprovals keep the instances without c.
+  std::vector<DynamicBitset> kept;
+  kept.reserve(samples_.size());
+  for (DynamicBitset& sample : samples_) {
+    if (sample.Test(c) == approved) kept.push_back(std::move(sample));
+  }
+  samples_ = std::move(kept);
+
+  if (exhausted_ && approved) {
+    // Filtering a complete Ω by an approval yields exactly the new Ω:
+    // maximality is judged against C \ (F- ∪ I), which approvals do not
+    // change. No re-sampling needed.
+    return Status::OK();
+  }
+  // Disapprovals can create matching instances that did not exist before (a
+  // set that was extendable only by c becomes maximal), so the exhausted
+  // flag must be re-established by fresh sampling.
+  if (!approved) exhausted_ = false;
+  if (samples_.size() < options_.min_samples) {
+    return TopUp(feedback, rng);
+  }
+  return Status::OK();
+}
+
+Status SampleStore::TopUp(const Feedback& feedback, Rng* rng) {
+  // Tiny candidate sets: enumerate Ω outright — exact, and immune to the
+  // sampling walk's reachability quirks.
+  if (network_.correspondence_count() <= options_.exact_threshold) {
+    ExactEnumerator enumerator(network_, constraints_,
+                               options_.exact_threshold);
+    SMN_ASSIGN_OR_RETURN(ExactEnumerationResult result,
+                         enumerator.Enumerate(feedback));
+    samples_ = std::move(result.instances);
+    exhausted_ = true;
+    return Status::OK();
+  }
+  // Two consecutive sampling rounds that cannot produce n_min distinct
+  // instances imply the instance space itself is smaller than n_min
+  // (Section III-B); in that case Ω* is deduplicated and declared complete.
+  for (int round = 0; round < 2; ++round) {
+    const size_t missing = options_.target_samples > samples_.size()
+                               ? options_.target_samples - samples_.size()
+                               : 0;
+    if (missing == 0) break;
+    SMN_RETURN_IF_ERROR(sampler_.SampleChain(feedback, missing, rng, &samples_));
+    if (DistinctCount() >= options_.min_samples) {
+      exhausted_ = false;
+      return Status::OK();
+    }
+    // Keep only the distinct instances before the second attempt so the next
+    // round measures fresh discovery.
+    Deduplicate();
+  }
+  exhausted_ = true;
+  Deduplicate();
+  return Status::OK();
+}
+
+void SampleStore::Deduplicate() {
+  std::unordered_set<DynamicBitset, DynamicBitsetHash> seen;
+  std::vector<DynamicBitset> unique;
+  for (DynamicBitset& sample : samples_) {
+    if (seen.insert(sample).second) unique.push_back(std::move(sample));
+  }
+  samples_ = std::move(unique);
+}
+
+size_t SampleStore::DistinctCount() const {
+  std::unordered_set<DynamicBitset, DynamicBitsetHash> seen;
+  for (const DynamicBitset& sample : samples_) seen.insert(sample);
+  return seen.size();
+}
+
+std::vector<double> SampleStore::ComputeProbabilities() const {
+  const size_t n = network_.correspondence_count();
+  std::vector<double> probabilities(n, 0.0);
+  if (samples_.empty()) return probabilities;
+  std::vector<size_t> counts(n, 0);
+  for (const DynamicBitset& sample : samples_) {
+    sample.ForEachSetBit([&](size_t c) { ++counts[c]; });
+  }
+  const double denom = static_cast<double>(samples_.size());
+  for (size_t c = 0; c < n; ++c) {
+    probabilities[c] = static_cast<double>(counts[c]) / denom;
+  }
+  return probabilities;
+}
+
+}  // namespace smn

@@ -1,0 +1,89 @@
+#ifndef SMN_CORE_SAMPLE_STORE_H_
+#define SMN_CORE_SAMPLE_STORE_H_
+
+#include <vector>
+
+#include "core/constraint_set.h"
+#include "core/feedback.h"
+#include "core/network.h"
+#include "core/sampler.h"
+#include "util/dynamic_bitset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace smn {
+
+/// Tuning knobs for the maintained sample set Ω*.
+struct SampleStoreOptions {
+  /// Number of samples the store tries to keep (|Ω*|).
+  size_t target_samples = 1000;
+  /// The paper's tolerance threshold n_min: re-sample whenever fewer than
+  /// this many samples survive view maintenance.
+  size_t min_samples = 200;
+  /// Networks with at most this many candidate correspondences are handled
+  /// by exhaustive enumeration instead of sampling: Ω* then provably equals
+  /// Ω. This subsumes the paper's two-round exhaustion heuristic, which can
+  /// silently miss narrow-basin instances (e.g. singleton instances whose
+  /// every extension opens a chain). Set to 0 to force pure sampling.
+  size_t exact_threshold = 16;
+  SamplerOptions sampler;
+};
+
+/// Maintains the sample set Ω* across a stream of user assertions
+/// (Section III-B, "View Maintenance"). On an assertion the store filters the
+/// surviving samples — approvals keep instances containing c, disapprovals
+/// keep instances without c — and re-samples when fewer than n_min samples
+/// remain. When two consecutive sampling rounds cannot produce n_min distinct
+/// instances, the instance space is declared exhausted: Ω* then holds every
+/// matching instance exactly once and the probabilities of Equation 1 are
+/// exact.
+class SampleStore {
+ public:
+  /// `network` and `constraints` must outlive the store.
+  SampleStore(const Network& network, const ConstraintSet& constraints,
+              SampleStoreOptions options = {});
+
+  /// Fills the store from scratch under `feedback` (normally empty feedback
+  /// at reconciliation start).
+  Status Initialize(const Feedback& feedback, Rng* rng);
+
+  /// View maintenance for the assertion of `c`. `feedback` must already
+  /// include the assertion. Filters Ω' and re-samples if necessary.
+  Status ApplyAssertion(CorrespondenceId c, bool approved,
+                        const Feedback& feedback, Rng* rng);
+
+  /// Current sample multiset Ω*.
+  const std::vector<DynamicBitset>& samples() const { return samples_; }
+
+  /// Per-correspondence probabilities p_c = |{I ∈ Ω* | c ∈ I}| / |Ω*|
+  /// (Equation 2). Returns an all-zero vector when the store is empty.
+  std::vector<double> ComputeProbabilities() const;
+
+  /// True when Ω* provably contains every matching instance (probabilities
+  /// are exact).
+  bool exhausted() const { return exhausted_; }
+
+  /// Number of distinct instances currently in the store.
+  size_t DistinctCount() const;
+
+  const SampleStoreOptions& options() const { return options_; }
+
+ private:
+  /// Tops the store up to target_samples, deduplicating when the space turns
+  /// out to be smaller than n_min (exhaustion detection).
+  Status TopUp(const Feedback& feedback, Rng* rng);
+
+  /// Drops duplicate instances in place.
+  void Deduplicate();
+
+  const Network& network_;
+  const ConstraintSet& constraints_;
+  Sampler sampler_;
+  SampleStoreOptions options_;
+  std::vector<DynamicBitset> samples_;
+  bool exhausted_ = false;
+};
+
+}  // namespace smn
+
+#endif  // SMN_CORE_SAMPLE_STORE_H_

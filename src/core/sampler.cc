@@ -1,0 +1,94 @@
+#include "core/sampler.h"
+
+#include <cmath>
+
+#include "core/matching_instance.h"
+#include "core/repair.h"
+
+namespace smn {
+
+Sampler::Sampler(const Network& network, const ConstraintSet& constraints,
+                 SamplerOptions options)
+    : network_(network), constraints_(constraints), options_(options) {}
+
+CorrespondenceId Sampler::PickCandidate(const DynamicBitset& current,
+                                        const Feedback& feedback,
+                                        Rng* rng) const {
+  const size_t n = network_.correspondence_count();
+  if (n == 0) return kInvalidCorrespondence;
+  // Rejection sampling is fast while candidates are plentiful; fall back to
+  // an explicit scan when the walk has saturated most of C.
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const CorrespondenceId c = static_cast<CorrespondenceId>(rng->Index(n));
+    if (!current.Test(c) && !feedback.IsDisapproved(c)) return c;
+  }
+  std::vector<CorrespondenceId> eligible;
+  for (CorrespondenceId c = 0; c < n; ++c) {
+    if (!current.Test(c) && !feedback.IsDisapproved(c)) eligible.push_back(c);
+  }
+  if (eligible.empty()) return kInvalidCorrespondence;
+  return eligible[rng->Index(eligible.size())];
+}
+
+StatusOr<DynamicBitset> Sampler::NextInstance(const DynamicBitset& current,
+                                              const Feedback& feedback,
+                                              Rng* rng) const {
+  const CorrespondenceId candidate = PickCandidate(current, feedback, rng);
+  if (candidate == kInvalidCorrespondence) return current;
+
+  DynamicBitset next = current;
+  const Status repaired =
+      RepairInstance(constraints_, feedback, candidate, &next, options_.repair);
+  if (!repaired.ok()) {
+    // Rare dead end: the proposal's violations cannot be resolved without
+    // touching protected correspondences (e.g. re-opening an approved
+    // triangle whose closing correspondence already had to go). Skip the
+    // proposal; the chain state stays valid.
+    return current;
+  }
+
+  if (!options_.annealing) return next;
+  const double delta =
+      static_cast<double>(current.SymmetricDifferenceCount(next));
+  const double accept_probability = 1.0 - std::exp(-delta);
+  if (rng->Bernoulli(accept_probability)) return next;
+  return current;
+}
+
+Status Sampler::SampleChain(const Feedback& feedback, size_t count, Rng* rng,
+                            std::vector<DynamicBitset>* out) const {
+  DynamicBitset state = feedback.approved();
+  if (!constraints_.IsSatisfied(state)) {
+    // The cycle constraint is non-monotone: a partial F+ can be chain-open
+    // even though consistent supersets exist (the expert approved two sides
+    // of a triangle but not yet the third). Closure-repair finds the
+    // smallest consistent superset to start the walk from; if none exists,
+    // F+ is genuinely contradictory and the repair reports it.
+    const Status repaired = RepairAll(constraints_, feedback, &state,
+                                      options_.repair);
+    if (!repaired.ok()) {
+      return Status::FailedPrecondition(
+          "SampleChain: the approved set F+ violates the integrity "
+          "constraints and cannot be closure-repaired: " +
+          repaired.message());
+    }
+  }
+  out->reserve(out->size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    for (size_t step = 0; step < options_.walk_steps; ++step) {
+      SMN_ASSIGN_OR_RETURN(DynamicBitset next,
+                           NextInstance(state, feedback, rng));
+      state = std::move(next);
+    }
+    if (options_.maximalize) {
+      DynamicBitset sample = state;
+      Maximalize(constraints_, feedback, rng, &sample);
+      out->push_back(std::move(sample));
+    } else {
+      out->push_back(state);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace smn

@@ -1,0 +1,45 @@
+#ifndef SMN_CORE_SCHEMA_H_
+#define SMN_CORE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace smn {
+
+/// One attribute of a schema: a named, typed column/field. Ids are global
+/// across the whole network (the paper models schemas as disjoint attribute
+/// sets).
+struct Attribute {
+  AttributeId id = kInvalidAttribute;
+  SchemaId schema = kInvalidSchema;
+  std::string name;
+  AttributeType type = AttributeType::kUnknown;
+};
+
+/// A schema is a finite set of attributes s = {a1, ..., an} plus a display
+/// name ("SA:EoverI"). Attribute storage lives in the Network; the schema
+/// keeps the id list.
+class Schema {
+ public:
+  Schema(SchemaId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  SchemaId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeId>& attributes() const { return attributes_; }
+  size_t attribute_count() const { return attributes_.size(); }
+
+  /// Registers an attribute id as belonging to this schema. Called by
+  /// NetworkBuilder only.
+  void AddAttribute(AttributeId id) { attributes_.push_back(id); }
+
+ private:
+  SchemaId id_;
+  std::string name_;
+  std::vector<AttributeId> attributes_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_CORE_SCHEMA_H_

@@ -1,0 +1,133 @@
+#include "core/selection_strategy.h"
+
+#include <cmath>
+#include <vector>
+
+namespace smn {
+namespace {
+
+class RandomStrategy : public SelectionStrategy {
+ public:
+  std::string_view name() const override { return "Random"; }
+
+  std::optional<CorrespondenceId> Select(const ProbabilisticNetwork& pmn,
+                                         Rng* rng) override {
+    const auto uncertain = pmn.UncertainCorrespondences();
+    if (uncertain.empty()) return std::nullopt;
+    return uncertain[rng->Index(uncertain.size())];
+  }
+};
+
+class InformationGainStrategy : public SelectionStrategy {
+ public:
+  std::string_view name() const override { return "InformationGain"; }
+
+  std::optional<CorrespondenceId> Select(const ProbabilisticNetwork& pmn,
+                                         Rng* rng) override {
+    const auto uncertain = pmn.UncertainCorrespondences();
+    if (uncertain.empty()) return std::nullopt;
+    const std::vector<double> gains = pmn.InformationGains();
+    double best = -1.0;
+    for (CorrespondenceId c : uncertain) best = std::max(best, gains[c]);
+    // The paper breaks ties uniformly at random.
+    constexpr double kTie = 1e-12;
+    std::vector<CorrespondenceId> tied;
+    for (CorrespondenceId c : uncertain) {
+      if (gains[c] >= best - kTie) tied.push_back(c);
+    }
+    return tied[rng->Index(tied.size())];
+  }
+};
+
+class MaxEntropyStrategy : public SelectionStrategy {
+ public:
+  std::string_view name() const override { return "MaxEntropy"; }
+
+  std::optional<CorrespondenceId> Select(const ProbabilisticNetwork& pmn,
+                                         Rng* rng) override {
+    const auto uncertain = pmn.UncertainCorrespondences();
+    if (uncertain.empty()) return std::nullopt;
+    double best_distance = 2.0;
+    std::vector<CorrespondenceId> tied;
+    for (CorrespondenceId c : uncertain) {
+      const double distance = std::abs(pmn.probability(c) - 0.5);
+      if (distance < best_distance - 1e-12) {
+        best_distance = distance;
+        tied.clear();
+      }
+      if (distance <= best_distance + 1e-12) tied.push_back(c);
+    }
+    return tied[rng->Index(tied.size())];
+  }
+};
+
+class MinProbabilityStrategy : public SelectionStrategy {
+ public:
+  std::string_view name() const override { return "MinProbability"; }
+
+  std::optional<CorrespondenceId> Select(const ProbabilisticNetwork& pmn,
+                                         Rng* rng) override {
+    const auto uncertain = pmn.UncertainCorrespondences();
+    if (uncertain.empty()) return std::nullopt;
+    double best = 2.0;
+    std::vector<CorrespondenceId> tied;
+    for (CorrespondenceId c : uncertain) {
+      const double p = pmn.probability(c);
+      if (p < best - 1e-12) {
+        best = p;
+        tied.clear();
+      }
+      if (p <= best + 1e-12) tied.push_back(c);
+    }
+    return tied[rng->Index(tied.size())];
+  }
+};
+
+class SequentialStrategy : public SelectionStrategy {
+ public:
+  std::string_view name() const override { return "Sequential"; }
+
+  std::optional<CorrespondenceId> Select(const ProbabilisticNetwork& pmn,
+                                         Rng* rng) override {
+    (void)rng;
+    const auto uncertain = pmn.UncertainCorrespondences();
+    if (uncertain.empty()) return std::nullopt;
+    return uncertain.front();  // UncertainCorrespondences is id-ascending.
+  }
+};
+
+}  // namespace
+
+std::string_view StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kRandom:
+      return "Random";
+    case StrategyKind::kInformationGain:
+      return "InformationGain";
+    case StrategyKind::kMaxEntropy:
+      return "MaxEntropy";
+    case StrategyKind::kMinProbability:
+      return "MinProbability";
+    case StrategyKind::kSequential:
+      return "Sequential";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<SelectionStrategy> MakeStrategy(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kRandom:
+      return std::make_unique<RandomStrategy>();
+    case StrategyKind::kInformationGain:
+      return std::make_unique<InformationGainStrategy>();
+    case StrategyKind::kMaxEntropy:
+      return std::make_unique<MaxEntropyStrategy>();
+    case StrategyKind::kMinProbability:
+      return std::make_unique<MinProbabilityStrategy>();
+    case StrategyKind::kSequential:
+      return std::make_unique<SequentialStrategy>();
+  }
+  return nullptr;
+}
+
+}  // namespace smn

@@ -1,0 +1,58 @@
+#ifndef SMN_CORE_SELECTION_STRATEGY_H_
+#define SMN_CORE_SELECTION_STRATEGY_H_
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "core/probabilistic_network.h"
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace smn {
+
+/// The `select` routine of Algorithm 1: picks the next correspondence whose
+/// assertion is elicited from the expert. Only uncertain correspondences
+/// (0 < p_c < 1) are eligible — asserted or otherwise certain ones carry no
+/// information gain.
+class SelectionStrategy {
+ public:
+  virtual ~SelectionStrategy() = default;
+
+  /// Strategy name for reports ("Random", "InformationGain", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Returns the next correspondence to assert, or nullopt when no uncertain
+  /// correspondence remains (reconciliation is complete).
+  virtual std::optional<CorrespondenceId> Select(
+      const ProbabilisticNetwork& pmn, Rng* rng) = 0;
+};
+
+/// Identifies a built-in strategy.
+enum class StrategyKind {
+  /// Uniformly random uncertain correspondence — the paper's baseline.
+  kRandom,
+  /// Highest information gain (Eqs. 4-5) — the paper's Heuristic; ties are
+  /// broken uniformly at random.
+  kInformationGain,
+  /// Highest marginal entropy, i.e. probability closest to 1/2. A cheaper
+  /// decision-theoretic baseline that ignores correlations between
+  /// correspondences (extension beyond the paper, used in ablations).
+  kMaxEntropy,
+  /// Lowest probability first: tackle the most suspicious candidates.
+  /// (Extension, used in ablations.)
+  kMinProbability,
+  /// Ascending correspondence id: models an unguided expert sweeping the
+  /// matcher output in file order. (Extension, used in ablations.)
+  kSequential,
+};
+
+/// Short display name of a strategy kind.
+std::string_view StrategyKindName(StrategyKind kind);
+
+/// Creates a fresh strategy instance of the given kind.
+std::unique_ptr<SelectionStrategy> MakeStrategy(StrategyKind kind);
+
+}  // namespace smn
+
+#endif  // SMN_CORE_SELECTION_STRATEGY_H_

@@ -1,0 +1,43 @@
+#ifndef SMN_CORE_TYPES_H_
+#define SMN_CORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace smn {
+
+/// Index of a schema within a Network. Dense, assigned in insertion order.
+using SchemaId = uint32_t;
+
+/// Globally unique attribute identifier within a Network. Attributes of all
+/// schemas share one id space (the paper's A_S with unique attributes).
+using AttributeId = uint32_t;
+
+/// Index of a candidate correspondence within a Network's candidate set C.
+using CorrespondenceId = uint32_t;
+
+inline constexpr SchemaId kInvalidSchema =
+    std::numeric_limits<SchemaId>::max();
+inline constexpr AttributeId kInvalidAttribute =
+    std::numeric_limits<AttributeId>::max();
+inline constexpr CorrespondenceId kInvalidCorrespondence =
+    std::numeric_limits<CorrespondenceId>::max();
+
+/// Coarse attribute data types, used by the type-aware matcher and the
+/// dataset generator. Real schemas rarely agree on precise types, so this is
+/// intentionally coarse.
+enum class AttributeType : uint8_t {
+  kUnknown = 0,
+  kString,
+  kInteger,
+  kDecimal,
+  kDate,
+  kBoolean,
+};
+
+/// Short name for an attribute type ("string", "date", ...).
+const char* AttributeTypeToString(AttributeType type);
+
+}  // namespace smn
+
+#endif  // SMN_CORE_TYPES_H_

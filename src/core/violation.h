@@ -1,0 +1,32 @@
+#ifndef SMN_CORE_VIOLATION_H_
+#define SMN_CORE_VIOLATION_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+
+namespace smn {
+
+/// One concrete constraint violation found in a correspondence selection.
+/// `participants` are the selected correspondences that jointly violate the
+/// constraint; removing any participant resolves this particular violation.
+/// For the cycle constraint, `missing` names the absent closing
+/// correspondence that would also resolve the violation (or
+/// kInvalidCorrespondence when no such candidate exists in C).
+struct Violation {
+  std::string_view constraint_name;
+  std::vector<CorrespondenceId> participants;
+  CorrespondenceId missing = kInvalidCorrespondence;
+
+  bool Involves(CorrespondenceId c) const {
+    for (CorrespondenceId p : participants) {
+      if (p == c) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace smn
+
+#endif  // SMN_CORE_VIOLATION_H_

@@ -1,0 +1,116 @@
+#include "datasets/generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace smn {
+
+size_t GeneratedDataset::CountTruthPairs(const InteractionGraph& graph) const {
+  size_t total = 0;
+  for (const auto& [a, b] : graph.edges()) {
+    const std::unordered_set<uint32_t> left(concepts[a].begin(),
+                                            concepts[a].end());
+    for (uint32_t concept_id : concepts[b]) total += left.count(concept_id);
+  }
+  return total;
+}
+
+size_t GeneratedDataset::MinAttributeCount() const {
+  size_t best = schemas.empty() ? 0 : schemas[0].attributes.size();
+  for (const SchemaView& schema : schemas) {
+    best = std::min(best, schema.attributes.size());
+  }
+  return best;
+}
+
+size_t GeneratedDataset::MaxAttributeCount() const {
+  size_t best = 0;
+  for (const SchemaView& schema : schemas) {
+    best = std::max(best, schema.attributes.size());
+  }
+  return best;
+}
+
+size_t GeneratedDataset::TotalAttributeCount() const {
+  size_t total = 0;
+  for (const SchemaView& schema : schemas) total += schema.attributes.size();
+  return total;
+}
+
+StatusOr<GeneratedDataset> GenerateDataset(const DatasetConfig& config,
+                                           const Vocabulary& vocabulary,
+                                           Rng* rng) {
+  if (config.max_attributes > vocabulary.size()) {
+    return Status::InvalidArgument(
+        "GenerateDataset: max_attributes exceeds vocabulary size for domain " +
+        vocabulary.domain());
+  }
+  if (config.min_attributes > config.max_attributes) {
+    return Status::InvalidArgument(
+        "GenerateDataset: min_attributes > max_attributes");
+  }
+
+  const NameRenderer renderer;
+  GeneratedDataset dataset;
+  dataset.name = config.name;
+  dataset.schemas.reserve(config.schema_count);
+  dataset.concepts.reserve(config.schema_count);
+
+  // Reused concept-id pool for partial Fisher-Yates sampling per schema.
+  std::vector<uint32_t> pool(vocabulary.size());
+  for (uint32_t i = 0; i < pool.size(); ++i) pool[i] = i;
+
+  constexpr CaseStyle kStyles[] = {CaseStyle::kCamel, CaseStyle::kPascal,
+                                   CaseStyle::kSnake, CaseStyle::kLowerConcat};
+  for (size_t s = 0; s < config.schema_count; ++s) {
+    SchemaView schema;
+    schema.name = config.name + "_S" + std::to_string(s);
+    NamingStyle style = config.style;
+    style.case_style = kStyles[rng->Index(4)];
+
+    const size_t attribute_count = static_cast<size_t>(
+        rng->UniformInt(static_cast<int64_t>(config.min_attributes),
+                        static_cast<int64_t>(config.max_attributes)));
+    // Partial Fisher-Yates: the first attribute_count entries become a
+    // uniform distinct sample of concept ids.
+    for (size_t i = 0; i < attribute_count; ++i) {
+      const size_t j = i + rng->Index(pool.size() - i);
+      std::swap(pool[i], pool[j]);
+    }
+
+    std::vector<uint32_t> schema_concepts(pool.begin(),
+                                          pool.begin() + attribute_count);
+    std::unordered_set<std::string> used_names;
+    for (uint32_t concept_id : schema_concepts) {
+      const Concept& entry = vocabulary.concept_at(concept_id);
+      std::string rendered;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const auto& phrasing =
+            (rng->Bernoulli(config.synonym_probability) &&
+             entry.phrasings.size() > 1)
+                ? entry.phrasings[1 + rng->Index(entry.phrasings.size() - 1)]
+                : entry.phrasings.front();
+        rendered = renderer.Render(phrasing, style, rng);
+        if (used_names.insert(rendered).second) break;
+        rendered.clear();
+      }
+      if (rendered.empty()) {
+        // All retries collided: disambiguate deterministically.
+        rendered = renderer.Render(entry.phrasings.front(), style, rng) +
+                   std::to_string(concept_id);
+        used_names.insert(rendered);
+      }
+      AttributeView attribute;
+      attribute.name = std::move(rendered);
+      attribute.type = rng->Bernoulli(config.type_unknown_probability)
+                           ? AttributeType::kUnknown
+                           : entry.type;
+      schema.attributes.push_back(std::move(attribute));
+    }
+    dataset.schemas.push_back(std::move(schema));
+    dataset.concepts.push_back(std::move(schema_concepts));
+  }
+  return dataset;
+}
+
+}  // namespace smn

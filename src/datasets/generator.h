@@ -1,0 +1,66 @@
+#ifndef SMN_DATASETS_GENERATOR_H_
+#define SMN_DATASETS_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/interaction_graph.h"
+#include "datasets/renderer.h"
+#include "datasets/vocabulary.h"
+#include "matchers/matcher.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace smn {
+
+/// Parameters of synthetic schema-network generation. The defaults are tuned
+/// so that the matcher stand-ins reach candidate precision in the ~0.6-0.8
+/// band the paper reports for its real datasets (≈0.67 on BP).
+struct DatasetConfig {
+  std::string name;
+  size_t schema_count = 3;
+  size_t min_attributes = 20;
+  size_t max_attributes = 40;
+  /// Chance that an attribute uses a random non-canonical phrasing of its
+  /// concept (synonym noise — the main source of matcher misses).
+  double synonym_probability = 0.25;
+  /// Chance that an attribute's declared type is withheld (kUnknown).
+  double type_unknown_probability = 0.3;
+  /// Per-schema naming habits; case style is drawn per schema.
+  NamingStyle style;
+};
+
+/// A generated dataset: matcher-ready schema views plus the concept identity
+/// of every attribute, which defines the ground-truth selective matching M.
+struct GeneratedDataset {
+  std::string name;
+  std::vector<SchemaView> schemas;
+  /// concepts[s][i] is the concept id of attribute i of schema s.
+  std::vector<std::vector<uint32_t>> concepts;
+
+  /// True when attribute i1 of schema s1 and i2 of s2 denote the same
+  /// concept (s1 != s2), i.e. the pair belongs to M.
+  bool IsTruthPair(SchemaId s1, size_t i1, SchemaId s2, size_t i2) const {
+    return s1 != s2 && concepts[s1][i1] == concepts[s2][i2];
+  }
+
+  /// |M| restricted to the edges of `graph`: the number of ground-truth
+  /// correspondences a perfect matcher could find.
+  size_t CountTruthPairs(const InteractionGraph& graph) const;
+
+  size_t MinAttributeCount() const;
+  size_t MaxAttributeCount() const;
+  size_t TotalAttributeCount() const;
+};
+
+/// Generates a schema network: each schema samples a distinct concept subset
+/// from `vocabulary` (distinctness keeps M one-to-one-consistent) and renders
+/// each concept under schema-level naming habits plus the configured noise.
+/// Fails when `max_attributes` exceeds the vocabulary size.
+StatusOr<GeneratedDataset> GenerateDataset(const DatasetConfig& config,
+                                           const Vocabulary& vocabulary,
+                                           Rng* rng);
+
+}  // namespace smn
+
+#endif  // SMN_DATASETS_GENERATOR_H_

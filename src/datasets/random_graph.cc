@@ -1,0 +1,40 @@
+#include "datasets/random_graph.h"
+
+namespace smn {
+
+InteractionGraph CompleteGraph(size_t schema_count) {
+  InteractionGraph graph(schema_count);
+  for (SchemaId a = 0; a < schema_count; ++a) {
+    for (SchemaId b = a + 1; b < schema_count; ++b) {
+      graph.AddEdge(a, b);  // Fresh graph: cannot fail.
+    }
+  }
+  return graph;
+}
+
+InteractionGraph ErdosRenyiGraph(size_t schema_count, double edge_probability,
+                                 Rng* rng) {
+  InteractionGraph graph(schema_count);
+  for (SchemaId a = 0; a < schema_count; ++a) {
+    for (SchemaId b = a + 1; b < schema_count; ++b) {
+      if (rng->Bernoulli(edge_probability)) graph.AddEdge(a, b);
+    }
+  }
+  return graph;
+}
+
+InteractionGraph RingGraph(size_t schema_count) {
+  InteractionGraph graph(schema_count);
+  if (schema_count < 2) return graph;
+  for (SchemaId a = 0; a + 1 < schema_count; ++a) graph.AddEdge(a, a + 1);
+  if (schema_count > 2) graph.AddEdge(static_cast<SchemaId>(schema_count - 1), 0);
+  return graph;
+}
+
+InteractionGraph StarGraph(size_t schema_count) {
+  InteractionGraph graph(schema_count);
+  for (SchemaId b = 1; b < schema_count; ++b) graph.AddEdge(0, b);
+  return graph;
+}
+
+}  // namespace smn

@@ -1,0 +1,31 @@
+#ifndef SMN_DATASETS_RANDOM_GRAPH_H_
+#define SMN_DATASETS_RANDOM_GRAPH_H_
+
+#include "core/interaction_graph.h"
+#include "util/rng.h"
+
+namespace smn {
+
+/// Interaction-graph topologies for experiments. The paper evaluates on
+/// complete graphs and, for the scaling experiment of Fig. 6, on
+/// Erdős–Rényi random graphs.
+
+/// Complete graph over `schema_count` schemas.
+InteractionGraph CompleteGraph(size_t schema_count);
+
+/// Erdős–Rényi G(n, p): each pair becomes an edge independently with
+/// probability `edge_probability`.
+InteractionGraph ErdosRenyiGraph(size_t schema_count, double edge_probability,
+                                 Rng* rng);
+
+/// Ring: schema i is matched with schema (i+1) mod n. Cycle-constraint-free
+/// for n > 3 (no triangles) — useful in tests and ablations.
+InteractionGraph RingGraph(size_t schema_count);
+
+/// Star: schema 0 is matched with every other schema (the mediated-schema
+/// topology). Triangle-free, so only one-to-one constraints bind.
+InteractionGraph StarGraph(size_t schema_count);
+
+}  // namespace smn
+
+#endif  // SMN_DATASETS_RANDOM_GRAPH_H_

@@ -1,0 +1,92 @@
+#include "datasets/renderer.h"
+
+#include <cctype>
+
+namespace smn {
+namespace {
+
+std::unordered_map<std::string, std::string> BuiltinAbbreviations() {
+  return {
+      {"number", "no"},       {"quantity", "qty"},   {"amount", "amt"},
+      {"address", "addr"},    {"telephone", "tel"},  {"description", "desc"},
+      {"identifier", "id"},   {"code", "cd"},        {"organization", "org"},
+      {"department", "dept"}, {"account", "acct"},   {"product", "prod"},
+      {"customer", "cust"},   {"supplier", "supp"},  {"order", "ord"},
+      {"reference", "ref"},   {"date", "dt"},        {"year", "yr"},
+      {"month", "mo"},        {"category", "cat"},   {"percent", "pct"},
+      {"country", "ctry"},    {"currency", "curr"},  {"message", "msg"},
+      {"value", "val"},       {"document", "doc"},   {"average", "avg"},
+      {"maximum", "max"},     {"minimum", "min"},    {"standard", "std"},
+  };
+}
+
+std::string Capitalize(const std::string& token) {
+  std::string out = token;
+  if (!out.empty()) {
+    out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+  }
+  return out;
+}
+
+void InjectTypo(std::string* name, Rng* rng) {
+  if (name->size() < 3) return;
+  const size_t pos = 1 + rng->Index(name->size() - 2);
+  if (rng->Bernoulli(0.5)) {
+    // Transpose two adjacent characters.
+    std::swap((*name)[pos], (*name)[pos - 1]);
+  } else {
+    // Drop one character.
+    name->erase(pos, 1);
+  }
+}
+
+}  // namespace
+
+NameRenderer::NameRenderer() : abbreviations_(BuiltinAbbreviations()) {}
+
+std::string NameRenderer::Render(const std::vector<std::string>& tokens,
+                                 const NamingStyle& style, Rng* rng) const {
+  std::vector<std::string> working = tokens;
+  if (working.empty()) return "field";
+
+  if (working.size() > 1 && rng->Bernoulli(style.drop_token_probability)) {
+    working.erase(working.begin() + rng->Index(working.size() - 1));
+  }
+  if (working.size() > 1 && rng->Bernoulli(style.reorder_probability)) {
+    std::string first = std::move(working.front());
+    working.erase(working.begin());
+    working.push_back(std::move(first));
+  }
+  for (std::string& token : working) {
+    if (rng->Bernoulli(style.abbreviation_probability)) {
+      auto it = abbreviations_.find(token);
+      if (it != abbreviations_.end()) token = it->second;
+    }
+  }
+
+  std::string name;
+  switch (style.case_style) {
+    case CaseStyle::kCamel:
+      name = working[0];
+      for (size_t i = 1; i < working.size(); ++i) name += Capitalize(working[i]);
+      break;
+    case CaseStyle::kPascal:
+      for (const std::string& token : working) name += Capitalize(token);
+      break;
+    case CaseStyle::kSnake:
+      name = working[0];
+      for (size_t i = 1; i < working.size(); ++i) {
+        name += '_';
+        name += working[i];
+      }
+      break;
+    case CaseStyle::kLowerConcat:
+      for (const std::string& token : working) name += token;
+      break;
+  }
+
+  if (rng->Bernoulli(style.typo_probability)) InjectTypo(&name, rng);
+  return name;
+}
+
+}  // namespace smn

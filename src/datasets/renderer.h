@@ -1,0 +1,56 @@
+#ifndef SMN_DATASETS_RENDERER_H_
+#define SMN_DATASETS_RENDERER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace smn {
+
+/// Identifier casing conventions seen in real schemas.
+enum class CaseStyle {
+  kCamel,       // releaseDate
+  kPascal,      // ReleaseDate
+  kSnake,       // release_date
+  kLowerConcat, // releasedate
+};
+
+/// Per-schema naming habits plus per-attribute noise probabilities. The
+/// noise is what makes the generated datasets hard for matchers the way the
+/// paper's real datasets were: abbreviations, typos, token reordering and
+/// token dropping all degrade string similarity between attributes of the
+/// same concept.
+struct NamingStyle {
+  CaseStyle case_style = CaseStyle::kCamel;
+  /// Chance to shorten a token to a known abbreviation ("quantity"->"qty").
+  double abbreviation_probability = 0.12;
+  /// Chance to corrupt the final name with one character-level typo.
+  double typo_probability = 0.02;
+  /// Chance to move the first token to the back ("date_release").
+  double reorder_probability = 0.06;
+  /// Chance to drop one token when the name has several ("order date" ->
+  /// "date").
+  double drop_token_probability = 0.04;
+};
+
+/// Renders concept phrasings into attribute names under a naming style.
+class NameRenderer {
+ public:
+  /// Uses the built-in full-word -> abbreviation table (the inverse of the
+  /// Tokenizer's expansion table).
+  NameRenderer();
+
+  /// Renders `tokens` under `style`, consuming randomness from `rng` for the
+  /// probabilistic habits.
+  std::string Render(const std::vector<std::string>& tokens,
+                     const NamingStyle& style, Rng* rng) const;
+
+ private:
+  std::unordered_map<std::string, std::string> abbreviations_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_DATASETS_RENDERER_H_

@@ -1,0 +1,59 @@
+#include "datasets/standard.h"
+
+#include <algorithm>
+
+namespace smn {
+
+StandardDataset MakeBpDataset() {
+  DatasetConfig config;
+  config.name = "BP";
+  config.schema_count = 3;
+  config.min_attributes = 80;
+  config.max_attributes = 106;
+  config.synonym_probability = 0.25;
+  return StandardDataset{std::move(config), Vocabulary::BusinessPartner()};
+}
+
+StandardDataset MakePoDataset() {
+  DatasetConfig config;
+  config.name = "PO";
+  config.schema_count = 10;
+  config.min_attributes = 35;
+  config.max_attributes = 408;
+  config.synonym_probability = 0.25;
+  return StandardDataset{std::move(config), Vocabulary::PurchaseOrder()};
+}
+
+StandardDataset MakeUafDataset() {
+  DatasetConfig config;
+  config.name = "UAF";
+  config.schema_count = 15;
+  config.min_attributes = 65;
+  config.max_attributes = 228;
+  config.synonym_probability = 0.25;
+  return StandardDataset{std::move(config), Vocabulary::UniversityApplication()};
+}
+
+StandardDataset MakeWebFormDataset() {
+  DatasetConfig config;
+  config.name = "WebForm";
+  config.schema_count = 89;
+  config.min_attributes = 10;
+  config.max_attributes = 120;
+  config.synonym_probability = 0.25;
+  return StandardDataset{std::move(config), Vocabulary::WebForm()};
+}
+
+DatasetConfig ScaleConfig(DatasetConfig config, double factor) {
+  auto scale = [factor](size_t value, size_t floor_value) {
+    const double scaled = static_cast<double>(value) * factor;
+    return std::max(floor_value, static_cast<size_t>(scaled));
+  };
+  config.schema_count = scale(config.schema_count, 3);
+  config.min_attributes = scale(config.min_attributes, 4);
+  config.max_attributes =
+      std::max(config.min_attributes, scale(config.max_attributes, 4));
+  return config;
+}
+
+}  // namespace smn

@@ -1,0 +1,46 @@
+#ifndef SMN_DATASETS_STANDARD_H_
+#define SMN_DATASETS_STANDARD_H_
+
+#include "datasets/generator.h"
+#include "datasets/vocabulary.h"
+
+namespace smn {
+
+/// Configurations reproducing Table II of the paper. The four evaluation
+/// datasets (hosted at lsirwww.epfl.ch) are not available offline, so these
+/// configs drive the synthetic generator to the same published statistics:
+///
+///   Dataset   #Schemas   #Attributes (Min/Max)
+///   BP        3          80/106
+///   PO        10         35/408
+///   UAF       15         65/228
+///   WebForm   89         10/120
+///
+/// Each factory returns the matching vocabulary + config pair.
+struct StandardDataset {
+  DatasetConfig config;
+  Vocabulary vocabulary;
+};
+
+/// Business Partner: database schemas modeling business partners in
+/// enterprise systems.
+StandardDataset MakeBpDataset();
+
+/// PurchaseOrder: purchase-order e-business schemas.
+StandardDataset MakePoDataset();
+
+/// University Application Form: schemas extracted from Web interfaces of
+/// American university application forms.
+StandardDataset MakeUafDataset();
+
+/// WebForm: schemas automatically extracted from Web forms.
+StandardDataset MakeWebFormDataset();
+
+/// Scales a config for quick runs: multiplies the schema count and the
+/// attribute range by `factor` (clamped so at least 3 schemas and 4
+/// attributes remain — 3 schemas keep the cycle constraint non-trivial).
+DatasetConfig ScaleConfig(DatasetConfig config, double factor);
+
+}  // namespace smn
+
+#endif  // SMN_DATASETS_STANDARD_H_

@@ -1,0 +1,202 @@
+#include "datasets/vocabulary.h"
+
+namespace smn {
+namespace {
+
+using PhrasingGroup = Vocabulary::PhrasingGroup;
+
+// Shorthand builders keep the domain tables readable.
+PhrasingGroup G(std::vector<std::vector<std::string>> phrasings,
+                AttributeType type = AttributeType::kString) {
+  return PhrasingGroup{std::move(phrasings), type};
+}
+
+}  // namespace
+
+Vocabulary Vocabulary::Compose(std::string domain,
+                               const std::vector<PhrasingGroup>& entities,
+                               const std::vector<PhrasingGroup>& fields) {
+  std::vector<Concept> concepts;
+  concepts.reserve(entities.size() * fields.size() + fields.size());
+  uint32_t next_id = 0;
+  // Bare fields first: "name", "date" without an entity qualifier.
+  for (const PhrasingGroup& field : fields) {
+    Concept entry;
+    entry.id = next_id++;
+    entry.type = field.type;
+    entry.phrasings = field.phrasings;
+    concepts.push_back(std::move(entry));
+  }
+  for (const PhrasingGroup& entity : entities) {
+    for (const PhrasingGroup& field : fields) {
+      Concept entry;
+      entry.id = next_id++;
+      entry.type = field.type;
+      for (const auto& entity_phrasing : entity.phrasings) {
+        for (const auto& field_phrasing : field.phrasings) {
+          std::vector<std::string> combined = entity_phrasing;
+          combined.insert(combined.end(), field_phrasing.begin(),
+                          field_phrasing.end());
+          entry.phrasings.push_back(std::move(combined));
+        }
+      }
+      concepts.push_back(std::move(entry));
+    }
+  }
+  return Vocabulary(std::move(domain), std::move(concepts));
+}
+
+Vocabulary Vocabulary::BusinessPartner() {
+  const std::vector<PhrasingGroup> entities = {
+      G({{"partner"}, {"business", "partner"}}),
+      G({{"company"}, {"organization"}, {"firm"}}),
+      G({{"contact"}, {"contact", "person"}}),
+      G({{"bank"}, {"banking"}}),
+      G({{"billing"}, {"invoice"}}),
+      G({{"shipping"}, {"delivery"}}),
+      G({{"legal"}, {"registered"}}),
+      G({{"primary"}, {"main"}, {"default"}}),
+  };
+  const std::vector<PhrasingGroup> fields = {
+      G({{"name"}, {"title"}}),
+      G({{"id"}, {"identifier"}, {"code"}, {"number"}}, AttributeType::kInteger),
+      G({{"street"}, {"street", "address"}}),
+      G({{"city"}, {"town"}}),
+      G({{"country"}, {"nation"}}),
+      G({{"postal", "code"}, {"zip", "code"}, {"zip"}}),
+      G({{"phone"}, {"telephone"}, {"phone", "number"}}),
+      G({{"fax"}, {"fax", "number"}}),
+      G({{"email"}, {"mail"}, {"email", "address"}}),
+      G({{"tax", "id"}, {"vat", "number"}}, AttributeType::kInteger),
+      G({{"account"}, {"account", "number"}}, AttributeType::kInteger),
+      G({{"currency"}, {"currency", "code"}}),
+      G({{"status"}, {"state"}}),
+      G({{"created", "date"}, {"creation", "date"}}, AttributeType::kDate),
+  };
+  return Compose("business-partner", entities, fields);
+}
+
+Vocabulary Vocabulary::PurchaseOrder() {
+  const std::vector<PhrasingGroup> entities = {
+      G({{"order"}, {"purchase", "order"}, {"po"}}),
+      G({{"line"}, {"order", "line"}, {"item", "line"}}),
+      G({{"buyer"}, {"purchaser"}, {"customer"}}),
+      G({{"supplier"}, {"vendor"}, {"seller"}}),
+      G({{"product"}, {"item"}, {"article"}}),
+      G({{"shipping"}, {"delivery"}, {"shipment"}}),
+      G({{"billing"}, {"invoice"}, {"payment"}}),
+      G({{"contract"}, {"agreement"}}),
+      G({{"warehouse"}, {"depot"}}),
+      G({{"carrier"}, {"shipper"}, {"freight"}}),
+      G({{"tax"}, {"vat"}}),
+      G({{"discount"}, {"rebate"}}),
+      G({{"contact"}, {"contact", "person"}}),
+      G({{"requested"}, {"required"}}),
+      G({{"confirmed"}, {"approved"}}),
+      G({{"header"}, {"document"}}),
+      G({{"currency"}, {"monetary"}}),
+      G({{"unit"}, {"measure"}}),
+      G({{"schedule"}, {"plan"}}),
+      G({{"return"}, {"refund"}}),
+      G({{"credit"}, {"debit"}}),
+      G({{"quote"}, {"quotation"}}),
+      G({{"receipt"}, {"goods", "receipt"}}),
+      G({{"backorder"}, {"pending", "order"}}),
+  };
+  const std::vector<PhrasingGroup> fields = {
+      G({{"id"}, {"identifier"}, {"number"}, {"code"}}, AttributeType::kInteger),
+      G({{"name"}, {"title"}, {"label"}}),
+      G({{"date"}, {"day"}}, AttributeType::kDate),
+      G({{"quantity"}, {"amount"}, {"count"}}, AttributeType::kInteger),
+      G({{"price"}, {"cost"}, {"rate"}}, AttributeType::kDecimal),
+      G({{"total"}, {"sum"}, {"total", "amount"}}, AttributeType::kDecimal),
+      G({{"status"}, {"state"}, {"stage"}}),
+      G({{"description"}, {"details"}, {"note"}}),
+      G({{"address"}, {"location"}}),
+      G({{"city"}, {"town"}}),
+      G({{"country"}, {"nation"}}),
+      G({{"reference"}, {"ref", "number"}}),
+      G({{"type"}, {"category"}, {"kind"}}),
+      G({{"weight"}, {"mass"}}, AttributeType::kDecimal),
+      G({{"volume"}, {"capacity"}}, AttributeType::kDecimal),
+      G({{"percent"}, {"percentage"}}, AttributeType::kDecimal),
+      G({{"flag"}, {"indicator"}}, AttributeType::kBoolean),
+      G({{"comment"}, {"remark"}}),
+  };
+  return Compose("purchase-order", entities, fields);
+}
+
+Vocabulary Vocabulary::UniversityApplication() {
+  const std::vector<PhrasingGroup> entities = {
+      G({{"applicant"}, {"student"}, {"candidate"}}),
+      G({{"parent"}, {"guardian"}}),
+      G({{"emergency"}, {"emergency", "contact"}}),
+      G({{"high", "school"}, {"secondary", "school"}}),
+      G({{"college"}, {"university"}, {"institution"}}),
+      G({{"program"}, {"major"}, {"degree"}}),
+      G({{"term"}, {"semester"}, {"session"}}),
+      G({{"test"}, {"exam"}}),
+      G({{"essay"}, {"statement"}}),
+      G({{"recommendation"}, {"reference"}}),
+      G({{"scholarship"}, {"financial", "aid"}}),
+      G({{"residence"}, {"housing"}, {"dormitory"}}),
+      G({{"visa"}, {"immigration"}}),
+      G({{"transcript"}, {"record"}}),
+      G({{"fee"}, {"payment"}}),
+      G({{"mailing"}, {"postal"}}),
+  };
+  const std::vector<PhrasingGroup> fields = {
+      G({{"first", "name"}, {"given", "name"}}),
+      G({{"last", "name"}, {"family", "name"}, {"surname"}}),
+      G({{"middle", "name"}, {"middle", "initial"}}),
+      G({{"date"}, {"day"}}, AttributeType::kDate),
+      G({{"id"}, {"identifier"}, {"number"}}, AttributeType::kInteger),
+      G({{"address"}, {"street", "address"}}),
+      G({{"city"}, {"town"}}),
+      G({{"state"}, {"province"}}),
+      G({{"country"}, {"nation"}}),
+      G({{"zip", "code"}, {"postal", "code"}}),
+      G({{"phone"}, {"telephone"}}),
+      G({{"email"}, {"email", "address"}}),
+      G({{"gpa"}, {"grade", "average"}}, AttributeType::kDecimal),
+      G({{"score"}, {"result"}, {"grade"}}, AttributeType::kDecimal),
+      G({{"year"}, {"yr"}}, AttributeType::kInteger),
+      G({{"status"}, {"state"}, {"standing"}}),
+  };
+  return Compose("university-application", entities, fields);
+}
+
+Vocabulary Vocabulary::WebForm() {
+  const std::vector<PhrasingGroup> entities = {
+      G({{"user"}, {"member"}, {"account"}}),
+      G({{"billing"}, {"payment"}}),
+      G({{"shipping"}, {"delivery"}}),
+      G({{"contact"}, {"support"}}),
+      G({{"company"}, {"business"}}),
+      G({{"card"}, {"credit", "card"}}),
+      G({{"home"}, {"residence"}}),
+      G({{"work"}, {"office"}}),
+  };
+  const std::vector<PhrasingGroup> fields = {
+      G({{"name"}, {"full", "name"}}),
+      G({{"first", "name"}, {"given", "name"}}),
+      G({{"last", "name"}, {"surname"}}),
+      G({{"email"}, {"email", "address"}, {"mail"}}),
+      G({{"password"}, {"pass", "word"}, {"pwd"}}),
+      G({{"phone"}, {"telephone"}, {"mobile"}}),
+      G({{"address"}, {"street"}}),
+      G({{"city"}, {"town"}}),
+      G({{"state"}, {"region"}, {"province"}}),
+      G({{"country"}, {"nation"}}),
+      G({{"zip"}, {"postal", "code"}, {"zip", "code"}}),
+      G({{"birth", "date"}, {"date", "of", "birth"}, {"birthday"}},
+        AttributeType::kDate),
+      G({{"gender"}, {"sex"}}),
+      G({{"number"}, {"no"}}, AttributeType::kInteger),
+      G({{"expiry", "date"}, {"expiration"}}, AttributeType::kDate),
+      G({{"comment"}, {"message"}, {"feedback"}}),
+  };
+  return Compose("web-form", entities, fields);
+}
+
+}  // namespace smn

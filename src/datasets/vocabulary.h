@@ -1,0 +1,66 @@
+#ifndef SMN_DATASETS_VOCABULARY_H_
+#define SMN_DATASETS_VOCABULARY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace smn {
+
+/// A semantic concept that may appear as an attribute in schemas of a
+/// domain. Each concept has several phrasings — token sequences that schema
+/// designers plausibly use for it ("release date", "screen date",
+/// "production date"). Two attributes in different schemas correspond (are in
+/// the ground-truth selective matching M) exactly when they instantiate the
+/// same concept.
+struct Concept {
+  uint32_t id = 0;
+  std::vector<std::vector<std::string>> phrasings;
+  AttributeType type = AttributeType::kString;
+};
+
+/// A domain vocabulary: the concept pool schemas of one dataset draw from.
+/// Built compositionally from entity groups ("supplier", "vendor") crossed
+/// with field groups ("name", "id", "address"), which yields concept pools of
+/// realistic size (hundreds) with realistic synonym structure.
+class Vocabulary {
+ public:
+  Vocabulary(std::string domain, std::vector<Concept> concepts)
+      : domain_(std::move(domain)), concepts_(std::move(concepts)) {}
+
+  const std::string& domain() const { return domain_; }
+  const std::vector<Concept>& concepts() const { return concepts_; }
+  size_t size() const { return concepts_.size(); }
+  const Concept& concept_at(uint32_t id) const { return concepts_[id]; }
+
+  /// Business-partner concepts (enterprise master data): the paper's BP.
+  static Vocabulary BusinessPartner();
+  /// Purchase-order / e-business concepts: the paper's PO.
+  static Vocabulary PurchaseOrder();
+  /// University-application-form concepts: the paper's UAF.
+  static Vocabulary UniversityApplication();
+  /// Generic web-form concepts: the paper's WebForm.
+  static Vocabulary WebForm();
+
+  /// Assembles a vocabulary as the cross product of entity phrasing groups
+  /// and typed field phrasing groups: every (entity, field) pair becomes one
+  /// concept whose phrasings combine each entity phrasing with each field
+  /// phrasing, plus one bare concept per field group. Exposed for custom
+  /// domains and tests.
+  struct PhrasingGroup {
+    std::vector<std::vector<std::string>> phrasings;
+    AttributeType type = AttributeType::kString;
+  };
+  static Vocabulary Compose(std::string domain,
+                            const std::vector<PhrasingGroup>& entities,
+                            const std::vector<PhrasingGroup>& fields);
+
+ private:
+  std::string domain_;
+  std::vector<Concept> concepts_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_DATASETS_VOCABULARY_H_

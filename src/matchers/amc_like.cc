@@ -1,0 +1,32 @@
+#include "matchers/amc_like.h"
+
+#include <memory>
+
+#include "matchers/ensemble.h"
+#include "matchers/name_matcher.h"
+#include "matchers/ngram_matcher.h"
+#include "matchers/synonym_matcher.h"
+#include "matchers/token_matcher.h"
+#include "matchers/type_matcher.h"
+
+namespace smn {
+
+MatchingSystem MakeAmcLikeSystem(const AmcLikeOptions& options) {
+  auto ensemble = std::make_unique<MatcherEnsemble>(
+      "amc-like", Aggregation::kHarmonyWeighted);
+  // Jaro-Winkler appears only inside Monge-Elkan: on whole names it scores
+  // almost everything above 0.7 and would saturate the ensemble.
+  ensemble->AddMatcher(
+      std::make_unique<TokenMatcher>(TokenMatcher::Mode::kMongeElkan), 1.2);
+  ensemble->AddMatcher(
+      std::make_unique<NameMatcher>(NameMatcher::Metric::kLongestCommonSubstring),
+      0.8);
+  ensemble->AddMatcher(std::make_unique<NgramMatcher>(2), 0.8);
+  ensemble->AddMatcher(std::make_unique<SynonymMatcher>(), 1.6);
+  ensemble->AddMatcher(std::make_unique<TypeMatcher>(), 0.3);
+  return MatchingSystem(
+      "AMC", std::move(ensemble),
+      std::make_unique<TopKPerRowSelector>(options.top_k, options.threshold));
+}
+
+}  // namespace smn

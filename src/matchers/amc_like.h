@@ -1,0 +1,27 @@
+#ifndef SMN_MATCHERS_AMC_LIKE_H_
+#define SMN_MATCHERS_AMC_LIKE_H_
+
+#include "matchers/matching_system.h"
+
+namespace smn {
+
+/// Tuning knobs of the AMC stand-in.
+struct AmcLikeOptions {
+  /// Minimum combined score for a pair to become a candidate.
+  double threshold = 0.70;
+  /// Candidates kept per source attribute.
+  size_t top_k = 2;
+};
+
+/// Builds the AMC stand-in documented in DESIGN.md: a matching-process
+/// pipeline whose members (Jaro-Winkler names, Monge-Elkan tokens, longest
+/// common substring, synonyms, types) are combined with harmony-based
+/// adaptive weighting — AMC's process-model calibration — and a slightly
+/// laxer selection. Deliberately different members/aggregation than the
+/// COMA++ stand-in so the two systems produce distinct candidate sets and
+/// violation counts, as Table III contrasts.
+MatchingSystem MakeAmcLikeSystem(const AmcLikeOptions& options = {});
+
+}  // namespace smn
+
+#endif  // SMN_MATCHERS_AMC_LIKE_H_

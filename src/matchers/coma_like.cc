@@ -1,0 +1,31 @@
+#include "matchers/coma_like.h"
+
+#include <memory>
+
+#include "matchers/ensemble.h"
+#include "matchers/name_matcher.h"
+#include "matchers/ngram_matcher.h"
+#include "matchers/synonym_matcher.h"
+#include "matchers/token_matcher.h"
+#include "matchers/type_matcher.h"
+
+namespace smn {
+
+MatchingSystem MakeComaLikeSystem(const ComaLikeOptions& options) {
+  auto ensemble = std::make_unique<MatcherEnsemble>(
+      "coma-like", Aggregation::kWeightedAverage);
+  ensemble->AddMatcher(
+      std::make_unique<NameMatcher>(NameMatcher::Metric::kLevenshtein), 0.8);
+  ensemble->AddMatcher(std::make_unique<TokenMatcher>(TokenMatcher::Mode::kJaccard),
+                       1.0);
+  ensemble->AddMatcher(
+      std::make_unique<TokenMatcher>(TokenMatcher::Mode::kMongeElkan), 1.0);
+  ensemble->AddMatcher(std::make_unique<NgramMatcher>(3), 0.8);
+  ensemble->AddMatcher(std::make_unique<SynonymMatcher>(), 1.8);
+  ensemble->AddMatcher(std::make_unique<TypeMatcher>(), 0.4);
+  return MatchingSystem(
+      "COMA", std::move(ensemble),
+      std::make_unique<TopKPerRowSelector>(options.top_k, options.threshold));
+}
+
+}  // namespace smn

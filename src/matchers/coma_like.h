@@ -1,0 +1,25 @@
+#ifndef SMN_MATCHERS_COMA_LIKE_H_
+#define SMN_MATCHERS_COMA_LIKE_H_
+
+#include "matchers/matching_system.h"
+
+namespace smn {
+
+/// Tuning knobs of the COMA++ stand-in.
+struct ComaLikeOptions {
+  /// Minimum combined score for a pair to become a candidate.
+  double threshold = 0.70;
+  /// Candidates kept per source attribute (COMA's top-k selection; k > 1
+  /// deliberately admits one-to-one violations).
+  size_t top_k = 2;
+};
+
+/// Builds the COMA++ stand-in documented in DESIGN.md: a composite ensemble
+/// (whole-name Levenshtein, token Jaccard, trigram Dice, synonym table, type
+/// compatibility) aggregated by fixed-weight average — COMA's "combined"
+/// workflow — followed by threshold + top-k-per-row selection.
+MatchingSystem MakeComaLikeSystem(const ComaLikeOptions& options = {});
+
+}  // namespace smn
+
+#endif  // SMN_MATCHERS_COMA_LIKE_H_

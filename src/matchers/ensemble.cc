@@ -1,0 +1,81 @@
+#include "matchers/ensemble.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smn {
+
+MatcherEnsemble::MatcherEnsemble(std::string name, Aggregation aggregation)
+    : name_(std::move(name)), aggregation_(aggregation) {}
+
+void MatcherEnsemble::AddMatcher(std::unique_ptr<Matcher> matcher,
+                                 double weight) {
+  members_.push_back(Member{std::move(matcher), weight});
+}
+
+SimilarityMatrix MatcherEnsemble::Score(const SchemaView& s1,
+                                        const SchemaView& s2) const {
+  assert(!members_.empty());
+  const size_t rows = s1.attributes.size();
+  const size_t cols = s2.attributes.size();
+
+  std::vector<SimilarityMatrix> matrices;
+  matrices.reserve(members_.size());
+  for (const Member& member : members_) {
+    matrices.push_back(member.matcher->Score(s1, s2));
+  }
+
+  SimilarityMatrix result(rows, cols);
+  switch (aggregation_) {
+    case Aggregation::kWeightedAverage: {
+      double total_weight = 0.0;
+      for (size_t m = 0; m < members_.size(); ++m) {
+        result.Accumulate(matrices[m], members_[m].weight);
+        total_weight += members_[m].weight;
+      }
+      result.Scale(total_weight);
+      break;
+    }
+    case Aggregation::kMax: {
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c) {
+          double best = 0.0;
+          for (const SimilarityMatrix& matrix : matrices) {
+            best = std::max(best, matrix.at(r, c));
+          }
+          result.set(r, c, best);
+        }
+      }
+      break;
+    }
+    case Aggregation::kMin: {
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c) {
+          double worst = 1.0;
+          for (const SimilarityMatrix& matrix : matrices) {
+            worst = std::min(worst, matrix.at(r, c));
+          }
+          result.set(r, c, worst);
+        }
+      }
+      break;
+    }
+    case Aggregation::kHarmonyWeighted: {
+      // Weight each member by how decisive it is on this schema pair; the
+      // epsilon keeps indecisive members from vanishing entirely.
+      constexpr double kEpsilon = 0.05;
+      double total_weight = 0.0;
+      for (size_t m = 0; m < members_.size(); ++m) {
+        const double harmony =
+            matrices[m].Harmony() * members_[m].weight + kEpsilon;
+        result.Accumulate(matrices[m], harmony);
+        total_weight += harmony;
+      }
+      result.Scale(total_weight);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace smn

@@ -1,0 +1,57 @@
+#ifndef SMN_MATCHERS_ENSEMBLE_H_
+#define SMN_MATCHERS_ENSEMBLE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "matchers/matcher.h"
+
+namespace smn {
+
+/// How an ensemble combines its members' similarity matrices.
+enum class Aggregation {
+  /// Fixed-weight average (COMA++'s "combined" strategy).
+  kWeightedAverage,
+  /// Cellwise maximum — optimistic union of evidence.
+  kMax,
+  /// Cellwise minimum — all members must agree.
+  kMin,
+  /// Average weighted by each member's harmony on the pair at hand
+  /// (adaptive weighting in the AMC tradition: decisive matchers dominate).
+  kHarmonyWeighted,
+};
+
+/// A second-order matcher combining several first-order matchers. This is
+/// the substrate that stands in for the paper's closed-source COMA++ and AMC
+/// tools: both were ensemble systems differing in member sets and
+/// aggregation.
+class MatcherEnsemble : public Matcher {
+ public:
+  MatcherEnsemble(std::string name, Aggregation aggregation);
+
+  /// Adds a member with a fixed weight (ignored by kMax/kMin, used as a
+  /// prior multiplier by kHarmonyWeighted).
+  void AddMatcher(std::unique_ptr<Matcher> matcher, double weight = 1.0);
+
+  size_t member_count() const { return members_.size(); }
+
+  std::string_view name() const override { return name_; }
+  SimilarityMatrix Score(const SchemaView& s1,
+                         const SchemaView& s2) const override;
+
+ private:
+  struct Member {
+    std::unique_ptr<Matcher> matcher;
+    double weight;
+  };
+
+  std::string name_;
+  Aggregation aggregation_;
+  std::vector<Member> members_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_MATCHERS_ENSEMBLE_H_

@@ -1,0 +1,45 @@
+#ifndef SMN_MATCHERS_MATCHER_H_
+#define SMN_MATCHERS_MATCHER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+#include "matchers/similarity_matrix.h"
+
+namespace smn {
+
+/// Matcher-facing view of one attribute: its rendered name and coarse type.
+/// Matchers run before a Network exists (their output is what populates the
+/// candidate set C), so they operate on these lightweight views rather than
+/// on core::Attribute.
+struct AttributeView {
+  std::string name;
+  AttributeType type = AttributeType::kUnknown;
+};
+
+/// A schema as seen by matchers: an ordered list of attribute views.
+struct SchemaView {
+  std::string name;
+  std::vector<AttributeView> attributes;
+};
+
+/// A first-order schema matcher: scores every attribute pair of two schemas.
+/// Implementations must be deterministic and side-effect free so ensembles
+/// can run them in any order.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Matcher name for reports ("levenshtein", "token-jaccard", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Returns the |s1.attributes| x |s2.attributes| similarity matrix.
+  virtual SimilarityMatrix Score(const SchemaView& s1,
+                                 const SchemaView& s2) const = 0;
+};
+
+}  // namespace smn
+
+#endif  // SMN_MATCHERS_MATCHER_H_

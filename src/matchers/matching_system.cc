@@ -1,0 +1,58 @@
+#include "matchers/matching_system.h"
+
+namespace smn {
+
+MatchingSystem::MatchingSystem(std::string name,
+                               std::unique_ptr<Matcher> matcher,
+                               std::unique_ptr<CandidateSelector> selector)
+    : name_(std::move(name)),
+      matcher_(std::move(matcher)),
+      selector_(std::move(selector)) {}
+
+std::vector<SchemaPairCandidates> MatchingSystem::Run(
+    const std::vector<SchemaView>& schemas, const InteractionGraph& graph) const {
+  std::vector<SchemaPairCandidates> result;
+  result.reserve(graph.edge_count());
+  for (const auto& [a, b] : graph.edges()) {
+    SchemaPairCandidates pair;
+    pair.first = a;
+    pair.second = b;
+    const SimilarityMatrix matrix = matcher_->Score(schemas[a], schemas[b]);
+    pair.candidates = selector_->Select(matrix);
+    result.push_back(std::move(pair));
+  }
+  return result;
+}
+
+StatusOr<Network> BuildNetworkFromCandidates(
+    const std::vector<SchemaView>& schemas, const InteractionGraph& graph,
+    const std::vector<SchemaPairCandidates>& pair_candidates) {
+  NetworkBuilder builder;
+  std::vector<std::vector<AttributeId>> attribute_ids(schemas.size());
+  for (size_t s = 0; s < schemas.size(); ++s) {
+    const SchemaId schema_id = builder.AddSchema(schemas[s].name);
+    attribute_ids[s].reserve(schemas[s].attributes.size());
+    for (const AttributeView& attribute : schemas[s].attributes) {
+      SMN_ASSIGN_OR_RETURN(
+          AttributeId id,
+          builder.AddAttribute(schema_id, attribute.name, attribute.type));
+      attribute_ids[s].push_back(id);
+    }
+  }
+  for (const auto& [a, b] : graph.edges()) {
+    SMN_RETURN_IF_ERROR(builder.AddEdge(a, b));
+  }
+  for (const SchemaPairCandidates& pair : pair_candidates) {
+    for (const RawCandidate& candidate : pair.candidates) {
+      SMN_ASSIGN_OR_RETURN(
+          CorrespondenceId id,
+          builder.AddCorrespondence(attribute_ids[pair.first][candidate.row],
+                                    attribute_ids[pair.second][candidate.col],
+                                    candidate.score));
+      (void)id;
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace smn

@@ -1,0 +1,56 @@
+#ifndef SMN_MATCHERS_MATCHING_SYSTEM_H_
+#define SMN_MATCHERS_MATCHING_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/interaction_graph.h"
+#include "core/network.h"
+#include "matchers/matcher.h"
+#include "matchers/selection.h"
+#include "util/statusor.h"
+
+namespace smn {
+
+/// All candidate correspondences a matching system proposed for one schema
+/// pair, in matrix coordinates.
+struct SchemaPairCandidates {
+  SchemaId first = kInvalidSchema;
+  SchemaId second = kInvalidSchema;
+  std::vector<RawCandidate> candidates;
+};
+
+/// A complete matching system: a (possibly composite) matcher plus a
+/// candidate selector, i.e. the black box the paper calls "a schema matcher"
+/// (COMA++, AMC). Running it over an interaction graph yields the candidate
+/// correspondence set C.
+class MatchingSystem {
+ public:
+  MatchingSystem(std::string name, std::unique_ptr<Matcher> matcher,
+                 std::unique_ptr<CandidateSelector> selector);
+
+  const std::string& name() const { return name_; }
+  const Matcher& matcher() const { return *matcher_; }
+
+  /// Scores and selects candidates for every edge of `graph`.
+  /// `schemas[i]` must be the view of the schema with id i.
+  std::vector<SchemaPairCandidates> Run(const std::vector<SchemaView>& schemas,
+                                        const InteractionGraph& graph) const;
+
+ private:
+  std::string name_;
+  std::unique_ptr<Matcher> matcher_;
+  std::unique_ptr<CandidateSelector> selector_;
+};
+
+/// Assembles a core Network from schema views, an interaction graph, and the
+/// candidates a matching system produced. Attribute ids are assigned in
+/// schema order, matching the layout of `schemas`.
+StatusOr<Network> BuildNetworkFromCandidates(
+    const std::vector<SchemaView>& schemas, const InteractionGraph& graph,
+    const std::vector<SchemaPairCandidates>& pair_candidates);
+
+}  // namespace smn
+
+#endif  // SMN_MATCHERS_MATCHING_SYSTEM_H_

@@ -1,0 +1,56 @@
+#include "matchers/name_matcher.h"
+
+#include <string>
+#include <vector>
+
+#include "matchers/string_metrics.h"
+#include "util/string_util.h"
+
+namespace smn {
+
+NameMatcher::NameMatcher(Metric metric) : metric_(metric) {}
+
+std::string_view NameMatcher::name() const {
+  switch (metric_) {
+    case Metric::kLevenshtein:
+      return "name-levenshtein";
+    case Metric::kJaroWinkler:
+      return "name-jaro-winkler";
+    case Metric::kLongestCommonSubstring:
+      return "name-lcs";
+  }
+  return "name";
+}
+
+SimilarityMatrix NameMatcher::Score(const SchemaView& s1,
+                                    const SchemaView& s2) const {
+  std::vector<std::string> left(s1.attributes.size());
+  std::vector<std::string> right(s2.attributes.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    left[i] = ToLowerAscii(s1.attributes[i].name);
+  }
+  for (size_t j = 0; j < right.size(); ++j) {
+    right[j] = ToLowerAscii(s2.attributes[j].name);
+  }
+  SimilarityMatrix matrix(left.size(), right.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      double score = 0.0;
+      switch (metric_) {
+        case Metric::kLevenshtein:
+          score = LevenshteinSimilarity(left[i], right[j]);
+          break;
+        case Metric::kJaroWinkler:
+          score = JaroWinklerSimilarity(left[i], right[j]);
+          break;
+        case Metric::kLongestCommonSubstring:
+          score = LongestCommonSubstringSimilarity(left[i], right[j]);
+          break;
+      }
+      matrix.set(i, j, score);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace smn

@@ -1,0 +1,32 @@
+#ifndef SMN_MATCHERS_NAME_MATCHER_H_
+#define SMN_MATCHERS_NAME_MATCHER_H_
+
+#include <string_view>
+
+#include "matchers/matcher.h"
+
+namespace smn {
+
+/// Whole-name string matcher: lowercases both attribute names and applies a
+/// configurable edit-based metric.
+class NameMatcher : public Matcher {
+ public:
+  enum class Metric {
+    kLevenshtein,
+    kJaroWinkler,
+    kLongestCommonSubstring,
+  };
+
+  explicit NameMatcher(Metric metric = Metric::kLevenshtein);
+
+  std::string_view name() const override;
+  SimilarityMatrix Score(const SchemaView& s1,
+                         const SchemaView& s2) const override;
+
+ private:
+  Metric metric_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_MATCHERS_NAME_MATCHER_H_

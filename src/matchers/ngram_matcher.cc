@@ -1,0 +1,32 @@
+#include "matchers/ngram_matcher.h"
+
+#include <string>
+#include <vector>
+
+#include "matchers/string_metrics.h"
+#include "util/string_util.h"
+
+namespace smn {
+
+NgramMatcher::NgramMatcher(size_t n) : n_(n == 0 ? 1 : n) {}
+
+SimilarityMatrix NgramMatcher::Score(const SchemaView& s1,
+                                     const SchemaView& s2) const {
+  std::vector<std::string> left(s1.attributes.size());
+  std::vector<std::string> right(s2.attributes.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    left[i] = ToLowerAscii(s1.attributes[i].name);
+  }
+  for (size_t j = 0; j < right.size(); ++j) {
+    right[j] = ToLowerAscii(s2.attributes[j].name);
+  }
+  SimilarityMatrix matrix(left.size(), right.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      matrix.set(i, j, NgramDiceSimilarity(left[i], right[j], n_));
+    }
+  }
+  return matrix;
+}
+
+}  // namespace smn

@@ -1,0 +1,27 @@
+#ifndef SMN_MATCHERS_NGRAM_MATCHER_H_
+#define SMN_MATCHERS_NGRAM_MATCHER_H_
+
+#include <string_view>
+
+#include "matchers/matcher.h"
+
+namespace smn {
+
+/// Character n-gram matcher (Dice coefficient over padded lowercase names).
+/// Catches partial-word overlaps edit distance misses ("screenDate" vs
+/// "releaseDate" share the "date" grams).
+class NgramMatcher : public Matcher {
+ public:
+  explicit NgramMatcher(size_t n = 3);
+
+  std::string_view name() const override { return "ngram-dice"; }
+  SimilarityMatrix Score(const SchemaView& s1,
+                         const SchemaView& s2) const override;
+
+ private:
+  size_t n_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_MATCHERS_NGRAM_MATCHER_H_

@@ -1,0 +1,75 @@
+#include "matchers/selection.h"
+
+#include <algorithm>
+
+namespace smn {
+
+ThresholdSelector::ThresholdSelector(double threshold) : threshold_(threshold) {}
+
+std::vector<RawCandidate> ThresholdSelector::Select(
+    const SimilarityMatrix& matrix) const {
+  std::vector<RawCandidate> out;
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    for (size_t c = 0; c < matrix.cols(); ++c) {
+      const double score = matrix.at(r, c);
+      if (score >= threshold_) out.push_back(RawCandidate{r, c, score});
+    }
+  }
+  return out;
+}
+
+TopKPerRowSelector::TopKPerRowSelector(size_t k, double threshold)
+    : k_(k), threshold_(threshold) {}
+
+std::vector<RawCandidate> TopKPerRowSelector::Select(
+    const SimilarityMatrix& matrix) const {
+  std::vector<RawCandidate> out;
+  std::vector<RawCandidate> row_candidates;
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    row_candidates.clear();
+    for (size_t c = 0; c < matrix.cols(); ++c) {
+      const double score = matrix.at(r, c);
+      if (score >= threshold_) row_candidates.push_back(RawCandidate{r, c, score});
+    }
+    const size_t keep = std::min(k_, row_candidates.size());
+    std::partial_sort(row_candidates.begin(), row_candidates.begin() + keep,
+                      row_candidates.end(),
+                      [](const RawCandidate& a, const RawCandidate& b) {
+                        return a.score > b.score;
+                      });
+    out.insert(out.end(), row_candidates.begin(), row_candidates.begin() + keep);
+  }
+  return out;
+}
+
+StableMarriageSelector::StableMarriageSelector(double threshold)
+    : threshold_(threshold) {}
+
+std::vector<RawCandidate> StableMarriageSelector::Select(
+    const SimilarityMatrix& matrix) const {
+  std::vector<RawCandidate> all;
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    for (size_t c = 0; c < matrix.cols(); ++c) {
+      const double score = matrix.at(r, c);
+      if (score >= threshold_) all.push_back(RawCandidate{r, c, score});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const RawCandidate& a, const RawCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+  std::vector<bool> row_used(matrix.rows(), false);
+  std::vector<bool> col_used(matrix.cols(), false);
+  std::vector<RawCandidate> out;
+  for (const RawCandidate& candidate : all) {
+    if (row_used[candidate.row] || col_used[candidate.col]) continue;
+    row_used[candidate.row] = true;
+    col_used[candidate.col] = true;
+    out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace smn

@@ -1,0 +1,73 @@
+#ifndef SMN_MATCHERS_SELECTION_H_
+#define SMN_MATCHERS_SELECTION_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "matchers/similarity_matrix.h"
+
+namespace smn {
+
+/// One attribute pair proposed as a candidate correspondence, in matrix
+/// coordinates (row = attribute index in the first schema, col = in the
+/// second).
+struct RawCandidate {
+  size_t row = 0;
+  size_t col = 0;
+  double score = 0.0;
+};
+
+/// Turns a similarity matrix into a candidate correspondence set — the last
+/// stage of a matching system. Different selectors produce candidate sets
+/// with different violation profiles, which is exactly what Table III
+/// contrasts between COMA and AMC.
+class CandidateSelector {
+ public:
+  virtual ~CandidateSelector() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::vector<RawCandidate> Select(const SimilarityMatrix& matrix) const = 0;
+};
+
+/// Keeps every pair scoring at least `threshold`.
+class ThresholdSelector : public CandidateSelector {
+ public:
+  explicit ThresholdSelector(double threshold);
+  std::string_view name() const override { return "threshold"; }
+  std::vector<RawCandidate> Select(const SimilarityMatrix& matrix) const override;
+
+ private:
+  double threshold_;
+};
+
+/// Keeps, per row, the best `k` pairs scoring at least `threshold`
+/// (COMA-style top-k selection; k > 1 deliberately admits one-to-one
+/// violations for the reconciliation stage to resolve).
+class TopKPerRowSelector : public CandidateSelector {
+ public:
+  TopKPerRowSelector(size_t k, double threshold);
+  std::string_view name() const override { return "top-k-per-row"; }
+  std::vector<RawCandidate> Select(const SimilarityMatrix& matrix) const override;
+
+ private:
+  size_t k_;
+  double threshold_;
+};
+
+/// Greedy global matching: repeatedly takes the best remaining pair and
+/// blocks its row and column (a stable-marriage-style extraction), keeping
+/// pairs above `threshold`. Produces one-to-one-clean candidates; its
+/// mistakes surface as cycle violations instead.
+class StableMarriageSelector : public CandidateSelector {
+ public:
+  explicit StableMarriageSelector(double threshold);
+  std::string_view name() const override { return "stable-marriage"; }
+  std::vector<RawCandidate> Select(const SimilarityMatrix& matrix) const override;
+
+ private:
+  double threshold_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_MATCHERS_SELECTION_H_

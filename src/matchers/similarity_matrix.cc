@@ -1,0 +1,72 @@
+#include "matchers/similarity_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smn {
+
+double SimilarityMatrix::RowMax(size_t row) const {
+  double best = 0.0;
+  for (size_t col = 0; col < cols_; ++col) best = std::max(best, at(row, col));
+  return best;
+}
+
+double SimilarityMatrix::ColMax(size_t col) const {
+  double best = 0.0;
+  for (size_t row = 0; row < rows_; ++row) best = std::max(best, at(row, col));
+  return best;
+}
+
+double SimilarityMatrix::Harmony() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  std::vector<double> row_max(rows_, 0.0);
+  std::vector<double> col_max(cols_, 0.0);
+  std::vector<size_t> row_max_count(rows_, 0);
+  std::vector<size_t> col_max_count(cols_, 0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      const double v = at(r, c);
+      if (v > row_max[r]) {
+        row_max[r] = v;
+        row_max_count[r] = 1;
+      } else if (v == row_max[r]) {
+        ++row_max_count[r];
+      }
+      if (v > col_max[c]) {
+        col_max[c] = v;
+        col_max_count[c] = 1;
+      } else if (v == col_max[c]) {
+        ++col_max_count[c];
+      }
+    }
+  }
+  // A cell is harmonious only as the *unique* maximum of both its row and
+  // its column: ties carry no decision signal (a constant matrix — e.g. a
+  // type matcher on a single-type schema — must score 0, not 1).
+  size_t harmonious = 0;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      const double v = at(r, c);
+      if (v > 0.0 && v == row_max[r] && row_max_count[r] == 1 &&
+          v == col_max[c] && col_max_count[c] == 1) {
+        ++harmonious;
+      }
+    }
+  }
+  return static_cast<double>(harmonious) /
+         static_cast<double>(std::min(rows_, cols_));
+}
+
+void SimilarityMatrix::Accumulate(const SimilarityMatrix& other, double weight) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] += other.cells_[i] * weight;
+  }
+}
+
+void SimilarityMatrix::Scale(double divisor) {
+  if (divisor == 0.0) return;
+  for (double& cell : cells_) cell /= divisor;
+}
+
+}  // namespace smn

@@ -1,0 +1,52 @@
+#ifndef SMN_MATCHERS_SIMILARITY_MATRIX_H_
+#define SMN_MATCHERS_SIMILARITY_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace smn {
+
+/// Dense |s1| x |s2| matrix of attribute-pair similarity scores in [0, 1],
+/// the exchange format between first-order matchers, ensembles, and
+/// candidate selection.
+class SimilarityMatrix {
+ public:
+  SimilarityMatrix() : rows_(0), cols_(0) {}
+  SimilarityMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), cells_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double at(size_t row, size_t col) const { return cells_[row * cols_ + col]; }
+  void set(size_t row, size_t col, double value) {
+    cells_[row * cols_ + col] = value;
+  }
+
+  /// Largest value in `row`; 0 for an empty matrix.
+  double RowMax(size_t row) const;
+
+  /// Largest value in `col`; 0 for an empty matrix.
+  double ColMax(size_t col) const;
+
+  /// Harmony of the matrix: the fraction of attribute pairs that are
+  /// simultaneously the maximum of their row and of their column (an
+  /// adaptive-weighting signal in the AMC tradition — decisive matchers
+  /// have high harmony). Range [0, 1].
+  double Harmony() const;
+
+  /// Adds `other * weight` cellwise. Dimensions must agree.
+  void Accumulate(const SimilarityMatrix& other, double weight);
+
+  /// Divides all cells by `divisor` (no-op when divisor is 0).
+  void Scale(double divisor);
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> cells_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_MATCHERS_SIMILARITY_MATRIX_H_

@@ -1,0 +1,141 @@
+#include "matchers/string_metrics.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace smn {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  // Single-row dynamic program; rows iterate over `a`.
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t previous = row[j];
+      const size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+      diagonal = previous;
+    }
+  }
+  return row[b.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t longer = std::max(a.size(), b.size());
+  if (longer == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longer);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t match_window =
+      std::max<size_t>(1, std::max(a.size(), b.size()) / 2) - 1;
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t lo = i > match_window ? i - match_window : 0;
+    const size_t hi = std::min(b.size(), i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = true;
+      b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t cap = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  while (prefix < cap && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * 0.1 * (1.0 - jaro);
+}
+
+double NgramDiceSimilarity(std::string_view a, std::string_view b, size_t n) {
+  if (n == 0) n = 1;
+  if (a.empty() && b.empty()) return 1.0;
+  const std::string pad(n - 1, '#');
+  const std::string pa = pad + std::string(a) + pad;
+  const std::string pb = pad + std::string(b) + pad;
+  if (pa.size() < n || pb.size() < n) return a == b ? 1.0 : 0.0;
+
+  std::unordered_map<std::string_view, int> grams;
+  const size_t count_a = pa.size() - n + 1;
+  const size_t count_b = pb.size() - n + 1;
+  for (size_t i = 0; i < count_a; ++i) {
+    ++grams[std::string_view(pa).substr(i, n)];
+  }
+  size_t shared = 0;
+  for (size_t i = 0; i < count_b; ++i) {
+    auto it = grams.find(std::string_view(pb).substr(i, n));
+    if (it != grams.end() && it->second > 0) {
+      --it->second;
+      ++shared;
+    }
+  }
+  return 2.0 * static_cast<double>(shared) /
+         static_cast<double>(count_a + count_b);
+}
+
+double LongestCommonSubstringSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  std::vector<size_t> row(b.size() + 1, 0);
+  size_t best = 0;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = 0;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t previous = row[j];
+      row[j] = (a[i - 1] == b[j - 1]) ? diagonal + 1 : 0;
+      best = std::max(best, row[j]);
+      diagonal = previous;
+    }
+  }
+  return static_cast<double>(best) /
+         static_cast<double>(std::max(a.size(), b.size()));
+}
+
+double PrefixSimilarity(std::string_view a, std::string_view b) {
+  const size_t shorter = std::min(a.size(), b.size());
+  if (shorter == 0) return a.size() == b.size() ? 1.0 : 0.0;
+  size_t shared = 0;
+  while (shared < shorter && a[shared] == b[shared]) ++shared;
+  return static_cast<double>(shared) / static_cast<double>(shorter);
+}
+
+double SuffixSimilarity(std::string_view a, std::string_view b) {
+  const size_t shorter = std::min(a.size(), b.size());
+  if (shorter == 0) return a.size() == b.size() ? 1.0 : 0.0;
+  size_t shared = 0;
+  while (shared < shorter && a[a.size() - 1 - shared] == b[b.size() - 1 - shared]) {
+    ++shared;
+  }
+  return static_cast<double>(shared) / static_cast<double>(shorter);
+}
+
+}  // namespace smn

@@ -1,0 +1,45 @@
+#ifndef SMN_MATCHERS_STRING_METRICS_H_
+#define SMN_MATCHERS_STRING_METRICS_H_
+
+#include <string_view>
+
+namespace smn {
+
+/// Similarity metrics over raw strings, all returning values in [0, 1] with
+/// 1 meaning identical. These are the first-line evidence sources of the
+/// matcher ensembles (the role COMA++'s string matchers play in the paper's
+/// pipeline). All metrics are case-sensitive; callers lowercase first when
+/// case should not matter.
+
+/// Levenshtein (edit) distance normalized by the longer string:
+/// 1 - dist / max(|a|, |b|). Two empty strings are identical (1.0).
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Raw Levenshtein distance (insertions, deletions, substitutions).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Jaro similarity.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity with the standard prefix scale 0.1 and a prefix
+/// cap of 4 characters.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Dice coefficient over the multiset of character n-grams of the two
+/// strings, with boundary padding ('#'). `n` must be >= 1; default trigram.
+double NgramDiceSimilarity(std::string_view a, std::string_view b, size_t n = 3);
+
+/// Length of the longest common substring divided by the longer string
+/// length.
+double LongestCommonSubstringSimilarity(std::string_view a, std::string_view b);
+
+/// Length of the shared prefix divided by the shorter length ("prefix
+/// heuristic": abbreviations keep prefixes).
+double PrefixSimilarity(std::string_view a, std::string_view b);
+
+/// Length of the shared suffix divided by the shorter length.
+double SuffixSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace smn
+
+#endif  // SMN_MATCHERS_STRING_METRICS_H_

@@ -1,0 +1,158 @@
+#include "matchers/synonym_matcher.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace smn {
+namespace {
+
+std::vector<std::vector<std::string>> BuiltinThesaurus() {
+  return {
+      {"date", "day", "time", "when"},
+      {"release", "publication", "publish", "issue", "screen", "production"},
+      {"name", "title", "label", "caption"},
+      {"identifier", "key", "code", "number"},
+      {"price", "cost", "charge", "fee", "rate"},
+      {"quantity", "amount", "count", "units"},
+      {"address", "location", "street"},
+      {"city", "town", "municipality"},
+      {"country", "nation", "land"},
+      {"phone", "telephone", "mobile", "cell"},
+      {"mail", "email"},
+      {"company", "organization", "firm", "enterprise", "business"},
+      {"customer", "client", "buyer", "purchaser"},
+      {"supplier", "vendor", "seller", "provider"},
+      {"order", "purchase", "requisition"},
+      {"product", "item", "article", "good"},
+      {"description", "details", "summary", "comment", "note", "remark",
+       "remarks"},
+      {"begin", "start", "open", "from"},
+      {"end", "finish", "close", "until", "to"},
+      {"birthdate", "birthday", "born"},
+      {"gender", "sex"},
+      {"salary", "wage", "pay", "income"},
+      {"category", "type", "kind", "class", "group"},
+      {"state", "province", "region", "standing"},
+      {"postalcode", "zipcode", "postcode", "zip"},
+      {"grade", "score", "mark", "gpa", "result", "average"},
+      {"school", "college", "university", "institution"},
+      {"major", "program", "degree", "field"},
+      {"term", "semester", "session"},
+      {"delivery", "shipping", "shipment", "dispatch"},
+      {"payment", "billing", "invoice"},
+      {"total", "sum", "aggregate"},
+      {"status", "condition", "stage"},
+      {"currency", "money", "monetary"},
+      {"tax", "vat", "duty"},
+      {"discount", "rebate", "reduction"},
+      {"bank", "banking"},
+      {"legal", "registered", "official"},
+      {"primary", "main", "default"},
+      {"fax", "facsimile"},
+      {"created", "creation"},
+      {"partner"},
+      {"applicant", "student", "candidate"},
+      {"parent", "guardian"},
+      {"exam", "test"},
+      {"essay", "statement"},
+      {"recommendation", "reference"},
+      {"scholarship", "aid"},
+      {"residence", "housing", "dormitory", "home"},
+      {"visa", "immigration"},
+      {"transcript", "record"},
+      {"mailing", "postal"},
+      {"surname", "lastname", "family"},
+      {"given", "first", "firstname"},
+      {"line", "item"},
+      {"warehouse", "depot"},
+      {"carrier", "shipper", "freight"},
+      {"contract", "agreement"},
+      {"quote", "quotation"},
+      {"receipt", "goods"},
+      {"unit", "measure"},
+      {"schedule", "plan"},
+      {"return", "refund"},
+      {"credit", "debit"},
+      {"header", "document"},
+      {"user", "member", "account"},
+      {"password", "pwd", "word"},
+      {"expiry", "expiration"},
+      {"weight", "mass"},
+      {"volume", "capacity"},
+      {"percent", "percentage"},
+      {"flag", "indicator"},
+      {"message", "feedback"},
+      {"requested", "required"},
+      {"confirmed", "approved"},
+      {"backorder", "pending"},
+      {"emergency"},
+      {"high", "secondary"},
+      {"work", "office"},
+      {"card"},
+      {"support"},
+  };
+}
+
+}  // namespace
+
+SynonymMatcher::SynonymMatcher() { AddGroups(BuiltinThesaurus()); }
+
+SynonymMatcher::SynonymMatcher(
+    const std::vector<std::vector<std::string>>& groups) {
+  AddGroups(groups);
+}
+
+void SynonymMatcher::AddGroups(
+    const std::vector<std::vector<std::string>>& groups) {
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    for (const std::string& word : group) {
+      canonical_.emplace(word, group.front());
+    }
+  }
+}
+
+const std::string& SynonymMatcher::Canonicalize(const std::string& token) const {
+  auto it = canonical_.find(token);
+  return it == canonical_.end() ? token : it->second;
+}
+
+SimilarityMatrix SynonymMatcher::Score(const SchemaView& s1,
+                                       const SchemaView& s2) const {
+  auto canonical_tokens = [&](const std::string& name) {
+    std::unordered_set<std::string> result;
+    for (const std::string& token : tokenizer_.Tokenize(name)) {
+      result.insert(Canonicalize(token));
+    }
+    return result;
+  };
+  std::vector<std::unordered_set<std::string>> left(s1.attributes.size());
+  std::vector<std::unordered_set<std::string>> right(s2.attributes.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    left[i] = canonical_tokens(s1.attributes[i].name);
+  }
+  for (size_t j = 0; j < right.size(); ++j) {
+    right[j] = canonical_tokens(s2.attributes[j].name);
+  }
+  SimilarityMatrix matrix(left.size(), right.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      if (left[i].empty() || right[j].empty()) continue;
+      size_t shared = 0;
+      for (const std::string& token : left[i]) shared += right[j].count(token);
+      const size_t united = left[i].size() + right[j].size() - shared;
+      const double jaccard =
+          united == 0 ? 1.0
+                      : static_cast<double>(shared) / static_cast<double>(united);
+      // Overlap coefficient rewards containment ("partner name" vs
+      // "business partner name"), which Jaccard under-scores.
+      const double overlap = static_cast<double>(shared) /
+                             static_cast<double>(std::min(left[i].size(),
+                                                          right[j].size()));
+      matrix.set(i, j, 0.5 * (jaccard + overlap));
+    }
+  }
+  return matrix;
+}
+
+}  // namespace smn

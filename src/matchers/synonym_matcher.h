@@ -1,0 +1,43 @@
+#ifndef SMN_MATCHERS_SYNONYM_MATCHER_H_
+#define SMN_MATCHERS_SYNONYM_MATCHER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "matchers/matcher.h"
+#include "matchers/tokenizer.h"
+
+namespace smn {
+
+/// Thesaurus-backed matcher: maps tokens to canonical concept words via a
+/// synonym table before comparing token sets, so "releaseDate" and
+/// "publicationDate" score high although no characters align. Ships with a
+/// general-purpose table (the role of COMA++'s built-in dictionaries); custom
+/// tables can be supplied for domain deployments.
+class SynonymMatcher : public Matcher {
+ public:
+  /// Uses the built-in general-purpose thesaurus.
+  SynonymMatcher();
+
+  /// Uses a custom thesaurus: groups of mutually synonymous lowercase words.
+  explicit SynonymMatcher(const std::vector<std::vector<std::string>>& groups);
+
+  std::string_view name() const override { return "synonym"; }
+  SimilarityMatrix Score(const SchemaView& s1,
+                         const SchemaView& s2) const override;
+
+  /// Canonical representative of `token` (the token itself when unknown).
+  const std::string& Canonicalize(const std::string& token) const;
+
+ private:
+  void AddGroups(const std::vector<std::vector<std::string>>& groups);
+
+  Tokenizer tokenizer_;
+  std::unordered_map<std::string, std::string> canonical_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_MATCHERS_SYNONYM_MATCHER_H_

@@ -1,0 +1,73 @@
+#include "matchers/token_matcher.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "matchers/string_metrics.h"
+
+namespace smn {
+namespace {
+
+double JaccardScore(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const std::unordered_set<std::string> set_a(a.begin(), a.end());
+  const std::unordered_set<std::string> set_b(b.begin(), b.end());
+  size_t shared = 0;
+  for (const std::string& token : set_a) shared += set_b.count(token);
+  const size_t united = set_a.size() + set_b.size() - shared;
+  return united == 0 ? 1.0
+                     : static_cast<double>(shared) / static_cast<double>(united);
+}
+
+double MongeElkanScore(const std::vector<std::string>& a,
+                       const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const auto& smaller = a.size() <= b.size() ? a : b;
+  const auto& larger = a.size() <= b.size() ? b : a;
+  double total = 0.0;
+  for (const std::string& token : smaller) {
+    double best = 0.0;
+    for (const std::string& other : larger) {
+      best = std::max(best, JaroWinklerSimilarity(token, other));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(smaller.size());
+}
+
+}  // namespace
+
+TokenMatcher::TokenMatcher(Mode mode) : mode_(mode) {}
+
+std::string_view TokenMatcher::name() const {
+  return mode_ == Mode::kJaccard ? "token-jaccard" : "token-monge-elkan";
+}
+
+SimilarityMatrix TokenMatcher::Score(const SchemaView& s1,
+                                     const SchemaView& s2) const {
+  std::vector<std::vector<std::string>> left(s1.attributes.size());
+  std::vector<std::vector<std::string>> right(s2.attributes.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    left[i] = tokenizer_.Tokenize(s1.attributes[i].name);
+  }
+  for (size_t j = 0; j < right.size(); ++j) {
+    right[j] = tokenizer_.Tokenize(s2.attributes[j].name);
+  }
+  SimilarityMatrix matrix(left.size(), right.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      const double score = mode_ == Mode::kJaccard
+                               ? JaccardScore(left[i], right[j])
+                               : MongeElkanScore(left[i], right[j]);
+      matrix.set(i, j, score);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace smn

@@ -1,0 +1,38 @@
+#ifndef SMN_MATCHERS_TOKEN_MATCHER_H_
+#define SMN_MATCHERS_TOKEN_MATCHER_H_
+
+#include <string_view>
+
+#include "matchers/matcher.h"
+#include "matchers/tokenizer.h"
+
+namespace smn {
+
+/// Token-level matcher: splits names into normalized word tokens (camelCase
+/// and underscore boundaries, abbreviation expansion) and compares the token
+/// sets. Robust against word reordering ("dateOfBirth" vs "birth_date").
+class TokenMatcher : public Matcher {
+ public:
+  enum class Mode {
+    /// Jaccard coefficient over the token sets.
+    kJaccard,
+    /// Monge-Elkan: average over the tokens of the smaller set of the best
+    /// Jaro-Winkler counterpart in the other set. Tolerates near-miss tokens
+    /// ("qty" vs "quanity").
+    kMongeElkan,
+  };
+
+  explicit TokenMatcher(Mode mode = Mode::kJaccard);
+
+  std::string_view name() const override;
+  SimilarityMatrix Score(const SchemaView& s1,
+                         const SchemaView& s2) const override;
+
+ private:
+  Mode mode_;
+  Tokenizer tokenizer_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_MATCHERS_TOKEN_MATCHER_H_

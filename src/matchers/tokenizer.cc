@@ -1,0 +1,53 @@
+#include "matchers/tokenizer.h"
+
+#include "util/string_util.h"
+
+namespace smn {
+namespace {
+
+std::unordered_map<std::string, std::string> BuiltinAbbreviations() {
+  return {
+      {"no", "number"},    {"num", "number"},    {"nr", "number"},
+      {"qty", "quantity"}, {"amt", "amount"},    {"addr", "address"},
+      {"tel", "telephone"},{"ph", "phone"},      {"fax", "facsimile"},
+      {"dob", "birthdate"},{"ssn", "social"},    {"desc", "description"},
+      {"descr", "description"},                  {"cat", "category"},
+      {"id", "identifier"},{"ident", "identifier"},
+      {"cd", "code"},      {"org", "organization"},
+      {"dept", "department"},                    {"acct", "account"},
+      {"prod", "product"}, {"cust", "customer"}, {"supp", "supplier"},
+      {"ord", "order"},    {"po", "purchase"},   {"ref", "reference"},
+      {"dt", "date"},      {"tm", "time"},       {"yr", "year"},
+      {"mo", "month"},     {"fname", "firstname"},
+      {"lname", "lastname"},                     {"mname", "middlename"},
+      {"uni", "university"},                     {"app", "application"},
+      {"pct", "percent"},  {"ctry", "country"},  {"st", "state"},
+      {"zip", "postalcode"},                     {"pcode", "postalcode"},
+      {"curr", "currency"},{"lang", "language"}, {"msg", "message"},
+      {"txt", "text"},     {"fld", "field"},     {"val", "value"},
+  };
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer() : abbreviations_(BuiltinAbbreviations()) {}
+
+Tokenizer::Tokenizer(std::unordered_map<std::string, std::string> abbreviations)
+    : abbreviations_(std::move(abbreviations)) {}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view name) const {
+  std::vector<std::string> raw = SplitIdentifier(name);
+  std::vector<std::string> tokens;
+  tokens.reserve(raw.size());
+  for (std::string& token : raw) {
+    tokens.push_back(Expand(token));
+  }
+  return tokens;
+}
+
+const std::string& Tokenizer::Expand(const std::string& token) const {
+  auto it = abbreviations_.find(token);
+  return it == abbreviations_.end() ? token : it->second;
+}
+
+}  // namespace smn

@@ -1,0 +1,37 @@
+#ifndef SMN_MATCHERS_TOKENIZER_H_
+#define SMN_MATCHERS_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace smn {
+
+/// Splits attribute identifiers into normalized word tokens and expands
+/// well-known abbreviations ("qty" -> "quantity", "no" -> "number"), the
+/// normalization step shared by the token and synonym matchers.
+class Tokenizer {
+ public:
+  /// Creates a tokenizer with the built-in abbreviation table.
+  Tokenizer();
+
+  /// Creates a tokenizer with a custom abbreviation table (short form ->
+  /// expansion, both lowercase).
+  explicit Tokenizer(std::unordered_map<std::string, std::string> abbreviations);
+
+  /// Tokenizes `name` at camelCase/underscore/digit boundaries, lowercases,
+  /// and expands abbreviations. "prodQty" -> {"product", "quantity"}.
+  std::vector<std::string> Tokenize(std::string_view name) const;
+
+  /// Expands one lowercase token when it is a known abbreviation; returns the
+  /// token unchanged otherwise.
+  const std::string& Expand(const std::string& token) const;
+
+ private:
+  std::unordered_map<std::string, std::string> abbreviations_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_MATCHERS_TOKENIZER_H_

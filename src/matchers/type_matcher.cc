@@ -1,0 +1,28 @@
+#include "matchers/type_matcher.h"
+
+namespace smn {
+
+double TypeMatcher::TypeCompatibility(AttributeType a, AttributeType b) {
+  if (a == AttributeType::kUnknown || b == AttributeType::kUnknown) return 0.5;
+  if (a == b) return 1.0;
+  const bool a_numeric =
+      a == AttributeType::kInteger || a == AttributeType::kDecimal;
+  const bool b_numeric =
+      b == AttributeType::kInteger || b == AttributeType::kDecimal;
+  if (a_numeric && b_numeric) return 0.7;
+  return 0.0;
+}
+
+SimilarityMatrix TypeMatcher::Score(const SchemaView& s1,
+                                    const SchemaView& s2) const {
+  SimilarityMatrix matrix(s1.attributes.size(), s2.attributes.size());
+  for (size_t i = 0; i < s1.attributes.size(); ++i) {
+    for (size_t j = 0; j < s2.attributes.size(); ++j) {
+      matrix.set(i, j, TypeCompatibility(s1.attributes[i].type,
+                                         s2.attributes[j].type));
+    }
+  }
+  return matrix;
+}
+
+}  // namespace smn

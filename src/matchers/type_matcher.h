@@ -1,0 +1,27 @@
+#ifndef SMN_MATCHERS_TYPE_MATCHER_H_
+#define SMN_MATCHERS_TYPE_MATCHER_H_
+
+#include <string_view>
+
+#include "matchers/matcher.h"
+
+namespace smn {
+
+/// Data-type compatibility matcher: a weak signal on its own but a useful
+/// ensemble member — it demotes name-similar pairs with incompatible types
+/// ("orderDate" date vs "orderState" string).
+class TypeMatcher : public Matcher {
+ public:
+  std::string_view name() const override { return "type-compat"; }
+  SimilarityMatrix Score(const SchemaView& s1,
+                         const SchemaView& s2) const override;
+
+  /// Compatibility score of two types: 1 for equal known types, 0.7 for
+  /// numeric kin (integer/decimal), 0.5 when either side is unknown, 0
+  /// otherwise.
+  static double TypeCompatibility(AttributeType a, AttributeType b);
+};
+
+}  // namespace smn
+
+#endif  // SMN_MATCHERS_TYPE_MATCHER_H_

@@ -1,0 +1,174 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "constraints/cycle.h"
+#include "constraints/one_to_one.h"
+#include "core/repair.h"
+#include "datasets/random_graph.h"
+#include "matchers/amc_like.h"
+#include "matchers/coma_like.h"
+#include "sim/oracle.h"
+
+namespace smn {
+namespace {
+
+MatchingSystem MakeSystem(MatcherKind kind) {
+  switch (kind) {
+    case MatcherKind::kComaLike:
+      return MakeComaLikeSystem();
+    case MatcherKind::kAmcLike:
+      return MakeAmcLikeSystem();
+  }
+  return MakeComaLikeSystem();
+}
+
+}  // namespace
+
+StatusOr<ExperimentSetup> BuildExperimentSetup(const DatasetConfig& config,
+                                               const Vocabulary& vocabulary,
+                                               MatcherKind matcher, Rng* rng) {
+  return BuildExperimentSetupWithGraph(config, vocabulary, matcher,
+                                       CompleteGraph(config.schema_count), rng);
+}
+
+StatusOr<ExperimentSetup> BuildExperimentSetupWithGraph(
+    const DatasetConfig& config, const Vocabulary& vocabulary,
+    MatcherKind matcher, InteractionGraph graph, Rng* rng) {
+  SMN_ASSIGN_OR_RETURN(GeneratedDataset dataset,
+                       GenerateDataset(config, vocabulary, rng));
+  const MatchingSystem system = MakeSystem(matcher);
+  const std::vector<SchemaPairCandidates> candidates =
+      system.Run(dataset.schemas, graph);
+  SMN_ASSIGN_OR_RETURN(Network network, BuildNetworkFromCandidates(
+                                            dataset.schemas, graph, candidates));
+
+  ConstraintSet constraints;
+  constraints.Add(std::make_unique<OneToOneConstraint>());
+  constraints.Add(std::make_unique<CycleConstraint>());
+  SMN_RETURN_IF_ERROR(constraints.Compile(network));
+
+  // Mark ground-truth candidates: a candidate correspondence is correct when
+  // its two attributes instantiate the same concept.
+  DynamicBitset truth(network.correspondence_count());
+  for (const Correspondence& c : network.correspondences()) {
+    const Attribute& left = network.attribute(c.left);
+    const Attribute& right = network.attribute(c.right);
+    const uint32_t left_concept =
+        dataset.concepts[left.schema]
+                        [c.left - network.schema(left.schema).attributes()[0]];
+    const uint32_t right_concept =
+        dataset.concepts[right.schema]
+                        [c.right - network.schema(right.schema).attributes()[0]];
+    if (left_concept == right_concept) truth.Set(c.id);
+  }
+
+  // The expert answers from the constraint-consistent core of the truth:
+  // greedy repair drops the truth pairs whose closing correspondences the
+  // matcher never proposed (cycle closure can only add in-truth candidates,
+  // since the closing of two same-concept chains shares their concept).
+  DynamicBitset oracle_truth = truth;
+  Feedback no_feedback(network.correspondence_count());
+  SMN_RETURN_IF_ERROR(RepairAll(constraints, no_feedback, &oracle_truth));
+
+  ExperimentSetup setup{config.name,
+                        system.name(),
+                        std::move(dataset),
+                        std::move(graph),
+                        std::move(network),
+                        std::move(constraints),
+                        std::move(truth),
+                        std::move(oracle_truth),
+                        0};
+  setup.truth_total = setup.dataset.CountTruthPairs(setup.graph);
+  return setup;
+}
+
+PrecisionRecall ScoreCandidates(const ExperimentSetup& setup) {
+  DynamicBitset all(setup.network.correspondence_count());
+  for (CorrespondenceId c = 0; c < setup.network.correspondence_count(); ++c) {
+    all.Set(c);
+  }
+  return ScoreSelection(all, setup.truth_candidates, setup.truth_total);
+}
+
+StatusOr<std::vector<CurvePoint>> RunReconciliationCurve(
+    const ExperimentSetup& setup, const CurveOptions& options) {
+  std::vector<double> checkpoints = options.checkpoints;
+  std::sort(checkpoints.begin(), checkpoints.end());
+  if (checkpoints.empty()) checkpoints = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+  const size_t total = setup.network.correspondence_count();
+  std::vector<CurvePoint> accumulated(checkpoints.size());
+  const Instantiator instantiator(options.instantiation_options);
+
+  Rng master(options.seed);
+  for (size_t run = 0; run < options.runs; ++run) {
+    Rng rng = master.Split();
+    SMN_ASSIGN_OR_RETURN(
+        ProbabilisticNetwork pmn,
+        ProbabilisticNetwork::Create(setup.network, setup.constraints,
+                                     options.network_options, &rng));
+    Oracle oracle(setup.oracle_truth);
+    std::unique_ptr<SelectionStrategy> strategy = MakeStrategy(options.strategy);
+    Reconciler reconciler(&pmn, strategy.get(), oracle.AsCallback());
+
+    bool converged = false;
+    for (size_t point = 0; point < checkpoints.size(); ++point) {
+      const size_t target_assertions = static_cast<size_t>(
+          checkpoints[point] * static_cast<double>(total) + 0.5);
+      while (!converged &&
+             pmn.feedback().asserted_count() < target_assertions) {
+        auto step = reconciler.Step(&rng);
+        if (!step.ok()) {
+          if (step.status().code() == StatusCode::kNotFound) {
+            converged = true;
+            break;
+          }
+          return step.status();
+        }
+      }
+
+      CurvePoint& out = accumulated[point];
+      out.effort += static_cast<double>(pmn.feedback().asserted_count()) /
+                    static_cast<double>(total);
+      out.uncertainty += pmn.Uncertainty();
+
+      // Prec(C \ F-): the candidate set an integration task would use if it
+      // stopped reconciling right now and merely dropped the disapproved.
+      DynamicBitset remaining(total);
+      for (CorrespondenceId c = 0; c < total; ++c) {
+        if (!pmn.feedback().IsDisapproved(c)) remaining.Set(c);
+      }
+      out.precision_remaining +=
+          ScoreSelection(remaining, setup.truth_candidates, setup.truth_total)
+              .precision;
+
+      if (options.instantiate) {
+        SMN_ASSIGN_OR_RETURN(InstantiationResult inst,
+                             instantiator.Instantiate(pmn, &rng));
+        const PrecisionRecall quality = ScoreSelection(
+            inst.instance, setup.truth_candidates, setup.truth_total);
+        out.instantiation_precision += quality.precision;
+        out.instantiation_recall += quality.recall;
+      }
+    }
+  }
+
+  const double runs = static_cast<double>(options.runs);
+  for (size_t point = 0; point < accumulated.size(); ++point) {
+    CurvePoint& out = accumulated[point];
+    out.effort /= runs;
+    out.uncertainty /= runs;
+    out.precision_remaining /= runs;
+    out.instantiation_precision /= runs;
+    out.instantiation_recall /= runs;
+    // Report the nominal checkpoint as the effort axis value when runs
+    // converged early at different points.
+    if (out.effort > checkpoints[point]) out.effort = checkpoints[point];
+  }
+  return accumulated;
+}
+
+}  // namespace smn

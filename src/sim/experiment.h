@@ -1,0 +1,95 @@
+#ifndef SMN_SIM_EXPERIMENT_H_
+#define SMN_SIM_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/constraint_set.h"
+#include "core/instantiation.h"
+#include "core/network.h"
+#include "core/probabilistic_network.h"
+#include "core/selection_strategy.h"
+#include "datasets/generator.h"
+#include "matchers/matching_system.h"
+#include "sim/metrics.h"
+#include "util/statusor.h"
+
+namespace smn {
+
+/// Which matcher stand-in generates the candidate set.
+enum class MatcherKind { kComaLike, kAmcLike };
+
+/// Everything one end-to-end experiment needs: the generated dataset, the
+/// assembled network with its candidate set C, the compiled constraints
+/// (one-to-one + cycle), and the ground truth for the oracle and scoring.
+struct ExperimentSetup {
+  std::string dataset_name;
+  std::string matcher_name;
+  GeneratedDataset dataset;
+  InteractionGraph graph;
+  Network network;
+  ConstraintSet constraints;
+  /// Over C: which candidates belong to the selective matching M.
+  DynamicBitset truth_candidates;
+  /// Over C: the constraint-consistent core of `truth_candidates` that the
+  /// simulated expert approves. The paper defines the selective matching as
+  /// correct AND constraint-satisfying; when the matcher misses the closing
+  /// correspondence of a triangle, the two surviving sides of the chain are
+  /// individually correct but jointly violate the cycle constraint, so the
+  /// expert (who must leave a consistent F+) can approve only a repaired
+  /// subset of them. Scoring still uses the full `truth_candidates`.
+  DynamicBitset oracle_truth;
+  /// |M| restricted to the interaction graph (including pairs the matcher
+  /// missed), the honest recall denominator.
+  size_t truth_total = 0;
+};
+
+/// Generates a dataset, runs the chosen matcher over the complete
+/// interaction graph, assembles the network, and compiles the constraints —
+/// the shared preamble of every experiment in Section VI.
+StatusOr<ExperimentSetup> BuildExperimentSetup(const DatasetConfig& config,
+                                               const Vocabulary& vocabulary,
+                                               MatcherKind matcher, Rng* rng);
+
+/// Same, over a caller-provided interaction graph (Fig. 6 uses Erdős–Rényi).
+StatusOr<ExperimentSetup> BuildExperimentSetupWithGraph(
+    const DatasetConfig& config, const Vocabulary& vocabulary,
+    MatcherKind matcher, InteractionGraph graph, Rng* rng);
+
+/// One averaged point of a reconciliation curve.
+struct CurvePoint {
+  double effort = 0.0;                // E = |F| / |C| at the checkpoint.
+  double uncertainty = 0.0;           // H(C, P).
+  double precision_remaining = 0.0;   // Prec(C \ F-), Fig. 9's quality axis.
+  double instantiation_precision = 0.0;  // Prec(H), Figs. 10/11.
+  double instantiation_recall = 0.0;     // Rec(H).
+};
+
+/// Parameters of a reconciliation-curve experiment.
+struct CurveOptions {
+  StrategyKind strategy = StrategyKind::kInformationGain;
+  /// Effort levels (fractions of |C|) at which statistics are recorded.
+  std::vector<double> checkpoints;
+  /// Independent runs to average over (the paper uses 50 for Fig. 9).
+  size_t runs = 10;
+  /// Run Algorithm 2 at every checkpoint and record Prec(H)/Rec(H).
+  bool instantiate = false;
+  ProbabilisticNetworkOptions network_options;
+  InstantiationOptions instantiation_options;
+  uint64_t seed = 1;
+};
+
+/// Runs the reconciliation process `runs` times with the given selection
+/// strategy against the ground-truth oracle, recording the curve metrics at
+/// each effort checkpoint and averaging across runs. This is the engine
+/// behind Figs. 9, 10 and 11.
+StatusOr<std::vector<CurvePoint>> RunReconciliationCurve(
+    const ExperimentSetup& setup, const CurveOptions& options);
+
+/// Candidate-set quality of the raw matcher output (the paper quotes ≈0.67
+/// precision for BP).
+PrecisionRecall ScoreCandidates(const ExperimentSetup& setup);
+
+}  // namespace smn
+
+#endif  // SMN_SIM_EXPERIMENT_H_

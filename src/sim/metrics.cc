@@ -1,0 +1,54 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smn {
+
+PrecisionRecall ScoreSelection(const DynamicBitset& selection,
+                               const DynamicBitset& truth_in_candidates,
+                               size_t truth_total) {
+  PrecisionRecall result;
+  const size_t selected = selection.Count();
+  const size_t correct = selection.IntersectionCount(truth_in_candidates);
+  result.precision = selected == 0 ? 0.0
+                                   : static_cast<double>(correct) /
+                                         static_cast<double>(selected);
+  result.recall = truth_total == 0 ? 0.0
+                                   : static_cast<double>(correct) /
+                                         static_cast<double>(truth_total);
+  const double denominator = result.precision + result.recall;
+  result.f1 =
+      denominator == 0.0 ? 0.0 : 2.0 * result.precision * result.recall / denominator;
+  return result;
+}
+
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q) {
+  constexpr double kFloor = 1e-9;
+  double total = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double pi = p[i];
+    const double qi =
+        std::clamp(i < q.size() ? q[i] : 0.0, kFloor, 1.0 - kFloor);
+    if (pi > 0.0) total += pi * std::log2(pi / qi);
+    if (pi < 1.0) total += (1.0 - pi) * std::log2((1.0 - pi) / (1.0 - qi));
+  }
+  return total;
+}
+
+double KlRatio(const std::vector<double>& exact,
+               const std::vector<double>& sampled) {
+  const std::vector<double> uniform(exact.size(), 0.5);
+  const double baseline = KlDivergence(exact, uniform);
+  if (baseline <= 0.0) return 0.0;  // Exact distribution is the baseline.
+  return KlDivergence(exact, sampled) / baseline;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+}  // namespace smn

@@ -1,0 +1,47 @@
+#ifndef SMN_SIM_METRICS_H_
+#define SMN_SIM_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/dynamic_bitset.h"
+
+namespace smn {
+
+/// Matching quality against the ground truth M (Section VI-A).
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Scores a selection V ⊆ C against the ground truth. `truth_in_candidates`
+/// marks the candidates that belong to M; `truth_total` is |M| including the
+/// correct pairs the matcher never proposed (so recall has the honest
+/// denominator).
+PrecisionRecall ScoreSelection(const DynamicBitset& selection,
+                               const DynamicBitset& truth_in_candidates,
+                               size_t truth_total);
+
+/// K-L divergence between two correspondence probability assignments,
+/// summed over the per-correspondence Bernoulli variables:
+///   Σ_c [ p log2(p/q) + (1-p) log2((1-p)/(1-q)) ].
+/// Equation 6 of the paper prints only the first term, which is not a
+/// divergence over marginals (it can go negative because Σ p_c ≠ 1); the
+/// Bernoulli form is the standard correction and is non-negative, zero iff
+/// the assignments agree. q is clamped to [1e-9, 1-1e-9].
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q);
+
+/// The paper's normalized sampling-quality measure:
+/// KLratio = D_KL(P‖Q) / D_KL(P‖U) where U is the maximum-entropy baseline
+/// u_c = 0.5. Near 0 means Q captures the exact distribution; near 1 means
+/// sampling is no better than knowing nothing.
+double KlRatio(const std::vector<double>& exact,
+               const std::vector<double>& sampled);
+
+/// Mean of `values`; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+}  // namespace smn
+
+#endif  // SMN_SIM_METRICS_H_

@@ -1,0 +1,19 @@
+#include "sim/oracle.h"
+
+namespace smn {
+
+Oracle::Oracle(DynamicBitset truth, double error_rate, uint64_t seed)
+    : truth_(std::move(truth)), error_rate_(error_rate), rng_(seed) {}
+
+bool Oracle::Assert(CorrespondenceId c) {
+  ++assertion_count_;
+  const bool correct = truth_.Test(c);
+  if (error_rate_ > 0.0 && rng_.Bernoulli(error_rate_)) return !correct;
+  return correct;
+}
+
+AssertionOracle Oracle::AsCallback() {
+  return [this](CorrespondenceId c) { return Assert(c); };
+}
+
+}  // namespace smn

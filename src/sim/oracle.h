@@ -1,0 +1,40 @@
+#ifndef SMN_SIM_ORACLE_H_
+#define SMN_SIM_ORACLE_H_
+
+#include "core/reconciler.h"
+#include "core/types.h"
+#include "util/dynamic_bitset.h"
+#include "util/rng.h"
+
+namespace smn {
+
+/// Simulated expert: answers assertion requests from the ground-truth
+/// selective matching, exactly as the paper's experiments do ("user
+/// assertions are generated using the available selective matching").
+/// An optional error rate flips answers uniformly at random, for robustness
+/// ablations beyond the paper (the paper assumes a perfect expert).
+class Oracle {
+ public:
+  /// `truth` marks, over the candidate set C, which candidates belong to M.
+  explicit Oracle(DynamicBitset truth, double error_rate = 0.0,
+                  uint64_t seed = 0x5EED);
+
+  /// True = approve. Deterministic when error_rate is 0.
+  bool Assert(CorrespondenceId c);
+
+  /// Adapts this oracle to the Reconciler's callback type. The oracle must
+  /// outlive the returned callable.
+  AssertionOracle AsCallback();
+
+  size_t assertion_count() const { return assertion_count_; }
+
+ private:
+  DynamicBitset truth_;
+  double error_rate_;
+  Rng rng_;
+  size_t assertion_count_ = 0;
+};
+
+}  // namespace smn
+
+#endif  // SMN_SIM_ORACLE_H_

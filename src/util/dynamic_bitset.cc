@@ -1,0 +1,110 @@
+#include "util/dynamic_bitset.h"
+
+#include <cassert>
+
+namespace smn {
+
+DynamicBitset DynamicBitset::FromWord(size_t size, uint64_t word) {
+  assert(size <= 64);
+  DynamicBitset b(size);
+  if (size > 0) {
+    const uint64_t mask =
+        size == 64 ? ~0ULL : ((1ULL << size) - 1);
+    b.words_[0] = word & mask;
+  }
+  return b;
+}
+
+void DynamicBitset::Clear() {
+  for (auto& w : words_) w = 0;
+}
+
+size_t DynamicBitset::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+  return total;
+}
+
+bool DynamicBitset::Contains(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((other.words_[i] & ~words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+size_t DynamicBitset::IntersectionCount(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<size_t>(__builtin_popcountll(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+size_t DynamicBitset::SymmetricDifferenceCount(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<size_t>(__builtin_popcountll(words_[i] ^ other.words_[i]));
+  }
+  return total;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::SubtractInPlace(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+std::vector<size_t> DynamicBitset::ToIndices() const {
+  std::vector<size_t> indices;
+  indices.reserve(Count());
+  ForEachSetBit([&](size_t i) { indices.push_back(i); });
+  return indices;
+}
+
+std::string DynamicBitset::ToString() const {
+  std::string s(size_, '0');
+  ForEachSetBit([&](size_t i) { s[i] = '1'; });
+  return s;
+}
+
+size_t DynamicBitset::Hash() const {
+  // FNV-1a over the words; good enough for sample deduplication.
+  uint64_t h = 1469598103934665603ULL;
+  for (uint64_t w : words_) {
+    h ^= w;
+    h *= 1099511628211ULL;
+  }
+  h ^= size_;
+  return static_cast<size_t>(h);
+}
+
+}  // namespace smn

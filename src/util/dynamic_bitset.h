@@ -1,0 +1,112 @@
+#ifndef SMN_UTIL_DYNAMIC_BITSET_H_
+#define SMN_UTIL_DYNAMIC_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smn {
+
+/// Fixed-size bitset whose size is chosen at run time. Used to represent
+/// subsets of the candidate correspondence set C: matching instances, conflict
+/// adjacency rows, and sample membership columns. Word-parallel operations
+/// (intersection, union, popcount, symmetric-difference size) are the hot path
+/// of the sampler and the instantiation search.
+class DynamicBitset {
+ public:
+  DynamicBitset() : size_(0) {}
+
+  /// Creates a bitset of `size` bits, all clear.
+  explicit DynamicBitset(size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  /// Builds a bitset of `size` bits (size <= 64) whose content is the low
+  /// `size` bits of `word`. Fast path for exhaustive mask enumeration.
+  static DynamicBitset FromWord(size_t size, uint64_t word);
+
+  size_t size() const { return size_; }
+
+  bool Test(size_t pos) const {
+    return (words_[pos >> 6] >> (pos & 63)) & 1ULL;
+  }
+  void Set(size_t pos) { words_[pos >> 6] |= (1ULL << (pos & 63)); }
+  void Reset(size_t pos) { words_[pos >> 6] &= ~(1ULL << (pos & 63)); }
+  void Assign(size_t pos, bool value) {
+    if (value) {
+      Set(pos);
+    } else {
+      Reset(pos);
+    }
+  }
+
+  /// Clears all bits.
+  void Clear();
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// True when no bit is set.
+  bool None() const { return Count() == 0; }
+
+  /// True when every bit of `other` is also set in this bitset.
+  /// Requires equal sizes.
+  bool Contains(const DynamicBitset& other) const;
+
+  /// True when this and `other` share at least one set bit.
+  /// Requires equal sizes.
+  bool Intersects(const DynamicBitset& other) const;
+
+  /// Number of bits set in both this and `other`. Requires equal sizes.
+  size_t IntersectionCount(const DynamicBitset& other) const;
+
+  /// Size of the symmetric difference |A\B| + |B\A|. This is the repair
+  /// distance Δ of the paper when applied to correspondence sets.
+  size_t SymmetricDifferenceCount(const DynamicBitset& other) const;
+
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator^=(const DynamicBitset& other);
+
+  /// Removes from this bitset every bit set in `other` (set difference).
+  DynamicBitset& SubtractInPlace(const DynamicBitset& other);
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// Indices of all set bits, ascending.
+  std::vector<size_t> ToIndices() const;
+
+  /// Calls `fn(index)` for each set bit, ascending.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// "10110..." string, bit 0 first. Intended for debugging and test output.
+  std::string ToString() const;
+
+  /// Hash suitable for unordered containers of instances.
+  size_t Hash() const;
+
+ private:
+  size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+/// std::hash adapter for DynamicBitset keys.
+struct DynamicBitsetHash {
+  size_t operator()(const DynamicBitset& b) const { return b.Hash(); }
+};
+
+}  // namespace smn
+
+#endif  // SMN_UTIL_DYNAMIC_BITSET_H_

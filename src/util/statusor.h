@@ -1,0 +1,77 @@
+#ifndef SMN_UTIL_STATUSOR_H_
+#define SMN_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace smn {
+
+/// Holds either a value of type T or an error Status. A StatusOr constructed
+/// from a value is OK; one constructed from a non-OK Status carries the error.
+/// Accessing the value of a non-OK StatusOr is a programming error (asserts).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK: an OK status without a
+  /// value is meaningless.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr(Status) requires a non-OK status");
+  }
+
+  /// Constructs an OK result holding `value`.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a StatusOr), propagates the error, or assigns the value.
+///   SMN_ASSIGN_OR_RETURN(auto net, Network::Create(...));
+#define SMN_STATUSOR_CONCAT_IMPL(a, b) a##b
+#define SMN_STATUSOR_CONCAT(a, b) SMN_STATUSOR_CONCAT_IMPL(a, b)
+#define SMN_ASSIGN_OR_RETURN(decl, expr) \
+  SMN_ASSIGN_OR_RETURN_IMPL(SMN_STATUSOR_CONCAT(_smn_statusor_, __LINE__), \
+                            decl, expr)
+#define SMN_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  decl = std::move(tmp).value()
+
+}  // namespace smn
+
+#endif  // SMN_UTIL_STATUSOR_H_

@@ -1,0 +1,35 @@
+#ifndef SMN_UTIL_STOPWATCH_H_
+#define SMN_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace smn {
+
+/// Wall-clock stopwatch for the benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_UTIL_STOPWATCH_H_

@@ -1,0 +1,93 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace smn {
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::vector<std::string> SplitAny(std::string_view s, std::string_view delims) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : s) {
+    if (delims.find(c) != std::string_view::npos) {
+      if (!current.empty()) {
+        parts.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) parts.push_back(current);
+  return parts;
+}
+
+std::vector<std::string> SplitIdentifier(std::string_view name) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(ToLowerAscii(current));
+      current.clear();
+    }
+  };
+  char prev = '\0';
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool is_sep = c == '_' || c == '-' || c == '.' || c == '/' || c == ' ';
+    if (is_sep) {
+      flush();
+      prev = c;
+      continue;
+    }
+    const bool upper = std::isupper(static_cast<unsigned char>(c)) != 0;
+    const bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    const bool prev_lower = std::islower(static_cast<unsigned char>(prev)) != 0;
+    const bool prev_digit = std::isdigit(static_cast<unsigned char>(prev)) != 0;
+    // Boundaries: lower->Upper ("releaseDate"), letter<->digit ("v2"),
+    // and Upper followed by lower after an Upper run ("XMLFile" -> xml file).
+    if ((upper && prev_lower) || (digit && !prev_digit && prev != '\0') ||
+        (!digit && prev_digit)) {
+      flush();
+    } else if (upper && i + 1 < name.size() &&
+               std::isupper(static_cast<unsigned char>(prev)) &&
+               std::islower(static_cast<unsigned char>(name[i + 1]))) {
+      flush();
+    }
+    current.push_back(c);
+    prev = c;
+  }
+  flush();
+  return tokens;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return std::string(buf);
+}
+
+}  // namespace smn

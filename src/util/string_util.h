@@ -1,0 +1,32 @@
+#ifndef SMN_UTIL_STRING_UTIL_H_
+#define SMN_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smn {
+
+/// Lower-cases ASCII characters; leaves other bytes untouched.
+std::string ToLowerAscii(std::string_view s);
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitAny(std::string_view s, std::string_view delims);
+
+/// Splits an identifier into word tokens: handles camelCase boundaries,
+/// digits, and '_', '-', '.', '/', ' ' separators. Tokens come back
+/// lower-cased. "releaseDate_v2" -> {"release", "date", "v", "2"}.
+std::vector<std::string> SplitIdentifier(std::string_view name);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double with `digits` fractional digits ("0.842").
+std::string FormatDouble(double value, int digits);
+
+}  // namespace smn
+
+#endif  // SMN_UTIL_STRING_UTIL_H_

@@ -1,0 +1,38 @@
+#ifndef SMN_UTIL_TABLE_PRINTER_H_
+#define SMN_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smn {
+
+/// Renders aligned ASCII tables for the benchmark harness, so every bench
+/// binary can print the same rows/series the paper reports. Example:
+///
+///   TablePrinter t({"Dataset", "#Schemas", "#Attributes(Min/Max)"});
+///   t.AddRow({"BP", "3", "80/106"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table with a header underline and column padding.
+  void Print(std::ostream& os) const;
+
+  /// Writes the table as comma-separated values (header row first).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,119 @@
+#include "constraints/one_to_one.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace {
+
+class OneToOneTest : public ::testing::Test {
+ protected:
+  OneToOneTest() : fig1_(testing::MakeFig1Network()) {
+    constraint_.Compile(fig1_.network);
+  }
+
+  DynamicBitset Selection(std::initializer_list<CorrespondenceId> ids) const {
+    DynamicBitset selection(fig1_.network.correspondence_count());
+    for (CorrespondenceId id : ids) selection.Set(id);
+    return selection;
+  }
+
+  testing::Fig1Network fig1_;
+  OneToOneConstraint constraint_;
+};
+
+TEST_F(OneToOneTest, DetectsSharedEndpointConflictsInFig1) {
+  // c3 and c5 both map SA.productionDate into SC: the paper's one-to-one
+  // violation example.
+  EXPECT_FALSE(constraint_.IsSatisfied(Selection({fig1_.c3, fig1_.c5})));
+  // c2 and c4 both map SB.date into SC.
+  EXPECT_FALSE(constraint_.IsSatisfied(Selection({fig1_.c2, fig1_.c4})));
+}
+
+TEST_F(OneToOneTest, AcceptsNonConflictingSelections) {
+  EXPECT_TRUE(constraint_.IsSatisfied(Selection({})));
+  EXPECT_TRUE(constraint_.IsSatisfied(Selection({fig1_.c1, fig1_.c2, fig1_.c3})));
+  EXPECT_TRUE(constraint_.IsSatisfied(Selection({fig1_.c3, fig1_.c4})));
+}
+
+TEST_F(OneToOneTest, DifferentTargetSchemasDoNotConflict) {
+  // c1 (SA->SB) and c3 (SA->SC) share SA.productionDate but map into
+  // different schemas: allowed.
+  EXPECT_TRUE(constraint_.IsSatisfied(Selection({fig1_.c1, fig1_.c3})));
+}
+
+TEST_F(OneToOneTest, FindViolationsReportsEachPairOnce) {
+  std::vector<Violation> violations;
+  constraint_.FindViolations(Selection({fig1_.c3, fig1_.c5, fig1_.c1}),
+                             &violations);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].constraint_name, "one-to-one");
+  EXPECT_EQ(violations[0].participants.size(), 2u);
+  EXPECT_TRUE(violations[0].Involves(fig1_.c3));
+  EXPECT_TRUE(violations[0].Involves(fig1_.c5));
+}
+
+TEST_F(OneToOneTest, FindViolationsInvolvingListsNeighbors) {
+  std::vector<Violation> violations;
+  const auto selection = Selection({fig1_.c2, fig1_.c4, fig1_.c5});
+  constraint_.FindViolationsInvolving(selection, fig1_.c4, &violations);
+  // c4 conflicts with c2 (SB.date mapped to two SC attributes). c5 shares
+  // SC.screenDate with c4 but maps it into a *different* schema (SA), which
+  // is cycle-constraint territory, not a one-to-one conflict.
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_TRUE(violations[0].Involves(fig1_.c2));
+}
+
+TEST_F(OneToOneTest, AdditionViolates) {
+  const auto selection = Selection({fig1_.c3});
+  EXPECT_TRUE(constraint_.AdditionViolates(selection, fig1_.c5));
+  EXPECT_FALSE(constraint_.AdditionViolates(selection, fig1_.c1));
+  EXPECT_FALSE(constraint_.AdditionViolates(selection, fig1_.c4));
+}
+
+TEST_F(OneToOneTest, CountViolationsInvolving) {
+  const auto selection = Selection({fig1_.c2, fig1_.c4, fig1_.c5});
+  EXPECT_EQ(constraint_.CountViolationsInvolving(selection, fig1_.c4), 1u);
+  EXPECT_EQ(constraint_.CountViolationsInvolving(selection, fig1_.c2), 1u);
+  EXPECT_EQ(constraint_.CountViolationsInvolving(selection, fig1_.c5), 0u);
+  const auto both_pairs =
+      Selection({fig1_.c2, fig1_.c3, fig1_.c4, fig1_.c5});
+  EXPECT_EQ(constraint_.CountViolationsInvolving(both_pairs, fig1_.c3), 1u);
+  EXPECT_EQ(constraint_.CountViolationsInvolving(both_pairs, fig1_.c5), 1u);
+}
+
+TEST_F(OneToOneTest, RemovalNeverCreatesViolations) {
+  std::vector<Violation> violations;
+  auto selection = Selection({fig1_.c1, fig1_.c2});
+  constraint_.FindViolationsCreatedByRemoval(selection, fig1_.c3, &violations);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST_F(OneToOneTest, ConflictPairCountMatchesFig1) {
+  // Conflicting pairs in Fig. 1: {c3,c5} and {c2,c4}.
+  EXPECT_EQ(constraint_.conflict_pair_count(), 2u);
+}
+
+TEST(OneToOneStandaloneTest, ConflictAcrossBothEndpoints) {
+  // Two attributes in each schema; a~x and b~x conflict through x.
+  NetworkBuilder builder;
+  const SchemaId s0 = builder.AddSchema("A");
+  const SchemaId s1 = builder.AddSchema("B");
+  const AttributeId a = builder.AddAttribute(s0, "a").value();
+  const AttributeId b = builder.AddAttribute(s0, "b").value();
+  const AttributeId x = builder.AddAttribute(s1, "x").value();
+  builder.AddCompleteGraph();
+  const CorrespondenceId ax = builder.AddCorrespondence(a, x, 0.5).value();
+  const CorrespondenceId bx = builder.AddCorrespondence(b, x, 0.5).value();
+  Network network = builder.Build().value();
+  OneToOneConstraint constraint;
+  ASSERT_TRUE(constraint.Compile(network).ok());
+  DynamicBitset selection(2);
+  selection.Set(ax);
+  selection.Set(bx);
+  EXPECT_FALSE(constraint.IsSatisfied(selection));
+}
+
+}  // namespace
+}  // namespace smn

@@ -1,0 +1,52 @@
+#include "core/entropy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace smn {
+namespace {
+
+TEST(BinaryEntropyTest, ZeroAtCertainty) {
+  EXPECT_DOUBLE_EQ(BinaryEntropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(1.0), 0.0);
+}
+
+TEST(BinaryEntropyTest, OneBitAtHalf) {
+  EXPECT_DOUBLE_EQ(BinaryEntropy(0.5), 1.0);
+}
+
+TEST(BinaryEntropyTest, SymmetricAroundHalf) {
+  EXPECT_NEAR(BinaryEntropy(0.2), BinaryEntropy(0.8), 1e-12);
+  EXPECT_NEAR(BinaryEntropy(0.01), BinaryEntropy(0.99), 1e-12);
+}
+
+TEST(BinaryEntropyTest, MonotoneTowardsHalf) {
+  EXPECT_LT(BinaryEntropy(0.1), BinaryEntropy(0.3));
+  EXPECT_LT(BinaryEntropy(0.3), BinaryEntropy(0.5));
+}
+
+TEST(BinaryEntropyTest, OutOfRangeClampsToZero) {
+  EXPECT_DOUBLE_EQ(BinaryEntropy(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(1.1), 0.0);
+}
+
+TEST(NetworkUncertaintyTest, SumsBinaryEntropies) {
+  // The paper's Example 1 (as published): two instances over five
+  // correspondences with c1 certain gives H = 4 bits.
+  const std::vector<double> probabilities{1.0, 0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(NetworkUncertainty(probabilities), 4.0);
+}
+
+TEST(NetworkUncertaintyTest, CertainNetworkHasZeroUncertainty) {
+  EXPECT_DOUBLE_EQ(NetworkUncertainty({1.0, 0.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(NetworkUncertainty({}), 0.0);
+}
+
+TEST(NetworkUncertaintyTest, GeneralValues) {
+  const double h = NetworkUncertainty({0.25, 0.75});
+  EXPECT_NEAR(h, 2 * (-0.25 * std::log2(0.25) - 0.75 * std::log2(0.75)), 1e-12);
+}
+
+}  // namespace
+}  // namespace smn

@@ -1,0 +1,69 @@
+#include "core/feedback.h"
+
+#include <gtest/gtest.h>
+
+namespace smn {
+namespace {
+
+TEST(FeedbackTest, StartsEmpty) {
+  Feedback feedback(5);
+  EXPECT_EQ(feedback.asserted_count(), 0u);
+  EXPECT_EQ(feedback.approved_count(), 0u);
+  EXPECT_EQ(feedback.disapproved_count(), 0u);
+  EXPECT_FALSE(feedback.IsAsserted(0));
+}
+
+TEST(FeedbackTest, ApproveAndDisapprove) {
+  Feedback feedback(5);
+  ASSERT_TRUE(feedback.Approve(1).ok());
+  ASSERT_TRUE(feedback.Disapprove(2).ok());
+  EXPECT_TRUE(feedback.IsApproved(1));
+  EXPECT_TRUE(feedback.IsDisapproved(2));
+  EXPECT_TRUE(feedback.IsAsserted(1));
+  EXPECT_TRUE(feedback.IsAsserted(2));
+  EXPECT_FALSE(feedback.IsAsserted(3));
+  EXPECT_EQ(feedback.asserted_count(), 2u);
+}
+
+TEST(FeedbackTest, AssertionsAreFinal) {
+  Feedback feedback(5);
+  ASSERT_TRUE(feedback.Approve(1).ok());
+  EXPECT_EQ(feedback.Disapprove(1).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(feedback.Disapprove(2).ok());
+  EXPECT_EQ(feedback.Approve(2).code(), StatusCode::kFailedPrecondition);
+  // Re-asserting the same way is a harmless no-op.
+  EXPECT_TRUE(feedback.Approve(1).ok());
+  EXPECT_EQ(feedback.asserted_count(), 2u);
+}
+
+TEST(FeedbackTest, AssertDispatches) {
+  Feedback feedback(5);
+  ASSERT_TRUE(feedback.Assert(0, true).ok());
+  ASSERT_TRUE(feedback.Assert(1, false).ok());
+  EXPECT_TRUE(feedback.IsApproved(0));
+  EXPECT_TRUE(feedback.IsDisapproved(1));
+}
+
+TEST(FeedbackTest, RejectsOutOfRange) {
+  Feedback feedback(3);
+  EXPECT_EQ(feedback.Approve(3).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(feedback.Disapprove(7).code(), StatusCode::kOutOfRange);
+}
+
+TEST(FeedbackTest, IsRespectedBy) {
+  Feedback feedback(4);
+  feedback.Approve(0);
+  feedback.Disapprove(2);
+  DynamicBitset instance(4);
+  instance.Set(0);
+  instance.Set(1);
+  EXPECT_TRUE(feedback.IsRespectedBy(instance));
+  instance.Set(2);  // Contains a disapproved correspondence.
+  EXPECT_FALSE(feedback.IsRespectedBy(instance));
+  DynamicBitset missing_approved(4);
+  missing_approved.Set(1);
+  EXPECT_FALSE(feedback.IsRespectedBy(missing_approved));
+}
+
+}  // namespace
+}  // namespace smn

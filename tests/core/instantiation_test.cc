@@ -1,0 +1,131 @@
+#include "core/instantiation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/matching_instance.h"
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace {
+
+ProbabilisticNetworkOptions SmallOptions() {
+  ProbabilisticNetworkOptions options;
+  options.store.target_samples = 100;
+  options.store.min_samples = 20;
+  return options;
+}
+
+class InstantiationTest : public ::testing::Test {
+ protected:
+  InstantiationTest() : fig1_(testing::MakeFig1Network()), rng_(41) {}
+
+  ProbabilisticNetwork MakePmn() {
+    return ProbabilisticNetwork::Create(fig1_.network, fig1_.constraints,
+                                        SmallOptions(), &rng_)
+        .value();
+  }
+
+  testing::Fig1Network fig1_;
+  Rng rng_;
+};
+
+TEST_F(InstantiationTest, FindsMinimalRepairDistanceOnFig1) {
+  // The largest matching instances of Fig. 1 have 3 correspondences, so the
+  // minimal repair distance is 5 - 3 = 2 and H must be I1 or I2.
+  ProbabilisticNetwork pmn = MakePmn();
+  const Instantiator instantiator;
+  const auto result = instantiator.Instantiate(pmn, &rng_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->repair_distance, 2u);
+  EXPECT_EQ(result->instance.Count(), 3u);
+  EXPECT_TRUE(result->instance.Test(fig1_.c1));
+  EXPECT_TRUE(fig1_.constraints.IsSatisfied(result->instance));
+}
+
+TEST_F(InstantiationTest, ResultIsAlwaysConsistentAndRespectsFeedback) {
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.Assert(fig1_.c4, true, &rng_).ok());
+  const Instantiator instantiator;
+  const auto result = instantiator.Instantiate(pmn, &rng_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->instance.Test(fig1_.c4));
+  EXPECT_TRUE(
+      IsMatchingInstance(fig1_.constraints, pmn.feedback(), result->instance));
+  // Approving c4 forces I2 = {c1, c4, c5}.
+  EXPECT_TRUE(result->instance.Test(fig1_.c1));
+  EXPECT_TRUE(result->instance.Test(fig1_.c5));
+}
+
+TEST_F(InstantiationTest, DisapprovalExcludesCorrespondence) {
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.Assert(fig1_.c1, false, &rng_).ok());
+  const Instantiator instantiator;
+  const auto result = instantiator.Instantiate(pmn, &rng_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->instance.Test(fig1_.c1));
+  EXPECT_TRUE(fig1_.constraints.IsSatisfied(result->instance));
+}
+
+TEST_F(InstantiationTest, LikelihoodBreaksTiesTowardProbableInstances) {
+  // Approving c2 leaves {c1,c2,c3} (size 3) and {c2,c5} (size 2): repair
+  // distance alone already prefers I1; verify the reported log-likelihood
+  // matches the probabilities of its members.
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.Assert(fig1_.c2, true, &rng_).ok());
+  const Instantiator instantiator;
+  const auto result = instantiator.Instantiate(pmn, &rng_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->repair_distance, 2u);
+  double expected = 0.0;
+  result->instance.ForEachSetBit([&](size_t c) {
+    expected += std::log(std::max(pmn.probability(c), 1e-12));
+  });
+  EXPECT_NEAR(result->log_likelihood, expected, 1e-9);
+}
+
+TEST_F(InstantiationTest, WorksWithoutLikelihoodCriterion) {
+  ProbabilisticNetwork pmn = MakePmn();
+  InstantiationOptions options;
+  options.use_likelihood = false;
+  const Instantiator instantiator(options);
+  const auto result = instantiator.Instantiate(pmn, &rng_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->repair_distance, 2u);
+  EXPECT_TRUE(fig1_.constraints.IsSatisfied(result->instance));
+}
+
+TEST_F(InstantiationTest, ZeroIterationsStillReturnsBestSample) {
+  ProbabilisticNetwork pmn = MakePmn();
+  InstantiationOptions options;
+  options.iterations = 0;
+  const Instantiator instantiator(options);
+  const auto result = instantiator.Instantiate(pmn, &rng_);
+  ASSERT_TRUE(result.ok());
+  // The exhausted store holds all four instances; the greedy pick-up alone
+  // already finds a size-3 instance.
+  EXPECT_EQ(result->repair_distance, 2u);
+}
+
+TEST_F(InstantiationTest, RandomNetworksAlwaysYieldValidInstances) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const testing::RandomNetwork random =
+        testing::MakeRandomNetwork({4, 4, 0.4, seed});
+    Rng rng(seed * 100 + 7);
+    ProbabilisticNetwork pmn =
+        ProbabilisticNetwork::Create(random.network, random.constraints,
+                                     SmallOptions(), &rng)
+            .value();
+    const Instantiator instantiator;
+    const auto result = instantiator.Instantiate(pmn, &rng);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(
+        IsMatchingInstance(random.constraints, pmn.feedback(), result->instance));
+    EXPECT_EQ(result->repair_distance,
+              random.network.correspondence_count() - result->instance.Count());
+  }
+}
+
+}  // namespace
+}  // namespace smn

@@ -1,0 +1,83 @@
+#include "core/interaction_graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace smn {
+namespace {
+
+TEST(InteractionGraphTest, StartsEdgeless) {
+  InteractionGraph graph(4);
+  EXPECT_EQ(graph.schema_count(), 4u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_FALSE(graph.HasEdge(0, 1));
+}
+
+TEST(InteractionGraphTest, AddEdgeSymmetric) {
+  InteractionGraph graph(3);
+  ASSERT_TRUE(graph.AddEdge(2, 0).ok());
+  EXPECT_TRUE(graph.HasEdge(0, 2));
+  EXPECT_TRUE(graph.HasEdge(2, 0));
+  EXPECT_FALSE(graph.HasEdge(0, 1));
+  // Edges are stored canonically (min, max).
+  EXPECT_EQ(graph.edges().front(), (std::pair<SchemaId, SchemaId>{0, 2}));
+}
+
+TEST(InteractionGraphTest, RejectsSelfLoop) {
+  InteractionGraph graph(3);
+  EXPECT_EQ(graph.AddEdge(1, 1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InteractionGraphTest, RejectsOutOfRange) {
+  InteractionGraph graph(3);
+  EXPECT_EQ(graph.AddEdge(0, 3).code(), StatusCode::kOutOfRange);
+}
+
+TEST(InteractionGraphTest, RejectsDuplicateEdge) {
+  InteractionGraph graph(3);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  EXPECT_EQ(graph.AddEdge(1, 0).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(InteractionGraphTest, NeighborsTracksAdjacency) {
+  InteractionGraph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 2);
+  auto neighbors = graph.Neighbors(0);
+  std::sort(neighbors.begin(), neighbors.end());
+  EXPECT_EQ(neighbors, (std::vector<SchemaId>{1, 2}));
+  EXPECT_EQ(graph.Neighbors(3).size(), 0u);
+}
+
+TEST(InteractionGraphTest, TriangleEnumerationCompleteGraph) {
+  InteractionGraph graph(4);
+  for (SchemaId a = 0; a < 4; ++a) {
+    for (SchemaId b = a + 1; b < 4; ++b) graph.AddEdge(a, b);
+  }
+  // C(4,3) = 4 triangles, each exactly once.
+  const auto triangles = graph.Triangles();
+  EXPECT_EQ(triangles.size(), 4u);
+  for (const auto& t : triangles) {
+    EXPECT_LT(t[0], t[1]);
+    EXPECT_LT(t[1], t[2]);
+  }
+}
+
+TEST(InteractionGraphTest, TriangleEnumerationRingHasNone) {
+  InteractionGraph graph(5);
+  for (SchemaId a = 0; a < 5; ++a) graph.AddEdge(a, (a + 1) % 5);
+  EXPECT_TRUE(graph.Triangles().empty());
+}
+
+TEST(InteractionGraphTest, IsComplete) {
+  InteractionGraph graph(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 2);
+  EXPECT_FALSE(graph.IsComplete());
+  graph.AddEdge(1, 2);
+  EXPECT_TRUE(graph.IsComplete());
+}
+
+}  // namespace
+}  // namespace smn

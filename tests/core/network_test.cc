@@ -1,0 +1,184 @@
+#include "core/network.h"
+
+#include <gtest/gtest.h>
+
+namespace smn {
+namespace {
+
+TEST(NetworkBuilderTest, BuildsSchemasAndAttributes) {
+  NetworkBuilder builder;
+  const SchemaId s0 = builder.AddSchema("A");
+  const SchemaId s1 = builder.AddSchema("B");
+  const auto a0 = builder.AddAttribute(s0, "x", AttributeType::kDate);
+  const auto a1 = builder.AddAttribute(s1, "y");
+  ASSERT_TRUE(a0.ok());
+  ASSERT_TRUE(a1.ok());
+  builder.AddCompleteGraph();
+  Network network = builder.Build().value();
+
+  EXPECT_EQ(network.schema_count(), 2u);
+  EXPECT_EQ(network.attribute_count(), 2u);
+  EXPECT_EQ(network.schema(s0).name(), "A");
+  EXPECT_EQ(network.attribute(*a0).name, "x");
+  EXPECT_EQ(network.attribute(*a0).type, AttributeType::kDate);
+  EXPECT_EQ(network.attribute(*a0).schema, s0);
+  EXPECT_EQ(network.attribute(*a1).schema, s1);
+}
+
+TEST(NetworkBuilderTest, RejectsDuplicateAttributeNameInSchema) {
+  NetworkBuilder builder;
+  const SchemaId s = builder.AddSchema("A");
+  ASSERT_TRUE(builder.AddAttribute(s, "x").ok());
+  const auto duplicate = builder.AddAttribute(s, "x");
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kAlreadyExists);
+  // Same name in another schema is fine.
+  const SchemaId other = builder.AddSchema("B");
+  EXPECT_TRUE(builder.AddAttribute(other, "x").ok());
+}
+
+TEST(NetworkBuilderTest, RejectsUnknownSchema) {
+  NetworkBuilder builder;
+  EXPECT_EQ(builder.AddAttribute(5, "x").status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(NetworkBuilderTest, RejectsIntraSchemaCorrespondence) {
+  NetworkBuilder builder;
+  const SchemaId s = builder.AddSchema("A");
+  const AttributeId a = builder.AddAttribute(s, "x").value();
+  const AttributeId b = builder.AddAttribute(s, "y").value();
+  builder.AddSchema("B");
+  builder.AddCompleteGraph();
+  EXPECT_EQ(builder.AddCorrespondence(a, b, 0.5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NetworkBuilderTest, RejectsCorrespondenceOffTheInteractionGraph) {
+  NetworkBuilder builder;
+  const SchemaId s0 = builder.AddSchema("A");
+  const SchemaId s1 = builder.AddSchema("B");
+  builder.AddSchema("C");
+  const AttributeId a = builder.AddAttribute(s0, "x").value();
+  const AttributeId b = builder.AddAttribute(s1, "y").value();
+  // Only edge B-C exists; A-B correspondences are not allowed.
+  ASSERT_TRUE(builder.AddEdge(1, 2).ok());
+  EXPECT_EQ(builder.AddCorrespondence(a, b, 0.5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(NetworkBuilderTest, RejectsDuplicateCorrespondence) {
+  NetworkBuilder builder;
+  const SchemaId s0 = builder.AddSchema("A");
+  const SchemaId s1 = builder.AddSchema("B");
+  const AttributeId a = builder.AddAttribute(s0, "x").value();
+  const AttributeId b = builder.AddAttribute(s1, "y").value();
+  builder.AddCompleteGraph();
+  ASSERT_TRUE(builder.AddCorrespondence(a, b, 0.5).ok());
+  EXPECT_EQ(builder.AddCorrespondence(b, a, 0.7).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(NetworkBuilderTest, EmptyNetworkRejected) {
+  NetworkBuilder builder;
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NetworkTest, CanonicalOrientationPutsSmallerSchemaLeft) {
+  NetworkBuilder builder;
+  const SchemaId s0 = builder.AddSchema("A");
+  const SchemaId s1 = builder.AddSchema("B");
+  const AttributeId a = builder.AddAttribute(s0, "x").value();
+  const AttributeId b = builder.AddAttribute(s1, "y").value();
+  builder.AddCompleteGraph();
+  // Add reversed: attribute of the larger schema first.
+  const CorrespondenceId id = builder.AddCorrespondence(b, a, 0.5).value();
+  Network network = builder.Build().value();
+  const Correspondence& c = network.correspondence(id);
+  EXPECT_EQ(c.left, a);
+  EXPECT_EQ(c.right, b);
+  EXPECT_EQ(c.left_schema, s0);
+  EXPECT_EQ(c.right_schema, s1);
+}
+
+TEST(NetworkTest, FindCorrespondenceIsOrderInsensitive) {
+  NetworkBuilder builder;
+  const SchemaId s0 = builder.AddSchema("A");
+  const SchemaId s1 = builder.AddSchema("B");
+  const AttributeId a = builder.AddAttribute(s0, "x").value();
+  const AttributeId b = builder.AddAttribute(s1, "y").value();
+  const AttributeId c = builder.AddAttribute(s1, "z").value();
+  builder.AddCompleteGraph();
+  const CorrespondenceId id = builder.AddCorrespondence(a, b, 0.5).value();
+  Network network = builder.Build().value();
+  EXPECT_EQ(network.FindCorrespondence(a, b), std::optional<CorrespondenceId>(id));
+  EXPECT_EQ(network.FindCorrespondence(b, a), std::optional<CorrespondenceId>(id));
+  EXPECT_EQ(network.FindCorrespondence(a, c), std::nullopt);
+}
+
+TEST(NetworkTest, CorrespondencesAtTracksIncidence) {
+  NetworkBuilder builder;
+  const SchemaId s0 = builder.AddSchema("A");
+  const SchemaId s1 = builder.AddSchema("B");
+  const AttributeId a = builder.AddAttribute(s0, "x").value();
+  const AttributeId b = builder.AddAttribute(s1, "y").value();
+  const AttributeId c = builder.AddAttribute(s1, "z").value();
+  builder.AddCompleteGraph();
+  const CorrespondenceId ab = builder.AddCorrespondence(a, b, 0.5).value();
+  const CorrespondenceId ac = builder.AddCorrespondence(a, c, 0.5).value();
+  Network network = builder.Build().value();
+  EXPECT_EQ(network.CorrespondencesAt(a).size(), 2u);
+  EXPECT_EQ(network.CorrespondencesAt(b),
+            (std::vector<CorrespondenceId>{ab}));
+  EXPECT_EQ(network.CorrespondencesAt(c),
+            (std::vector<CorrespondenceId>{ac}));
+}
+
+TEST(NetworkTest, CorrespondencesBetweenFiltersBySchemaPair) {
+  NetworkBuilder builder;
+  const SchemaId s0 = builder.AddSchema("A");
+  const SchemaId s1 = builder.AddSchema("B");
+  const SchemaId s2 = builder.AddSchema("C");
+  const AttributeId a = builder.AddAttribute(s0, "x").value();
+  const AttributeId b = builder.AddAttribute(s1, "y").value();
+  const AttributeId c = builder.AddAttribute(s2, "z").value();
+  builder.AddCompleteGraph();
+  const CorrespondenceId ab = builder.AddCorrespondence(a, b, 0.5).value();
+  builder.AddCorrespondence(b, c, 0.5).value();
+  Network network = builder.Build().value();
+  EXPECT_EQ(network.CorrespondencesBetween(s0, s1),
+            (std::vector<CorrespondenceId>{ab}));
+  EXPECT_EQ(network.CorrespondencesBetween(s1, s0),
+            (std::vector<CorrespondenceId>{ab}));
+  EXPECT_TRUE(network.CorrespondencesBetween(s0, s2).empty());
+}
+
+TEST(NetworkTest, DescribeCorrespondenceIsHumanReadable) {
+  NetworkBuilder builder;
+  const SchemaId s0 = builder.AddSchema("SA");
+  const SchemaId s1 = builder.AddSchema("SB");
+  const AttributeId a = builder.AddAttribute(s0, "productionDate").value();
+  const AttributeId b = builder.AddAttribute(s1, "date").value();
+  builder.AddCompleteGraph();
+  const CorrespondenceId id = builder.AddCorrespondence(a, b, 0.83).value();
+  Network network = builder.Build().value();
+  EXPECT_EQ(network.DescribeCorrespondence(id),
+            "SA.productionDate ~ SB.date (0.83)");
+}
+
+TEST(AttributeTypeTest, Names) {
+  EXPECT_STREQ(AttributeTypeToString(AttributeType::kDate), "date");
+  EXPECT_STREQ(AttributeTypeToString(AttributeType::kUnknown), "unknown");
+  EXPECT_STREQ(AttributeTypeToString(AttributeType::kString), "string");
+}
+
+TEST(CorrespondenceTest, InvolvesAndOtherEnd) {
+  Correspondence c{0, 3, 7, 0, 1, 0.5};
+  EXPECT_TRUE(c.Involves(3));
+  EXPECT_TRUE(c.Involves(7));
+  EXPECT_FALSE(c.Involves(5));
+  EXPECT_EQ(c.OtherEnd(3), 7u);
+  EXPECT_EQ(c.OtherEnd(7), 3u);
+}
+
+}  // namespace
+}  // namespace smn

@@ -1,0 +1,128 @@
+#include "core/probabilistic_network.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace {
+
+ProbabilisticNetworkOptions SmallOptions() {
+  ProbabilisticNetworkOptions options;
+  options.store.target_samples = 100;
+  options.store.min_samples = 20;
+  return options;
+}
+
+class ProbabilisticNetworkTest : public ::testing::Test {
+ protected:
+  ProbabilisticNetworkTest() : fig1_(testing::MakeFig1Network()), rng_(17) {}
+
+  ProbabilisticNetwork MakePmn() {
+    return ProbabilisticNetwork::Create(fig1_.network, fig1_.constraints,
+                                        SmallOptions(), &rng_)
+        .value();
+  }
+
+  testing::Fig1Network fig1_;
+  Rng rng_;
+};
+
+TEST_F(ProbabilisticNetworkTest, InitialProbabilitiesAreExactOnFig1) {
+  ProbabilisticNetwork pmn = MakePmn();
+  EXPECT_TRUE(pmn.exhausted());
+  // Five instances: c1 in 3 of them, the rest in 2 each.
+  EXPECT_DOUBLE_EQ(pmn.probability(fig1_.c1), 0.6);
+  for (CorrespondenceId c : {fig1_.c2, fig1_.c3, fig1_.c4, fig1_.c5}) {
+    EXPECT_DOUBLE_EQ(pmn.probability(c), 0.4);
+  }
+  // H = 5 * h(0.4) = 4.8548 bits.
+  EXPECT_NEAR(pmn.Uncertainty(), 4.854752972273347, 1e-12);
+  EXPECT_EQ(pmn.UncertainCorrespondences().size(), 5u);
+}
+
+TEST_F(ProbabilisticNetworkTest, AssertPinsProbabilities) {
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.Assert(fig1_.c2, true, &rng_).ok());
+  EXPECT_DOUBLE_EQ(pmn.probability(fig1_.c2), 1.0);
+  // Approving c2 rules out {c1,c4,c5} and {c3,c4}: c4 becomes impossible.
+  EXPECT_DOUBLE_EQ(pmn.probability(fig1_.c4), 0.0);
+  EXPECT_DOUBLE_EQ(pmn.Uncertainty(), 3.0);
+}
+
+TEST_F(ProbabilisticNetworkTest, ContradictingAssertionFails) {
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.Assert(fig1_.c2, true, &rng_).ok());
+  EXPECT_FALSE(pmn.Assert(fig1_.c2, false, &rng_).ok());
+}
+
+TEST_F(ProbabilisticNetworkTest, InformationGainFollowsExampleOne) {
+  // The paper's Example 1 insight: asking about c1 first is the worst
+  // choice, because both large instances contain c1. Under the exact
+  // five-instance semantics IG(c1) ≈ 1.0508 bits while IG(c2..c5) is
+  // exactly 0.4 bits higher.
+  ProbabilisticNetwork pmn = MakePmn();
+  const std::vector<double> gains = pmn.InformationGains();
+  EXPECT_NEAR(gains[fig1_.c1], 1.050842970542570, 1e-9);
+  for (CorrespondenceId c : {fig1_.c2, fig1_.c3, fig1_.c4, fig1_.c5}) {
+    EXPECT_NEAR(gains[c], 1.450842970542570, 1e-9);
+    EXPECT_GT(gains[c], gains[fig1_.c1]);
+  }
+}
+
+TEST_F(ProbabilisticNetworkTest, InformationGainZeroForCertain) {
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.Assert(fig1_.c2, true, &rng_).ok());
+  const std::vector<double> gains = pmn.InformationGains();
+  EXPECT_DOUBLE_EQ(gains[fig1_.c2], 0.0);  // Asserted.
+  EXPECT_DOUBLE_EQ(gains[fig1_.c4], 0.0);  // Certainly out.
+  EXPECT_GT(gains[fig1_.c1], 0.0);
+}
+
+TEST_F(ProbabilisticNetworkTest, InformationGainNonNegative) {
+  // IG(c) = Σ_x [h(p_x) - (p_c h(p_x|c) + (1-p_c) h(p_x|¬c))] and binary
+  // entropy is concave, so every term is non-negative (Jensen).
+  for (uint64_t seed : {5u, 6u, 7u}) {
+    const testing::RandomNetwork random =
+        testing::MakeRandomNetwork({3, 4, 0.4, seed});
+    Rng rng(seed);
+    ProbabilisticNetwork pmn =
+        ProbabilisticNetwork::Create(random.network, random.constraints,
+                                     SmallOptions(), &rng)
+            .value();
+    for (double gain : pmn.InformationGains()) {
+      EXPECT_GE(gain, -1e-9);
+    }
+  }
+}
+
+TEST_F(ProbabilisticNetworkTest, FullAssertionDrivesUncertaintyToZero) {
+  ProbabilisticNetwork pmn = MakePmn();
+  // Assert part of the truth I1 = {c1, c2, c3}: approving c1 keeps
+  // {I1, I2, {c1}}; approving c2 then leaves only I1.
+  ASSERT_TRUE(pmn.Assert(fig1_.c1, true, &rng_).ok());
+  ASSERT_TRUE(pmn.Assert(fig1_.c2, true, &rng_).ok());
+  EXPECT_DOUBLE_EQ(pmn.Uncertainty(), 0.0);
+  EXPECT_TRUE(pmn.UncertainCorrespondences().empty());
+  // Exactly one instance remains: I1.
+  ASSERT_EQ(pmn.samples().size(), 1u);
+  EXPECT_TRUE(pmn.samples()[0].Test(fig1_.c3));
+  EXPECT_FALSE(pmn.samples()[0].Test(fig1_.c4));
+}
+
+TEST_F(ProbabilisticNetworkTest, ProbabilitiesStayInUnitInterval) {
+  const testing::RandomNetwork random =
+      testing::MakeRandomNetwork({4, 3, 0.5, 123});
+  Rng rng(9);
+  ProbabilisticNetwork pmn =
+      ProbabilisticNetwork::Create(random.network, random.constraints,
+                                   SmallOptions(), &rng)
+          .value();
+  for (double p : pmn.probabilities()) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace smn

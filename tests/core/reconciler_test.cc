@@ -1,0 +1,131 @@
+#include "core/reconciler.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace {
+
+ProbabilisticNetworkOptions SmallOptions() {
+  ProbabilisticNetworkOptions options;
+  options.store.target_samples = 100;
+  options.store.min_samples = 20;
+  return options;
+}
+
+class ReconcilerTest : public ::testing::Test {
+ protected:
+  ReconcilerTest() : fig1_(testing::MakeFig1Network()), rng_(31) {}
+
+  ProbabilisticNetwork MakePmn() {
+    return ProbabilisticNetwork::Create(fig1_.network, fig1_.constraints,
+                                        SmallOptions(), &rng_)
+        .value();
+  }
+
+  /// Ground truth: the paper's I1 = {c1, c2, c3}.
+  AssertionOracle TruthOracle() {
+    return [this](CorrespondenceId c) {
+      return c == fig1_.c1 || c == fig1_.c2 || c == fig1_.c3;
+    };
+  }
+
+  testing::Fig1Network fig1_;
+  Rng rng_;
+};
+
+TEST_F(ReconcilerTest, RunsToZeroUncertainty) {
+  ProbabilisticNetwork pmn = MakePmn();
+  auto strategy = MakeStrategy(StrategyKind::kInformationGain);
+  Reconciler reconciler(&pmn, strategy.get(), TruthOracle());
+  const auto trace = reconciler.Run(ReconcileGoal{}, &rng_);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NEAR(trace->initial_uncertainty, 4.854752972273347, 1e-12);
+  EXPECT_DOUBLE_EQ(pmn.Uncertainty(), 0.0);
+  ASSERT_FALSE(trace->steps.empty());
+  EXPECT_DOUBLE_EQ(trace->steps.back().uncertainty_after, 0.0);
+}
+
+TEST_F(ReconcilerTest, InformationGainConvergesFast) {
+  // The heuristic starts with one of c2..c5 (IG 1.45 > 1.05 for c1). With
+  // truth I1 the favorable paths finish in 2 assertions; disapproval-heavy
+  // tie-break paths keep uncovering singleton instances and can take up to
+  // 4 — but never all 5, because any 4 assertions determine the fifth
+  // correspondence on this network.
+  ProbabilisticNetwork pmn = MakePmn();
+  auto strategy = MakeStrategy(StrategyKind::kInformationGain);
+  Reconciler reconciler(&pmn, strategy.get(), TruthOracle());
+  const auto trace = reconciler.Run(ReconcileGoal{}, &rng_);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_LE(trace->steps.size(), 4u);
+  EXPECT_DOUBLE_EQ(pmn.Uncertainty(), 0.0);
+}
+
+TEST_F(ReconcilerTest, EffortBudgetStopsEarly) {
+  ProbabilisticNetwork pmn = MakePmn();
+  auto strategy = MakeStrategy(StrategyKind::kRandom);
+  Reconciler reconciler(&pmn, strategy.get(), TruthOracle());
+  ReconcileGoal goal;
+  goal.max_assertions = 1;
+  const auto trace = reconciler.Run(goal, &rng_);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->steps.size(), 1u);
+  EXPECT_EQ(pmn.feedback().asserted_count(), 1u);
+}
+
+TEST_F(ReconcilerTest, UncertaintyThresholdStops) {
+  ProbabilisticNetwork pmn = MakePmn();
+  auto strategy = MakeStrategy(StrategyKind::kInformationGain);
+  Reconciler reconciler(&pmn, strategy.get(), TruthOracle());
+  ReconcileGoal goal;
+  goal.uncertainty_threshold = 3.5;
+  const auto trace = reconciler.Run(goal, &rng_);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_LE(pmn.Uncertainty(), 3.5);
+  // One IG assertion usually suffices (H drops to 3 bits on approval);
+  // a disapproval path may take one more step.
+  EXPECT_LE(trace->steps.size(), 2u);
+  EXPECT_GE(trace->steps.size(), 1u);
+}
+
+TEST_F(ReconcilerTest, StepRecordsEffortAndAssertion) {
+  ProbabilisticNetwork pmn = MakePmn();
+  auto strategy = MakeStrategy(StrategyKind::kSequential);
+  Reconciler reconciler(&pmn, strategy.get(), TruthOracle());
+  const auto step = reconciler.Step(&rng_);
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step->correspondence, fig1_.c1);  // Sequential: lowest id first.
+  EXPECT_TRUE(step->approved);                 // c1 ∈ I1.
+  EXPECT_DOUBLE_EQ(step->effort_after, 0.2);   // 1 of 5.
+}
+
+TEST_F(ReconcilerTest, StepReturnsNotFoundWhenConverged) {
+  ProbabilisticNetwork pmn = MakePmn();
+  auto strategy = MakeStrategy(StrategyKind::kSequential);
+  Reconciler reconciler(&pmn, strategy.get(), TruthOracle());
+  ASSERT_TRUE(reconciler.Run(ReconcileGoal{}, &rng_).ok());
+  const auto step = reconciler.Step(&rng_);
+  EXPECT_EQ(step.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ReconcilerTest, RandomStrategyAlsoConverges) {
+  // Marginal-entropy sums are not guaranteed monotone step-by-step (an
+  // assertion can make another correspondence *more* ambiguous), but every
+  // run must end certain, below the initial uncertainty, with all
+  // intermediate values bounded by the maximum possible |C| bits.
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.exhausted());
+  auto strategy = MakeStrategy(StrategyKind::kRandom);
+  Reconciler reconciler(&pmn, strategy.get(), TruthOracle());
+  const auto trace = reconciler.Run(ReconcileGoal{}, &rng_);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_FALSE(trace->steps.empty());
+  for (const ReconcileStep& step : trace->steps) {
+    EXPECT_LE(step.uncertainty_after, 5.0);
+  }
+  EXPECT_DOUBLE_EQ(trace->steps.back().uncertainty_after, 0.0);
+}
+
+}  // namespace
+}  // namespace smn

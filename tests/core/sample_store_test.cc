@@ -1,0 +1,132 @@
+#include "core/sample_store.h"
+
+#include <gtest/gtest.h>
+
+#include "core/matching_instance.h"
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace {
+
+class SampleStoreTest : public ::testing::Test {
+ protected:
+  SampleStoreTest()
+      : fig1_(testing::MakeFig1Network()),
+        feedback_(fig1_.network.correspondence_count()) {}
+
+  SampleStoreOptions SmallStore() const {
+    SampleStoreOptions options;
+    options.target_samples = 100;
+    options.min_samples = 20;
+    return options;
+  }
+
+  testing::Fig1Network fig1_;
+  Feedback feedback_;
+};
+
+TEST_F(SampleStoreTest, InitializeDetectsExhaustionOnTinyNetworks) {
+  // Fig. 1 has only 5 matching instances — far fewer than n_min = 20 — so
+  // two sampling rounds cannot produce 20 distinct instances and the store
+  // must conclude Ω* = Ω.
+  SampleStore store(fig1_.network, fig1_.constraints, SmallStore());
+  Rng rng(1);
+  ASSERT_TRUE(store.Initialize(feedback_, &rng).ok());
+  EXPECT_TRUE(store.exhausted());
+  EXPECT_EQ(store.samples().size(), 5u);
+  EXPECT_EQ(store.DistinctCount(), 5u);
+}
+
+TEST_F(SampleStoreTest, ExhaustedProbabilitiesAreExact) {
+  SampleStore store(fig1_.network, fig1_.constraints, SmallStore());
+  Rng rng(2);
+  ASSERT_TRUE(store.Initialize(feedback_, &rng).ok());
+  // c1 is in 3 of the 5 instances, everything else in 2.
+  const auto probabilities = store.ComputeProbabilities();
+  EXPECT_DOUBLE_EQ(probabilities[fig1_.c1], 0.6);
+  for (CorrespondenceId c : {fig1_.c2, fig1_.c3, fig1_.c4, fig1_.c5}) {
+    EXPECT_DOUBLE_EQ(probabilities[c], 0.4);
+  }
+}
+
+TEST_F(SampleStoreTest, ApprovalFiltersSamples) {
+  SampleStore store(fig1_.network, fig1_.constraints, SmallStore());
+  Rng rng(3);
+  ASSERT_TRUE(store.Initialize(feedback_, &rng).ok());
+  ASSERT_TRUE(feedback_.Approve(fig1_.c2).ok());
+  ASSERT_TRUE(store.ApplyAssertion(fig1_.c2, true, feedback_, &rng).ok());
+  // Instances containing c2: {c1,c2,c3} and {c2,c5}.
+  EXPECT_EQ(store.samples().size(), 2u);
+  for (const DynamicBitset& sample : store.samples()) {
+    EXPECT_TRUE(sample.Test(fig1_.c2));
+  }
+  EXPECT_TRUE(store.exhausted());
+}
+
+TEST_F(SampleStoreTest, DisapprovalResamplesForNewInstances) {
+  SampleStore store(fig1_.network, fig1_.constraints, SmallStore());
+  Rng rng(4);
+  ASSERT_TRUE(store.Initialize(feedback_, &rng).ok());
+  ASSERT_TRUE(feedback_.Disapprove(fig1_.c5).ok());
+  ASSERT_TRUE(store.ApplyAssertion(fig1_.c5, false, feedback_, &rng).ok());
+  // Disapproving c5 creates the new maximal instance {c2}; the store must
+  // re-sample (filtering alone would only keep {c1,c2,c3}, {c3,c4}, {c1}).
+  EXPECT_TRUE(store.exhausted());
+  EXPECT_EQ(store.DistinctCount(), 4u);
+  DynamicBitset just_c2(fig1_.network.correspondence_count());
+  just_c2.Set(fig1_.c2);
+  bool found = false;
+  for (const DynamicBitset& sample : store.samples()) {
+    if (sample == just_c2) found = true;
+    EXPECT_TRUE(IsMatchingInstance(fig1_.constraints, feedback_, sample));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SampleStoreTest, ProbabilitiesReflectAssertions) {
+  SampleStore store(fig1_.network, fig1_.constraints, SmallStore());
+  Rng rng(5);
+  ASSERT_TRUE(store.Initialize(feedback_, &rng).ok());
+  ASSERT_TRUE(feedback_.Approve(fig1_.c1).ok());
+  ASSERT_TRUE(store.ApplyAssertion(fig1_.c1, true, feedback_, &rng).ok());
+  const auto probabilities = store.ComputeProbabilities();
+  EXPECT_DOUBLE_EQ(probabilities[fig1_.c1], 1.0);
+  // Instances containing c1: I1, I2 and {c1} — the rest at 1/3 each.
+  EXPECT_DOUBLE_EQ(probabilities[fig1_.c2], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(probabilities[fig1_.c4], 1.0 / 3.0);
+}
+
+TEST_F(SampleStoreTest, LargerNetworkKeepsTargetSampleCount) {
+  const testing::RandomNetwork random =
+      testing::MakeRandomNetwork({4, 4, 0.5, 77});
+  Feedback feedback(random.network.correspondence_count());
+  SampleStoreOptions options;
+  options.target_samples = 60;
+  options.min_samples = 5;
+  SampleStore store(random.network, random.constraints, options);
+  Rng rng(6);
+  ASSERT_TRUE(store.Initialize(feedback, &rng).ok());
+  if (!store.exhausted()) {
+    EXPECT_EQ(store.samples().size(), 60u);
+  }
+  for (const DynamicBitset& sample : store.samples()) {
+    EXPECT_TRUE(IsMatchingInstance(random.constraints, feedback, sample));
+  }
+}
+
+TEST_F(SampleStoreTest, EmptyNetworkProbabilities) {
+  NetworkBuilder builder;
+  builder.AddSchema("A");
+  builder.AddSchema("B");
+  builder.AddCompleteGraph();
+  Network network = builder.Build().value();
+  ConstraintSet constraints = testing::MakeStandardConstraints(network);
+  SampleStore store(network, constraints, SmallStore());
+  Feedback feedback(0);
+  Rng rng(7);
+  ASSERT_TRUE(store.Initialize(feedback, &rng).ok());
+  EXPECT_TRUE(store.ComputeProbabilities().empty());
+}
+
+}  // namespace
+}  // namespace smn

@@ -1,0 +1,113 @@
+#include "core/selection_strategy.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace {
+
+ProbabilisticNetworkOptions SmallOptions() {
+  ProbabilisticNetworkOptions options;
+  options.store.target_samples = 100;
+  options.store.min_samples = 20;
+  return options;
+}
+
+class SelectionStrategyTest : public ::testing::Test {
+ protected:
+  SelectionStrategyTest() : fig1_(testing::MakeFig1Network()), rng_(21) {}
+
+  ProbabilisticNetwork MakePmn() {
+    return ProbabilisticNetwork::Create(fig1_.network, fig1_.constraints,
+                                        SmallOptions(), &rng_)
+        .value();
+  }
+
+  testing::Fig1Network fig1_;
+  Rng rng_;
+};
+
+TEST_F(SelectionStrategyTest, FactoryProducesAllKinds) {
+  for (StrategyKind kind :
+       {StrategyKind::kRandom, StrategyKind::kInformationGain,
+        StrategyKind::kMaxEntropy, StrategyKind::kMinProbability,
+        StrategyKind::kSequential}) {
+    auto strategy = MakeStrategy(kind);
+    ASSERT_NE(strategy, nullptr);
+    EXPECT_EQ(strategy->name(), StrategyKindName(kind));
+  }
+}
+
+TEST_F(SelectionStrategyTest, InformationGainAvoidsC1OnFig1) {
+  // IG(c1) = 1 < IG(c2..c5) = 2: the heuristic must never pick c1 first.
+  ProbabilisticNetwork pmn = MakePmn();
+  auto strategy = MakeStrategy(StrategyKind::kInformationGain);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto selected = strategy->Select(pmn, &rng_);
+    ASSERT_TRUE(selected.has_value());
+    EXPECT_NE(*selected, fig1_.c1);
+  }
+}
+
+TEST_F(SelectionStrategyTest, RandomCoversAllUncertain) {
+  ProbabilisticNetwork pmn = MakePmn();
+  auto strategy = MakeStrategy(StrategyKind::kRandom);
+  std::vector<int> hits(5, 0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto selected = strategy->Select(pmn, &rng_);
+    ASSERT_TRUE(selected.has_value());
+    ++hits[*selected];
+  }
+  for (int h : hits) EXPECT_GT(h, 10);
+}
+
+TEST_F(SelectionStrategyTest, SequentialPicksLowestId) {
+  ProbabilisticNetwork pmn = MakePmn();
+  auto strategy = MakeStrategy(StrategyKind::kSequential);
+  EXPECT_EQ(strategy->Select(pmn, &rng_), std::optional<CorrespondenceId>(0));
+}
+
+TEST_F(SelectionStrategyTest, StrategiesSkipCertainCorrespondences) {
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.Assert(fig1_.c2, true, &rng_).ok());
+  // c2 (approved) and c4 (certainly excluded) are no longer eligible.
+  for (StrategyKind kind :
+       {StrategyKind::kRandom, StrategyKind::kInformationGain,
+        StrategyKind::kMaxEntropy, StrategyKind::kMinProbability,
+        StrategyKind::kSequential}) {
+    auto strategy = MakeStrategy(kind);
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto selected = strategy->Select(pmn, &rng_);
+      ASSERT_TRUE(selected.has_value());
+      EXPECT_NE(*selected, fig1_.c2);
+      EXPECT_NE(*selected, fig1_.c4);
+    }
+  }
+}
+
+TEST_F(SelectionStrategyTest, ReturnsNulloptWhenCertain) {
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.Assert(fig1_.c1, true, &rng_).ok());
+  ASSERT_TRUE(pmn.Assert(fig1_.c2, true, &rng_).ok());
+  for (StrategyKind kind :
+       {StrategyKind::kRandom, StrategyKind::kInformationGain,
+        StrategyKind::kMaxEntropy, StrategyKind::kMinProbability,
+        StrategyKind::kSequential}) {
+    EXPECT_EQ(MakeStrategy(kind)->Select(pmn, &rng_), std::nullopt);
+  }
+}
+
+TEST_F(SelectionStrategyTest, MaxEntropyPicksClosestToHalf) {
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.Assert(fig1_.c2, true, &rng_).ok());
+  // Remaining probabilities: c1 = c3 = c5 = 0.5 — all equally eligible.
+  auto strategy = MakeStrategy(StrategyKind::kMaxEntropy);
+  const auto selected = strategy->Select(pmn, &rng_);
+  ASSERT_TRUE(selected.has_value());
+  EXPECT_TRUE(*selected == fig1_.c1 || *selected == fig1_.c3 ||
+              *selected == fig1_.c5);
+}
+
+}  // namespace
+}  // namespace smn

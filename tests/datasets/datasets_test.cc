@@ -1,0 +1,256 @@
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "datasets/generator.h"
+#include "datasets/random_graph.h"
+#include "datasets/renderer.h"
+#include "datasets/standard.h"
+#include "datasets/vocabulary.h"
+
+namespace smn {
+namespace {
+
+// -------------------------------------------------------------- vocabulary
+
+TEST(VocabularyTest, DomainsAreLargeEnoughForTableTwo) {
+  EXPECT_GE(Vocabulary::BusinessPartner().size(), 106u);
+  EXPECT_GE(Vocabulary::PurchaseOrder().size(), 408u);
+  EXPECT_GE(Vocabulary::UniversityApplication().size(), 228u);
+  EXPECT_GE(Vocabulary::WebForm().size(), 120u);
+}
+
+TEST(VocabularyTest, ConceptsHaveIdsAndPhrasings) {
+  const Vocabulary vocabulary = Vocabulary::BusinessPartner();
+  for (uint32_t id = 0; id < vocabulary.size(); ++id) {
+    const Concept& entry = vocabulary.concept_at(id);
+    EXPECT_EQ(entry.id, id);
+    ASSERT_FALSE(entry.phrasings.empty());
+    for (const auto& phrasing : entry.phrasings) {
+      EXPECT_FALSE(phrasing.empty());
+    }
+  }
+}
+
+TEST(VocabularyTest, ComposeCrossesEntitiesAndFields) {
+  const Vocabulary tiny = Vocabulary::Compose(
+      "tiny", {{{{"a"}, {"b"}}, AttributeType::kString}},
+      {{{{"x"}}, AttributeType::kDate}, {{{"y"}}, AttributeType::kInteger}});
+  // 2 bare fields + 1 entity x 2 fields.
+  EXPECT_EQ(tiny.size(), 4u);
+  // Entity-qualified concept inherits the field type and multiplies
+  // phrasings: {a,b} x {x} = 2 phrasings.
+  EXPECT_EQ(tiny.concept_at(2).type, AttributeType::kDate);
+  EXPECT_EQ(tiny.concept_at(2).phrasings.size(), 2u);
+}
+
+// ---------------------------------------------------------------- renderer
+
+TEST(RendererTest, CaseStylesProduceExpectedShapes) {
+  NameRenderer renderer;
+  Rng rng(1);
+  NamingStyle quiet;  // No noise: deterministic casing checks.
+  quiet.abbreviation_probability = 0;
+  quiet.typo_probability = 0;
+  quiet.reorder_probability = 0;
+  quiet.drop_token_probability = 0;
+
+  quiet.case_style = CaseStyle::kCamel;
+  EXPECT_EQ(renderer.Render({"release", "date"}, quiet, &rng), "releaseDate");
+  quiet.case_style = CaseStyle::kPascal;
+  EXPECT_EQ(renderer.Render({"release", "date"}, quiet, &rng), "ReleaseDate");
+  quiet.case_style = CaseStyle::kSnake;
+  EXPECT_EQ(renderer.Render({"release", "date"}, quiet, &rng), "release_date");
+  quiet.case_style = CaseStyle::kLowerConcat;
+  EXPECT_EQ(renderer.Render({"release", "date"}, quiet, &rng), "releasedate");
+}
+
+TEST(RendererTest, AbbreviationsApplyWhenForced) {
+  NameRenderer renderer;
+  Rng rng(2);
+  NamingStyle style;
+  style.case_style = CaseStyle::kSnake;
+  style.abbreviation_probability = 1.0;
+  style.typo_probability = 0;
+  style.reorder_probability = 0;
+  style.drop_token_probability = 0;
+  EXPECT_EQ(renderer.Render({"quantity"}, style, &rng), "qty");
+  EXPECT_EQ(renderer.Render({"order", "number"}, style, &rng), "ord_no");
+}
+
+TEST(RendererTest, EmptyTokensFallBack) {
+  NameRenderer renderer;
+  Rng rng(3);
+  EXPECT_EQ(renderer.Render({}, NamingStyle{}, &rng), "field");
+}
+
+// --------------------------------------------------------------- generator
+
+TEST(GeneratorTest, RespectsConfigBounds) {
+  DatasetConfig config;
+  config.name = "T";
+  config.schema_count = 4;
+  config.min_attributes = 5;
+  config.max_attributes = 9;
+  Rng rng(5);
+  const auto dataset =
+      GenerateDataset(config, Vocabulary::BusinessPartner(), &rng);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->schemas.size(), 4u);
+  for (const SchemaView& schema : dataset->schemas) {
+    EXPECT_GE(schema.attributes.size(), 5u);
+    EXPECT_LE(schema.attributes.size(), 9u);
+  }
+}
+
+TEST(GeneratorTest, AttributeNamesUniquePerSchema) {
+  DatasetConfig config;
+  config.name = "T";
+  config.schema_count = 3;
+  config.min_attributes = 60;
+  config.max_attributes = 80;
+  Rng rng(6);
+  const auto dataset =
+      GenerateDataset(config, Vocabulary::BusinessPartner(), &rng);
+  ASSERT_TRUE(dataset.ok());
+  for (const SchemaView& schema : dataset->schemas) {
+    std::unordered_set<std::string> names;
+    for (const AttributeView& attribute : schema.attributes) {
+      EXPECT_TRUE(names.insert(attribute.name).second)
+          << "duplicate: " << attribute.name;
+    }
+  }
+}
+
+TEST(GeneratorTest, ConceptsAreDistinctPerSchema) {
+  DatasetConfig config;
+  config.name = "T";
+  config.schema_count = 2;
+  config.min_attributes = 30;
+  config.max_attributes = 30;
+  Rng rng(7);
+  const auto dataset =
+      GenerateDataset(config, Vocabulary::WebForm(), &rng);
+  ASSERT_TRUE(dataset.ok());
+  for (const auto& concepts : dataset->concepts) {
+    std::unordered_set<uint32_t> seen(concepts.begin(), concepts.end());
+    EXPECT_EQ(seen.size(), concepts.size());
+  }
+}
+
+TEST(GeneratorTest, TruthPairsMatchConceptIdentity) {
+  DatasetConfig config;
+  config.name = "T";
+  config.schema_count = 3;
+  config.min_attributes = 20;
+  config.max_attributes = 20;
+  Rng rng(8);
+  const auto dataset = GenerateDataset(config, Vocabulary::WebForm(), &rng);
+  ASSERT_TRUE(dataset.ok());
+  const InteractionGraph graph = CompleteGraph(3);
+  size_t manual = 0;
+  for (SchemaId s1 = 0; s1 < 3; ++s1) {
+    for (SchemaId s2 = s1 + 1; s2 < 3; ++s2) {
+      for (size_t i = 0; i < dataset->concepts[s1].size(); ++i) {
+        for (size_t j = 0; j < dataset->concepts[s2].size(); ++j) {
+          if (dataset->IsTruthPair(s1, i, s2, j)) ++manual;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(dataset->CountTruthPairs(graph), manual);
+  EXPECT_GT(manual, 0u);
+}
+
+TEST(GeneratorTest, RejectsOversizedRequests) {
+  DatasetConfig config;
+  config.name = "T";
+  config.schema_count = 1;
+  config.min_attributes = 100000;
+  config.max_attributes = 100000;
+  Rng rng(9);
+  EXPECT_EQ(GenerateDataset(config, Vocabulary::WebForm(), &rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GeneratorTest, DeterministicForEqualSeeds) {
+  DatasetConfig config;
+  config.name = "T";
+  config.schema_count = 2;
+  config.min_attributes = 10;
+  config.max_attributes = 15;
+  Rng rng1(11);
+  Rng rng2(11);
+  const auto a = GenerateDataset(config, Vocabulary::WebForm(), &rng1);
+  const auto b = GenerateDataset(config, Vocabulary::WebForm(), &rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->schemas.size(), b->schemas.size());
+  for (size_t s = 0; s < a->schemas.size(); ++s) {
+    ASSERT_EQ(a->schemas[s].attributes.size(), b->schemas[s].attributes.size());
+    for (size_t i = 0; i < a->schemas[s].attributes.size(); ++i) {
+      EXPECT_EQ(a->schemas[s].attributes[i].name,
+                b->schemas[s].attributes[i].name);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- standard
+
+TEST(StandardDatasetTest, ConfigsMatchTableTwo) {
+  EXPECT_EQ(MakeBpDataset().config.schema_count, 3u);
+  EXPECT_EQ(MakeBpDataset().config.min_attributes, 80u);
+  EXPECT_EQ(MakeBpDataset().config.max_attributes, 106u);
+  EXPECT_EQ(MakePoDataset().config.schema_count, 10u);
+  EXPECT_EQ(MakeUafDataset().config.schema_count, 15u);
+  EXPECT_EQ(MakeWebFormDataset().config.schema_count, 89u);
+}
+
+TEST(StandardDatasetTest, ScaleConfigClampsFloors) {
+  DatasetConfig config = MakeWebFormDataset().config;
+  const DatasetConfig scaled = ScaleConfig(config, 0.1);
+  EXPECT_EQ(scaled.schema_count, 8u);  // 89 * 0.1 rounded down, above floor 3.
+  EXPECT_GE(scaled.min_attributes, 4u);
+  EXPECT_GE(scaled.max_attributes, scaled.min_attributes);
+  const DatasetConfig floored = ScaleConfig(MakeBpDataset().config, 0.01);
+  EXPECT_EQ(floored.schema_count, 3u);
+  EXPECT_EQ(floored.min_attributes, 4u);
+}
+
+// ------------------------------------------------------------ random graph
+
+TEST(RandomGraphTest, CompleteGraph) {
+  const InteractionGraph graph = CompleteGraph(5);
+  EXPECT_EQ(graph.edge_count(), 10u);
+  EXPECT_TRUE(graph.IsComplete());
+}
+
+TEST(RandomGraphTest, ErdosRenyiExtremes) {
+  Rng rng(13);
+  EXPECT_EQ(ErdosRenyiGraph(6, 0.0, &rng).edge_count(), 0u);
+  EXPECT_EQ(ErdosRenyiGraph(6, 1.0, &rng).edge_count(), 15u);
+}
+
+TEST(RandomGraphTest, ErdosRenyiDensityRoughlyMatchesP) {
+  Rng rng(17);
+  size_t edges = 0;
+  const size_t trials = 50;
+  for (size_t t = 0; t < trials; ++t) {
+    edges += ErdosRenyiGraph(10, 0.4, &rng).edge_count();
+  }
+  const double mean = static_cast<double>(edges) / trials;
+  EXPECT_NEAR(mean, 0.4 * 45, 3.0);
+}
+
+TEST(RandomGraphTest, RingAndStarShapes) {
+  const InteractionGraph ring = RingGraph(5);
+  EXPECT_EQ(ring.edge_count(), 5u);
+  EXPECT_TRUE(ring.Triangles().empty());
+  const InteractionGraph star = StarGraph(5);
+  EXPECT_EQ(star.edge_count(), 4u);
+  EXPECT_TRUE(star.Triangles().empty());
+  for (SchemaId b = 1; b < 5; ++b) EXPECT_TRUE(star.HasEdge(0, b));
+}
+
+}  // namespace
+}  // namespace smn

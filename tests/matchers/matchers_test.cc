@@ -1,0 +1,268 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "matchers/amc_like.h"
+#include "matchers/coma_like.h"
+#include "matchers/ensemble.h"
+#include "matchers/name_matcher.h"
+#include "matchers/ngram_matcher.h"
+#include "matchers/selection.h"
+#include "matchers/string_metrics.h"
+#include "matchers/synonym_matcher.h"
+#include "matchers/token_matcher.h"
+#include "matchers/tokenizer.h"
+#include "matchers/type_matcher.h"
+
+namespace smn {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(StringMetricsTest, LevenshteinDistance) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+}
+
+TEST(StringMetricsTest, LevenshteinSimilarityNormalized) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abcd", "abce"), 0.75);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("a", "z"), 0.0);
+}
+
+TEST(StringMetricsTest, JaroWinklerFavorsSharedPrefix) {
+  const double plain = JaroSimilarity("releasedate", "releasedata");
+  const double winkler = JaroWinklerSimilarity("releasedate", "releasedata");
+  EXPECT_GT(winkler, plain);
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("xyz", "abc"), 0.0);
+}
+
+TEST(StringMetricsTest, NgramDice) {
+  EXPECT_DOUBLE_EQ(NgramDiceSimilarity("date", "date"), 1.0);
+  EXPECT_GT(NgramDiceSimilarity("releaseDate", "screenDate"),
+            NgramDiceSimilarity("releaseDate", "price"));
+  EXPECT_DOUBLE_EQ(NgramDiceSimilarity("", ""), 1.0);
+}
+
+TEST(StringMetricsTest, LongestCommonSubstring) {
+  EXPECT_DOUBLE_EQ(LongestCommonSubstringSimilarity("abcdef", "xxcdexx"),
+                   3.0 / 7.0);
+  EXPECT_DOUBLE_EQ(LongestCommonSubstringSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LongestCommonSubstringSimilarity("", "x"), 0.0);
+}
+
+TEST(StringMetricsTest, PrefixSuffix) {
+  EXPECT_DOUBLE_EQ(PrefixSimilarity("orderDate", "orderId"), 5.0 / 7.0);
+  EXPECT_DOUBLE_EQ(SuffixSimilarity("releaseDate", "screenDate"), 0.4);
+}
+
+// -------------------------------------------------------------- tokenizer
+
+TEST(TokenizerTest, SplitsAndExpands) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("prodQty"),
+            (std::vector<std::string>{"product", "quantity"}));
+  EXPECT_EQ(tokenizer.Tokenize("release_date"),
+            (std::vector<std::string>{"release", "date"}));
+  EXPECT_EQ(tokenizer.Expand("qty"), "quantity");
+  EXPECT_EQ(tokenizer.Expand("unmapped"), "unmapped");
+}
+
+// ---------------------------------------------------------- leaf matchers
+
+SchemaView MakeSchema(std::string name,
+                      std::vector<std::pair<std::string, AttributeType>> attrs) {
+  SchemaView view;
+  view.name = std::move(name);
+  for (auto& [attr_name, type] : attrs) {
+    view.attributes.push_back(AttributeView{attr_name, type});
+  }
+  return view;
+}
+
+TEST(LeafMatcherTest, NameMatcherScoresSimilarNamesHigher) {
+  const SchemaView s1 = MakeSchema(
+      "A", {{"releaseDate", AttributeType::kDate}, {"price", AttributeType::kDecimal}});
+  const SchemaView s2 = MakeSchema(
+      "B", {{"release_date", AttributeType::kDate}, {"title", AttributeType::kString}});
+  NameMatcher matcher(NameMatcher::Metric::kLevenshtein);
+  const SimilarityMatrix matrix = matcher.Score(s1, s2);
+  ASSERT_EQ(matrix.rows(), 2u);
+  ASSERT_EQ(matrix.cols(), 2u);
+  EXPECT_GT(matrix.at(0, 0), matrix.at(0, 1));
+  EXPECT_GT(matrix.at(0, 0), matrix.at(1, 0));
+}
+
+TEST(LeafMatcherTest, TokenMatcherHandlesReordering) {
+  const SchemaView s1 = MakeSchema("A", {{"dateOfBirth", AttributeType::kDate}});
+  const SchemaView s2 = MakeSchema("B", {{"birth_date", AttributeType::kDate}});
+  TokenMatcher jaccard(TokenMatcher::Mode::kJaccard);
+  // {date, of, birth} vs {birth, date}: 2 shared of 3 united.
+  EXPECT_NEAR(jaccard.Score(s1, s2).at(0, 0), 2.0 / 3.0, 1e-9);
+  TokenMatcher monge(TokenMatcher::Mode::kMongeElkan);
+  EXPECT_GT(monge.Score(s1, s2).at(0, 0), 0.9);
+}
+
+TEST(LeafMatcherTest, SynonymMatcherBridgesThesaurusGroups) {
+  const SchemaView s1 = MakeSchema("A", {{"releaseDate", AttributeType::kDate}});
+  const SchemaView s2 = MakeSchema("B", {{"screenDate", AttributeType::kDate}});
+  SynonymMatcher matcher;
+  // release ~ screen via the thesaurus; date matches exactly.
+  EXPECT_DOUBLE_EQ(matcher.Score(s1, s2).at(0, 0), 1.0);
+  EXPECT_EQ(matcher.Canonicalize("screen"), matcher.Canonicalize("release"));
+}
+
+TEST(LeafMatcherTest, TypeMatcherCompatibility) {
+  EXPECT_DOUBLE_EQ(TypeMatcher::TypeCompatibility(AttributeType::kDate,
+                                                  AttributeType::kDate),
+                   1.0);
+  EXPECT_DOUBLE_EQ(TypeMatcher::TypeCompatibility(AttributeType::kInteger,
+                                                  AttributeType::kDecimal),
+                   0.7);
+  EXPECT_DOUBLE_EQ(TypeMatcher::TypeCompatibility(AttributeType::kUnknown,
+                                                  AttributeType::kDate),
+                   0.5);
+  EXPECT_DOUBLE_EQ(TypeMatcher::TypeCompatibility(AttributeType::kString,
+                                                  AttributeType::kDate),
+                   0.0);
+}
+
+// ----------------------------------------------------------- aggregation
+
+TEST(SimilarityMatrixTest, HarmonyRequiresUniqueMaxima) {
+  // Constant matrices carry no decision signal.
+  SimilarityMatrix constant(3, 3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) constant.set(r, c, 0.8);
+  }
+  EXPECT_DOUBLE_EQ(constant.Harmony(), 0.0);
+
+  // A clean diagonal is fully harmonious.
+  SimilarityMatrix diagonal(3, 3);
+  diagonal.set(0, 0, 0.9);
+  diagonal.set(1, 1, 0.8);
+  diagonal.set(2, 2, 0.7);
+  EXPECT_DOUBLE_EQ(diagonal.Harmony(), 1.0);
+}
+
+TEST(EnsembleTest, AggregationModes) {
+  const SchemaView s1 = MakeSchema("A", {{"x", AttributeType::kUnknown}});
+  const SchemaView s2 = MakeSchema("B", {{"x", AttributeType::kUnknown}});
+
+  for (Aggregation aggregation :
+       {Aggregation::kWeightedAverage, Aggregation::kMax, Aggregation::kMin,
+        Aggregation::kHarmonyWeighted}) {
+    MatcherEnsemble ensemble("test", aggregation);
+    ensemble.AddMatcher(std::make_unique<NameMatcher>(), 1.0);
+    ensemble.AddMatcher(std::make_unique<NgramMatcher>(), 1.0);
+    const SimilarityMatrix matrix = ensemble.Score(s1, s2);
+    // Identical names: every member scores 1, any aggregation returns 1.
+    EXPECT_DOUBLE_EQ(matrix.at(0, 0), 1.0) << static_cast<int>(aggregation);
+  }
+}
+
+TEST(EnsembleTest, MinIsLowerBoundMaxIsUpperBound) {
+  const SchemaView s1 = MakeSchema("A", {{"orderDate", AttributeType::kDate}});
+  const SchemaView s2 = MakeSchema("B", {{"orderDay", AttributeType::kDate}});
+  auto score_with = [&](Aggregation aggregation) {
+    MatcherEnsemble ensemble("test", aggregation);
+    ensemble.AddMatcher(std::make_unique<NameMatcher>(), 1.0);
+    ensemble.AddMatcher(std::make_unique<SynonymMatcher>(), 1.0);
+    return ensemble.Score(s1, s2).at(0, 0);
+  };
+  const double avg = score_with(Aggregation::kWeightedAverage);
+  EXPECT_LE(score_with(Aggregation::kMin), avg);
+  EXPECT_GE(score_with(Aggregation::kMax), avg);
+}
+
+// -------------------------------------------------------------- selection
+
+TEST(SelectionTest, ThresholdSelector) {
+  SimilarityMatrix matrix(2, 2);
+  matrix.set(0, 0, 0.9);
+  matrix.set(0, 1, 0.4);
+  matrix.set(1, 1, 0.6);
+  ThresholdSelector selector(0.5);
+  const auto selected = selector.Select(matrix);
+  EXPECT_EQ(selected.size(), 2u);
+}
+
+TEST(SelectionTest, TopKPerRowKeepsBestK) {
+  SimilarityMatrix matrix(1, 4);
+  matrix.set(0, 0, 0.9);
+  matrix.set(0, 1, 0.8);
+  matrix.set(0, 2, 0.7);
+  matrix.set(0, 3, 0.2);
+  TopKPerRowSelector selector(2, 0.5);
+  const auto selected = selector.Select(matrix);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_DOUBLE_EQ(selected[0].score, 0.9);
+  EXPECT_DOUBLE_EQ(selected[1].score, 0.8);
+}
+
+TEST(SelectionTest, StableMarriageIsOneToOne) {
+  SimilarityMatrix matrix(2, 2);
+  matrix.set(0, 0, 0.9);
+  matrix.set(0, 1, 0.8);
+  matrix.set(1, 0, 0.85);
+  matrix.set(1, 1, 0.7);
+  StableMarriageSelector selector(0.5);
+  const auto selected = selector.Select(matrix);
+  ASSERT_EQ(selected.size(), 2u);
+  // Greedy: (0,0) first, then rows/cols blocked, (1,1) second.
+  EXPECT_EQ(selected[0].row, 0u);
+  EXPECT_EQ(selected[0].col, 0u);
+  EXPECT_EQ(selected[1].row, 1u);
+  EXPECT_EQ(selected[1].col, 1u);
+}
+
+// ---------------------------------------------------------------- systems
+
+TEST(MatchingSystemTest, ComaAndAmcProduceDifferentCandidates) {
+  const SchemaView s1 = MakeSchema(
+      "A", {{"releaseDate", AttributeType::kDate},
+            {"productName", AttributeType::kString},
+            {"unitPrice", AttributeType::kDecimal}});
+  const SchemaView s2 = MakeSchema(
+      "B", {{"release_dt", AttributeType::kDate},
+            {"product_title", AttributeType::kString},
+            {"unit_cost", AttributeType::kDecimal}});
+  InteractionGraph graph(2);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+
+  const MatchingSystem coma = MakeComaLikeSystem();
+  const MatchingSystem amc = MakeAmcLikeSystem();
+  const auto coma_out = coma.Run({s1, s2}, graph);
+  const auto amc_out = amc.Run({s1, s2}, graph);
+  ASSERT_EQ(coma_out.size(), 1u);
+  ASSERT_EQ(amc_out.size(), 1u);
+  EXPECT_FALSE(coma_out[0].candidates.empty());
+  EXPECT_FALSE(amc_out[0].candidates.empty());
+  EXPECT_EQ(coma.name(), "COMA");
+  EXPECT_EQ(amc.name(), "AMC");
+}
+
+TEST(MatchingSystemTest, BuildNetworkFromCandidatesWiresEverything) {
+  const SchemaView s1 = MakeSchema("A", {{"date", AttributeType::kDate}});
+  const SchemaView s2 = MakeSchema("B", {{"day", AttributeType::kDate}});
+  InteractionGraph graph(2);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  SchemaPairCandidates pair;
+  pair.first = 0;
+  pair.second = 1;
+  pair.candidates.push_back(RawCandidate{0, 0, 0.77});
+  const auto network = BuildNetworkFromCandidates({s1, s2}, graph, {pair});
+  ASSERT_TRUE(network.ok());
+  EXPECT_EQ(network->schema_count(), 2u);
+  EXPECT_EQ(network->correspondence_count(), 1u);
+  EXPECT_DOUBLE_EQ(network->correspondence(0).confidence, 0.77);
+}
+
+}  // namespace
+}  // namespace smn

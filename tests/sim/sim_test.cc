@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "datasets/random_graph.h"
+#include "datasets/standard.h"
+#include "sim/experiment.h"
+#include "sim/metrics.h"
+#include "sim/oracle.h"
+
+namespace smn {
+namespace {
+
+// ----------------------------------------------------------------- metrics
+
+TEST(MetricsTest, ScoreSelectionBasics) {
+  DynamicBitset selection(6);
+  selection.Set(0);
+  selection.Set(1);
+  selection.Set(2);
+  DynamicBitset truth(6);
+  truth.Set(1);
+  truth.Set(2);
+  truth.Set(3);
+  const PrecisionRecall pr = ScoreSelection(selection, truth, 4);
+  EXPECT_DOUBLE_EQ(pr.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);
+  EXPECT_NEAR(pr.f1, 2 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5), 1e-12);
+}
+
+TEST(MetricsTest, ScoreSelectionEdgeCases) {
+  DynamicBitset empty(4);
+  DynamicBitset truth(4);
+  truth.Set(0);
+  const PrecisionRecall pr = ScoreSelection(empty, truth, 1);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+  EXPECT_DOUBLE_EQ(pr.f1, 0.0);
+  EXPECT_DOUBLE_EQ(ScoreSelection(truth, truth, 0).recall, 0.0);
+}
+
+TEST(MetricsTest, KlDivergenceProperties) {
+  const std::vector<double> p{0.2, 0.8, 0.5};
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-9);
+  const std::vector<double> q{0.3, 0.6, 0.5};
+  EXPECT_GT(KlDivergence(p, q), 0.0);
+  // Certain p against near-certain q stays finite thanks to clamping.
+  EXPECT_LT(KlDivergence({1.0}, {0.0}), 40.0);
+}
+
+TEST(MetricsTest, KlRatioAgainstUniformBaseline) {
+  const std::vector<double> exact{0.9, 0.1, 0.7};
+  EXPECT_NEAR(KlRatio(exact, exact), 0.0, 1e-9);
+  const std::vector<double> uniform(3, 0.5);
+  EXPECT_NEAR(KlRatio(exact, uniform), 1.0, 1e-9);
+  // All-0.5 exact distribution: baseline divergence is 0, ratio defined as 0.
+  EXPECT_DOUBLE_EQ(KlRatio(uniform, exact), 0.0);
+}
+
+TEST(MetricsTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+// ------------------------------------------------------------------ oracle
+
+TEST(OracleTest, AnswersFromTruth) {
+  DynamicBitset truth(4);
+  truth.Set(1);
+  truth.Set(3);
+  Oracle oracle(truth);
+  EXPECT_FALSE(oracle.Assert(0));
+  EXPECT_TRUE(oracle.Assert(1));
+  EXPECT_FALSE(oracle.Assert(2));
+  EXPECT_TRUE(oracle.Assert(3));
+  EXPECT_EQ(oracle.assertion_count(), 4u);
+}
+
+TEST(OracleTest, ErrorRateFlipsSomeAnswers) {
+  DynamicBitset truth(1);
+  truth.Set(0);
+  Oracle oracle(truth, /*error_rate=*/0.5, /*seed=*/3);
+  int wrong = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!oracle.Assert(0)) ++wrong;
+  }
+  EXPECT_GT(wrong, 350);
+  EXPECT_LT(wrong, 650);
+}
+
+TEST(OracleTest, CallbackAdapterWorks) {
+  DynamicBitset truth(2);
+  truth.Set(0);
+  Oracle oracle(truth);
+  AssertionOracle callback = oracle.AsCallback();
+  EXPECT_TRUE(callback(0));
+  EXPECT_FALSE(callback(1));
+}
+
+// -------------------------------------------------------------- experiment
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static StatusOr<ExperimentSetup> SmallSetup(MatcherKind kind) {
+    StandardDataset bp = MakeBpDataset();
+    bp.config = ScaleConfig(bp.config, 0.2);  // ~3 schemas, 16-21 attrs.
+    Rng rng(123);
+    return BuildExperimentSetup(bp.config, bp.vocabulary, kind, &rng);
+  }
+};
+
+TEST_F(ExperimentTest, SetupWiresNetworkAndTruth) {
+  const auto setup = SmallSetup(MatcherKind::kComaLike);
+  ASSERT_TRUE(setup.ok());
+  EXPECT_EQ(setup->network.schema_count(), 3u);
+  EXPECT_GT(setup->network.correspondence_count(), 0u);
+  EXPECT_EQ(setup->truth_candidates.size(),
+            setup->network.correspondence_count());
+  EXPECT_GT(setup->truth_total, 0u);
+  // The oracle truth is a consistent subset of the scoring truth.
+  EXPECT_TRUE(setup->truth_candidates.Contains(setup->oracle_truth));
+  EXPECT_TRUE(setup->constraints.IsSatisfied(setup->oracle_truth));
+}
+
+TEST_F(ExperimentTest, CandidatePrecisionInRealisticBand) {
+  const auto setup = SmallSetup(MatcherKind::kComaLike);
+  ASSERT_TRUE(setup.ok());
+  const PrecisionRecall pr = ScoreCandidates(*setup);
+  EXPECT_GT(pr.precision, 0.3);
+  EXPECT_LT(pr.precision, 1.0);
+  EXPECT_GE(pr.recall, 0.15);
+}
+
+TEST_F(ExperimentTest, CurveRunsAndImproves) {
+  const auto setup = SmallSetup(MatcherKind::kComaLike);
+  ASSERT_TRUE(setup.ok());
+  CurveOptions options;
+  options.strategy = StrategyKind::kInformationGain;
+  options.checkpoints = {0.0, 0.5, 1.0};
+  options.runs = 2;
+  options.instantiate = true;
+  options.network_options.store.target_samples = 200;
+  options.network_options.store.min_samples = 50;
+  options.instantiation_options.iterations = 50;
+  options.seed = 3;
+  const auto curve = RunReconciliationCurve(*setup, options);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->size(), 3u);
+  // Uncertainty shrinks along the curve and instantiation quality does not
+  // collapse.
+  EXPECT_LE((*curve)[2].uncertainty, (*curve)[0].uncertainty + 1e-9);
+  EXPECT_GE((*curve)[2].instantiation_precision,
+            (*curve)[0].instantiation_precision - 0.05);
+  EXPECT_GT((*curve)[0].precision_remaining, 0.0);
+}
+
+TEST_F(ExperimentTest, AmcSetupAlsoWorks) {
+  const auto setup = SmallSetup(MatcherKind::kAmcLike);
+  ASSERT_TRUE(setup.ok());
+  EXPECT_EQ(setup->matcher_name, "AMC");
+  EXPECT_GT(setup->network.correspondence_count(), 0u);
+}
+
+TEST_F(ExperimentTest, CustomGraphSetup) {
+  StandardDataset bp = MakeBpDataset();
+  bp.config = ScaleConfig(bp.config, 0.2);
+  bp.config.schema_count = 4;
+  Rng rng(9);
+  InteractionGraph ring = RingGraph(4);
+  const auto setup = BuildExperimentSetupWithGraph(
+      bp.config, bp.vocabulary, MatcherKind::kComaLike, std::move(ring), &rng);
+  ASSERT_TRUE(setup.ok());
+  EXPECT_EQ(setup->graph.edge_count(), 4u);
+}
+
+}  // namespace
+}  // namespace smn

@@ -1,0 +1,79 @@
+#include "tests/testing/test_networks.h"
+
+#include <string>
+
+#include "constraints/cycle.h"
+#include "constraints/one_to_one.h"
+
+namespace smn {
+namespace testing {
+
+ConstraintSet MakeStandardConstraints(const Network& network) {
+  ConstraintSet constraints;
+  constraints.Add(std::make_unique<OneToOneConstraint>());
+  constraints.Add(std::make_unique<CycleConstraint>());
+  const Status status = constraints.Compile(network);
+  (void)status;  // Cannot fail for a well-formed network.
+  return constraints;
+}
+
+Fig1Network MakeFig1Network() {
+  NetworkBuilder builder;
+  const SchemaId sa = builder.AddSchema("SA:EoverI");
+  const SchemaId sb = builder.AddSchema("SB:BBC");
+  const SchemaId sc = builder.AddSchema("SC:DVDizzy");
+  const AttributeId production_date =
+      builder.AddAttribute(sa, "productionDate", AttributeType::kDate).value();
+  const AttributeId date =
+      builder.AddAttribute(sb, "date", AttributeType::kDate).value();
+  const AttributeId release_date =
+      builder.AddAttribute(sc, "releaseDate", AttributeType::kDate).value();
+  const AttributeId screen_date =
+      builder.AddAttribute(sc, "screenDate", AttributeType::kDate).value();
+  builder.AddCompleteGraph();
+  const CorrespondenceId c1 =
+      builder.AddCorrespondence(production_date, date, 0.9).value();
+  const CorrespondenceId c2 =
+      builder.AddCorrespondence(date, release_date, 0.8).value();
+  const CorrespondenceId c3 =
+      builder.AddCorrespondence(production_date, release_date, 0.7).value();
+  const CorrespondenceId c4 =
+      builder.AddCorrespondence(date, screen_date, 0.6).value();
+  const CorrespondenceId c5 =
+      builder.AddCorrespondence(production_date, screen_date, 0.5).value();
+  Network network = builder.Build().value();
+  ConstraintSet constraints = MakeStandardConstraints(network);
+  return Fig1Network{std::move(network), std::move(constraints),
+                     c1, c2, c3, c4, c5};
+}
+
+RandomNetwork MakeRandomNetwork(const RandomNetworkSpec& spec) {
+  Rng rng(spec.seed);
+  NetworkBuilder builder;
+  std::vector<std::vector<AttributeId>> attributes(spec.schema_count);
+  for (size_t s = 0; s < spec.schema_count; ++s) {
+    const SchemaId schema = builder.AddSchema("S" + std::to_string(s));
+    for (size_t a = 0; a < spec.attributes_per_schema; ++a) {
+      attributes[s].push_back(
+          builder.AddAttribute(schema, "a" + std::to_string(a)).value());
+    }
+  }
+  builder.AddCompleteGraph();
+  for (size_t s1 = 0; s1 < spec.schema_count; ++s1) {
+    for (size_t s2 = s1 + 1; s2 < spec.schema_count; ++s2) {
+      for (AttributeId a : attributes[s1]) {
+        for (AttributeId b : attributes[s2]) {
+          if (rng.Bernoulli(spec.candidate_density)) {
+            builder.AddCorrespondence(a, b, rng.UniformDouble()).value();
+          }
+        }
+      }
+    }
+  }
+  Network network = builder.Build().value();
+  ConstraintSet constraints = MakeStandardConstraints(network);
+  return RandomNetwork{std::move(network), std::move(constraints)};
+}
+
+}  // namespace testing
+}  // namespace smn

@@ -1,0 +1,66 @@
+#ifndef SMN_TESTS_TESTING_TEST_NETWORKS_H_
+#define SMN_TESTS_TESTING_TEST_NETWORKS_H_
+
+#include <memory>
+
+#include "core/constraint_set.h"
+#include "core/network.h"
+#include "util/rng.h"
+
+namespace smn {
+namespace testing {
+
+/// The motivating example of the paper (Fig. 1): three video-content
+/// provider schemas and the five candidate correspondences a matcher
+/// produced.
+///
+///   SA:EoverI   { productionDate }
+///   SB:BBC      { date }
+///   SC:DVDizzy  { releaseDate, screenDate }
+///
+///   c1 = SA.productionDate ~ SB.date
+///   c2 = SB.date           ~ SC.releaseDate
+///   c3 = SA.productionDate ~ SC.releaseDate
+///   c4 = SB.date           ~ SC.screenDate
+///   c5 = SA.productionDate ~ SC.screenDate
+///
+/// {c3, c5} violates one-to-one; {c1, c2} without c3 (and {c1, c5} without
+/// c4) violate the cycle constraint. Under the exact Definition-1 semantics
+/// this network has five matching instances: {c1,c2,c3}, {c1,c4,c5},
+/// {c3,c4}, {c2,c5}, and the singleton {c1} (every single extension of {c1}
+/// opens a chain, so it is maximal). The paper's Example 1 idealizes the
+/// count to the first two; see DESIGN.md.
+struct Fig1Network {
+  Network network;
+  ConstraintSet constraints;  // one-to-one + cycle, compiled.
+  CorrespondenceId c1, c2, c3, c4, c5;
+};
+
+Fig1Network MakeFig1Network();
+
+/// A compiled one-to-one + cycle constraint set for `network`.
+ConstraintSet MakeStandardConstraints(const Network& network);
+
+/// Parameters for random small networks used by property tests.
+struct RandomNetworkSpec {
+  size_t schema_count = 3;
+  size_t attributes_per_schema = 3;
+  /// Chance that any cross-schema attribute pair becomes a candidate.
+  double candidate_density = 0.35;
+  uint64_t seed = 42;
+};
+
+struct RandomNetwork {
+  Network network;
+  ConstraintSet constraints;
+};
+
+/// Builds a random complete-graph network with random candidates and
+/// compiled standard constraints. Candidate counts stay small enough for
+/// exhaustive enumeration when spec sizes are small.
+RandomNetwork MakeRandomNetwork(const RandomNetworkSpec& spec);
+
+}  // namespace testing
+}  // namespace smn
+
+#endif  // SMN_TESTS_TESTING_TEST_NETWORKS_H_

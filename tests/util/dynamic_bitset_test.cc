@@ -1,0 +1,171 @@
+#include "util/dynamic_bitset.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace smn {
+namespace {
+
+TEST(DynamicBitsetTest, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(DynamicBitsetTest, SetResetAssign) {
+  DynamicBitset b(70);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Reset(63);
+  EXPECT_FALSE(b.Test(63));
+  b.Assign(1, true);
+  b.Assign(0, false);
+  EXPECT_TRUE(b.Test(1));
+  EXPECT_FALSE(b.Test(0));
+}
+
+TEST(DynamicBitsetTest, ClearRemovesAll) {
+  DynamicBitset b(130);
+  for (size_t i = 0; i < 130; i += 7) b.Set(i);
+  EXPECT_GT(b.Count(), 0u);
+  b.Clear();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(DynamicBitsetTest, ContainsIsSubsetRelation) {
+  DynamicBitset super(66);
+  DynamicBitset sub(66);
+  super.Set(1);
+  super.Set(65);
+  sub.Set(65);
+  EXPECT_TRUE(super.Contains(sub));
+  EXPECT_FALSE(sub.Contains(super));
+  EXPECT_TRUE(super.Contains(super));
+  DynamicBitset empty(66);
+  EXPECT_TRUE(sub.Contains(empty));
+}
+
+TEST(DynamicBitsetTest, IntersectsAndCount) {
+  DynamicBitset a(128);
+  DynamicBitset b(128);
+  a.Set(10);
+  a.Set(100);
+  b.Set(100);
+  b.Set(127);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.IntersectionCount(b), 1u);
+  b.Reset(100);
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_EQ(a.IntersectionCount(b), 0u);
+}
+
+TEST(DynamicBitsetTest, SymmetricDifferenceCountsBothSides) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  b.Set(4);
+  // a\b = {1}, b\a = {3,4}.
+  EXPECT_EQ(a.SymmetricDifferenceCount(b), 3u);
+  EXPECT_EQ(b.SymmetricDifferenceCount(a), 3u);
+  EXPECT_EQ(a.SymmetricDifferenceCount(a), 0u);
+}
+
+TEST(DynamicBitsetTest, BitwiseOperators) {
+  DynamicBitset a(8);
+  DynamicBitset b(8);
+  a.Set(0);
+  a.Set(1);
+  b.Set(1);
+  b.Set(2);
+
+  DynamicBitset and_result = a;
+  and_result &= b;
+  EXPECT_EQ(and_result.ToIndices(), (std::vector<size_t>{1}));
+
+  DynamicBitset or_result = a;
+  or_result |= b;
+  EXPECT_EQ(or_result.ToIndices(), (std::vector<size_t>{0, 1, 2}));
+
+  DynamicBitset xor_result = a;
+  xor_result ^= b;
+  EXPECT_EQ(xor_result.ToIndices(), (std::vector<size_t>{0, 2}));
+
+  DynamicBitset diff = a;
+  diff.SubtractInPlace(b);
+  EXPECT_EQ(diff.ToIndices(), (std::vector<size_t>{0}));
+}
+
+TEST(DynamicBitsetTest, EqualityAndHash) {
+  DynamicBitset a(50);
+  DynamicBitset b(50);
+  a.Set(17);
+  b.Set(17);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Set(18);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(DynamicBitsetTest, UsableInUnorderedSet) {
+  std::unordered_set<DynamicBitset, DynamicBitsetHash> set;
+  DynamicBitset a(20);
+  a.Set(3);
+  DynamicBitset b(20);
+  b.Set(4);
+  set.insert(a);
+  set.insert(b);
+  set.insert(a);  // Duplicate.
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(DynamicBitsetTest, ForEachSetBitVisitsAscending) {
+  DynamicBitset b(200);
+  const std::vector<size_t> expected{0, 63, 64, 128, 199};
+  for (size_t i : expected) b.Set(i);
+  std::vector<size_t> visited;
+  b.ForEachSetBit([&](size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(DynamicBitsetTest, FromWordBuildsLowBits) {
+  const DynamicBitset b = DynamicBitset::FromWord(5, 0b10110);
+  EXPECT_EQ(b.ToIndices(), (std::vector<size_t>{1, 2, 4}));
+  // Bits beyond `size` are masked away.
+  const DynamicBitset masked = DynamicBitset::FromWord(3, 0xFF);
+  EXPECT_EQ(masked.Count(), 3u);
+}
+
+TEST(DynamicBitsetTest, FromWordFullWidth) {
+  const DynamicBitset b = DynamicBitset::FromWord(64, ~0ULL);
+  EXPECT_EQ(b.Count(), 64u);
+}
+
+TEST(DynamicBitsetTest, ToStringShowsBitPositions) {
+  DynamicBitset b(5);
+  b.Set(0);
+  b.Set(3);
+  EXPECT_EQ(b.ToString(), "10010");
+}
+
+TEST(DynamicBitsetTest, ZeroSizeBitsetIsSane) {
+  DynamicBitset b(0);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.ToIndices().empty());
+}
+
+}  // namespace
+}  // namespace smn

@@ -1,0 +1,156 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace smn {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformUint64RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformUint64CoversRange) {
+  Rng rng(11);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[rng.UniformUint64(8)];
+  for (int h : hits) {
+    EXPECT_GT(h, 700);  // Expected 1000 each; generous tolerance.
+    EXPECT_LT(h, 1300);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(23);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ExponentialIsPositiveWithUnitMean) {
+  Rng rng(29);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.Exponential();
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 1.0, 0.05);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> items(20);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  EXPECT_FALSE(std::is_sorted(shuffled.begin(), shuffled.end()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, ShuffleHandlesEmptyAndSingle) {
+  Rng rng(37);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(RngTest, RouletteWheelFollowsWeights) {
+  Rng rng(41);
+  const std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 20000; ++i) ++hits[rng.RouletteWheel(weights)];
+  // Expected proportions ~ 0.1 / 0.3 / ~0 / 0.6.
+  EXPECT_NEAR(hits[0] / 20000.0, 0.1, 0.02);
+  EXPECT_NEAR(hits[1] / 20000.0, 0.3, 0.03);
+  EXPECT_LT(hits[2], 100);  // Epsilon-weighted, nearly never.
+  EXPECT_NEAR(hits[3] / 20000.0, 0.6, 0.03);
+}
+
+TEST(RngTest, RouletteWheelAllZeroWeightsIsUniformish) {
+  Rng rng(43);
+  const std::vector<double> weights{0.0, 0.0, 0.0};
+  std::vector<int> hits(3, 0);
+  for (int i = 0; i < 3000; ++i) ++hits[rng.RouletteWheel(weights)];
+  for (int h : hits) EXPECT_GT(h, 700);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(47);
+  Rng child = parent.Split();
+  // The child stream must not simply mirror the parent.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace smn

@@ -1,0 +1,111 @@
+#include "util/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/statusor.h"
+
+namespace smn {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("gone").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("dup").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("pre").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("range").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("oops").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("todo").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::NotFound("gone").message(), "gone");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("negative count").ToString(),
+            "InvalidArgument: negative count");
+}
+
+TEST(StatusTest, StreamOperatorMatchesToString) {
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "Internal: boom");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+Status FailWhenNegative(int value) {
+  if (value < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Caller(int value) {
+  SMN_RETURN_IF_ERROR(FailWhenNegative(value));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Caller(1).ok());
+  EXPECT_EQ(Caller(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, ValueOrFallsBack) {
+  StatusOr<int> good(7);
+  StatusOr<int> bad(Status::Internal("x"));
+  EXPECT_EQ(good.value_or(0), 7);
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+StatusOr<int> MakeValue(bool succeed) {
+  if (!succeed) return Status::Internal("nope");
+  return 5;
+}
+
+StatusOr<int> Doubler(bool succeed) {
+  SMN_ASSIGN_OR_RETURN(int value, MakeValue(succeed));
+  return value * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubler(true).value(), 10);
+  EXPECT_EQ(Doubler(false).status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(3));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 3);
+}
+
+}  // namespace
+}  // namespace smn

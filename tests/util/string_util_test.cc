@@ -1,0 +1,72 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace smn {
+namespace {
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("ReleaseDate"), "releasedate");
+  EXPECT_EQ(ToLowerAscii("ABC_def-123"), "abc_def-123");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(StringUtilTest, SplitAnyDropsEmptyPieces) {
+  EXPECT_EQ(SplitAny("a,b;;c", ",;"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitAny(",,", ","), std::vector<std::string>{});
+  EXPECT_EQ(SplitAny("abc", ","), std::vector<std::string>{"abc"});
+}
+
+TEST(StringUtilTest, SplitIdentifierCamelCase) {
+  EXPECT_EQ(SplitIdentifier("releaseDate"),
+            (std::vector<std::string>{"release", "date"}));
+  EXPECT_EQ(SplitIdentifier("ReleaseDate"),
+            (std::vector<std::string>{"release", "date"}));
+}
+
+TEST(StringUtilTest, SplitIdentifierSnakeAndDelimiters) {
+  EXPECT_EQ(SplitIdentifier("release_date"),
+            (std::vector<std::string>{"release", "date"}));
+  EXPECT_EQ(SplitIdentifier("release-date.v"),
+            (std::vector<std::string>{"release", "date", "v"}));
+}
+
+TEST(StringUtilTest, SplitIdentifierDigitBoundaries) {
+  EXPECT_EQ(SplitIdentifier("address2"),
+            (std::vector<std::string>{"address", "2"}));
+  EXPECT_EQ(SplitIdentifier("v2name"),
+            (std::vector<std::string>{"v", "2", "name"}));
+}
+
+TEST(StringUtilTest, SplitIdentifierAcronymRuns) {
+  EXPECT_EQ(SplitIdentifier("XMLFile"),
+            (std::vector<std::string>{"xml", "file"}));
+}
+
+TEST(StringUtilTest, SplitIdentifierEmptyAndSingle) {
+  EXPECT_TRUE(SplitIdentifier("").empty());
+  EXPECT_EQ(SplitIdentifier("date"), std::vector<std::string>{"date"});
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("releaseDate", "release"));
+  EXPECT_FALSE(StartsWith("date", "release"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.8415, 2), "0.84");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace smn
