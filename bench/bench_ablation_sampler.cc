@@ -16,6 +16,7 @@
 #include "core/exact_enumerator.h"
 #include "core/sampler.h"
 #include "sim/metrics.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -28,6 +29,7 @@ struct Variant {
 };
 
 int Run() {
+  bench::BenchReporter reporter("ablation_sampler");
   std::cout << "=== Ablation: sampler design choices (KLratio % and support "
                "coverage % vs exact, |C|=16) ===\n";
 
@@ -51,6 +53,7 @@ int Run() {
   TablePrinter table({"Variant", "KLratio (%)", "Coverage (%)",
                       "MeanSampleSize"});
   for (const Variant& variant : variants) {
+    Stopwatch watch;
     double ratio_sum = 0.0;
     double coverage_sum = 0.0;
     double size_sum = 0.0;
@@ -87,6 +90,10 @@ int Run() {
       size_sum += size / static_cast<double>(out.size());
       ++settings;
     }
+    reporter.AddEntry(variant.name, watch.ElapsedMillis(),
+                      {{"klratio_pct", 100.0 * ratio_sum / settings},
+                       {"coverage_pct", coverage_sum / settings},
+                       {"mean_sample_size", size_sum / settings}});
     table.AddRow({variant.name,
                   FormatDouble(100.0 * ratio_sum / settings, 2),
                   FormatDouble(coverage_sum / settings, 1),
@@ -96,7 +103,7 @@ int Run() {
   std::cout << "\nShape to check: the full sampler has the lowest KLratio "
                "and (near-)complete coverage; removal-only repair leaves "
                "triangle-closing instances unvisited.\n";
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }
 
 }  // namespace

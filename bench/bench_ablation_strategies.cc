@@ -10,6 +10,7 @@
 #include "bench/bench_util.h"
 #include "datasets/standard.h"
 #include "sim/experiment.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -17,6 +18,7 @@ namespace smn {
 namespace {
 
 int Run() {
+  bench::BenchReporter reporter("ablation_strategies");
   const size_t runs = bench::Runs();
   std::cout << "=== Ablation: selection strategies (BP, normalized "
                "uncertainty, averaged over "
@@ -45,6 +47,7 @@ int Run() {
     options.network_options.store.target_samples = 500;
     options.network_options.store.min_samples = 100;
     options.seed = 17;
+    Stopwatch watch;
     const auto curve = RunReconciliationCurve(*setup, options);
     if (!curve.ok()) {
       std::cerr << curve.status() << "\n";
@@ -52,15 +55,21 @@ int Run() {
     }
     const double h0 = std::max((*curve)[0].uncertainty, 1e-9);
     std::vector<std::string> row{std::string(StrategyKindName(strategy))};
-    for (const CurvePoint& point : *curve) {
-      row.push_back(FormatDouble(point.uncertainty / h0, 3));
+    bench::BenchReporter::Fields fields;
+    for (size_t i = 0; i < curve->size(); ++i) {
+      row.push_back(FormatDouble((*curve)[i].uncertainty / h0, 3));
+      fields.emplace_back(
+          "h_at_" + FormatDouble(100.0 * checkpoints[i], 0) + "pct",
+          (*curve)[i].uncertainty / h0);
     }
+    reporter.AddEntry(std::string(StrategyKindName(strategy)),
+                      watch.ElapsedMillis(), std::move(fields));
     table.AddRow(std::move(row));
   }
   table.Print(std::cout);
   std::cout << "\nShape to check: InformationGain <= MaxEntropy <= Random at "
                "every budget; Sequential is the weakest guided baseline.\n";
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }
 
 }  // namespace

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "bench/synthetic_networks.h"
 #include "core/feedback.h"
 #include "core/instantiation.h"
@@ -103,7 +106,43 @@ void BM_Instantiate(benchmark::State& state) {
 }
 BENCHMARK(BM_Instantiate)->Arg(128)->Arg(512);
 
+/// Console reporter that additionally records every benchmark case into the
+/// JSON trajectory (BENCH_micro_core.json) next to the usual table output.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(bench::BenchReporter* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      // Skip aggregates and errored/skipped runs (zero iterations). Checked
+      // via iterations rather than Run::error_occurred, which was replaced
+      // by the Skipped enum in google-benchmark 1.8.
+      if (run.run_type == Run::RT_Aggregate || run.iterations <= 0) continue;
+      const double iterations = static_cast<double>(run.iterations);
+      const double real_ms = run.real_accumulated_time * 1e3;
+      const double cpu_ms = run.cpu_accumulated_time * 1e3;
+      out_->AddEntry(run.benchmark_name(), real_ms,
+                     {{"iterations", iterations},
+                      {"real_ms_per_iter", real_ms / iterations},
+                      {"cpu_ms_per_iter", cpu_ms / iterations}});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReporter* out_;
+};
+
 }  // namespace
 }  // namespace smn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  smn::bench::BenchReporter reporter("micro_core");
+  smn::JsonCapturingReporter display(&reporter);
+  const size_t executed = benchmark::RunSpecifiedBenchmarks(&display);
+  reporter.AddMetric("benchmarks_executed", static_cast<double>(executed));
+  benchmark::Shutdown();
+  return reporter.Write() ? 0 : 1;
+}

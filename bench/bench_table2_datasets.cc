@@ -7,14 +7,17 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/bench_util.h"
 #include "datasets/generator.h"
 #include "datasets/standard.h"
+#include "util/stopwatch.h"
 #include "util/table_printer.h"
 
 namespace smn {
 namespace {
 
 int Run() {
+  bench::BenchReporter reporter("table2_datasets");
   std::cout << "=== Table II: Real datasets (synthetic stand-ins, full size) ===\n";
   TablePrinter table({"Dataset", "#Schemas", "#Attributes(Min/Max)",
                       "#Attributes(Total)", "Vocabulary", "#Concepts"});
@@ -22,12 +25,21 @@ int Run() {
   for (const StandardDataset& standard :
        {MakeBpDataset(), MakePoDataset(), MakeUafDataset(),
         MakeWebFormDataset()}) {
+    Stopwatch watch;
     const auto dataset =
         GenerateDataset(standard.config, standard.vocabulary, &rng);
     if (!dataset.ok()) {
       std::cerr << "generation failed: " << dataset.status() << "\n";
       return 1;
     }
+    reporter.AddEntry(
+        dataset->name, watch.ElapsedMillis(),
+        {{"schemas", static_cast<double>(dataset->schemas.size())},
+         {"attributes_min", static_cast<double>(dataset->MinAttributeCount())},
+         {"attributes_max", static_cast<double>(dataset->MaxAttributeCount())},
+         {"attributes_total",
+          static_cast<double>(dataset->TotalAttributeCount())},
+         {"concepts", static_cast<double>(standard.vocabulary.size())}});
     table.AddRow({dataset->name, std::to_string(dataset->schemas.size()),
                   std::to_string(dataset->MinAttributeCount()) + "/" +
                       std::to_string(dataset->MaxAttributeCount()),
@@ -38,7 +50,7 @@ int Run() {
   table.Print(std::cout);
   std::cout << "\nPaper reference: BP 3 80/106, PO 10 35/408, UAF 15 65/228, "
                "WebForm 89 10/120.\n";
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }
 
 }  // namespace

@@ -26,6 +26,7 @@ struct Row {
 };
 
 int Run() {
+  bench::BenchReporter reporter("table3_violations");
   const double scale = bench::Scale();
   std::cout << "=== Table III: Constraint violations per matcher (scale="
             << FormatDouble(scale, 2) << ") ===\n";
@@ -42,6 +43,7 @@ int Run() {
 
     Row row;
     row.dataset = config.name;
+    Stopwatch watch;
     int column = 0;
     for (MatcherKind kind : {MatcherKind::kComaLike, MatcherKind::kAmcLike}) {
       Rng rng(2014);  // Same dataset instance for both matchers.
@@ -58,6 +60,14 @@ int Run() {
       row.precision[column] = ScoreCandidates(*setup).precision;
       ++column;
     }
+    reporter.AddEntry(
+        row.dataset, watch.ElapsedMillis(),
+        {{"candidates_coma", static_cast<double>(row.candidates[0])},
+         {"violations_coma", static_cast<double>(row.violations[0])},
+         {"precision_coma", row.precision[0]},
+         {"candidates_amc", static_cast<double>(row.candidates[1])},
+         {"violations_amc", static_cast<double>(row.violations[1])},
+         {"precision_amc", row.precision[1]}});
     table.AddRow({row.dataset, std::to_string(row.candidates[0]),
                   std::to_string(row.violations[0]),
                   FormatDouble(row.precision[0], 2),
@@ -70,7 +80,7 @@ int Run() {
                "PO 10078/11320, UAF 40436/41256, WebForm 6032/6367.\n"
             << "Shape to check: violations far exceed what an expert can "
                "review exhaustively, for both matchers alike.\n";
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }
 
 }  // namespace

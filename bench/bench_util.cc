@@ -1,0 +1,145 @@
+#include "bench/bench_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+namespace smn {
+namespace bench {
+namespace {
+
+/// True when `rest` is empty up to trailing whitespace — the only tail a
+/// well-formed knob value may have.
+bool OnlyTrailingSpace(const char* rest) {
+  while (*rest != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*rest))) return false;
+    ++rest;
+  }
+  return true;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no inf/nan literals; emit null so consumers fail loudly rather
+/// than parse garbage.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+void WriteFields(std::ostream& out, const BenchReporter::Fields& fields,
+                 const char* indent) {
+  out << "{";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n" << indent << "  \"" << JsonEscape(fields[i].first)
+        << "\": " << JsonNumber(fields[i].second);
+  }
+  if (!fields.empty()) out << "\n" << indent;
+  out << "}";
+}
+
+}  // namespace
+
+double ParseDouble(const char* value, double fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || !OnlyTrailingSpace(end)) return fallback;
+  if (!std::isfinite(parsed) || parsed <= 0.0) return fallback;
+  return parsed;
+}
+
+size_t ParseSize(const char* value, size_t fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (errno == ERANGE || end == value || !OnlyTrailingSpace(end)) {
+    return fallback;
+  }
+  if (parsed <= 0) return fallback;
+  return static_cast<size_t>(parsed);
+}
+
+BenchReporter::BenchReporter(std::string name) : name_(std::move(name)) {}
+
+void BenchReporter::AddMetric(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+void BenchReporter::AddEntry(const std::string& entry_name, double wall_ms,
+                             Fields fields) {
+  entries_.push_back(Entry{entry_name, wall_ms, std::move(fields)});
+}
+
+std::string BenchReporter::OutputPath() const {
+  const char* dir = std::getenv("SMN_BENCH_OUT_DIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? dir : ".";
+  if (path.back() != '/') path += '/';
+  return path + "BENCH_" + name_ + ".json";
+}
+
+bool BenchReporter::Write() const {
+  const std::string path = OutputPath();
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "[bench] cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << "{\n"
+      << "  \"bench\": \"" << JsonEscape(name_) << "\",\n"
+      << "  \"scale\": " << JsonNumber(Scale()) << ",\n"
+      << "  \"runs\": " << Runs() << ",\n"
+      << "  \"wall_time_ms\": " << JsonNumber(watch_.ElapsedMillis()) << ",\n"
+      << "  \"metrics\": ";
+  WriteFields(out, metrics_, "  ");
+  out << ",\n  \"entries\": [";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out << ",";
+    const Entry& entry = entries_[i];
+    out << "\n    {\n      \"name\": \"" << JsonEscape(entry.name) << "\",\n"
+        << "      \"wall_time_ms\": " << JsonNumber(entry.wall_ms) << ",\n"
+        << "      \"fields\": ";
+    WriteFields(out, entry.fields, "      ");
+    out << "\n    }";
+  }
+  if (!entries_.empty()) out << "\n  ";
+  out << "]\n}\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "[bench] failed writing " << path << "\n";
+    return false;
+  }
+  std::cout << "[bench] wrote " << path << "\n";
+  return true;
+}
+
+}  // namespace bench
+}  // namespace smn

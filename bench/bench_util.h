@@ -3,25 +3,33 @@
 
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stopwatch.h"
 
 namespace smn {
 namespace bench {
+
+/// Parses a strictly positive double from `value`. Returns `fallback` when
+/// `value` is null, empty, malformed (including trailing junk, e.g. "o.5" or
+/// "0.5x"), non-finite, or <= 0 — a silent zero scale would collapse every
+/// dataset to nothing.
+double ParseDouble(const char* value, double fallback);
+
+/// Parses a strictly positive size from `value` with the same validation.
+size_t ParseSize(const char* value, size_t fallback);
 
 /// Reads a double knob from the environment ("SMN_BENCH_SCALE=1.0"), falling
 /// back to `fallback`. The benches default to scaled-down datasets so the
 /// whole suite finishes in minutes; set SMN_BENCH_SCALE=1 SMN_BENCH_RUNS=50
 /// to reproduce the paper's full protocol (see EXPERIMENTS.md).
 inline double EnvDouble(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  return std::atof(value);
+  return ParseDouble(std::getenv(name), fallback);
 }
 
 inline size_t EnvSize(const char* name, size_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  const long long parsed = std::atoll(value);
-  return parsed <= 0 ? fallback : static_cast<size_t>(parsed);
+  return ParseSize(std::getenv(name), fallback);
 }
 
 /// Dataset scale shared by the heavy benches.
@@ -29,6 +37,55 @@ inline double Scale() { return EnvDouble("SMN_BENCH_SCALE", 0.50); }
 
 /// Averaging runs for the reconciliation curves (paper: 50).
 inline size_t Runs() { return EnvSize("SMN_BENCH_RUNS", 5); }
+
+/// Accumulates results while a bench runs and writes them as machine-readable
+/// JSON, so every bench leaves a BENCH_<name>.json perf trajectory next to
+/// its human-readable table output. The wall clock starts at construction;
+/// Write() stamps the total elapsed time together with the active
+/// SMN_BENCH_SCALE / SMN_BENCH_RUNS knobs.
+///
+///   BenchReporter reporter("fig6_sampling_time");
+///   ...
+///   reporter.AddEntry("c1024", total_ms, {{"per_sample_ms", per_sample}});
+///   reporter.AddMetric("samples", samples);
+///   reporter.Write();
+///
+/// Output shape:
+///   {"bench": ..., "scale": ..., "runs": ..., "wall_time_ms": ...,
+///    "metrics": {...}, "entries": [{"name": ..., "wall_time_ms": ...,
+///    "fields": {...}}, ...]}
+class BenchReporter {
+ public:
+  using Fields = std::vector<std::pair<std::string, double>>;
+
+  explicit BenchReporter(std::string name);
+
+  /// Top-level scalar (e.g. a summary gap or a dataset size).
+  void AddMetric(const std::string& key, double value);
+
+  /// One measured sub-result: a table row, a benchmark case, a dataset.
+  void AddEntry(const std::string& entry_name, double wall_ms,
+                Fields fields = {});
+
+  /// $SMN_BENCH_OUT_DIR/BENCH_<name>.json (default: current directory).
+  std::string OutputPath() const;
+
+  /// Writes the JSON file; returns false (with a message on stderr) when the
+  /// file cannot be written. Non-finite values are emitted as null.
+  bool Write() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    double wall_ms;
+    Fields fields;
+  };
+
+  std::string name_;
+  Stopwatch watch_;
+  Fields metrics_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace bench
 }  // namespace smn

@@ -1,0 +1,18 @@
+# Opt-in sanitizer configuration for the whole tree:
+#
+#   cmake -B build -S . -DSMN_SANITIZE=address,undefined
+#   cmake -B build -S . -DSMN_SANITIZE=thread
+#
+# Accepts a comma- or semicolon-separated list of sanitizer names that are
+# passed straight to -fsanitize=. Empty (the default) builds without
+# instrumentation.
+
+set(SMN_SANITIZE "" CACHE STRING
+  "Comma-separated sanitizers to enable (e.g. address,undefined)")
+
+if(SMN_SANITIZE)
+  string(REPLACE ";" "," _smn_sanitize_flag "${SMN_SANITIZE}")
+  message(STATUS "Building with -fsanitize=${_smn_sanitize_flag}")
+  add_compile_options(-fsanitize=${_smn_sanitize_flag} -fno-omit-frame-pointer -g)
+  add_link_options(-fsanitize=${_smn_sanitize_flag})
+endif()

@@ -46,8 +46,14 @@ class DynamicBitset {
   /// Number of set bits.
   size_t Count() const;
 
-  /// True when no bit is set.
-  bool None() const { return Count() == 0; }
+  /// True when no bit is set. Early-exits on the first nonzero word instead
+  /// of popcounting the whole bitset.
+  bool None() const {
+    for (const uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
 
   /// True when every bit of `other` is also set in this bitset.
   /// Requires equal sizes.

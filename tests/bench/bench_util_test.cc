@@ -1,0 +1,160 @@
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace smn {
+namespace bench {
+namespace {
+
+TEST(ParseDoubleTest, ValidValues) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.25", 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("1", 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5e-1", 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("  0.75", 1.0), 0.75);   // Leading space.
+  EXPECT_DOUBLE_EQ(ParseDouble("0.75 \n", 1.0), 0.75);  // Trailing space.
+}
+
+TEST(ParseDoubleTest, MalformedFallsBack) {
+  // The regression that motivated the fix: atof("o.5") == 0.0 silently
+  // collapsed every dataset to zero size.
+  EXPECT_DOUBLE_EQ(ParseDouble("o.5", 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("abc", 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("0.5x", 0.5), 0.5);  // Trailing junk.
+  EXPECT_DOUBLE_EQ(ParseDouble("1.2.3", 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("", 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble(nullptr, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("   ", 0.5), 0.5);
+}
+
+TEST(ParseDoubleTest, NonPositiveAndNonFiniteFallBack) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0", 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("0.0", 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1.5", 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("inf", 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("nan", 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e999", 0.5), 0.5);  // Overflows to inf.
+}
+
+TEST(ParseSizeTest, ValidValues) {
+  EXPECT_EQ(ParseSize("10", 5), 10u);
+  EXPECT_EQ(ParseSize("1", 5), 1u);
+  EXPECT_EQ(ParseSize(" 42 ", 5), 42u);
+}
+
+TEST(ParseSizeTest, MalformedAndNonPositiveFallBack) {
+  EXPECT_EQ(ParseSize("ten", 5), 5u);
+  EXPECT_EQ(ParseSize("10x", 5), 5u);
+  EXPECT_EQ(ParseSize("3.5", 5), 5u);  // Trailing ".5" is junk for a size.
+  EXPECT_EQ(ParseSize("", 5), 5u);
+  EXPECT_EQ(ParseSize(nullptr, 5), 5u);
+  EXPECT_EQ(ParseSize("0", 5), 5u);
+  EXPECT_EQ(ParseSize("-3", 5), 5u);
+  // Overflow (ERANGE) must fall back rather than clamp to LLONG_MAX.
+  EXPECT_EQ(ParseSize("99999999999999999999", 5), 5u);
+}
+
+class EnvKnobTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("SMN_BENCH_SCALE");
+    unsetenv("SMN_BENCH_RUNS");
+    unsetenv("SMN_TEST_KNOB");
+  }
+};
+
+TEST_F(EnvKnobTest, EnvDoubleReadsAndValidates) {
+  setenv("SMN_TEST_KNOB", "0.25", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("SMN_TEST_KNOB", 1.0), 0.25);
+  setenv("SMN_TEST_KNOB", "o.5", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("SMN_TEST_KNOB", 1.0), 1.0);
+  unsetenv("SMN_TEST_KNOB");
+  EXPECT_DOUBLE_EQ(EnvDouble("SMN_TEST_KNOB", 1.0), 1.0);
+}
+
+TEST_F(EnvKnobTest, ScaleFallsBackOnMalformedInput) {
+  setenv("SMN_BENCH_SCALE", "o.5", 1);
+  EXPECT_DOUBLE_EQ(Scale(), 0.50);
+  setenv("SMN_BENCH_SCALE", "-2", 1);
+  EXPECT_DOUBLE_EQ(Scale(), 0.50);
+  setenv("SMN_BENCH_SCALE", "0.1", 1);
+  EXPECT_DOUBLE_EQ(Scale(), 0.1);
+}
+
+TEST_F(EnvKnobTest, RunsFallsBackOnMalformedInput) {
+  setenv("SMN_BENCH_RUNS", "many", 1);
+  EXPECT_EQ(Runs(), 5u);
+  setenv("SMN_BENCH_RUNS", "0", 1);
+  EXPECT_EQ(Runs(), 5u);
+  setenv("SMN_BENCH_RUNS", "50", 1);
+  EXPECT_EQ(Runs(), 50u);
+}
+
+class BenchReporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir();
+    setenv("SMN_BENCH_OUT_DIR", dir_.c_str(), 1);
+  }
+  void TearDown() override { unsetenv("SMN_BENCH_OUT_DIR"); }
+
+  std::string ReadAll(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    return contents.str();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(BenchReporterTest, WritesJsonWithWallTimeScaleAndEntries) {
+  BenchReporter reporter("unit_test");
+  reporter.AddMetric("candidates", 128.0);
+  reporter.AddEntry("case_a", 12.5, {{"per_sample_ms", 0.5}});
+  reporter.AddEntry("case_b", 7.0);
+  ASSERT_TRUE(reporter.Write());
+
+  const std::string json = ReadAll(reporter.OutputPath());
+  EXPECT_NE(json.find("\"bench\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"scale\":"), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_time_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"candidates\": 128"), std::string::npos);
+  EXPECT_NE(json.find("\"case_a\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_sample_ms\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"case_b\""), std::string::npos);
+}
+
+TEST_F(BenchReporterTest, OutputPathUsesEnvDirAndBenchName) {
+  BenchReporter reporter("fig6");
+  const std::string path = reporter.OutputPath();
+  EXPECT_EQ(path.find(dir_), 0u);
+  EXPECT_NE(path.find("BENCH_fig6.json"), std::string::npos);
+}
+
+TEST_F(BenchReporterTest, EscapesNamesAndHandlesNonFiniteValues) {
+  BenchReporter reporter("escape\"me");
+  reporter.AddEntry("quote\"name", 1.0,
+                    {{"bad", std::numeric_limits<double>::infinity()}});
+  ASSERT_TRUE(reporter.Write());
+  const std::string json = ReadAll(reporter.OutputPath());
+  EXPECT_NE(json.find("escape\\\"me"), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"name"), std::string::npos);
+  EXPECT_NE(json.find("\"bad\": null"), std::string::npos);
+}
+
+TEST_F(BenchReporterTest, WriteFailsOnUnwritableDirectory) {
+  setenv("SMN_BENCH_OUT_DIR", "/nonexistent/dir", 1);
+  BenchReporter reporter("nowhere");
+  EXPECT_FALSE(reporter.Write());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace smn

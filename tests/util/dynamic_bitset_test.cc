@@ -167,5 +167,39 @@ TEST(DynamicBitsetTest, ZeroSizeBitsetIsSane) {
   EXPECT_TRUE(b.ToIndices().empty());
 }
 
+TEST(DynamicBitsetTest, NoneOnEmptyAndZeroSize) {
+  EXPECT_TRUE(DynamicBitset(0).None());
+  EXPECT_TRUE(DynamicBitset().None());
+  EXPECT_TRUE(DynamicBitset(1).None());
+  EXPECT_TRUE(DynamicBitset(64).None());
+  EXPECT_TRUE(DynamicBitset(1000).None());
+}
+
+TEST(DynamicBitsetTest, NoneSeesBitInLastWord) {
+  // 130 bits -> three words; only bit 129 (last word) is set, so the
+  // early-exit scan must reach the final word before answering.
+  DynamicBitset b(130);
+  b.Set(129);
+  EXPECT_FALSE(b.None());
+  b.Reset(129);
+  EXPECT_TRUE(b.None());
+}
+
+TEST(DynamicBitsetTest, NoneAcrossMultipleWords) {
+  DynamicBitset b(256);
+  EXPECT_TRUE(b.None());
+  b.Set(0);  // First word: early exit on word 0.
+  EXPECT_FALSE(b.None());
+  b.Reset(0);
+  b.Set(63);
+  EXPECT_FALSE(b.None());
+  b.Reset(63);
+  b.Set(128);  // Middle word.
+  EXPECT_FALSE(b.None());
+  b.Clear();
+  EXPECT_TRUE(b.None());
+  EXPECT_TRUE(b.None() == (b.Count() == 0));
+}
+
 }  // namespace
 }  // namespace smn
