@@ -52,7 +52,7 @@ int Run() {
         options.exact_threshold = 0;  // Pure sampling; exact is the oracle.
         // Longer walks decorrelate the chain on these tiny, cycle-heavy
         // networks (see EXPERIMENTS.md for the fidelity discussion).
-        options.sampler.walk_steps = 16;
+        options.sampling.sampler.walk_steps = 16;
         SampleStore store(synthetic.network, synthetic.constraints, options);
         Rng rng(seed * 31 + candidates);
         if (!store.Initialize(feedback, &rng).ok()) return 1;

@@ -1,0 +1,77 @@
+#include "core/chain_diagnostics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace smn {
+
+ChainDiagnostics ComputeChainDiagnostics(
+    const std::vector<std::vector<DynamicBitset>>& chains,
+    size_t correspondence_count) {
+  ChainDiagnostics diag;
+  diag.psrf.assign(correspondence_count, 1.0);
+
+  // Per-chain membership counts: counts[i][c] = how many samples of usable
+  // chain i contain correspondence c.
+  std::vector<std::vector<size_t>> counts;
+  std::vector<size_t> lengths;
+  for (const auto& chain : chains) {
+    if (chain.size() < 2) continue;
+    std::vector<size_t> chain_counts(correspondence_count, 0);
+    for (const DynamicBitset& sample : chain) {
+      sample.ForEachSetBit([&](size_t c) { ++chain_counts[c]; });
+    }
+    counts.push_back(std::move(chain_counts));
+    lengths.push_back(chain.size());
+  }
+  diag.usable_chains = counts.size();
+  if (!lengths.empty()) {
+    diag.min_chain_length = *std::min_element(lengths.begin(), lengths.end());
+  }
+  const size_t m = counts.size();
+  if (m < 2 || correspondence_count == 0) return diag;
+
+  double mean_length = 0.0;
+  for (size_t n : lengths) mean_length += static_cast<double>(n);
+  mean_length /= static_cast<double>(m);
+
+  std::vector<double> means(m);
+  for (size_t c = 0; c < correspondence_count; ++c) {
+    // Chain means and the mean of the unbiased within-chain Bernoulli
+    // variances W; then the between-chain variance of the means B/n.
+    double w = 0.0;
+    double grand_mean = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      const double n = static_cast<double>(lengths[i]);
+      const double p = static_cast<double>(counts[i][c]) / n;
+      means[i] = p;
+      grand_mean += p;
+      w += p * (1.0 - p) * n / (n - 1.0);
+    }
+    w /= static_cast<double>(m);
+    grand_mean /= static_cast<double>(m);
+    double b_over_n = 0.0;
+    for (double p : means) {
+      b_over_n += (p - grand_mean) * (p - grand_mean);
+    }
+    b_over_n /= static_cast<double>(m - 1);
+
+    if (w <= 0.0) {
+      // Zero within-chain variance: either all chains are frozen on the same
+      // membership (indistinguishable from certainty, R̂ = 1) or they are
+      // frozen on different ones — the never-mixing case, R̂ = +inf.
+      diag.psrf[c] = b_over_n > 0.0
+                         ? std::numeric_limits<double>::infinity()
+                         : 1.0;
+      continue;
+    }
+    const double var_plus =
+        (mean_length - 1.0) / mean_length * w + b_over_n;
+    diag.psrf[c] = std::sqrt(var_plus / w);
+  }
+  diag.max_psrf = *std::max_element(diag.psrf.begin(), diag.psrf.end());
+  return diag;
+}
+
+}  // namespace smn

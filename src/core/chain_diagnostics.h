@@ -1,0 +1,61 @@
+#ifndef SMN_CORE_CHAIN_DIAGNOSTICS_H_
+#define SMN_CORE_CHAIN_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/dynamic_bitset.h"
+
+namespace smn {
+
+/// Cross-chain agreement diagnostic for multi-chain sampling, in the spirit
+/// of the Gelman–Rubin potential scale reduction factor (PSRF). Every
+/// correspondence c defines one Bernoulli trace per chain — membership of c
+/// in each of the chain's samples — and R̂ compares the between-chain spread
+/// of the trace means against the within-chain variance. Chains that have
+/// converged to a common distribution give R̂ ≈ 1; chains stuck in different
+/// regions of the instance space give R̂ >> 1, up to +infinity for frozen
+/// chains that disagree with zero within-chain variance (the signature of a
+/// sampler that never moves).
+struct ChainDiagnostics {
+  /// Chains that contributed (those with at least two samples; shorter chains
+  /// make the variance estimates undefined and are skipped).
+  size_t usable_chains = 0;
+  /// Length of the shortest usable chain.
+  size_t min_chain_length = 0;
+  /// True when the sample set came from exact enumeration rather than
+  /// sampling: the probabilities are exact, so there is nothing to diagnose
+  /// and nothing to distrust.
+  bool exact = false;
+  /// Per-correspondence R̂. Exactly 1 for correspondences whose traces are
+  /// constant and identical across chains (always-in, never-in).
+  std::vector<double> psrf;
+  /// Maximum over `psrf`; 1.0 when the diagnostic is inapplicable (fewer
+  /// than two usable chains).
+  double max_psrf = 1.0;
+
+  /// True when R̂ could actually be estimated (two or more usable chains) or
+  /// the fill was exact. A single-chain or too-short run is not applicable —
+  /// and deliberately not Converged(): absence of evidence must not read as
+  /// a healthy diagnostic.
+  bool applicable() const { return exact || usable_chains >= 2; }
+
+  /// True when the diagnostic is applicable and every correspondence's R̂ is
+  /// at or below `threshold` (the conventional Gelman–Rubin cutoff is
+  /// 1.1–1.2).
+  bool Converged(double threshold = 1.2) const {
+    return applicable() && max_psrf <= threshold;
+  }
+};
+
+/// Computes the diagnostic from per-chain sample sets over a candidate set of
+/// `correspondence_count` correspondences. Chains with fewer than two samples
+/// are ignored; with fewer than two usable chains the result is the
+/// inapplicable default (all R̂ = 1).
+ChainDiagnostics ComputeChainDiagnostics(
+    const std::vector<std::vector<DynamicBitset>>& chains,
+    size_t correspondence_count);
+
+}  // namespace smn
+
+#endif  // SMN_CORE_CHAIN_DIAGNOSTICS_H_

@@ -1,0 +1,114 @@
+#include "core/parallel_sampler.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <future>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace smn {
+namespace {
+
+/// One full chain: overdispersed (or plain) start, burn-in + quota emitted
+/// samples, head discarded. Owns its Rng by value — chains never share
+/// generator state.
+StatusOr<std::vector<DynamicBitset>> RunChain(const Sampler& sampler,
+                                              const Feedback& feedback,
+                                              size_t burn_in, size_t quota,
+                                              bool overdisperse, Rng rng) {
+  std::vector<DynamicBitset> samples;
+  SMN_ASSIGN_OR_RETURN(DynamicBitset state,
+                       sampler.ChainStart(feedback, overdisperse, &rng));
+  SMN_RETURN_IF_ERROR(
+      sampler.ContinueChain(feedback, burn_in + quota, &rng, &state, &samples));
+  samples.erase(samples.begin(),
+                samples.begin() + static_cast<std::ptrdiff_t>(burn_in));
+  return samples;
+}
+
+}  // namespace
+
+ParallelSampler::ParallelSampler(const Network& network,
+                                 const ConstraintSet& constraints,
+                                 ParallelSamplerOptions options)
+    : sampler_(network, constraints, options.sampler), options_(options) {}
+
+StatusOr<std::vector<std::vector<DynamicBitset>>>
+ParallelSampler::SampleChains(const Feedback& feedback, size_t count,
+                              Rng* rng) const {
+  const size_t chains = std::max<size_t>(1, options_.num_chains);
+  // Fork one decorrelated stream per chain from a single parent draw. The
+  // draw advances the parent so back-to-back calls (the store's top-up
+  // rounds) explore fresh streams; the forks themselves are pure functions
+  // of the advanced state, so thread scheduling cannot perturb them.
+  Rng fork_base = rng->Split();
+  std::vector<Rng> chain_rngs;
+  chain_rngs.reserve(chains);
+  for (size_t i = 0; i < chains; ++i) chain_rngs.push_back(fork_base.Fork(i));
+
+  std::vector<size_t> quotas(chains, count / chains);
+  for (size_t i = 0; i < count % chains; ++i) ++quotas[i];
+
+  std::vector<std::vector<DynamicBitset>> result(chains);
+  size_t threads = options_.num_threads == 0
+                       ? std::min(chains, ThreadPool::DefaultThreadCount())
+                       : options_.num_threads;
+  threads = std::min(threads, chains);
+
+  if (threads <= 1) {
+    for (size_t i = 0; i < chains; ++i) {
+      SMN_ASSIGN_OR_RETURN(
+          result[i],
+          RunChain(sampler_, feedback, options_.burn_in, quotas[i],
+                   options_.overdispersed_starts, std::move(chain_rngs[i])));
+    }
+    return result;
+  }
+
+  std::vector<std::future<StatusOr<std::vector<DynamicBitset>>>> futures;
+  futures.reserve(chains);
+  {
+    // A per-call pool keeps the sampler stateless (const methods stay safe
+    // to share); spawning a handful of threads costs microseconds against
+    // the milliseconds a sampling round takes.
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < chains; ++i) {
+      futures.push_back(
+          pool.Submit([this, &feedback, &quotas, i,
+                       chain_rng = std::move(chain_rngs[i])]() mutable {
+            return RunChain(sampler_, feedback, options_.burn_in, quotas[i],
+                            options_.overdispersed_starts,
+                            std::move(chain_rng));
+          }));
+    }
+  }  // The pool destructor drains and joins: every future is ready below.
+  Status first_error = Status::OK();
+  for (size_t i = 0; i < chains; ++i) {
+    StatusOr<std::vector<DynamicBitset>> chain = futures[i].get();
+    if (!chain.ok()) {
+      // Keep the lowest-index error so the reported failure is deterministic.
+      if (first_error.ok()) first_error = chain.status();
+      continue;
+    }
+    result[i] = *std::move(chain);
+  }
+  if (!first_error.ok()) return first_error;
+  return result;
+}
+
+Status ParallelSampler::SampleMerged(const Feedback& feedback, size_t count,
+                                     Rng* rng,
+                                     std::vector<DynamicBitset>* out) const {
+  SMN_ASSIGN_OR_RETURN(std::vector<std::vector<DynamicBitset>> chains,
+                       SampleChains(feedback, count, rng));
+  size_t total = 0;
+  for (const auto& chain : chains) total += chain.size();
+  out->reserve(out->size() + total);
+  for (auto& chain : chains) {
+    for (DynamicBitset& sample : chain) out->push_back(std::move(sample));
+  }
+  return Status::OK();
+}
+
+}  // namespace smn

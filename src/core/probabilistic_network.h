@@ -68,6 +68,13 @@ class ProbabilisticNetwork {
   /// True when Ω* provably holds every matching instance.
   bool exhausted() const { return store_.exhausted(); }
 
+  /// Cross-chain convergence diagnostic of the most recent sampling round
+  /// (see SampleStore::chain_diagnostics). Callers gate trust in the
+  /// probability estimates on diagnostics().Converged().
+  const ChainDiagnostics& chain_diagnostics() const {
+    return store_.chain_diagnostics();
+  }
+
  private:
   ProbabilisticNetwork(const Network& network, const ConstraintSet& constraints,
                        ProbabilisticNetworkOptions options);

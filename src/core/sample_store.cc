@@ -12,11 +12,12 @@ SampleStore::SampleStore(const Network& network,
                          SampleStoreOptions options)
     : network_(network),
       constraints_(constraints),
-      sampler_(network, constraints, options.sampler),
+      sampler_(network, constraints, options.sampling),
       options_(options) {}
 
 Status SampleStore::Initialize(const Feedback& feedback, Rng* rng) {
   samples_.clear();
+  chain_diagnostics_ = ChainDiagnostics{};
   exhausted_ = false;
   return TopUp(feedback, rng);
 }
@@ -57,6 +58,8 @@ Status SampleStore::TopUp(const Feedback& feedback, Rng* rng) {
     SMN_ASSIGN_OR_RETURN(ExactEnumerationResult result,
                          enumerator.Enumerate(feedback));
     samples_ = std::move(result.instances);
+    chain_diagnostics_ = ChainDiagnostics{};
+    chain_diagnostics_.exact = true;  // Nothing sampled, nothing to distrust.
     exhausted_ = true;
     return Status::OK();
   }
@@ -68,7 +71,15 @@ Status SampleStore::TopUp(const Feedback& feedback, Rng* rng) {
                                ? options_.target_samples - samples_.size()
                                : 0;
     if (missing == 0) break;
-    SMN_RETURN_IF_ERROR(sampler_.SampleChain(feedback, missing, rng, &samples_));
+    SMN_ASSIGN_OR_RETURN(std::vector<std::vector<DynamicBitset>> chains,
+                         sampler_.SampleChains(feedback, missing, rng));
+    chain_diagnostics_ =
+        ComputeChainDiagnostics(chains, network_.correspondence_count());
+    // Chain-major merge keeps the store's sample order a pure function of
+    // the seed, independent of worker-thread scheduling.
+    for (std::vector<DynamicBitset>& chain : chains) {
+      for (DynamicBitset& sample : chain) samples_.push_back(std::move(sample));
+    }
     if (DistinctCount() >= options_.min_samples) {
       exhausted_ = false;
       return Status::OK();

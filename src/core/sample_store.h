@@ -3,10 +3,11 @@
 
 #include <vector>
 
+#include "core/chain_diagnostics.h"
 #include "core/constraint_set.h"
 #include "core/feedback.h"
 #include "core/network.h"
-#include "core/sampler.h"
+#include "core/parallel_sampler.h"
 #include "util/dynamic_bitset.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -26,7 +27,9 @@ struct SampleStoreOptions {
   /// silently miss narrow-basin instances (e.g. singleton instances whose
   /// every extension opens a chain). Set to 0 to force pure sampling.
   size_t exact_threshold = 16;
-  SamplerOptions sampler;
+  /// Multi-chain sampling engine configuration: chain count, worker threads,
+  /// burn-in, and the per-chain walk knobs (`sampling.sampler`).
+  ParallelSamplerOptions sampling;
 };
 
 /// Maintains the sample set Ω* across a stream of user assertions
@@ -63,6 +66,14 @@ class SampleStore {
   /// are exact).
   bool exhausted() const { return exhausted_; }
 
+  /// Cross-chain Gelman–Rubin-style diagnostic of the most recent sampling
+  /// round (see ChainDiagnostics). After an exact-enumeration fill the
+  /// diagnostic reports `exact` (and therefore Converged()) — an exhausted
+  /// store has nothing left to disagree about.
+  const ChainDiagnostics& chain_diagnostics() const {
+    return chain_diagnostics_;
+  }
+
   /// Number of distinct instances currently in the store.
   size_t DistinctCount() const;
 
@@ -78,9 +89,10 @@ class SampleStore {
 
   const Network& network_;
   const ConstraintSet& constraints_;
-  Sampler sampler_;
+  ParallelSampler sampler_;
   SampleStoreOptions options_;
   std::vector<DynamicBitset> samples_;
+  ChainDiagnostics chain_diagnostics_;
   bool exhausted_ = false;
 };
 

@@ -55,8 +55,9 @@ StatusOr<DynamicBitset> Sampler::NextInstance(const DynamicBitset& current,
   return current;
 }
 
-Status Sampler::SampleChain(const Feedback& feedback, size_t count, Rng* rng,
-                            std::vector<DynamicBitset>* out) const {
+StatusOr<DynamicBitset> Sampler::ChainStart(const Feedback& feedback,
+                                            bool overdisperse,
+                                            Rng* rng) const {
   DynamicBitset state = feedback.approved();
   if (!constraints_.IsSatisfied(state)) {
     // The cycle constraint is non-monotone: a partial F+ can be chain-open
@@ -68,11 +69,26 @@ Status Sampler::SampleChain(const Feedback& feedback, size_t count, Rng* rng,
                                       options_.repair);
     if (!repaired.ok()) {
       return Status::FailedPrecondition(
-          "SampleChain: the approved set F+ violates the integrity "
+          "ChainStart: the approved set F+ violates the integrity "
           "constraints and cannot be closure-repaired: " +
           repaired.message());
     }
   }
+  if (overdisperse) Maximalize(constraints_, feedback, rng, &state);
+  return state;
+}
+
+Status Sampler::SampleChain(const Feedback& feedback, size_t count, Rng* rng,
+                            std::vector<DynamicBitset>* out) const {
+  SMN_ASSIGN_OR_RETURN(DynamicBitset state,
+                       ChainStart(feedback, /*overdisperse=*/false, rng));
+  return ContinueChain(feedback, count, rng, &state, out);
+}
+
+Status Sampler::ContinueChain(const Feedback& feedback, size_t count, Rng* rng,
+                              DynamicBitset* state_ptr,
+                              std::vector<DynamicBitset>* out) const {
+  DynamicBitset& state = *state_ptr;
   out->reserve(out->size() + count);
   for (size_t i = 0; i < count; ++i) {
     for (size_t step = 0; step < options_.walk_steps; ++step) {

@@ -50,8 +50,25 @@ class Sampler {
 
   /// Draws `count` samples along one chain seeded at F+ and appends them to
   /// `*out` (Algorithm 3). Fails when F+ itself violates the constraints.
+  /// Equivalent to ChainStart + ContinueChain.
   Status SampleChain(const Feedback& feedback, size_t count, Rng* rng,
                      std::vector<DynamicBitset>* out) const;
+
+  /// Computes the state a fresh chain starts from: the approved set F+,
+  /// closure-repaired to consistency. With `overdisperse` set, the start is
+  /// additionally extended to a random maximal instance — the overdispersed
+  /// initial points that cross-chain convergence diagnostics assume
+  /// (the walk's stationary distribution is unchanged either way). Fails when
+  /// F+ is genuinely contradictory.
+  StatusOr<DynamicBitset> ChainStart(const Feedback& feedback,
+                                     bool overdisperse, Rng* rng) const;
+
+  /// Advances the walk from `*state`, appending `count` emitted samples to
+  /// `*out` and leaving `*state` at the final chain position. `*state` must
+  /// be consistent (normally a ChainStart result).
+  Status ContinueChain(const Feedback& feedback, size_t count, Rng* rng,
+                       DynamicBitset* state,
+                       std::vector<DynamicBitset>* out) const;
 
   const SamplerOptions& options() const { return options_; }
 

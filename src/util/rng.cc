@@ -84,4 +84,14 @@ size_t Rng::RouletteWheel(const std::vector<double>& weights) {
 
 Rng Rng::Split() { return Rng(NextUint64()); }
 
+Rng Rng::Fork(uint64_t stream_id) const {
+  // Snapshot the state (rotations keep the four words from cancelling), fold
+  // in the stream id, and finalize twice through SplitMix64 so consecutive
+  // ids do not map to consecutive SplitMix64 entry points.
+  uint64_t mixer = state_[0] ^ Rotl(state_[1], 13) ^ Rotl(state_[2], 29) ^
+                   Rotl(state_[3], 43) ^ stream_id;
+  const uint64_t first = SplitMix64(&mixer);
+  return Rng(first ^ SplitMix64(&mixer));
+}
+
 }  // namespace smn

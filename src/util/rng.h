@@ -59,7 +59,17 @@ class Rng {
   size_t RouletteWheel(const std::vector<double>& weights);
 
   /// Splits off an independent child generator (for per-run streams).
+  /// Advances this generator, so successive Split() calls differ.
   Rng Split();
+
+  /// Derives the decorrelated child stream number `stream_id` without
+  /// advancing this generator: the child seed is the current state xor-folded
+  /// with the stream id and pushed through a SplitMix64-style finalizer, so
+  /// Fork(i) and Fork(j) land in unrelated regions of seed space even for
+  /// adjacent ids. A pure function of (state, stream_id): repeated calls
+  /// return identical streams, which is what makes multi-chain sampling
+  /// reproducible regardless of thread scheduling.
+  Rng Fork(uint64_t stream_id) const;
 
  private:
   uint64_t state_[4];

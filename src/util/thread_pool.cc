@@ -1,0 +1,46 @@
+#include "util/thread_pool.h"
+
+namespace smn {
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t thread_count) {
+  if (thread_count == 0) thread_count = DefaultThreadCount();
+  threads_.reserve(thread_count);
+  for (size_t i = 0; i < thread_count; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ set and queue drained.
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();  // Exceptions land in the task's future, not here.
+  }
+}
+
+}  // namespace smn

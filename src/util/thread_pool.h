@@ -1,0 +1,76 @@
+#ifndef SMN_UTIL_THREAD_POOL_H_
+#define SMN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace smn {
+
+/// Fixed-size worker pool for fan-out/join parallelism (the multi-chain
+/// sampler, batched matcher evaluation). Tasks are closures handed to
+/// Submit(), which returns the std::future of the task's result — including
+/// any exception the task throws, so worker failures surface at the join
+/// point instead of dying silently on a pool thread.
+///
+/// The destructor finishes every task already submitted, then joins the
+/// workers, so futures obtained from a pool are always eventually ready.
+/// Submit() is safe to call from multiple threads concurrently; submitting
+/// after the destructor has started is not.
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers; 0 means DefaultThreadCount().
+  explicit ThreadPool(size_t thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return threads_.size(); }
+
+  /// Number of submitted tasks that have not started yet. Diagnostic only:
+  /// the value can be stale by the time the caller reads it.
+  size_t pending() const;
+
+  /// std::thread::hardware_concurrency() with a floor of 1 (the standard
+  /// allows it to report 0 when the count is unknown).
+  static size_t DefaultThreadCount();
+
+  /// Schedules `fn` for execution and returns the future of its result.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using Result = std::invoke_result_t<std::decay_t<Fn>>;
+    // packaged_task is move-only but std::function requires copyable
+    // callables, hence the shared_ptr wrapper.
+    auto task =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.push([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace smn
+
+#endif  // SMN_UTIL_THREAD_POOL_H_

@@ -1,0 +1,130 @@
+#include "core/chain_diagnostics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace smn {
+namespace {
+
+/// Builds a chain of `length` one-bit samples where bit 0 is set with
+/// probability `p` under `rng`.
+std::vector<DynamicBitset> BernoulliChain(double p, size_t length, Rng* rng) {
+  std::vector<DynamicBitset> chain;
+  chain.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    DynamicBitset sample(1);
+    if (rng->Bernoulli(p)) sample.Set(0);
+    chain.push_back(std::move(sample));
+  }
+  return chain;
+}
+
+/// A chain frozen on a fixed membership pattern.
+std::vector<DynamicBitset> FrozenChain(const DynamicBitset& state,
+                                       size_t length) {
+  return std::vector<DynamicBitset>(length, state);
+}
+
+TEST(ChainDiagnosticsTest, EmptyInputIsInapplicable) {
+  const ChainDiagnostics diag = ComputeChainDiagnostics({}, 3);
+  EXPECT_EQ(diag.usable_chains, 0u);
+  EXPECT_DOUBLE_EQ(diag.max_psrf, 1.0);
+  // No chains were diagnosed, so the trust gate must not open.
+  EXPECT_FALSE(diag.applicable());
+  EXPECT_FALSE(diag.Converged());
+}
+
+TEST(ChainDiagnosticsTest, SingleChainIsInapplicable) {
+  Rng rng(1);
+  const ChainDiagnostics diag =
+      ComputeChainDiagnostics({BernoulliChain(0.5, 100, &rng)}, 1);
+  EXPECT_EQ(diag.usable_chains, 1u);
+  EXPECT_DOUBLE_EQ(diag.max_psrf, 1.0);
+  EXPECT_FALSE(diag.applicable());
+  EXPECT_FALSE(diag.Converged());
+}
+
+TEST(ChainDiagnosticsTest, ExactFillIsConvergedWithoutChains) {
+  ChainDiagnostics diag;
+  diag.exact = true;
+  EXPECT_TRUE(diag.applicable());
+  EXPECT_TRUE(diag.Converged());
+}
+
+TEST(ChainDiagnosticsTest, ChainsShorterThanTwoSamplesAreIgnored) {
+  DynamicBitset one(1);
+  one.Set(0);
+  std::vector<std::vector<DynamicBitset>> chains = {
+      {one},  // Length 1: unusable.
+      FrozenChain(one, 10),
+      FrozenChain(DynamicBitset(1), 10),
+  };
+  const ChainDiagnostics diag = ComputeChainDiagnostics(chains, 1);
+  EXPECT_EQ(diag.usable_chains, 2u);
+  EXPECT_EQ(diag.min_chain_length, 10u);
+}
+
+TEST(ChainDiagnosticsTest, AgreeingChainsScoreNearOne) {
+  Rng rng(42);
+  std::vector<std::vector<DynamicBitset>> chains;
+  for (int i = 0; i < 4; ++i) {
+    chains.push_back(BernoulliChain(0.4, 500, &rng));
+  }
+  const ChainDiagnostics diag = ComputeChainDiagnostics(chains, 1);
+  EXPECT_EQ(diag.usable_chains, 4u);
+  EXPECT_EQ(diag.min_chain_length, 500u);
+  EXPECT_NEAR(diag.psrf[0], 1.0, 0.05);
+  EXPECT_TRUE(diag.Converged());
+}
+
+TEST(ChainDiagnosticsTest, DivergentChainsScoreWellAboveOne) {
+  // Two chains around p=0.1, two around p=0.9: between-chain variance
+  // dominates within-chain variance, so R-hat must blow past any
+  // conventional threshold.
+  Rng rng(43);
+  std::vector<std::vector<DynamicBitset>> chains;
+  chains.push_back(BernoulliChain(0.1, 500, &rng));
+  chains.push_back(BernoulliChain(0.1, 500, &rng));
+  chains.push_back(BernoulliChain(0.9, 500, &rng));
+  chains.push_back(BernoulliChain(0.9, 500, &rng));
+  const ChainDiagnostics diag = ComputeChainDiagnostics(chains, 1);
+  EXPECT_GT(diag.psrf[0], 1.5);
+  EXPECT_FALSE(diag.Converged());
+}
+
+TEST(ChainDiagnosticsTest, FrozenDisagreeingChainsAreInfinite) {
+  DynamicBitset with(2);
+  with.Set(0);
+  DynamicBitset without(2);
+  const ChainDiagnostics diag = ComputeChainDiagnostics(
+      {FrozenChain(with, 20), FrozenChain(without, 20)}, 2);
+  EXPECT_TRUE(std::isinf(diag.psrf[0]));
+  EXPECT_TRUE(std::isinf(diag.max_psrf));
+  EXPECT_FALSE(diag.Converged());
+  // Bit 1 is never set anywhere: constant and identical, hence exactly 1.
+  EXPECT_DOUBLE_EQ(diag.psrf[1], 1.0);
+}
+
+TEST(ChainDiagnosticsTest, FrozenAgreeingChainsAreConverged) {
+  DynamicBitset with(1);
+  with.Set(0);
+  const ChainDiagnostics diag = ComputeChainDiagnostics(
+      {FrozenChain(with, 20), FrozenChain(with, 20)}, 1);
+  EXPECT_DOUBLE_EQ(diag.psrf[0], 1.0);
+  EXPECT_TRUE(diag.Converged());
+}
+
+TEST(ChainDiagnosticsTest, ZeroCorrespondencesIsConverged) {
+  const ChainDiagnostics diag = ComputeChainDiagnostics(
+      {FrozenChain(DynamicBitset(0), 5), FrozenChain(DynamicBitset(0), 5)}, 0);
+  EXPECT_TRUE(diag.psrf.empty());
+  EXPECT_DOUBLE_EQ(diag.max_psrf, 1.0);
+  EXPECT_TRUE(diag.Converged());
+}
+
+}  // namespace
+}  // namespace smn

@@ -1,0 +1,207 @@
+#include "core/parallel_sampler.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/matching_instance.h"
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace {
+
+class ParallelSamplerTest : public ::testing::Test {
+ protected:
+  ParallelSamplerTest()
+      : fig1_(testing::MakeFig1Network()),
+        feedback_(fig1_.network.correspondence_count()) {}
+
+  testing::Fig1Network fig1_;
+  Feedback feedback_;
+};
+
+std::vector<DynamicBitset> SampleWithThreads(const ParallelSampler& sampler,
+                                             const Feedback& feedback,
+                                             size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DynamicBitset> out;
+  EXPECT_TRUE(sampler.SampleMerged(feedback, count, &rng, &out).ok());
+  return out;
+}
+
+TEST_F(ParallelSamplerTest, MergedSamplesIdenticalAcrossThreadCounts) {
+  // The determinism guarantee: same seed and chain count => bit-identical
+  // merged output at 1, 2, and 8 worker threads.
+  std::vector<std::vector<DynamicBitset>> runs;
+  for (size_t threads : {1u, 2u, 8u}) {
+    ParallelSamplerOptions options;
+    options.num_chains = 4;
+    options.num_threads = threads;
+    ParallelSampler sampler(fig1_.network, fig1_.constraints, options);
+    runs.push_back(SampleWithThreads(sampler, feedback_, 200, 42));
+    ASSERT_EQ(runs.back().size(), 200u);
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST_F(ParallelSamplerTest, DeterminismHoldsOnLargerRandomNetworks) {
+  const testing::RandomNetwork random =
+      testing::MakeRandomNetwork({4, 4, 0.5, 77});
+  Feedback feedback(random.network.correspondence_count());
+  std::vector<std::vector<DynamicBitset>> runs;
+  for (size_t threads : {1u, 2u, 8u}) {
+    ParallelSamplerOptions options;
+    options.num_chains = 8;
+    options.num_threads = threads;
+    options.burn_in = 5;
+    ParallelSampler sampler(random.network, random.constraints, options);
+    runs.push_back(SampleWithThreads(sampler, feedback, 160, 7));
+    ASSERT_EQ(runs.back().size(), 160u);
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST_F(ParallelSamplerTest, EveryChainEmitsMatchingInstances) {
+  ParallelSamplerOptions options;
+  options.num_chains = 4;
+  ParallelSampler sampler(fig1_.network, fig1_.constraints, options);
+  Rng rng(5);
+  auto chains = sampler.SampleChains(feedback_, 100, &rng);
+  ASSERT_TRUE(chains.ok());
+  ASSERT_EQ(chains->size(), 4u);
+  for (const auto& chain : *chains) {
+    EXPECT_EQ(chain.size(), 25u);
+    for (const DynamicBitset& sample : chain) {
+      EXPECT_TRUE(IsMatchingInstance(fig1_.constraints, feedback_, sample))
+          << sample.ToString();
+    }
+  }
+}
+
+TEST_F(ParallelSamplerTest, BurnInDiscardsChainHead) {
+  // With identical seeds, a run with burn_in=b and per-chain quota q must
+  // reproduce exactly the tail of a burn_in=0 run with quota b+q: burn-in
+  // discards the chain head, nothing else.
+  constexpr size_t kChains = 2;
+  constexpr size_t kBurnIn = 3;
+  constexpr size_t kQuota = 10;
+
+  ParallelSamplerOptions with_burn_in;
+  with_burn_in.num_chains = kChains;
+  with_burn_in.num_threads = 1;
+  with_burn_in.burn_in = kBurnIn;
+  ParallelSampler burned(fig1_.network, fig1_.constraints, with_burn_in);
+  Rng rng_a(123);
+  auto burned_chains =
+      burned.SampleChains(feedback_, kChains * kQuota, &rng_a);
+  ASSERT_TRUE(burned_chains.ok());
+
+  ParallelSamplerOptions without_burn_in = with_burn_in;
+  without_burn_in.burn_in = 0;
+  ParallelSampler full(fig1_.network, fig1_.constraints, without_burn_in);
+  Rng rng_b(123);
+  auto full_chains =
+      full.SampleChains(feedback_, kChains * (kBurnIn + kQuota), &rng_b);
+  ASSERT_TRUE(full_chains.ok());
+
+  for (size_t i = 0; i < kChains; ++i) {
+    ASSERT_EQ((*burned_chains)[i].size(), kQuota);
+    ASSERT_EQ((*full_chains)[i].size(), kBurnIn + kQuota);
+    const std::vector<DynamicBitset> tail(
+        (*full_chains)[i].begin() + kBurnIn, (*full_chains)[i].end());
+    EXPECT_EQ((*burned_chains)[i], tail) << "chain " << i;
+  }
+}
+
+TEST_F(ParallelSamplerTest, CountSplitsAcrossChainsWithRemainderFirst) {
+  ParallelSamplerOptions options;
+  options.num_chains = 3;
+  options.num_threads = 1;
+  ParallelSampler sampler(fig1_.network, fig1_.constraints, options);
+  Rng rng(9);
+  auto chains = sampler.SampleChains(feedback_, 5, &rng);
+  ASSERT_TRUE(chains.ok());
+  ASSERT_EQ(chains->size(), 3u);
+  EXPECT_EQ((*chains)[0].size(), 2u);
+  EXPECT_EQ((*chains)[1].size(), 2u);
+  EXPECT_EQ((*chains)[2].size(), 1u);
+}
+
+TEST_F(ParallelSamplerTest, ZeroCountYieldsEmptyChains) {
+  ParallelSampler sampler(fig1_.network, fig1_.constraints);
+  Rng rng(10);
+  auto chains = sampler.SampleChains(feedback_, 0, &rng);
+  ASSERT_TRUE(chains.ok());
+  for (const auto& chain : *chains) EXPECT_TRUE(chain.empty());
+  std::vector<DynamicBitset> merged;
+  Rng rng2(10);
+  ASSERT_TRUE(sampler.SampleMerged(feedback_, 0, &rng2, &merged).ok());
+  EXPECT_TRUE(merged.empty());
+}
+
+TEST_F(ParallelSamplerTest, ZeroChainsCoercedToSingleChain) {
+  ParallelSamplerOptions options;
+  options.num_chains = 0;
+  ParallelSampler sampler(fig1_.network, fig1_.constraints, options);
+  Rng rng(11);
+  auto chains = sampler.SampleChains(feedback_, 12, &rng);
+  ASSERT_TRUE(chains.ok());
+  ASSERT_EQ(chains->size(), 1u);
+  EXPECT_EQ((*chains)[0].size(), 12u);
+}
+
+TEST_F(ParallelSamplerTest, EmptyNetworkProducesEmptyInstances) {
+  // A network with schemas but zero candidate correspondences: the only
+  // matching instance is the empty set, and the engine must not trip over
+  // zero-bit bitsets or zero-candidate picks.
+  NetworkBuilder builder;
+  builder.AddSchema("A");
+  builder.AddSchema("B");
+  builder.AddCompleteGraph();
+  Network network = builder.Build().value();
+  ConstraintSet constraints = testing::MakeStandardConstraints(network);
+  ParallelSamplerOptions options;
+  options.num_chains = 4;
+  options.num_threads = 2;
+  ParallelSampler sampler(network, constraints, options);
+  Feedback feedback(0);
+  Rng rng(13);
+  std::vector<DynamicBitset> merged;
+  ASSERT_TRUE(sampler.SampleMerged(feedback, 8, &rng, &merged).ok());
+  ASSERT_EQ(merged.size(), 8u);
+  for (const DynamicBitset& sample : merged) EXPECT_TRUE(sample.None());
+}
+
+TEST_F(ParallelSamplerTest, ContradictoryApprovalsFailAcrossThreads) {
+  ASSERT_TRUE(feedback_.Approve(fig1_.c3).ok());
+  ASSERT_TRUE(feedback_.Approve(fig1_.c5).ok());  // One-to-one conflict.
+  for (size_t threads : {1u, 4u}) {
+    ParallelSamplerOptions options;
+    options.num_chains = 4;
+    options.num_threads = threads;
+    ParallelSampler sampler(fig1_.network, fig1_.constraints, options);
+    Rng rng(14);
+    auto chains = sampler.SampleChains(feedback_, 20, &rng);
+    EXPECT_EQ(chains.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST_F(ParallelSamplerTest, ChainsRespectFeedback) {
+  ASSERT_TRUE(feedback_.Approve(fig1_.c2).ok());
+  ASSERT_TRUE(feedback_.Disapprove(fig1_.c4).ok());
+  ParallelSamplerOptions options;
+  options.num_chains = 4;
+  ParallelSampler sampler(fig1_.network, fig1_.constraints, options);
+  Rng rng(15);
+  std::vector<DynamicBitset> merged;
+  ASSERT_TRUE(sampler.SampleMerged(feedback_, 80, &rng, &merged).ok());
+  for (const DynamicBitset& sample : merged) {
+    EXPECT_TRUE(sample.Test(fig1_.c2));
+    EXPECT_FALSE(sample.Test(fig1_.c4));
+  }
+}
+
+}  // namespace
+}  // namespace smn

@@ -141,6 +141,70 @@ TEST(RngTest, RouletteWheelAllZeroWeightsIsUniformish) {
   for (int h : hits) EXPECT_GT(h, 700);
 }
 
+TEST(RngTest, ForkPinnedOutput) {
+  // Pinned stream values: any change to the Fork mixing breaks cross-version
+  // reproducibility of every multi-chain experiment, so it must be loud.
+  Rng parent(42);
+  Rng fork0 = parent.Fork(0);
+  EXPECT_EQ(fork0.NextUint64(), 2025630497294596477ULL);
+  EXPECT_EQ(fork0.NextUint64(), 9028020919454224973ULL);
+  Rng fork1 = parent.Fork(1);
+  EXPECT_EQ(fork1.NextUint64(), 5266603097349503708ULL);
+  EXPECT_EQ(fork1.NextUint64(), 7234645801606467228ULL);
+  Rng fork7 = parent.Fork(7);
+  EXPECT_EQ(fork7.NextUint64(), 12546741776253071429ULL);
+  EXPECT_EQ(fork7.NextUint64(), 6064070927113969775ULL);
+}
+
+TEST(RngTest, ForkDoesNotAdvanceParent) {
+  Rng forked(47);
+  forked.Fork(0);
+  forked.Fork(123);
+  Rng untouched(47);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(forked.NextUint64(), untouched.NextUint64());
+  }
+}
+
+TEST(RngTest, ForkIsPureFunctionOfStateAndStreamId) {
+  Rng parent(51);
+  Rng a = parent.Fork(9);
+  Rng b = parent.Fork(9);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, AdjacentForkStreamsAreDecorrelated) {
+  // Sharing one Rng across chains without Fork would correlate them; Fork
+  // with adjacent stream ids must not. Also checks the fork does not mirror
+  // its parent's stream.
+  Rng parent(53);
+  Rng fork0 = parent.Fork(0);
+  Rng fork1 = parent.Fork(1);
+  int fork_collisions = 0;
+  int parent_collisions = 0;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t a = fork0.NextUint64();
+    if (a == fork1.NextUint64()) ++fork_collisions;
+    if (a == parent.NextUint64()) ++parent_collisions;
+  }
+  EXPECT_LT(fork_collisions, 2);
+  EXPECT_LT(parent_collisions, 2);
+}
+
+TEST(RngTest, ForkStreamsDifferWhenParentStateDiffers) {
+  Rng a(1);
+  Rng b(2);
+  Rng fork_a = a.Fork(5);
+  Rng fork_b = b.Fork(5);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (fork_a.NextUint64() == fork_b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
 TEST(RngTest, SplitProducesIndependentStream) {
   Rng parent(47);
   Rng child = parent.Split();

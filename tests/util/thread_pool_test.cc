@@ -1,0 +1,137 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace smn {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, SpawnsRequestedThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPoolTest, ZeroMeansDefaultThreadCount) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), ThreadPool::DefaultThreadCount());
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      futures.push_back(pool.Submit([&counter] { ++counter; }));
+    }
+    for (auto& future : futures) future.get();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ReturnsTaskResultsThroughFutures) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  std::future<int> boom =
+      pool.Submit([]() -> int { throw std::runtime_error("task failed"); });
+  std::future<int> fine = pool.Submit([] { return 7; });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  // A throwing task must not take the worker (or its siblings) down.
+  EXPECT_EQ(fine.get(), 7);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      // Deliberately more tasks than one worker can start immediately; all
+      // futures are dropped, so completion relies on the drain guarantee.
+      pool.Submit([&counter] { ++counter; });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitStress) {
+  std::atomic<int> counter{0};
+  constexpr int kProducers = 4;
+  constexpr int kTasksPerProducer = 250;
+  {
+    ThreadPool pool(4);
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&pool, &counter] {
+        for (int i = 0; i < kTasksPerProducer; ++i) {
+          pool.Submit([&counter] { ++counter; });
+        }
+      });
+    }
+    for (std::thread& producer : producers) producer.join();
+  }
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrentlyAcrossWorkers) {
+  // Two tasks that each wait for the other to start can only finish when the
+  // pool really runs them on distinct threads.
+  ThreadPool pool(2);
+  std::promise<void> first_started;
+  std::shared_future<void> first_started_future =
+      first_started.get_future().share();
+  std::promise<void> second_started;
+  std::shared_future<void> second_started_future =
+      second_started.get_future().share();
+  auto a = pool.Submit([&first_started, second_started_future] {
+    first_started.set_value();
+    second_started_future.wait();
+  });
+  auto b = pool.Submit([&second_started, first_started_future] {
+    second_started.set_value();
+    first_started_future.wait();
+  });
+  const auto deadline = std::chrono::seconds(30);
+  ASSERT_EQ(a.wait_for(deadline), std::future_status::ready);
+  ASSERT_EQ(b.wait_for(deadline), std::future_status::ready);
+  a.get();
+  b.get();
+}
+
+TEST(ThreadPoolTest, PendingReportsQueuedTasks) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+  auto blocker = pool.Submit([release_future] { release_future.wait(); });
+  auto queued = pool.Submit([] {});
+  // The single worker is blocked, so the second task must still be queued.
+  EXPECT_GE(pool.pending(), 1u);
+  release.set_value();
+  blocker.get();
+  queued.get();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace smn
