@@ -1,0 +1,185 @@
+// A/B benchmark for the component-decomposed incremental reconciliation
+// engine: runs the same Algorithm-1 loop (information-gain selection against
+// a ground-truth oracle) on a multi-component clustered network twice — once
+// with the per-component cache enabled (re-sample only the touched
+// component) and once in full-resample mode (recompute every component on
+// every assertion, the O(|C|) baseline) — and reports mean per-assertion
+// cost and the speedup. Both modes derive per-component RNG streams purely
+// from (anchor, generation), so they execute the *identical* assertion
+// sequence: the comparison is pure engine overhead, not workload drift.
+//
+// Knobs: SMN_BENCH_SCALE (dataset size), SMN_BENCH_INCREMENTAL=0/1 to
+// restrict the A/B to one side (unset runs both and prints the speedup).
+// Expected shape: speedup grows with the component count and with
+// reconciliation progress (components shrink and split as variables pin),
+// ≥ 2x mean per-assertion at the default clustered geometry.
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bench/synthetic_networks.h"
+#include "core/probabilistic_network.h"
+#include "core/reconciler.h"
+#include "core/selection_strategy.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace smn {
+namespace {
+
+struct ModeResult {
+  size_t assertions = 0;
+  double total_ms = 0.0;
+  double mean_ms_per_assertion = 0.0;
+  double create_ms = 0.0;
+  size_t initial_components = 0;
+  size_t final_components = 0;
+};
+
+std::optional<ModeResult> RunMode(const bench::SyntheticNetwork& net,
+                                  bool incremental, uint64_t seed) {
+  ProbabilisticNetworkOptions options;
+  options.incremental = incremental;
+  options.store.target_samples = 400;
+  options.store.min_samples = 100;
+
+  Rng rng(seed);
+  Stopwatch create_watch;
+  auto pmn = ProbabilisticNetwork::Create(net.network, net.constraints,
+                                          options, &rng);
+  if (!pmn.ok()) {
+    std::cerr << "create failed: " << pmn.status() << "\n";
+    return std::nullopt;
+  }
+  ModeResult result;
+  result.create_ms = create_watch.ElapsedMillis();
+  result.initial_components = pmn->component_count();
+
+  // Ground truth: one maintained instance (identical across modes for a
+  // fixed seed, so both runs answer the same assertion sequence).
+  if (pmn->samples().empty()) {
+    std::cerr << "no samples to derive an oracle from\n";
+    return std::nullopt;
+  }
+  const DynamicBitset truth = pmn->samples()[0];
+  auto strategy = MakeStrategy(StrategyKind::kInformationGain);
+  Reconciler reconciler(&*pmn, strategy.get(),
+                        [&truth](CorrespondenceId c) { return truth.Test(c); });
+
+  Stopwatch watch;
+  for (;;) {
+    const auto step = reconciler.Step(&rng);
+    if (!step.ok()) {
+      if (step.status().code() == StatusCode::kNotFound) break;
+      std::cerr << "step failed: " << step.status() << "\n";
+      return std::nullopt;
+    }
+    ++result.assertions;
+  }
+  result.total_ms = watch.ElapsedMillis();
+  result.mean_ms_per_assertion =
+      result.assertions == 0 ? 0.0
+                             : result.total_ms /
+                                   static_cast<double>(result.assertions);
+  result.final_components = pmn->component_count();
+  return result;
+}
+
+int Run() {
+  bench::BenchReporter reporter("incremental_reconcile");
+  const double scale = bench::Scale();
+  const size_t clusters = 6;
+  const size_t candidates_per_cluster =
+      std::max<size_t>(8, static_cast<size_t>(60 * scale));
+  const uint64_t seed = 20140331;
+
+  // SMN_BENCH_INCREMENTAL: unset = A/B both; "1" = incremental only;
+  // "0" = full-resample only.
+  const char* toggle = std::getenv("SMN_BENCH_INCREMENTAL");
+  const bool run_incremental = toggle == nullptr || std::string(toggle) != "0";
+  const bool run_full = toggle == nullptr || std::string(toggle) == "0";
+
+  std::cout << "=== Incremental reconciliation: per-assertion cost, "
+            << clusters << " clusters x " << candidates_per_cluster
+            << " candidates ===\n";
+  const bench::SyntheticNetwork net =
+      bench::BuildClusteredNetwork(clusters, candidates_per_cluster, seed);
+  const size_t total_candidates = net.network.correspondence_count();
+  reporter.AddMetric("candidates", static_cast<double>(total_candidates));
+  reporter.AddMetric("clusters", static_cast<double>(clusters));
+  std::cout << "|C| = " << total_candidates << "\n";
+
+  TablePrinter table({"Mode", "Assertions", "Total (ms)", "Mean ms/assert",
+                      "Components start->end"});
+  std::optional<ModeResult> incremental;
+  std::optional<ModeResult> full;
+  if (run_incremental) {
+    incremental = RunMode(net, /*incremental=*/true, seed);
+    if (!incremental.has_value()) return 1;
+    table.AddRow({"incremental",
+                  std::to_string(incremental->assertions),
+                  FormatDouble(incremental->total_ms, 1),
+                  FormatDouble(incremental->mean_ms_per_assertion, 3),
+                  std::to_string(incremental->initial_components) + " -> " +
+                      std::to_string(incremental->final_components)});
+    reporter.AddEntry("incremental", incremental->total_ms,
+                      {{"assertions",
+                        static_cast<double>(incremental->assertions)},
+                       {"mean_ms_per_assertion",
+                        incremental->mean_ms_per_assertion},
+                       {"create_ms", incremental->create_ms},
+                       {"initial_components",
+                        static_cast<double>(incremental->initial_components)},
+                       {"final_components",
+                        static_cast<double>(incremental->final_components)}});
+  }
+  if (run_full) {
+    full = RunMode(net, /*incremental=*/false, seed);
+    if (!full.has_value()) return 1;
+    table.AddRow({"full_resample",
+                  std::to_string(full->assertions),
+                  FormatDouble(full->total_ms, 1),
+                  FormatDouble(full->mean_ms_per_assertion, 3),
+                  std::to_string(full->initial_components) + " -> " +
+                      std::to_string(full->final_components)});
+    reporter.AddEntry("full_resample", full->total_ms,
+                      {{"assertions", static_cast<double>(full->assertions)},
+                       {"mean_ms_per_assertion", full->mean_ms_per_assertion},
+                       {"create_ms", full->create_ms},
+                       {"initial_components",
+                        static_cast<double>(full->initial_components)},
+                       {"final_components",
+                        static_cast<double>(full->final_components)}});
+  }
+  table.Print(std::cout);
+
+  if (incremental.has_value() && full.has_value()) {
+    if (incremental->assertions != full->assertions) {
+      // Bit-compatible modes must execute identical assertion sequences.
+      std::cerr << "mode divergence: " << incremental->assertions << " vs "
+                << full->assertions << " assertions\n";
+      return 1;
+    }
+    const double speedup =
+        incremental->mean_ms_per_assertion > 0.0
+            ? full->mean_ms_per_assertion /
+                  incremental->mean_ms_per_assertion
+            : 0.0;
+    reporter.AddMetric("speedup_mean_per_assertion", speedup);
+    std::cout << "\nMean per-assertion speedup (full / incremental): "
+              << FormatDouble(speedup, 2) << "x over " << full->assertions
+              << " assertions.\n";
+  }
+  if (!reporter.Write()) return 1;
+  std::cout << "JSON: " << reporter.OutputPath() << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace smn
+
+int main() { return smn::Run(); }

@@ -110,6 +110,76 @@ inline SyntheticNetwork BuildTinyNetwork(size_t candidates, uint64_t seed,
   return SyntheticNetwork{std::move(network), std::move(constraints)};
 }
 
+/// Multi-component network for the incremental-reconciliation bench:
+/// `clusters` disjoint schema groups (complete graph within a cluster, no
+/// edges across), each holding ~`candidates_per_cluster` random candidates.
+/// Mirrors testing::MakeClusteredNetwork (tests/testing/test_networks.cc) —
+/// bench/ and tests/ deliberately do not link each other's fixtures; keep
+/// the cluster geometry of the two in sync.
+/// Correspondences in different clusters can never share a constraint, so
+/// the candidate set provably decomposes into at least `clusters`
+/// constraint-connected components — the setting where re-sampling only the
+/// touched component pays off most visibly.
+inline SyntheticNetwork BuildClusteredNetwork(size_t clusters,
+                                              size_t candidates_per_cluster,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  const size_t schemas_per_cluster = 3;
+  const size_t attrs_per_schema =
+      std::max<size_t>(3, candidates_per_cluster / 4);
+
+  NetworkBuilder builder;
+  std::vector<std::vector<std::vector<AttributeId>>> attributes(clusters);
+  std::vector<std::vector<SchemaId>> schemas(clusters);
+  for (size_t k = 0; k < clusters; ++k) {
+    attributes[k].resize(schemas_per_cluster);
+    for (size_t s = 0; s < schemas_per_cluster; ++s) {
+      const SchemaId schema = builder.AddSchema(
+          "K" + std::to_string(k) + "S" + std::to_string(s));
+      schemas[k].push_back(schema);
+      for (size_t a = 0; a < attrs_per_schema; ++a) {
+        attributes[k][s].push_back(
+            builder.AddAttribute(schema, "a" + std::to_string(a)).value());
+      }
+    }
+  }
+  // All schemas must exist before the first AddEdge (the builder sizes the
+  // interaction graph then); cluster-local complete graphs, nothing across.
+  for (size_t k = 0; k < clusters; ++k) {
+    for (size_t s1 = 0; s1 < schemas_per_cluster; ++s1) {
+      for (size_t s2 = s1 + 1; s2 < schemas_per_cluster; ++s2) {
+        builder.AddEdge(schemas[k][s1], schemas[k][s2]).ok();
+      }
+    }
+  }
+  for (size_t k = 0; k < clusters; ++k) {
+    size_t added = 0;
+    size_t failures = 0;
+    while (added < candidates_per_cluster &&
+           failures < 64 * candidates_per_cluster) {
+      const size_t s1 = rng.Index(schemas_per_cluster);
+      size_t s2 = rng.Index(schemas_per_cluster);
+      if (s1 == s2) {
+        ++failures;
+        continue;
+      }
+      const AttributeId a = attributes[k][s1][rng.Index(attrs_per_schema)];
+      const AttributeId b = attributes[k][s2][rng.Index(attrs_per_schema)];
+      if (builder.AddCorrespondence(a, b, rng.UniformDouble()).ok()) {
+        ++added;
+      } else {
+        ++failures;  // Duplicate pair; try again.
+      }
+    }
+  }
+  Network network = builder.Build().value();
+  ConstraintSet constraints;
+  constraints.Add(std::make_unique<OneToOneConstraint>());
+  constraints.Add(std::make_unique<CycleConstraint>());
+  constraints.Compile(network).ok();
+  return SyntheticNetwork{std::move(network), std::move(constraints)};
+}
+
 }  // namespace bench
 }  // namespace smn
 

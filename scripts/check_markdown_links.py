@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker (lychee-equivalent for this repo's needs).
+
+Checks every ``[text](target)`` link in the given markdown files:
+
+* relative file targets must exist on disk (resolved against the file's
+  directory, ``#fragment`` stripped);
+* ``#fragment`` targets — bare or on a markdown file — must match a heading
+  anchor in the target file (GitHub-style slugification);
+* ``http(s)``/``mailto`` targets are syntax-checked only, so the job stays
+  hermetic (no network flakes failing CI).
+
+Exit status is nonzero when any link is broken, printing one line per
+offender. Usage::
+
+    python3 scripts/check_markdown_links.py README.md ARCHITECTURE.md ...
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) with light tolerance for titles: [t](file.md "title")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slugification: lowercase, drop punctuation, dashes."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)          # inline formatting
+    slug = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", slug)  # links in headings
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    # Links inside fenced code blocks are examples, not navigation.
+    text = CODE_FENCE_RE.sub("", text)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # Hermetic run: syntax presence is enough.
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in anchors_of(path):
+                errors.append(f"{path}: broken anchor '{target}'")
+            continue
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: missing target '{target}'")
+            continue
+        if fragment and resolved.suffix.lower() in (".md", ".markdown"):
+            if github_slug(fragment) not in anchors_of(resolved):
+                errors.append(
+                    f"{path}: anchor '#{fragment}' not found in {file_part}")
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print("usage: check_markdown_links.py FILE.md [FILE.md ...]")
+        return 2
+    all_errors = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            all_errors.append(f"{name}: file not found")
+            continue
+        all_errors.extend(check_file(path))
+    for error in all_errors:
+        print(error)
+    if not all_errors:
+        print(f"OK: {len(argv) - 1} files, no broken links")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

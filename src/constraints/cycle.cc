@@ -1,6 +1,12 @@
 #include "constraints/cycle.h"
 
+#include <memory>
+
 namespace smn {
+
+std::unique_ptr<Constraint> CycleConstraint::CloneUncompiled() const {
+  return std::make_unique<CycleConstraint>();
+}
 
 Status CycleConstraint::Compile(const Network& network) {
   const size_t n = network.correspondence_count();
@@ -93,6 +99,46 @@ size_t CycleConstraint::CountViolationsInvolving(const DynamicBitset& selection,
     if (ChainViolated(chains_[index], selection)) ++count;
   }
   return count;
+}
+
+void CycleConstraint::AppendCouplingGroups(
+    std::vector<std::vector<CorrespondenceId>>* out) const {
+  for (const Chain& chain : chains_) {
+    if (chain.closing == kInvalidCorrespondence) {
+      out->push_back({chain.first, chain.second});
+    } else {
+      out->push_back({chain.first, chain.second, chain.closing});
+    }
+  }
+}
+
+Status CycleConstraint::PropagateDetermined(
+    const DynamicBitset& approved, const DynamicBitset& disapproved,
+    std::vector<std::pair<CorrespondenceId, bool>>* out) const {
+  for (const Chain& chain : chains_) {
+    const bool first_in = approved.Test(chain.first);
+    const bool second_in = approved.Test(chain.second);
+    if (!first_in && !second_in) continue;
+    const bool closing_impossible =
+        chain.closing == kInvalidCorrespondence ||
+        disapproved.Test(chain.closing);
+    if (first_in && second_in) {
+      if (closing_impossible) {
+        return Status::FailedPrecondition(
+            "cycle: both chain members determined in but the closing "
+            "correspondence cannot be selected");
+      }
+      if (!approved.Test(chain.closing)) out->emplace_back(chain.closing, true);
+      continue;
+    }
+    // Exactly one member determined in: the chain would fire if the other
+    // member joined, so an impossible closing forces that member out.
+    if (closing_impossible) {
+      const CorrespondenceId other = first_in ? chain.second : chain.first;
+      if (!disapproved.Test(other)) out->emplace_back(other, false);
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace smn

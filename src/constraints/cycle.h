@@ -23,7 +23,9 @@ class CycleConstraint : public Constraint {
  public:
   /// One chained pair and its closing correspondence.
   struct Chain {
+    /// First chain member (a~b across one triangle edge).
     CorrespondenceId first;
+    /// Second chain member (b~c across another edge, sharing attribute b).
     CorrespondenceId second;
     /// The correspondence closing the triangle, or kInvalidCorrespondence
     /// when C contains no such candidate (hard conflict).
@@ -33,6 +35,8 @@ class CycleConstraint : public Constraint {
   std::string_view name() const override { return "cycle"; }
 
   Status Compile(const Network& network) override;
+
+  std::unique_ptr<Constraint> CloneUncompiled() const override;
 
   bool IsSatisfied(const DynamicBitset& selection) const override;
 
@@ -52,6 +56,19 @@ class CycleConstraint : public Constraint {
 
   size_t CountViolationsInvolving(const DynamicBitset& selection,
                                   CorrespondenceId c) const override;
+
+  /// Each chain is one coupling group: {first, second, closing}, or just
+  /// {first, second} for hard conflicts (no closing candidate exists).
+  void AppendCouplingGroups(
+      std::vector<std::vector<CorrespondenceId>>* out) const override;
+
+  /// Chain unit propagation: both members in forces the closing in (a
+  /// contradiction when no closing candidate exists or it is determined
+  /// out); one member in with the closing out or missing forces the other
+  /// member out.
+  Status PropagateDetermined(
+      const DynamicBitset& approved, const DynamicBitset& disapproved,
+      std::vector<std::pair<CorrespondenceId, bool>>* out) const override;
 
   /// All compiled chain entries (exposed for the exact enumerator's fast
   /// path, diagnostics, and tests).

@@ -1,6 +1,12 @@
 #include "constraints/one_to_one.h"
 
+#include <memory>
+
 namespace smn {
+
+std::unique_ptr<Constraint> OneToOneConstraint::CloneUncompiled() const {
+  return std::make_unique<OneToOneConstraint>();
+}
 
 Status OneToOneConstraint::Compile(const Network& network) {
   const size_t n = network.correspondence_count();
@@ -74,6 +80,37 @@ bool OneToOneConstraint::AdditionViolates(const DynamicBitset& selection,
 size_t OneToOneConstraint::CountViolationsInvolving(
     const DynamicBitset& selection, CorrespondenceId c) const {
   return conflicts_[c].IntersectionCount(selection);
+}
+
+void OneToOneConstraint::AppendCouplingGroups(
+    std::vector<std::vector<CorrespondenceId>>* out) const {
+  for (CorrespondenceId c = 0; c < conflicts_.size(); ++c) {
+    conflicts_[c].ForEachSetBit([&](size_t other) {
+      if (other > c) {
+        out->push_back({c, static_cast<CorrespondenceId>(other)});
+      }
+    });
+  }
+}
+
+Status OneToOneConstraint::PropagateDetermined(
+    const DynamicBitset& approved, const DynamicBitset& disapproved,
+    std::vector<std::pair<CorrespondenceId, bool>>* out) const {
+  Status status = Status::OK();
+  approved.ForEachSetBit([&](size_t c) {
+    if (!status.ok()) return;
+    if (conflicts_[c].Intersects(approved)) {
+      status = Status::FailedPrecondition(
+          "one-to-one: two conflicting correspondences both determined in");
+      return;
+    }
+    DynamicBitset forced_out = conflicts_[c];
+    forced_out.SubtractInPlace(disapproved);
+    forced_out.ForEachSetBit([&](size_t other) {
+      out->emplace_back(static_cast<CorrespondenceId>(other), false);
+    });
+  });
+  return status;
 }
 
 }  // namespace smn

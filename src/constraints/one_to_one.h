@@ -22,6 +22,8 @@ class OneToOneConstraint : public Constraint {
 
   Status Compile(const Network& network) override;
 
+  std::unique_ptr<Constraint> CloneUncompiled() const override;
+
   bool IsSatisfied(const DynamicBitset& selection) const override;
 
   void FindViolations(const DynamicBitset& selection,
@@ -36,6 +38,16 @@ class OneToOneConstraint : public Constraint {
 
   size_t CountViolationsInvolving(const DynamicBitset& selection,
                                   CorrespondenceId c) const override;
+
+  /// Each conflicting pair {c, c'} is one coupling group.
+  void AppendCouplingGroups(
+      std::vector<std::vector<CorrespondenceId>>* out) const override;
+
+  /// Determined-in correspondences force all their conflict partners out;
+  /// two determined-in partners are a contradiction.
+  Status PropagateDetermined(
+      const DynamicBitset& approved, const DynamicBitset& disapproved,
+      std::vector<std::pair<CorrespondenceId, bool>>* out) const override;
 
   /// Conflict adjacency row of correspondence `c` (exposed for the exact
   /// enumerator's fast path and for diagnostics).

@@ -1,0 +1,233 @@
+#include "core/component_index.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace smn {
+
+StatusOr<DeterminedSet> PropagateFeedback(const ConstraintSet& constraints,
+                                          const Feedback& feedback,
+                                          size_t correspondence_count) {
+  DeterminedSet determined;
+  determined.approved = feedback.approved();
+  determined.disapproved = feedback.disapproved();
+  // Iterate constraint unit propagation to a fixpoint. Each productive round
+  // determines at least one more correspondence, so the loop runs at most
+  // |C| + 1 times.
+  std::vector<std::pair<CorrespondenceId, bool>> forced;
+  for (size_t round = 0; round <= correspondence_count; ++round) {
+    forced.clear();
+    SMN_RETURN_IF_ERROR(constraints.PropagateDetermined(
+        determined.approved, determined.disapproved, &forced));
+    bool changed = false;
+    for (const auto& [c, value] : forced) {
+      if (value) {
+        if (determined.disapproved.Test(c)) {
+          return Status::FailedPrecondition(
+              "feedback closure contradiction: correspondence forced both in "
+              "and out");
+        }
+        if (!determined.approved.Test(c)) {
+          determined.approved.Set(c);
+          changed = true;
+        }
+      } else {
+        if (determined.approved.Test(c)) {
+          return Status::FailedPrecondition(
+              "feedback closure contradiction: correspondence forced both in "
+              "and out");
+        }
+        if (!determined.disapproved.Test(c)) {
+          determined.disapproved.Set(c);
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return determined;
+  }
+  return Status::Internal("feedback propagation failed to reach a fixpoint");
+}
+
+namespace {
+
+/// Plain union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+};
+
+}  // namespace
+
+ComponentIndex ComponentIndex::Build(
+    const std::vector<std::vector<CorrespondenceId>>& groups,
+    const DynamicBitset& active, size_t correspondence_count) {
+  UnionFind uf(correspondence_count);
+  for (const auto& group : groups) {
+    CorrespondenceId previous = kInvalidCorrespondence;
+    for (CorrespondenceId member : group) {
+      if (!active.Test(member)) continue;  // Determined: transmits nothing.
+      if (previous != kInvalidCorrespondence) uf.Union(previous, member);
+      previous = member;
+    }
+  }
+
+  ComponentIndex index;
+  index.component_of_.assign(correspondence_count, kNoComponent);
+  // Roots appear in ascending member order, so components come out sorted by
+  // anchor and members ascending without an extra sort.
+  std::vector<size_t> root_to_component(correspondence_count, kNoComponent);
+  active.ForEachSetBit([&](size_t c) {
+    const size_t root = uf.Find(c);
+    size_t component = root_to_component[root];
+    if (component == kNoComponent) {
+      component = index.components_.size();
+      root_to_component[root] = component;
+      index.components_.push_back(
+          ConstraintComponent{static_cast<CorrespondenceId>(c), {}});
+    }
+    index.components_[component].members.push_back(
+        static_cast<CorrespondenceId>(c));
+    index.component_of_[c] = component;
+  });
+  return index;
+}
+
+ComponentIndex ComponentIndex::FromComponents(
+    std::vector<ConstraintComponent> components, size_t correspondence_count) {
+  ComponentIndex index;
+  index.components_ = std::move(components);
+  index.component_of_.assign(correspondence_count, kNoComponent);
+  for (size_t i = 0; i < index.components_.size(); ++i) {
+    for (CorrespondenceId member : index.components_[i].members) {
+      index.component_of_[member] = i;
+    }
+  }
+  return index;
+}
+
+StatusOr<ComponentSubproblem> BuildComponentSubproblem(
+    const Network& network, const ConstraintSet& constraints,
+    const std::vector<std::vector<CorrespondenceId>>& groups,
+    const ConstraintComponent& component, const DeterminedSet& determined,
+    const std::vector<CorrespondenceId>* candidates) {
+  const size_t n = network.correspondence_count();
+
+  DynamicBitset candidate_set(n);
+  if (candidates != nullptr) {
+    for (CorrespondenceId c : *candidates) candidate_set.Set(c);
+  } else {
+    // Fresh derivation: members plus the determined-in closure reachable
+    // through coupling groups. Boundary approvals are needed so chains that
+    // condition a member on determined-in partners still compile (dropping
+    // them would lose "member implies closing" implications); determined-out
+    // correspondences are simply omitted, which encodes their absence
+    // exactly (a chain whose closing is absent compiles as a hard conflict,
+    // which is precisely what a determined-out closing means).
+    for (CorrespondenceId member : component.members) {
+      candidate_set.Set(member);
+    }
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (const auto& group : groups) {
+        bool touches = false;
+        bool missing_approved = false;
+        for (CorrespondenceId member : group) {
+          if (candidate_set.Test(member)) {
+            touches = true;
+          } else if (determined.approved.Test(member)) {
+            missing_approved = true;
+          }
+        }
+        if (!touches || !missing_approved) continue;
+        for (CorrespondenceId member : group) {
+          if (determined.approved.Test(member) &&
+              !candidate_set.Test(member)) {
+            candidate_set.Set(member);
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  ComponentSubproblem subproblem;
+
+  // Copy the full schema/attribute/edge structure with ids preserved:
+  // constraint compilation needs the original interaction-graph triangles,
+  // and identical attribute ids keep the projection trivially auditable.
+  NetworkBuilder builder;
+  for (const Schema& schema : network.schemas()) {
+    builder.AddSchema(schema.name());
+  }
+  for (const Attribute& attribute : network.attributes()) {
+    SMN_ASSIGN_OR_RETURN(
+        AttributeId id,
+        builder.AddAttribute(attribute.schema, attribute.name,
+                             attribute.type));
+    if (id != attribute.id) {
+      return Status::Internal("subproblem attribute ids diverged");
+    }
+  }
+  for (const auto& [a, b] : network.graph().edges()) {
+    SMN_RETURN_IF_ERROR(builder.AddEdge(a, b));
+  }
+  candidate_set.ForEachSetBit([&](size_t c) {
+    const Correspondence& correspondence = network.correspondence(c);
+    subproblem.local_to_global.push_back(static_cast<CorrespondenceId>(c));
+    builder
+        .AddCorrespondence(correspondence.left, correspondence.right,
+                           correspondence.confidence)
+        .value();
+  });
+  SMN_ASSIGN_OR_RETURN(Network projected, builder.Build());
+  subproblem.network = std::make_unique<Network>(std::move(projected));
+
+  subproblem.constraints =
+      std::make_unique<ConstraintSet>(constraints.CloneUncompiled());
+  SMN_RETURN_IF_ERROR(subproblem.constraints->Compile(*subproblem.network));
+
+  subproblem.feedback = Feedback(subproblem.local_to_global.size());
+  DynamicBitset member_set(n);
+  for (CorrespondenceId member : component.members) member_set.Set(member);
+  for (size_t i = 0; i < subproblem.local_to_global.size(); ++i) {
+    const CorrespondenceId local = static_cast<CorrespondenceId>(i);
+    const CorrespondenceId global = subproblem.local_to_global[i];
+    if (member_set.Test(global)) {
+      subproblem.member_local_ids.push_back(local);
+    } else if (determined.approved.Test(global)) {
+      SMN_RETURN_IF_ERROR(subproblem.feedback.Approve(local));
+    } else {
+      // A frozen candidate that is neither a member nor determined-in can
+      // only be a correspondence determined *after* the freeze; its absence
+      // from every instance is encoded by a local disapproval.
+      SMN_RETURN_IF_ERROR(subproblem.feedback.Disapprove(local));
+    }
+  }
+  return subproblem;
+}
+
+}  // namespace smn

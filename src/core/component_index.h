@@ -1,0 +1,145 @@
+#ifndef SMN_CORE_COMPONENT_INDEX_H_
+#define SMN_CORE_COMPONENT_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/constraint_set.h"
+#include "core/feedback.h"
+#include "core/network.h"
+#include "util/dynamic_bitset.h"
+#include "util/statusor.h"
+
+namespace smn {
+
+/// The logically determined closure of expert feedback under the network
+/// constraints: F+* ⊇ F+ holds every correspondence that must be in every
+/// remaining matching instance, F-* ⊇ F- every correspondence that can be in
+/// none. Computed by PropagateFeedback via constraint unit propagation
+/// (approving both members of a chain forces the closing correspondence in;
+/// approving a correspondence forces its one-to-one conflict partners out;
+/// and so on to a fixpoint).
+struct DeterminedSet {
+  /// Correspondences present in every instance consistent with the feedback.
+  DynamicBitset approved;
+  /// Correspondences present in no instance consistent with the feedback.
+  DynamicBitset disapproved;
+
+  /// True when the value of `c` is already fixed by the feedback closure.
+  bool IsDetermined(CorrespondenceId c) const {
+    return approved.Test(c) || disapproved.Test(c);
+  }
+
+  /// |F+*| + |F-*|.
+  size_t determined_count() const {
+    return approved.Count() + disapproved.Count();
+  }
+};
+
+/// Computes the determined closure of `feedback` over `correspondence_count`
+/// candidates by iterating ConstraintSet::PropagateDetermined to a fixpoint.
+/// Returns FailedPrecondition when the feedback is logically contradictory
+/// under the constraints (e.g. both members of a hard-conflicting chain
+/// approved), in which case no matching instance respects it.
+StatusOr<DeterminedSet> PropagateFeedback(const ConstraintSet& constraints,
+                                          const Feedback& feedback,
+                                          size_t correspondence_count);
+
+/// One constraint-connected component: a maximal set of *undetermined*
+/// correspondences linked by coupling-group co-membership. Conditioned on
+/// the determined closure of the feedback, distinct components are mutually
+/// independent — no constraint couples them — so feedback on one component
+/// cannot change marginals in any other. This is the paper's §4 interaction
+/// structure exploited for incremental reconciliation.
+struct ConstraintComponent {
+  /// Smallest member id; the component's stable identity for caching and
+  /// deterministic per-component RNG stream derivation.
+  CorrespondenceId anchor = kInvalidCorrespondence;
+  /// Member correspondence ids, ascending.
+  std::vector<CorrespondenceId> members;
+};
+
+/// Partition of the undetermined correspondences into constraint-connected
+/// components (union-find over the coupling groups). Rebuilt — in full or
+/// restricted to one touched component — whenever feedback pins a variable
+/// and may thereby split a component.
+class ComponentIndex {
+ public:
+  /// No components over zero correspondences.
+  ComponentIndex() = default;
+
+  /// Partitions the correspondences of `active` (the undetermined ones)
+  /// using the coupling `groups`; group members outside `active` do not
+  /// link anything (a determined variable cannot transmit dependence).
+  /// `correspondence_count` sizes the id space. Components come out sorted
+  /// by anchor, members ascending.
+  static ComponentIndex Build(
+      const std::vector<std::vector<CorrespondenceId>>& groups,
+      const DynamicBitset& active, size_t correspondence_count);
+
+  /// Reassembles an index from explicit components (ascending anchor order,
+  /// pairwise-disjoint members). Used when a partition is patched in place
+  /// after a component split rather than re-derived from the groups.
+  static ComponentIndex FromComponents(
+      std::vector<ConstraintComponent> components,
+      size_t correspondence_count);
+
+  /// Number of components.
+  size_t component_count() const { return components_.size(); }
+
+  /// Component `i`, ordered by ascending anchor.
+  const ConstraintComponent& component(size_t i) const {
+    return components_[i];
+  }
+
+  /// Index of the component containing `c`, or kNoComponent when `c` is
+  /// determined (not in the active set).
+  size_t ComponentOf(CorrespondenceId c) const { return component_of_[c]; }
+
+  /// ComponentOf result for determined correspondences.
+  static constexpr size_t kNoComponent = static_cast<size_t>(-1);
+
+ private:
+  std::vector<ConstraintComponent> components_;
+  std::vector<size_t> component_of_;
+};
+
+/// A self-contained per-component reconciliation subproblem: a sub-network
+/// whose candidate set is the component's members plus the determined-in
+/// boundary (the approved closure reachable through coupling groups), with
+/// the original constraint kinds recompiled against it and the feedback
+/// restricted to it. Sampling this subproblem yields exactly the projection
+/// of the global instance distribution onto the component — the
+/// conditional-independence guarantee the incremental engine rests on.
+///
+/// Schemas, attributes, and interaction-graph edges are copied wholesale
+/// (preserving ids) so constraint compilation sees the original triangle
+/// structure; only the candidate set is projected.
+struct ComponentSubproblem {
+  /// The projected network. Heap-allocated so the address stays stable for
+  /// the components that hold references to it (SampleStore).
+  std::unique_ptr<Network> network;
+  /// The original constraint kinds compiled against `network`.
+  std::unique_ptr<ConstraintSet> constraints;
+  /// Local-id feedback: the determined-in boundary candidates approved.
+  Feedback feedback{0};
+  /// Local candidate id -> global correspondence id, ascending.
+  std::vector<CorrespondenceId> local_to_global;
+  /// Local ids of the component's (undetermined) members, ascending.
+  std::vector<CorrespondenceId> member_local_ids;
+};
+
+/// Builds the subproblem for `component`. `candidates` optionally freezes
+/// the global candidate id set (ascending) to project — pass the
+/// local_to_global of a previous build to reproduce it bit-for-bit under
+/// unchanged restricted feedback; pass nullptr to derive the candidate set
+/// fresh (members plus the approved closure reachable via `groups`).
+StatusOr<ComponentSubproblem> BuildComponentSubproblem(
+    const Network& network, const ConstraintSet& constraints,
+    const std::vector<std::vector<CorrespondenceId>>& groups,
+    const ConstraintComponent& component, const DeterminedSet& determined,
+    const std::vector<CorrespondenceId>* candidates);
+
+}  // namespace smn
+
+#endif  // SMN_CORE_COMPONENT_INDEX_H_

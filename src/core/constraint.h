@@ -1,7 +1,9 @@
 #ifndef SMN_CORE_CONSTRAINT_H_
 #define SMN_CORE_CONSTRAINT_H_
 
+#include <memory>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/network.h"
@@ -24,8 +26,18 @@ namespace smn {
 /// introduce violations reported by FindViolationsCreatedByRemoval. This is
 /// what makes the maximality check of Definition 1 and the incremental repair
 /// of Algorithm 4 sound.
+///
+/// Compiled constraints additionally expose their *coupling structure*
+/// (AppendCouplingGroups) and a unit-propagation rule (PropagateDetermined).
+/// Both feed the component-decomposed reconciliation engine: coupling groups
+/// define the constraint-connected components of C (the paper's §4
+/// interaction structure projected onto correspondences), and propagation
+/// derives the correspondences whose value is already logically determined by
+/// the expert feedback, which is what lets components split as reconciliation
+/// pins variables.
 class Constraint {
  public:
+  /// Virtual destructor: constraints are held via base-class pointers.
   virtual ~Constraint() = default;
 
   /// Stable name used in violation reports ("one-to-one", "cycle").
@@ -34,6 +46,11 @@ class Constraint {
   /// Builds internal tables for `network`. Must be called before any query.
   /// The network must outlive this constraint.
   virtual Status Compile(const Network& network) = 0;
+
+  /// Creates a fresh, uncompiled instance of the same constraint kind.
+  /// The component engine uses this to compile the constraint against
+  /// per-component sub-networks.
+  virtual std::unique_ptr<Constraint> CloneUncompiled() const = 0;
 
   /// True when `selection` satisfies this constraint.
   virtual bool IsSatisfied(const DynamicBitset& selection) const = 0;
@@ -68,6 +85,39 @@ class Constraint {
   /// Number of violations in `selection` that involve `c`.
   virtual size_t CountViolationsInvolving(const DynamicBitset& selection,
                                           CorrespondenceId c) const = 0;
+
+  /// Appends one entry per compiled constraint element: the set of
+  /// correspondences that element jointly constrains (a conflicting pair for
+  /// one-to-one, a chain's {first, second, closing} for the cycle
+  /// constraint). Two correspondences interact — their marginals can depend
+  /// on each other under this constraint — only if they share a group, so
+  /// the transitive closure of group co-membership over unasserted
+  /// correspondences yields the constraint-connected components used by the
+  /// incremental reconciliation engine. The default is no couplings
+  /// (an always-satisfied constraint).
+  virtual void AppendCouplingGroups(
+      std::vector<std::vector<CorrespondenceId>>* out) const {
+    (void)out;
+  }
+
+  /// Unit propagation: given the correspondences already determined to be in
+  /// every instance (`approved`) or in no instance (`disapproved`), appends
+  /// (correspondence, value) pairs this constraint now forces. Examples for
+  /// the cycle constraint: both chain members determined-in forces the
+  /// closing correspondence in; one member in with the closing out (or
+  /// non-candidate) forces the other member out. Returns FailedPrecondition
+  /// when the determined sets already contradict the constraint (e.g. two
+  /// conflicting correspondences both approved). Implementations may emit
+  /// assignments already present in the input sets; the caller deduplicates.
+  /// The default forces nothing.
+  virtual Status PropagateDetermined(
+      const DynamicBitset& approved, const DynamicBitset& disapproved,
+      std::vector<std::pair<CorrespondenceId, bool>>* out) const {
+    (void)approved;
+    (void)disapproved;
+    (void)out;
+    return Status::OK();
+  }
 };
 
 }  // namespace smn

@@ -74,4 +74,33 @@ size_t ConstraintSet::CountViolationsInvolving(const DynamicBitset& selection,
   return total;
 }
 
+std::vector<std::vector<CorrespondenceId>> ConstraintSet::CouplingGroups()
+    const {
+  assert(compiled_);
+  std::vector<std::vector<CorrespondenceId>> groups;
+  for (const auto& constraint : constraints_) {
+    constraint->AppendCouplingGroups(&groups);
+  }
+  return groups;
+}
+
+Status ConstraintSet::PropagateDetermined(
+    const DynamicBitset& approved, const DynamicBitset& disapproved,
+    std::vector<std::pair<CorrespondenceId, bool>>* out) const {
+  assert(compiled_);
+  for (const auto& constraint : constraints_) {
+    SMN_RETURN_IF_ERROR(
+        constraint->PropagateDetermined(approved, disapproved, out));
+  }
+  return Status::OK();
+}
+
+ConstraintSet ConstraintSet::CloneUncompiled() const {
+  ConstraintSet clone;
+  for (const auto& constraint : constraints_) {
+    clone.Add(constraint->CloneUncompiled());
+  }
+  return clone;
+}
+
 }  // namespace smn

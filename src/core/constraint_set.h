@@ -14,8 +14,11 @@ namespace smn {
 /// member ("C' ⊨ Γ").
 class ConstraintSet {
  public:
+  /// An empty, uncompiled set.
   ConstraintSet() = default;
+  /// Movable, not copyable (constraints are owned exclusively).
   ConstraintSet(ConstraintSet&&) = default;
+  /// Move assignment.
   ConstraintSet& operator=(ConstraintSet&&) = default;
 
   /// Adds a constraint. Must happen before Compile.
@@ -25,7 +28,9 @@ class ConstraintSet {
   /// this set.
   Status Compile(const Network& network);
 
+  /// Number of constraints in the conjunction.
   size_t size() const { return constraints_.size(); }
+  /// The i-th constraint, in Add order.
   const Constraint& constraint(size_t i) const { return *constraints_[i]; }
 
   /// True when `selection` satisfies all constraints.
@@ -51,6 +56,21 @@ class ConstraintSet {
   /// Total number of violations involving `c` across all constraints.
   size_t CountViolationsInvolving(const DynamicBitset& selection,
                                   CorrespondenceId c) const;
+
+  /// All coupling groups of all compiled constraints (see
+  /// Constraint::AppendCouplingGroups). The groups define the
+  /// constraint-connected components of the candidate set.
+  std::vector<std::vector<CorrespondenceId>> CouplingGroups() const;
+
+  /// Runs every constraint's unit propagation once (see
+  /// Constraint::PropagateDetermined); callers iterate to a fixpoint.
+  Status PropagateDetermined(
+      const DynamicBitset& approved, const DynamicBitset& disapproved,
+      std::vector<std::pair<CorrespondenceId, bool>>* out) const;
+
+  /// A fresh, uncompiled constraint set with the same constraint kinds, for
+  /// compiling against a per-component sub-network.
+  ConstraintSet CloneUncompiled() const;
 
  private:
   std::vector<std::unique_ptr<Constraint>> constraints_;

@@ -11,11 +11,17 @@ namespace smn {
 /// [0, 1]; the paper treats it as unreliable and recomputes probabilities
 /// from the constraint structure instead.
 struct Correspondence {
+  /// Index within the network's candidate set C.
   CorrespondenceId id = kInvalidCorrespondence;
+  /// Endpoint in the schema with the smaller id.
   AttributeId left = kInvalidAttribute;
+  /// Endpoint in the schema with the larger id.
   AttributeId right = kInvalidAttribute;
+  /// Schema of `left` (the smaller schema id).
   SchemaId left_schema = kInvalidSchema;
+  /// Schema of `right` (the larger schema id).
   SchemaId right_schema = kInvalidSchema;
+  /// Raw matcher score in [0, 1].
   double confidence = 0.0;
 
   /// True when this correspondence touches attribute `a`.

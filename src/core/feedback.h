@@ -31,8 +31,11 @@ class Feedback {
     return approved ? Approve(c) : Disapprove(c);
   }
 
+  /// True when `c` ∈ F+.
   bool IsApproved(CorrespondenceId c) const { return approved_.Test(c); }
+  /// True when `c` ∈ F-.
   bool IsDisapproved(CorrespondenceId c) const { return disapproved_.Test(c); }
+  /// True when the expert has asserted `c` either way.
   bool IsAsserted(CorrespondenceId c) const {
     return IsApproved(c) || IsDisapproved(c);
   }
@@ -42,11 +45,16 @@ class Feedback {
     return approved_.Count() + disapproved_.Count();
   }
 
+  /// |F+|.
   size_t approved_count() const { return approved_.Count(); }
+  /// |F-|.
   size_t disapproved_count() const { return disapproved_.Count(); }
+  /// Size of the candidate set this feedback ranges over.
   size_t correspondence_count() const { return approved_.size(); }
 
+  /// F+ as a bitset over C.
   const DynamicBitset& approved() const { return approved_; }
+  /// F- as a bitset over C.
   const DynamicBitset& disapproved() const { return disapproved_; }
 
   /// True when `instance` respects the feedback: F+ ⊆ I and F- ∩ I = ∅.

@@ -26,6 +26,7 @@ struct InstantiationOptions {
 
 /// An instantiated matching H with its quality measures.
 struct InstantiationResult {
+  /// The derived constraint-consistent matching H ⊆ C.
   DynamicBitset instance;
   /// Δ(H, C) = |C| - |H|: candidate correspondences sacrificed for
   /// consistency.
@@ -44,12 +45,14 @@ struct InstantiationResult {
 /// additions — keeping the best instance seen.
 class Instantiator {
  public:
+  /// Configures the heuristic (defaults reproduce the paper's setup).
   explicit Instantiator(InstantiationOptions options = {});
 
   /// Runs the heuristic against the current network state.
   StatusOr<InstantiationResult> Instantiate(const ProbabilisticNetwork& pmn,
                                             Rng* rng) const;
 
+  /// The active configuration.
   const InstantiationOptions& options() const { return options_; }
 
  private:

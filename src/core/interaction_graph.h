@@ -17,13 +17,17 @@ class InteractionGraph {
   /// Creates a graph over `schema_count` vertices with no edges.
   explicit InteractionGraph(size_t schema_count);
 
+  /// Number of vertices (schemas).
   size_t schema_count() const { return schema_count_; }
+  /// Number of undirected edges.
   size_t edge_count() const { return edges_.size(); }
 
   /// Adds the undirected edge (a, b). Fails on self-loops, out-of-range
   /// vertices, or duplicate edges.
   Status AddEdge(SchemaId a, SchemaId b);
 
+  /// True when the undirected edge (a, b) is present; false for unknown
+  /// vertices.
   bool HasEdge(SchemaId a, SchemaId b) const;
 
   /// All edges as (min, max) schema-id pairs, in insertion order.

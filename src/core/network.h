@@ -25,27 +25,41 @@ namespace smn {
 /// components (sampler, reconciler, instantiation) hold a const reference.
 class Network {
  public:
+  /// Not copyable: engine components hold references into the network.
   Network(const Network&) = delete;
+  /// Not copy-assignable.
   Network& operator=(const Network&) = delete;
+  /// Movable.
   Network(Network&&) = default;
+  /// Move assignment.
   Network& operator=(Network&&) = default;
 
+  /// All schemas S, in insertion order.
   const std::vector<Schema>& schemas() const { return schemas_; }
+  /// Schema by id.
   const Schema& schema(SchemaId id) const { return schemas_[id]; }
+  /// |S|.
   size_t schema_count() const { return schemas_.size(); }
 
+  /// All attributes across all schemas, in global id order.
   const std::vector<Attribute>& attributes() const { return attributes_; }
+  /// Attribute by global id.
   const Attribute& attribute(AttributeId id) const { return attributes_[id]; }
+  /// Total attribute count across schemas.
   size_t attribute_count() const { return attributes_.size(); }
 
+  /// The interaction graph G_S over the schemas.
   const InteractionGraph& graph() const { return graph_; }
 
+  /// The candidate correspondence set C, in id order.
   const std::vector<Correspondence>& correspondences() const {
     return correspondences_;
   }
+  /// Candidate correspondence by id.
   const Correspondence& correspondence(CorrespondenceId id) const {
     return correspondences_[id];
   }
+  /// |C|.
   size_t correspondence_count() const { return correspondences_.size(); }
 
   /// Finds the candidate correspondence connecting attributes `a` and `b`
@@ -92,6 +106,7 @@ class Network {
 ///   SMN_ASSIGN_OR_RETURN(Network net, b.Build());
 class NetworkBuilder {
  public:
+  /// An empty builder: add schemas, attributes, edges, correspondences.
   NetworkBuilder() : graph_(0) {}
 
   /// Adds a schema and returns its id.
@@ -114,7 +129,9 @@ class NetworkBuilder {
   StatusOr<CorrespondenceId> AddCorrespondence(AttributeId a, AttributeId b,
                                                double confidence);
 
+  /// Schemas added so far.
   size_t schema_count() const { return schemas_.size(); }
+  /// Correspondences added so far.
   size_t correspondence_count() const { return correspondences_.size(); }
 
   /// Finalizes the network. The builder is left in a moved-from state.

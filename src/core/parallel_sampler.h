@@ -53,7 +53,9 @@ class ParallelSampler {
   Status SampleMerged(const Feedback& feedback, size_t count, Rng* rng,
                       std::vector<DynamicBitset>* out) const;
 
+  /// The active configuration.
   const ParallelSamplerOptions& options() const { return options_; }
+  /// The underlying per-chain serial sampler.
   const Sampler& sampler() const { return sampler_; }
 
  private:

@@ -1,45 +1,307 @@
 #include "core/probabilistic_network.h"
 
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <utility>
+
 #include "core/entropy.h"
+#include "core/matching_instance.h"
 
 namespace smn {
+namespace {
 
-ProbabilisticNetwork::ProbabilisticNetwork(const Network& network,
-                                           const ConstraintSet& constraints,
-                                           ProbabilisticNetworkOptions options)
+/// Source of process-unique network instance ids (see instance_id()).
+std::atomic<uint64_t> g_next_instance_id{1};
+
+/// Pure per-component stream id: distinct (anchor, built_at) pairs map to
+/// distinct ids (built_at is bounded by the assertion count, far below 2^32),
+/// and Rng::Fork's finalizer decorrelates adjacent ids.
+uint64_t StreamId(CorrespondenceId anchor, uint64_t built_at) {
+  return (static_cast<uint64_t>(anchor) << 32) ^ built_at;
+}
+
+/// Translates a local-id sample of `subproblem` into global coordinates.
+DynamicBitset Globalize(const DynamicBitset& local_sample,
+                        const std::vector<CorrespondenceId>& local_to_global,
+                        size_t global_size) {
+  DynamicBitset global(global_size);
+  local_sample.ForEachSetBit(
+      [&](size_t local) { global.Set(local_to_global[local]); });
+  return global;
+}
+
+}  // namespace
+
+ProbabilisticNetwork::ProbabilisticNetwork(
+    const Network& network, const ConstraintSet& constraints,
+    ProbabilisticNetworkOptions options)
     : network_(&network),
       constraints_(&constraints),
-      store_(network, constraints, options.store),
+      options_(options),
       feedback_(network.correspondence_count()) {}
 
 StatusOr<ProbabilisticNetwork> ProbabilisticNetwork::Create(
     const Network& network, const ConstraintSet& constraints,
     ProbabilisticNetworkOptions options, Rng* rng) {
   ProbabilisticNetwork pmn(network, constraints, options);
-  SMN_RETURN_IF_ERROR(pmn.store_.Initialize(pmn.feedback_, rng));
-  pmn.RefreshProbabilities();
+  const size_t n = network.correspondence_count();
+  pmn.instance_id_ =
+      g_next_instance_id.fetch_add(1, std::memory_order_relaxed);
+  pmn.base_ = rng->Split();
+  pmn.groups_ = constraints.CouplingGroups();
+  SMN_ASSIGN_OR_RETURN(pmn.determined_,
+                       PropagateFeedback(constraints, pmn.feedback_, n));
+  DynamicBitset active(n);
+  for (CorrespondenceId c = 0; c < n; ++c) {
+    if (!pmn.determined_.IsDetermined(c)) active.Set(c);
+  }
+  pmn.index_ = ComponentIndex::Build(pmn.groups_, active, n);
+  for (size_t i = 0; i < pmn.index_.component_count(); ++i) {
+    SMN_ASSIGN_OR_RETURN(
+        std::unique_ptr<ComponentCache> cache,
+        pmn.BuildCache(pmn.index_.component(i), nullptr, /*built_at=*/0,
+                       pmn.determined_));
+    pmn.caches_.push_back(std::move(cache));
+  }
+  pmn.RefreshDerivedState();
   return pmn;
+}
+
+StatusOr<std::unique_ptr<ProbabilisticNetwork::ComponentCache>>
+ProbabilisticNetwork::BuildCache(
+    const ConstraintComponent& component,
+    const std::vector<CorrespondenceId>* frozen_candidates,
+    uint64_t built_at, const DeterminedSet& determined) const {
+  const size_t n = network_->correspondence_count();
+  auto cache = std::make_unique<ComponentCache>();
+  SMN_ASSIGN_OR_RETURN(
+      cache->subproblem,
+      BuildComponentSubproblem(*network_, *constraints_, groups_, component,
+                               determined, frozen_candidates));
+  cache->built_at = built_at;
+  const ComponentSubproblem& sub = cache->subproblem;
+  const size_t member_count = sub.member_local_ids.size();
+
+  const size_t exact_threshold = options_.store.exact_threshold;
+  if (exact_threshold > 0 && member_count <= exact_threshold &&
+      member_count <= 63) {
+    // Member-exact path: enumerate the 2^|K| member subsets on top of the
+    // approved boundary. Equivalent to ExactEnumerator but exponential only
+    // in the member count, not in the boundary size. Consumes no randomness,
+    // so exact components are bit-stable across modes by construction.
+    const size_t local_n = sub.local_to_global.size();
+    DynamicBitset base(local_n);
+    sub.feedback.approved().ForEachSetBit([&](size_t c) { base.Set(c); });
+    const uint64_t limit = 1ULL << member_count;
+    for (uint64_t mask = 0; mask < limit; ++mask) {
+      DynamicBitset selection = base;
+      for (size_t j = 0; j < member_count; ++j) {
+        if ((mask >> j) & 1ULL) selection.Set(sub.member_local_ids[j]);
+      }
+      if (!sub.constraints->IsSatisfied(selection)) continue;
+      if (!IsMaximalInstance(*sub.constraints, sub.feedback, selection)) {
+        continue;
+      }
+      cache->samples.push_back(Globalize(selection, sub.local_to_global, n));
+    }
+    cache->exhausted = true;
+    cache->diagnostics = ChainDiagnostics{};
+    cache->diagnostics.exact = true;
+  } else {
+    // Sampling path: the member-exact path above subsumes the store's own
+    // exact-enumeration shortcut (which keys on the total candidate count,
+    // boundary included), so disable it and sample.
+    SampleStoreOptions store_options = options_.store;
+    store_options.exact_threshold = 0;
+    cache->store = std::make_unique<SampleStore>(
+        *sub.network, *sub.constraints, store_options);
+    Rng stream = base_.Fork(StreamId(component.anchor, built_at));
+    SMN_RETURN_IF_ERROR(cache->store->Initialize(sub.feedback, &stream));
+    cache->samples.reserve(cache->store->samples().size());
+    for (const DynamicBitset& sample : cache->store->samples()) {
+      cache->samples.push_back(Globalize(sample, sub.local_to_global, n));
+    }
+    cache->exhausted = cache->store->exhausted();
+    cache->diagnostics = cache->store->chain_diagnostics();
+  }
+
+  // Member marginals and the component's entropy contribution.
+  cache->member_probabilities.assign(component.members.size(), 0.0);
+  if (!cache->samples.empty()) {
+    const double denom = static_cast<double>(cache->samples.size());
+    for (size_t j = 0; j < component.members.size(); ++j) {
+      size_t count = 0;
+      for (const DynamicBitset& sample : cache->samples) {
+        if (sample.Test(component.members[j])) ++count;
+      }
+      cache->member_probabilities[j] = static_cast<double>(count) / denom;
+    }
+  }
+  cache->entropy = 0.0;
+  for (double p : cache->member_probabilities) {
+    cache->entropy += BinaryEntropy(p);
+  }
+  return cache;
 }
 
 Status ProbabilisticNetwork::Assert(CorrespondenceId c, bool approved,
                                     Rng* rng) {
-  SMN_RETURN_IF_ERROR(feedback_.Assert(c, approved));
-  SMN_RETURN_IF_ERROR(store_.ApplyAssertion(c, approved, feedback_, rng));
-  RefreshProbabilities();
+  (void)rng;  // See the header: randomness derives from per-component forks.
+  // Stage every fallible step against local state; commit only once nothing
+  // can fail anymore, so a rejected assertion (contradictory feedback
+  // closure, sampler failure) leaves the network exactly as it was.
+  const size_t n = network_->correspondence_count();
+  Feedback feedback = feedback_;
+  SMN_RETURN_IF_ERROR(feedback.Assert(c, approved));
+  SMN_ASSIGN_OR_RETURN(DeterminedSet determined,
+                       PropagateFeedback(*constraints_, feedback, n));
+  const uint64_t assertion_count = assertion_count_ + 1;
+  const size_t touched = index_.ComponentOf(c);
+
+  std::vector<ConstraintComponent> split_components;
+  std::vector<std::unique_ptr<ComponentCache>> split_caches;
+  if (touched != ComponentIndex::kNoComponent) {
+    // The feedback closure only pins variables inside the touched component
+    // (any newly forced correspondence shares a coupling chain with `c`), so
+    // re-partitioning the touched component's surviving members is a
+    // complete rebuild of the partition.
+    DynamicBitset touched_active(n);
+    for (CorrespondenceId member : index_.component(touched).members) {
+      if (!determined.IsDetermined(member)) touched_active.Set(member);
+    }
+    const ComponentIndex split =
+        ComponentIndex::Build(groups_, touched_active, n);
+    for (size_t i = 0; i < split.component_count(); ++i) {
+      SMN_ASSIGN_OR_RETURN(std::unique_ptr<ComponentCache> cache,
+                           BuildCache(split.component(i), nullptr,
+                                      assertion_count, determined));
+      split_components.push_back(split.component(i));
+      split_caches.push_back(std::move(cache));
+    }
+  }
+
+  // Full-resample baseline: recompute every untouched cache from scratch
+  // with its frozen candidate projection and original stream. Unchanged
+  // restricted feedback makes this bit-identical to the cached state — the
+  // equivalence the incremental mode's correctness rests on.
+  std::vector<std::unique_ptr<ComponentCache>> rebuilt(
+      index_.component_count());
+  if (!options_.incremental) {
+    for (size_t i = 0; i < index_.component_count(); ++i) {
+      if (i == touched) continue;
+      SMN_ASSIGN_OR_RETURN(
+          rebuilt[i],
+          BuildCache(index_.component(i),
+                     &caches_[i]->subproblem.local_to_global,
+                     caches_[i]->built_at, determined));
+    }
+  }
+
+  // Commit: infallible from here on.
+  feedback_ = std::move(feedback);
+  determined_ = std::move(determined);
+  assertion_count_ = assertion_count;
+  std::vector<ConstraintComponent> components = std::move(split_components);
+  std::vector<std::unique_ptr<ComponentCache>> caches =
+      std::move(split_caches);
+  for (size_t i = 0; i < index_.component_count(); ++i) {
+    if (i == touched) continue;
+    components.push_back(index_.component(i));
+    caches.push_back(rebuilt[i] != nullptr ? std::move(rebuilt[i])
+                                           : std::move(caches_[i]));
+  }
+
+  // Re-establish ascending anchor order (the untouched tail is sorted but
+  // the split components interleave).
+  std::vector<size_t> order(components.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return components[a].anchor < components[b].anchor;
+  });
+  std::vector<ConstraintComponent> sorted_components;
+  caches_.clear();
+  for (size_t i : order) {
+    sorted_components.push_back(std::move(components[i]));
+    caches_.push_back(std::move(caches[i]));
+  }
+  index_ = ComponentIndex::FromComponents(std::move(sorted_components), n);
+
+  RefreshDerivedState();
   return Status::OK();
 }
 
-void ProbabilisticNetwork::RefreshProbabilities() {
-  probabilities_ = store_.ComputeProbabilities();
-  // Assertions are ground truth: pin them regardless of sampling noise.
-  for (CorrespondenceId c = 0; c < probabilities_.size(); ++c) {
-    if (feedback_.IsApproved(c)) probabilities_[c] = 1.0;
-    if (feedback_.IsDisapproved(c)) probabilities_[c] = 0.0;
+void ProbabilisticNetwork::RefreshDerivedState() {
+  const size_t n = network_->correspondence_count();
+  probabilities_.assign(n, 0.0);
+  for (size_t i = 0; i < caches_.size(); ++i) {
+    const ConstraintComponent& component = index_.component(i);
+    for (size_t j = 0; j < component.members.size(); ++j) {
+      probabilities_[component.members[j]] =
+          caches_[i]->member_probabilities[j];
+    }
   }
+  // The feedback closure is ground truth: pin it regardless of sampling.
+  determined_.approved.ForEachSetBit(
+      [&](size_t c) { probabilities_[c] = 1.0; });
+  determined_.disapproved.ForEachSetBit(
+      [&](size_t c) { probabilities_[c] = 0.0; });
+
+  bool all_exhausted = true;
+  bool product_overflow = false;
+  size_t product = 1;
+  for (const auto& cache : caches_) {
+    all_exhausted = all_exhausted && cache->exhausted;
+    const size_t size = cache->samples.size();
+    if (size == 0) {
+      product = 0;
+    } else if (product >
+               std::numeric_limits<size_t>::max() / size) {
+      product_overflow = true;  // Cross-product far beyond any view cap.
+    } else {
+      product *= size;
+    }
+  }
+  exhausted_ = all_exhausted && !product_overflow &&
+               product <= options_.sample_view_cap;
+
+  // Merge per-component diagnostics pessimistically.
+  ChainDiagnostics merged;
+  merged.exact = true;
+  merged.psrf.assign(n, 1.0);
+  bool any_sampled = false;
+  for (size_t i = 0; i < caches_.size(); ++i) {
+    const ChainDiagnostics& diagnostics = caches_[i]->diagnostics;
+    if (diagnostics.exact) continue;
+    merged.exact = false;
+    const ComponentSubproblem& sub = caches_[i]->subproblem;
+    for (size_t j = 0; j < sub.member_local_ids.size(); ++j) {
+      const CorrespondenceId local = sub.member_local_ids[j];
+      if (local < diagnostics.psrf.size()) {
+        merged.psrf[sub.local_to_global[local]] = diagnostics.psrf[local];
+      }
+    }
+    merged.max_psrf = std::max(merged.max_psrf, diagnostics.max_psrf);
+    if (!any_sampled) {
+      merged.usable_chains = diagnostics.usable_chains;
+      merged.min_chain_length = diagnostics.min_chain_length;
+      any_sampled = true;
+    } else {
+      merged.usable_chains =
+          std::min(merged.usable_chains, diagnostics.usable_chains);
+      merged.min_chain_length =
+          std::min(merged.min_chain_length, diagnostics.min_chain_length);
+    }
+  }
+  merged_diagnostics_ = std::move(merged);
+
+  sample_view_valid_ = false;
 }
 
 double ProbabilisticNetwork::Uncertainty() const {
-  return NetworkUncertainty(probabilities_);
+  double total = 0.0;
+  for (const auto& cache : caches_) total += cache->entropy;
+  return total;
 }
 
 std::vector<CorrespondenceId> ProbabilisticNetwork::UncertainCorrespondences()
@@ -53,48 +315,122 @@ std::vector<CorrespondenceId> ProbabilisticNetwork::UncertainCorrespondences()
   return result;
 }
 
-std::vector<DynamicBitset> ProbabilisticNetwork::BuildMembershipColumns() const {
-  const size_t n = network_->correspondence_count();
-  const auto& samples = store_.samples();
-  std::vector<DynamicBitset> columns(n, DynamicBitset(samples.size()));
-  for (size_t i = 0; i < samples.size(); ++i) {
-    samples[i].ForEachSetBit([&](size_t c) { columns[c].Set(i); });
+void ProbabilisticNetwork::ComputeGains(
+    const ComponentCache& cache, const ConstraintComponent& component) const {
+  const size_t k = component.members.size();
+  const size_t m = cache.samples.size();
+  cache.member_gains.assign(k, 0.0);
+  cache.gains_valid = true;
+  if (m == 0) return;
+
+  // Membership column per member over the component's samples.
+  std::vector<DynamicBitset> columns(k, DynamicBitset(m));
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (cache.samples[i].Test(component.members[j])) columns[j].Set(i);
+    }
   }
-  return columns;
-}
+  std::vector<size_t> totals(k, 0);
+  for (size_t j = 0; j < k; ++j) totals[j] = columns[j].Count();
 
-std::vector<double> ProbabilisticNetwork::InformationGains() const {
-  const size_t n = network_->correspondence_count();
-  std::vector<double> gains(n, 0.0);
-  const auto& samples = store_.samples();
-  const size_t m = samples.size();
-  if (m == 0) return gains;
-
-  const std::vector<DynamicBitset> columns = BuildMembershipColumns();
-  std::vector<size_t> totals(n, 0);
-  for (size_t c = 0; c < n; ++c) totals[c] = columns[c].Count();
-
-  const double h_now = Uncertainty();
-  for (CorrespondenceId c = 0; c < n; ++c) {
-    const size_t with_c = totals[c];
+  // IG(c) over the component only: conditioning on c leaves every other
+  // component's marginals untouched, so the cross-component entropy terms of
+  // Equations 4-5 cancel exactly.
+  const double h_now = cache.entropy;
+  for (size_t j = 0; j < k; ++j) {
+    const size_t with_c = totals[j];
     if (with_c == 0 || with_c == m) continue;  // Certain: IG is zero.
     const double p_c = static_cast<double>(with_c) / static_cast<double>(m);
-    // Partition Ω* on membership of c. H(C, P+) uses the samples containing
-    // c; H(C, P-) the rest. The intersection counts give both at once.
+    const size_t without_c = m - with_c;
     double h_plus = 0.0;
     double h_minus = 0.0;
-    const size_t without_c = m - with_c;
-    for (size_t x = 0; x < n; ++x) {
-      const size_t joint = columns[x].IntersectionCount(columns[c]);
+    for (size_t x = 0; x < k; ++x) {
+      const size_t joint = columns[x].IntersectionCount(columns[j]);
       h_plus += BinaryEntropy(static_cast<double>(joint) /
                               static_cast<double>(with_c));
       h_minus += BinaryEntropy(static_cast<double>(totals[x] - joint) /
                                static_cast<double>(without_c));
     }
     const double h_conditional = p_c * h_plus + (1.0 - p_c) * h_minus;
-    gains[c] = h_now - h_conditional;
+    cache.member_gains[j] = h_now - h_conditional;
+  }
+}
+
+const std::vector<double>& ProbabilisticNetwork::ComponentGains(
+    size_t i) const {
+  const ComponentCache& cache = *caches_[i];
+  if (!cache.gains_valid) ComputeGains(cache, index_.component(i));
+  return cache.member_gains;
+}
+
+std::vector<double> ProbabilisticNetwork::InformationGains() const {
+  std::vector<double> gains(network_->correspondence_count(), 0.0);
+  for (size_t i = 0; i < caches_.size(); ++i) {
+    const ConstraintComponent& component = index_.component(i);
+    const std::vector<double>& member_gains = ComponentGains(i);
+    for (size_t j = 0; j < component.members.size(); ++j) {
+      gains[component.members[j]] = member_gains[j];
+    }
   }
   return gains;
+}
+
+uint64_t ProbabilisticNetwork::component_generation(size_t i) const {
+  return caches_[i]->built_at;
+}
+
+double ProbabilisticNetwork::ComponentEntropy(size_t i) const {
+  return caches_[i]->entropy;
+}
+
+bool ProbabilisticNetwork::ComponentExhausted(size_t i) const {
+  return caches_[i]->exhausted;
+}
+
+const std::vector<DynamicBitset>& ProbabilisticNetwork::samples() const {
+  if (sample_view_valid_) return sample_view_;
+  sample_view_.clear();
+
+  DynamicBitset base = determined_.approved;
+  if (caches_.empty()) {
+    sample_view_.push_back(std::move(base));
+  } else if (exhausted_) {
+    // Complete instance space: the cross-product of the per-component
+    // instance sets grafted onto the determined-in base.
+    sample_view_.push_back(std::move(base));
+    for (const auto& cache : caches_) {
+      std::vector<DynamicBitset> next;
+      next.reserve(sample_view_.size() * cache->samples.size());
+      for (const DynamicBitset& partial : sample_view_) {
+        for (const DynamicBitset& sample : cache->samples) {
+          DynamicBitset instance = partial;
+          instance |= sample;
+          next.push_back(std::move(instance));
+        }
+      }
+      sample_view_ = std::move(next);
+    }
+  } else {
+    // Cyclic stitch: exact per-component marginals, independent joint.
+    size_t length = 0;
+    bool any_empty = false;
+    for (const auto& cache : caches_) {
+      length = std::max(length, cache->samples.size());
+      any_empty = any_empty || cache->samples.empty();
+    }
+    if (!any_empty) {
+      sample_view_.reserve(length);
+      for (size_t i = 0; i < length; ++i) {
+        DynamicBitset instance = base;
+        for (const auto& cache : caches_) {
+          instance |= cache->samples[i % cache->samples.size()];
+        }
+        sample_view_.push_back(std::move(instance));
+      }
+    }
+  }
+  sample_view_valid_ = true;
+  return sample_view_;
 }
 
 }  // namespace smn

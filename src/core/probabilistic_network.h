@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/component_index.h"
 #include "core/constraint_set.h"
 #include "core/feedback.h"
 #include "core/network.h"
@@ -15,81 +16,239 @@ namespace smn {
 
 /// Tuning knobs for the probabilistic matching network.
 struct ProbabilisticNetworkOptions {
+  /// Per-component sample-set configuration (|Ω*_K| targets, the exact
+  /// threshold, and the multi-chain sampling engine knobs).
   SampleStoreOptions store;
+  /// Incremental (component-cached) reconciliation. When true, integrating
+  /// an assertion re-samples only the constraint-connected component the
+  /// asserted correspondence belongs to; all other components keep their
+  /// cached sample sets, which conditional independence across components
+  /// proves unchanged. When false, every component is recomputed from
+  /// scratch on every assertion — the O(|C|) baseline. Both modes derive
+  /// per-component RNG streams purely from (component anchor, rebuild
+  /// generation), so they produce bit-identical probabilities, H(C, P), and
+  /// reconciliation traces; `false` exists for equivalence testing and A/B
+  /// benchmarking (bench_incremental_reconcile).
+  bool incremental = true;
+  /// Upper bound on the materialized samples() view. When every component is
+  /// exhausted and the cross-product of the per-component instance sets has
+  /// at most this many elements, samples() is the complete instance space Ω
+  /// and exhausted() reports true.
+  size_t sample_view_cap = 4096;
 };
 
 /// The probabilistic matching network <N, P> of the paper: the single state
-/// carried through reconciliation. Wraps the candidate network, the
-/// maintained sample set Ω*, the user feedback F and the derived
-/// correspondence probabilities P, and answers the decision-theoretic
-/// queries (network uncertainty, information gain) that drive uncertainty
-/// reduction.
+/// carried through reconciliation. Wraps the candidate network, the user
+/// feedback F and the derived correspondence probabilities P, and answers
+/// the decision-theoretic queries (network uncertainty, information gain)
+/// that drive uncertainty reduction.
+///
+/// Internally the candidate set is partitioned into constraint-connected
+/// components (ComponentIndex): conditioned on the feedback closure,
+/// distinct components are mutually independent, so the network keeps one
+/// sample set Ω*_K per component K and Assert re-samples only the touched
+/// component. Per-component RNG streams are forked purely from the
+/// component anchor and its rebuild generation, making every derived
+/// quantity a deterministic function of the Create-time seed and the
+/// assertion sequence — independent of thread count and of whether the
+/// incremental cache is enabled.
 ///
 /// The wrapped Network and ConstraintSet must outlive this object.
 class ProbabilisticNetwork {
  public:
-  /// Builds the network state and draws the initial sample set.
+  /// Builds the network state and draws the initial per-component sample
+  /// sets. Advances `*rng` exactly once (the split seeds every
+  /// per-component stream).
   static StatusOr<ProbabilisticNetwork> Create(
       const Network& network, const ConstraintSet& constraints,
       ProbabilisticNetworkOptions options, Rng* rng);
 
+  /// Movable, not copyable (per-component caches are owned exclusively).
   ProbabilisticNetwork(ProbabilisticNetwork&&) = default;
+  /// Move assignment.
   ProbabilisticNetwork& operator=(ProbabilisticNetwork&&) = default;
 
+  /// The wrapped candidate network.
   const Network& network() const { return *network_; }
+  /// The compiled constraints Γ.
   const ConstraintSet& constraints() const { return *constraints_; }
+  /// The raw expert feedback F = <F+, F->.
   const Feedback& feedback() const { return feedback_; }
 
-  /// Current probabilities P (Equation 2). Asserted correspondences have
+  /// Current probabilities P (Equation 2). Asserted correspondences — and
+  /// correspondences logically forced by the feedback closure — have
   /// probability exactly 1 or 0.
   const std::vector<double>& probabilities() const { return probabilities_; }
+  /// Probability of a single correspondence.
   double probability(CorrespondenceId c) const { return probabilities_[c]; }
 
-  /// Records an expert assertion, runs view maintenance on Ω*, and refreshes
-  /// P. Fails when `c` contradicts an earlier assertion.
+  /// Records an expert assertion, recomputes the feedback closure, and
+  /// re-samples the touched component (every component when
+  /// options.incremental is false). Fails when `c` contradicts an earlier
+  /// assertion or the feedback closure becomes logically inconsistent.
+  /// `rng` is accepted for interface stability but not consumed: all
+  /// sampling randomness derives from per-component streams forked off the
+  /// Create-time split, which is what keeps incremental and full re-sampling
+  /// bit-identical.
   Status Assert(CorrespondenceId c, bool approved, Rng* rng);
 
-  /// The network uncertainty H(C, P) of Equation 3, in bits.
+  /// The network uncertainty H(C, P) of Equation 3, in bits: the sum of the
+  /// maintained per-component entropies (determined correspondences
+  /// contribute zero).
   double Uncertainty() const;
 
   /// All correspondences whose probability is strictly between 0 and 1 —
   /// the candidates eligible for assertion in Algorithm 1.
   std::vector<CorrespondenceId> UncertainCorrespondences() const;
 
-  /// Information gain IG(c) of Equations 4-5 for every correspondence,
-  /// computed by partitioning Ω* on membership of c (certain correspondences
-  /// get 0). One pass over the sample/correspondence membership matrix; no
-  /// re-sampling involved.
+  /// Information gain IG(c) of Equations 4-5 for every correspondence
+  /// (certain correspondences get 0). Assembled from per-component gain
+  /// caches: conditioning on c only changes marginals inside c's component,
+  /// so the cross-component entropy terms cancel and IG(c) is computed from
+  /// the component's samples alone — O(|K|² · |Ω*_K|) instead of
+  /// O(|C|² · |Ω*|). Caches are memoized per component generation.
   std::vector<double> InformationGains() const;
 
-  /// The maintained sample multiset Ω*.
-  const std::vector<DynamicBitset>& samples() const { return store_.samples(); }
+  /// A deterministic whole-network view of the maintained samples. When
+  /// every component is exhausted and the instance-space cross-product fits
+  /// options.sample_view_cap, this is exactly Ω (each instance once);
+  /// otherwise it cyclically stitches the per-component sample sets into
+  /// |Ω*| = max_K |Ω*_K| full instances. Every stitched element is a valid
+  /// matching instance, but the view is an approximation: the joint is
+  /// independent across components by construction, and a component whose
+  /// sample count does not divide the stitch length has its early samples
+  /// slightly over-weighted — use probabilities() for marginals, never
+  /// frequencies over this view.
+  const std::vector<DynamicBitset>& samples() const;
 
-  /// True when Ω* provably holds every matching instance.
-  bool exhausted() const { return store_.exhausted(); }
+  /// True when samples() provably holds every matching instance.
+  bool exhausted() const { return exhausted_; }
 
-  /// Cross-chain convergence diagnostic of the most recent sampling round
-  /// (see SampleStore::chain_diagnostics). Callers gate trust in the
-  /// probability estimates on diagnostics().Converged().
+  /// Cross-chain convergence diagnostic merged over the per-component
+  /// sampling rounds: `exact` when every component was enumerated
+  /// exhaustively, otherwise the pessimistic combination (minimum usable
+  /// chains, maximum R̂, per-correspondence R̂ mapped back to global ids).
+  /// Callers gate trust in the probability estimates on
+  /// chain_diagnostics().Converged().
   const ChainDiagnostics& chain_diagnostics() const {
-    return store_.chain_diagnostics();
+    return merged_diagnostics_;
   }
 
+  /// The feedback closure: correspondences logically determined in or out
+  /// by the assertions made so far (see PropagateFeedback).
+  const DeterminedSet& determined() const { return determined_; }
+
+  /// Number of constraint-connected components among the undetermined
+  /// correspondences.
+  size_t component_count() const { return index_.component_count(); }
+
+  /// Component `i` (ascending anchor order).
+  const ConstraintComponent& component(size_t i) const {
+    return index_.component(i);
+  }
+
+  /// Index of the component containing `c`, or ComponentIndex::kNoComponent
+  /// when `c` is determined.
+  size_t ComponentOf(CorrespondenceId c) const { return index_.ComponentOf(c); }
+
+  /// Generation of component `i`: the assertion count at which its cache was
+  /// last rebuilt. A (anchor, generation) pair uniquely identifies a cache
+  /// state; selection strategies key their incremental gain bookkeeping on
+  /// it.
+  uint64_t component_generation(size_t i) const;
+
+  /// Per-member information gains of component `i` (aligned with
+  /// component(i).members). Computed lazily and memoized until the component
+  /// is rebuilt.
+  const std::vector<double>& ComponentGains(size_t i) const;
+
+  /// Entropy contribution of component `i` to H(C, P), in bits.
+  double ComponentEntropy(size_t i) const;
+
+  /// True when component `i`'s sample set provably holds its every
+  /// sub-instance.
+  bool ComponentExhausted(size_t i) const;
+
+  /// Number of assertions integrated so far. Also serves as a partition
+  /// version: the component structure only changes when this advances.
+  uint64_t assertion_count() const { return assertion_count_; }
+
+  /// Process-unique id of this network instance, assigned at Create and
+  /// preserved across moves. Selection strategies key their incremental
+  /// caches on it: a fresh network reusing a destroyed one's address must
+  /// not alias its cached per-component state.
+  uint64_t instance_id() const { return instance_id_; }
+
  private:
+  /// One component's cached reconciliation state: its projected subproblem,
+  /// the maintained sample set in global coordinates, and the derived
+  /// marginals/entropy/gains. Invariant: the cache is a pure function of
+  /// (subproblem candidates, restricted feedback, anchor, built_at), which
+  /// is what makes incremental reuse and full recomputation bit-identical.
+  struct ComponentCache {
+    ComponentSubproblem subproblem;
+    /// Sampling engine; null when the member-exact path enumerated Ω_K.
+    std::unique_ptr<SampleStore> store;
+    /// Ω*_K translated to global correspondence ids.
+    std::vector<DynamicBitset> samples;
+    /// Marginals of the component members (aligned with members).
+    std::vector<double> member_probabilities;
+    /// Σ h(p_member) over the component, in bits.
+    double entropy = 0.0;
+    /// True when `samples` is provably all of Ω_K.
+    bool exhausted = false;
+    /// Diagnostics of the fill (psrf in local ids; exact for enumeration).
+    ChainDiagnostics diagnostics;
+    /// Assertion count at the time this cache was built.
+    uint64_t built_at = 0;
+    /// Lazily computed member gains (aligned with members).
+    mutable std::vector<double> member_gains;
+    /// True when member_gains is up to date.
+    mutable bool gains_valid = false;
+  };
+
   ProbabilisticNetwork(const Network& network, const ConstraintSet& constraints,
                        ProbabilisticNetworkOptions options);
 
-  void RefreshProbabilities();
+  /// Builds (or rebuilds) the cache for `component` under the given feedback
+  /// closure. `frozen_candidates` reproduces a previous projection
+  /// bit-for-bit (full-resample mode); nullptr derives the candidate set
+  /// fresh. Pure with respect to network state: Assert stages caches through
+  /// this before committing anything.
+  StatusOr<std::unique_ptr<ComponentCache>> BuildCache(
+      const ConstraintComponent& component,
+      const std::vector<CorrespondenceId>* frozen_candidates,
+      uint64_t built_at, const DeterminedSet& determined) const;
 
-  /// Membership column of each correspondence over the current samples:
-  /// bit i of column c is set iff sample i contains c.
-  std::vector<DynamicBitset> BuildMembershipColumns() const;
+  /// Recomputes probabilities_, the exhausted flag, and merged diagnostics
+  /// from the component caches and the determined closure.
+  void RefreshDerivedState();
+
+  /// Computes a cache's member gains from its samples (see
+  /// InformationGains).
+  void ComputeGains(const ComponentCache& cache,
+                    const ConstraintComponent& component) const;
 
   const Network* network_;
   const ConstraintSet* constraints_;
-  SampleStore store_;
+  ProbabilisticNetworkOptions options_;
   Feedback feedback_;
+  /// Static coupling structure of the compiled constraints.
+  std::vector<std::vector<CorrespondenceId>> groups_;
+  DeterminedSet determined_;
+  ComponentIndex index_;
+  /// Parallel to index_ components (ascending anchor order).
+  std::vector<std::unique_ptr<ComponentCache>> caches_;
+  /// Seed generator split off the Create-time rng; every per-component
+  /// stream is a pure Fork of it keyed by (anchor, built_at).
+  Rng base_;
+  uint64_t assertion_count_ = 0;
+  uint64_t instance_id_ = 0;
   std::vector<double> probabilities_;
+  ChainDiagnostics merged_diagnostics_;
+  bool exhausted_ = false;
+  mutable std::vector<DynamicBitset> sample_view_;
+  mutable bool sample_view_valid_ = false;
 };
 
 }  // namespace smn

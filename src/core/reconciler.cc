@@ -4,7 +4,11 @@ namespace smn {
 
 Reconciler::Reconciler(ProbabilisticNetwork* pmn, SelectionStrategy* strategy,
                        AssertionOracle oracle)
-    : pmn_(pmn), strategy_(strategy), oracle_(std::move(oracle)) {}
+    : pmn_(pmn),
+      strategy_(strategy),
+      oracle_(std::move(oracle)),
+      initially_uncertain_(pmn->UncertainCorrespondences().size()),
+      initially_asserted_(pmn->feedback().asserted_count()) {}
 
 StatusOr<ReconcileStep> Reconciler::Step(Rng* rng) {
   const std::optional<CorrespondenceId> selected = strategy_->Select(*pmn_, rng);
@@ -18,17 +22,23 @@ StatusOr<ReconcileStep> Reconciler::Step(Rng* rng) {
   step.correspondence = *selected;
   step.approved = approved;
   step.uncertainty_after = pmn_->Uncertainty();
-  const size_t total = pmn_->network().correspondence_count();
+  // Effort counts assertions elicited by this reconciler over the
+  // initially-uncertain count, not |F|/|C|: pre-certain correspondences
+  // never need expert attention and pre-existing assertions were not this
+  // run's effort (see ReconcileStep).
   step.effort_after =
-      total == 0 ? 0.0
-                 : static_cast<double>(pmn_->feedback().asserted_count()) /
-                       static_cast<double>(total);
+      initially_uncertain_ == 0
+          ? 0.0
+          : static_cast<double>(pmn_->feedback().asserted_count() -
+                                initially_asserted_) /
+                static_cast<double>(initially_uncertain_);
   return step;
 }
 
 StatusOr<ReconcileTrace> Reconciler::Run(const ReconcileGoal& goal, Rng* rng) {
   ReconcileTrace trace;
   trace.initial_uncertainty = pmn_->Uncertainty();
+  trace.initially_uncertain = initially_uncertain_;
   for (;;) {
     if (goal.max_assertions.has_value() &&
         trace.steps.size() >= *goal.max_assertions) {

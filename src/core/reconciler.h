@@ -28,17 +28,40 @@ struct ReconcileGoal {
 
 /// One executed feedback step.
 struct ReconcileStep {
+  /// The correspondence whose assertion was elicited.
   CorrespondenceId correspondence = kInvalidCorrespondence;
+  /// The expert's answer.
   bool approved = false;
   /// H(C, P') after integrating this assertion.
   double uncertainty_after = 0.0;
-  /// User effort E = |F+ ∪ F-| / |C| after this assertion.
+  /// User effort after this assertion. Exact definition:
+  /// E = |assertions elicited by this reconciler| / |C_u(0)|, where C_u(0)
+  /// is the set of correspondences that were *uncertain* (0 < p < 1) when
+  /// the Reconciler was constructed; assertions integrated into the network
+  /// before construction count toward neither side.
+  /// Correspondences already certain at reconciliation start — pre-asserted,
+  /// logically forced by constraints, or pinned to probability 0/1 by the
+  /// initial sample set — can never be selected, so they are excluded from
+  /// the denominator: asserting every initially-reconcilable correspondence
+  /// reads E = 1.0. (The paper's E = |F| / |C| coincides with this when
+  /// every candidate starts uncertain; dividing by |C| understates effort on
+  /// networks with pre-certain correspondences and caps E below 1 even when
+  /// the expert has answered every question that could be asked.) Zero when
+  /// nothing was uncertain at start. Caveat: in the sampling regime a
+  /// correspondence pinned to 0/1 by sampling noise can become uncertain
+  /// again after its component is re-sampled, so E can marginally exceed 1
+  /// on such runs; under exact enumeration E ≤ 1 always.
   double effort_after = 0.0;
 };
 
 /// Full record of a reconciliation run, for effort/uncertainty curves.
 struct ReconcileTrace {
+  /// H(C, P) before the first assertion.
   double initial_uncertainty = 0.0;
+  /// Number of uncertain correspondences at Reconciler construction — the
+  /// effort denominator (see ReconcileStep::effort_after).
+  size_t initially_uncertain = 0;
+  /// Every executed select-elicit-integrate step, in order.
   std::vector<ReconcileStep> steps;
 };
 
@@ -63,6 +86,12 @@ class Reconciler {
   ProbabilisticNetwork* pmn_;
   SelectionStrategy* strategy_;
   AssertionOracle oracle_;
+  /// |C_u(0)|: uncertain correspondences at construction, the effort
+  /// denominator (see ReconcileStep::effort_after).
+  size_t initially_uncertain_;
+  /// |F| at construction: pre-existing assertions are excluded from the
+  /// effort numerator.
+  size_t initially_asserted_;
 };
 
 }  // namespace smn

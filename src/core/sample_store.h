@@ -52,6 +52,14 @@ class SampleStore {
 
   /// View maintenance for the assertion of `c`. `feedback` must already
   /// include the assertion. Filters Ω' and re-samples if necessary.
+  ///
+  /// Note: the component-decomposed ProbabilisticNetwork engine does not
+  /// route assertions through this — it rebuilds the touched component's
+  /// store from a pure (anchor, generation) RNG stream instead, which is
+  /// what keeps incremental and full-resample modes bit-identical. This
+  /// remains the store-level view-maintenance API for direct SampleStore
+  /// users (survivor filtering is cheaper than a re-sample when determinism
+  /// across cache modes is not required).
   Status ApplyAssertion(CorrespondenceId c, bool approved,
                         const Feedback& feedback, Rng* rng);
 
@@ -77,6 +85,7 @@ class SampleStore {
   /// Number of distinct instances currently in the store.
   size_t DistinctCount() const;
 
+  /// The active configuration.
   const SampleStoreOptions& options() const { return options_; }
 
  private:

@@ -70,6 +70,7 @@ class Sampler {
                        DynamicBitset* state,
                        std::vector<DynamicBitset>* out) const;
 
+  /// The active configuration.
   const SamplerOptions& options() const { return options_; }
 
  private:

@@ -12,9 +12,13 @@ namespace smn {
 /// across the whole network (the paper models schemas as disjoint attribute
 /// sets).
 struct Attribute {
+  /// Network-global attribute id.
   AttributeId id = kInvalidAttribute;
+  /// Owning schema.
   SchemaId schema = kInvalidSchema;
+  /// Column/field name, unique within the schema.
   std::string name;
+  /// Coarse data type (see AttributeType).
   AttributeType type = AttributeType::kUnknown;
 };
 
@@ -23,11 +27,16 @@ struct Attribute {
 /// keeps the id list.
 class Schema {
  public:
+  /// Creates an attribute-less schema with the given id and display name.
   Schema(SchemaId id, std::string name) : id_(id), name_(std::move(name)) {}
 
+  /// Index within the network's schema list.
   SchemaId id() const { return id_; }
+  /// Display name ("SA:EoverI").
   const std::string& name() const { return name_; }
+  /// Ids of the attributes belonging to this schema, in insertion order.
   const std::vector<AttributeId>& attributes() const { return attributes_; }
+  /// Number of attributes.
   size_t attribute_count() const { return attributes_.size(); }
 
   /// Registers an attribute id as belonging to this schema. Called by

@@ -1,6 +1,11 @@
 #include "core/selection_strategy.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <queue>
+#include <tuple>
+#include <unordered_map>
 #include <vector>
 
 namespace smn {
@@ -18,25 +23,102 @@ class RandomStrategy : public SelectionStrategy {
   }
 };
 
+/// The paper's Heuristic with incremental gain maintenance: per-component
+/// best gains are cached keyed by (component anchor, generation) and only
+/// recomputed for components whose generation advanced since the previous
+/// Select — after one assertion that is exactly the component the assertion
+/// touched, so a Select costs O(|touched component|² · |Ω*_K|) instead of
+/// O(|C|² · |Ω*|). A lazy-deletion max-heap over the per-component bests
+/// finds the leading component without scanning; ties across components are
+/// then gathered in global id order and broken uniformly at random, exactly
+/// as the non-incremental computation would.
 class InformationGainStrategy : public SelectionStrategy {
  public:
   std::string_view name() const override { return "InformationGain"; }
 
   std::optional<CorrespondenceId> Select(const ProbabilisticNetwork& pmn,
                                          Rng* rng) override {
-    const auto uncertain = pmn.UncertainCorrespondences();
-    if (uncertain.empty()) return std::nullopt;
-    const std::vector<double> gains = pmn.InformationGains();
-    double best = -1.0;
-    for (CorrespondenceId c : uncertain) best = std::max(best, gains[c]);
-    // The paper breaks ties uniformly at random.
     constexpr double kTie = 1e-12;
-    std::vector<CorrespondenceId> tied;
-    for (CorrespondenceId c : uncertain) {
-      if (gains[c] >= best - kTie) tied.push_back(c);
+    constexpr double kNone = -std::numeric_limits<double>::infinity();
+    // A different network instance (by process-unique id, so a fresh network
+    // reusing a destroyed one's address cannot alias) invalidates every
+    // cached entry.
+    if (pmn.instance_id() != instance_id_) {
+      instance_id_ = pmn.instance_id();
+      best_.clear();
+      heap_ = {};
     }
+
+    // Refresh stale component entries. A component is stale when its anchor
+    // is new or its cache generation advanced (it was re-sampled or split).
+    std::unordered_map<CorrespondenceId, size_t> anchor_to_index;
+    anchor_to_index.reserve(pmn.component_count());
+    for (size_t i = 0; i < pmn.component_count(); ++i) {
+      const ConstraintComponent& component = pmn.component(i);
+      anchor_to_index[component.anchor] = i;
+      const uint64_t generation = pmn.component_generation(i);
+      auto [slot, inserted] = best_.try_emplace(component.anchor);
+      if (!inserted && slot->second.generation == generation) continue;
+      const std::vector<double>& gains = pmn.ComponentGains(i);
+      double best = kNone;
+      for (size_t j = 0; j < component.members.size(); ++j) {
+        const double p = pmn.probability(component.members[j]);
+        if (p <= 0.0 || p >= 1.0) continue;  // Certain: not selectable.
+        best = std::max(best, gains[j]);
+      }
+      slot->second = Entry{generation, best};
+      if (best > kNone) heap_.push({best, component.anchor, generation});
+    }
+
+    // Pop stale heap entries until the top matches a live component best.
+    double leader = kNone;
+    while (!heap_.empty()) {
+      const auto& [gain, anchor, generation] = heap_.top();
+      const auto index_it = anchor_to_index.find(anchor);
+      const auto slot = best_.find(anchor);
+      if (index_it == anchor_to_index.end() || slot == best_.end() ||
+          slot->second.generation != generation ||
+          slot->second.best != gain) {
+        heap_.pop();
+        continue;
+      }
+      leader = gain;
+      break;
+    }
+    if (leader == kNone) return std::nullopt;
+
+    // Gather the global tie set in ascending id order (identical to the
+    // order a full gain scan over UncertainCorrespondences would produce),
+    // then break uniformly at random as the paper does.
+    std::vector<CorrespondenceId> tied;
+    for (size_t i = 0; i < pmn.component_count(); ++i) {
+      const ConstraintComponent& component = pmn.component(i);
+      const auto slot = best_.find(component.anchor);
+      if (slot == best_.end() || slot->second.best < leader - kTie) continue;
+      const std::vector<double>& gains = pmn.ComponentGains(i);
+      for (size_t j = 0; j < component.members.size(); ++j) {
+        const double p = pmn.probability(component.members[j]);
+        if (p <= 0.0 || p >= 1.0) continue;
+        if (gains[j] >= leader - kTie) tied.push_back(component.members[j]);
+      }
+    }
+    std::sort(tied.begin(), tied.end());
+    if (tied.empty()) return std::nullopt;
     return tied[rng->Index(tied.size())];
   }
+
+ private:
+  /// Cached per-component state, keyed by anchor.
+  struct Entry {
+    uint64_t generation = 0;
+    double best = -std::numeric_limits<double>::infinity();
+  };
+
+  /// instance_id() of the network the cached state belongs to (0 = none).
+  uint64_t instance_id_ = 0;
+  std::unordered_map<CorrespondenceId, Entry> best_;
+  /// Lazy-deletion max-heap of (best gain, anchor, generation).
+  std::priority_queue<std::tuple<double, CorrespondenceId, uint64_t>> heap_;
 };
 
 class MaxEntropyStrategy : public SelectionStrategy {

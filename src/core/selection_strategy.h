@@ -17,6 +17,7 @@ namespace smn {
 /// information gain.
 class SelectionStrategy {
  public:
+  /// Virtual destructor: strategies are held via base-class pointers.
   virtual ~SelectionStrategy() = default;
 
   /// Strategy name for reports ("Random", "InformationGain", ...).

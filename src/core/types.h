@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <limits>
 
+/// Schema-matching-network library: every public type of the pay-as-you-go
+/// reconciliation reproduction lives in this namespace.
 namespace smn {
 
 /// Index of a schema within a Network. Dense, assigned in insertion order.
@@ -16,10 +18,13 @@ using AttributeId = uint32_t;
 /// Index of a candidate correspondence within a Network's candidate set C.
 using CorrespondenceId = uint32_t;
 
+/// Sentinel for "no schema".
 inline constexpr SchemaId kInvalidSchema =
     std::numeric_limits<SchemaId>::max();
+/// Sentinel for "no attribute".
 inline constexpr AttributeId kInvalidAttribute =
     std::numeric_limits<AttributeId>::max();
+/// Sentinel for "no correspondence" (e.g. a chain with no closing candidate).
 inline constexpr CorrespondenceId kInvalidCorrespondence =
     std::numeric_limits<CorrespondenceId>::max();
 
@@ -27,12 +32,12 @@ inline constexpr CorrespondenceId kInvalidCorrespondence =
 /// dataset generator. Real schemas rarely agree on precise types, so this is
 /// intentionally coarse.
 enum class AttributeType : uint8_t {
-  kUnknown = 0,
-  kString,
-  kInteger,
-  kDecimal,
-  kDate,
-  kBoolean,
+  kUnknown = 0,  ///< No type information available.
+  kString,       ///< Free text.
+  kInteger,      ///< Whole numbers.
+  kDecimal,      ///< Fractional numbers.
+  kDate,         ///< Calendar dates / timestamps.
+  kBoolean,      ///< True/false flags.
 };
 
 /// Short name for an attribute type ("string", "date", ...).

@@ -15,10 +15,15 @@ namespace smn {
 /// correspondence that would also resolve the violation (or
 /// kInvalidCorrespondence when no such candidate exists in C).
 struct Violation {
+  /// Name of the violated constraint ("one-to-one", "cycle").
   std::string_view constraint_name;
+  /// Selected correspondences that jointly violate the constraint.
   std::vector<CorrespondenceId> participants;
+  /// Absent closing correspondence that would also resolve the violation,
+  /// or kInvalidCorrespondence when none exists in C.
   CorrespondenceId missing = kInvalidCorrespondence;
 
+  /// True when `c` participates in this violation.
   bool Involves(CorrespondenceId c) const {
     for (CorrespondenceId p : participants) {
       if (p == c) return true;

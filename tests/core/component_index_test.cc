@@ -1,0 +1,302 @@
+#include "core/component_index.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "constraints/one_to_one.h"
+#include "core/probabilistic_network.h"
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace {
+
+Feedback MakeFeedback(size_t n,
+                      std::initializer_list<CorrespondenceId> approved,
+                      std::initializer_list<CorrespondenceId> disapproved) {
+  Feedback feedback(n);
+  for (CorrespondenceId c : approved) EXPECT_TRUE(feedback.Approve(c).ok());
+  for (CorrespondenceId c : disapproved) {
+    EXPECT_TRUE(feedback.Disapprove(c).ok());
+  }
+  return feedback;
+}
+
+class ComponentIndexTest : public ::testing::Test {
+ protected:
+  ComponentIndexTest() : fig1_(testing::MakeFig1Network()) {}
+
+  testing::Fig1Network fig1_;
+};
+
+TEST_F(ComponentIndexTest, EmptyFeedbackDeterminesNothing) {
+  const Feedback feedback(5);
+  const auto determined =
+      PropagateFeedback(fig1_.constraints, feedback, 5).value();
+  EXPECT_EQ(determined.determined_count(), 0u);
+}
+
+TEST_F(ComponentIndexTest, ApprovalForcesOneToOneConflictsOut) {
+  // c2 (SB.date ~ SC.releaseDate) conflicts with c4 (SB.date ~
+  // SC.screenDate): both pair SB.date into SC.
+  const Feedback feedback = MakeFeedback(5, {fig1_.c2}, {});
+  const auto determined =
+      PropagateFeedback(fig1_.constraints, feedback, 5).value();
+  EXPECT_TRUE(determined.approved.Test(fig1_.c2));
+  EXPECT_TRUE(determined.disapproved.Test(fig1_.c4));
+  EXPECT_FALSE(determined.IsDetermined(fig1_.c1));
+}
+
+TEST_F(ComponentIndexTest, ChainApprovalsForceClosingInTransitively) {
+  // Approving c1 and c2 closes the chain through SB.date: c3 is forced in,
+  // which in turn forces its one-to-one conflict c5 out, which leaves c4
+  // forced out by c2.
+  const Feedback feedback = MakeFeedback(5, {fig1_.c1, fig1_.c2}, {});
+  const auto determined =
+      PropagateFeedback(fig1_.constraints, feedback, 5).value();
+  EXPECT_TRUE(determined.approved.Test(fig1_.c3));
+  EXPECT_TRUE(determined.disapproved.Test(fig1_.c5));
+  EXPECT_TRUE(determined.disapproved.Test(fig1_.c4));
+  EXPECT_EQ(determined.determined_count(), 5u);
+}
+
+TEST_F(ComponentIndexTest, DisapprovedClosingForcesChainMemberOut) {
+  // With c3 impossible, c1 and c2 can never appear together (their chain
+  // could not be closed), so approving c1 forces c2 out.
+  const Feedback feedback = MakeFeedback(5, {fig1_.c1}, {fig1_.c3});
+  const auto determined =
+      PropagateFeedback(fig1_.constraints, feedback, 5).value();
+  EXPECT_TRUE(determined.disapproved.Test(fig1_.c2));
+}
+
+TEST_F(ComponentIndexTest, ContradictoryFeedbackIsRejected) {
+  // c3 and c5 pair SA.productionDate into SC twice: a one-to-one conflict.
+  const Feedback feedback = MakeFeedback(5, {fig1_.c3, fig1_.c5}, {});
+  EXPECT_EQ(PropagateFeedback(fig1_.constraints, feedback, 5).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ComponentIndexTest, Fig1IsOneComponent) {
+  const auto groups = fig1_.constraints.CouplingGroups();
+  DynamicBitset active(5);
+  for (CorrespondenceId c = 0; c < 5; ++c) active.Set(c);
+  const ComponentIndex index = ComponentIndex::Build(groups, active, 5);
+  ASSERT_EQ(index.component_count(), 1u);
+  EXPECT_EQ(index.component(0).anchor, fig1_.c1);
+  EXPECT_EQ(index.component(0).members.size(), 5u);
+  EXPECT_EQ(index.ComponentOf(fig1_.c5), 0u);
+}
+
+TEST_F(ComponentIndexTest, DeterminedVariablesDoNotTransmitCoupling) {
+  // With c2 determined, the chain group {c1, c2, c3} still couples its two
+  // active members c1 and c3, and the conflict {c3, c5} attaches c5: one
+  // component {c1, c3, c5}.
+  const auto groups = fig1_.constraints.CouplingGroups();
+  DynamicBitset active(5);
+  active.Set(fig1_.c1);
+  active.Set(fig1_.c3);
+  active.Set(fig1_.c5);
+  const ComponentIndex index = ComponentIndex::Build(groups, active, 5);
+  ASSERT_EQ(index.component_count(), 1u);
+  EXPECT_EQ(index.component(0).members,
+            (std::vector<CorrespondenceId>{fig1_.c1, fig1_.c3, fig1_.c5}));
+  EXPECT_EQ(index.ComponentOf(fig1_.c2), ComponentIndex::kNoComponent);
+}
+
+/// Three correspondences coupled in a conflict path x–y–z (x = a0~b1,
+/// y = a0~b0, z = a1~b0 over two schemas): disapproving the middle one
+/// severs the one-to-one couplings and splits the component in two.
+struct ConflictPathNetwork {
+  Network network;
+  ConstraintSet constraints;
+  CorrespondenceId x, y, z;
+};
+
+ConflictPathNetwork MakeConflictPathNetwork() {
+  NetworkBuilder builder;
+  const SchemaId s0 = builder.AddSchema("S0");
+  const SchemaId s1 = builder.AddSchema("S1");
+  const AttributeId a0 = builder.AddAttribute(s0, "a0").value();
+  const AttributeId a1 = builder.AddAttribute(s0, "a1").value();
+  const AttributeId b0 = builder.AddAttribute(s1, "b0").value();
+  const AttributeId b1 = builder.AddAttribute(s1, "b1").value();
+  EXPECT_TRUE(builder.AddEdge(s0, s1).ok());
+  const CorrespondenceId x = builder.AddCorrespondence(a0, b1, 0.9).value();
+  const CorrespondenceId y = builder.AddCorrespondence(a0, b0, 0.8).value();
+  const CorrespondenceId z = builder.AddCorrespondence(a1, b0, 0.7).value();
+  Network network = builder.Build().value();
+  ConstraintSet constraints = testing::MakeStandardConstraints(network);
+  return ConflictPathNetwork{std::move(network), std::move(constraints), x, y,
+                             z};
+}
+
+TEST(ComponentSplitTest, DisapprovalSeveringOneToOneSplitsComponent) {
+  ConflictPathNetwork net = MakeConflictPathNetwork();
+  const auto groups = net.constraints.CouplingGroups();
+  DynamicBitset all_active(3);
+  for (CorrespondenceId c = 0; c < 3; ++c) all_active.Set(c);
+  EXPECT_EQ(ComponentIndex::Build(groups, all_active, 3).component_count(),
+            1u);
+
+  // Disapprove y: the two conflict groups {x, y} and {y, z} lose their
+  // shared active member and x, z fall apart into singleton components.
+  DynamicBitset active(3);
+  active.Set(net.x);
+  active.Set(net.z);
+  const ComponentIndex split = ComponentIndex::Build(groups, active, 3);
+  ASSERT_EQ(split.component_count(), 2u);
+  EXPECT_EQ(split.component(0).members, (std::vector<CorrespondenceId>{net.x}));
+  EXPECT_EQ(split.component(1).members, (std::vector<CorrespondenceId>{net.z}));
+}
+
+TEST(ComponentSplitTest, ProbabilisticNetworkTracksSplitEndToEnd) {
+  ConflictPathNetwork net = MakeConflictPathNetwork();
+  Rng rng(11);
+  ProbabilisticNetwork pmn =
+      ProbabilisticNetwork::Create(net.network, net.constraints, {}, &rng)
+          .value();
+  ASSERT_EQ(pmn.component_count(), 1u);
+  EXPECT_EQ(pmn.component_generation(0), 0u);
+
+  ASSERT_TRUE(pmn.Assert(net.y, false, &rng).ok());
+  ASSERT_EQ(pmn.component_count(), 2u);
+  EXPECT_EQ(pmn.component(0).anchor, net.x);
+  EXPECT_EQ(pmn.component(1).anchor, net.z);
+  EXPECT_EQ(pmn.component_generation(0), 1u);
+  EXPECT_EQ(pmn.component_generation(1), 1u);
+  // Both singletons are forced in by maximality once y is out.
+  EXPECT_DOUBLE_EQ(pmn.probability(net.x), 1.0);
+  EXPECT_DOUBLE_EQ(pmn.probability(net.z), 1.0);
+  EXPECT_DOUBLE_EQ(pmn.Uncertainty(), 0.0);
+}
+
+TEST(ComponentSplitTest, ContradictoryAssertionLeavesNetworkIntact) {
+  // Approving y forces its conflict partners x and z out of every instance.
+  // A later approval of x contradicts that closure: Assert must fail AND
+  // leave the network exactly as it was (no half-committed feedback).
+  ConflictPathNetwork net = MakeConflictPathNetwork();
+  Rng rng(23);
+  ProbabilisticNetwork pmn =
+      ProbabilisticNetwork::Create(net.network, net.constraints, {}, &rng)
+          .value();
+  ASSERT_TRUE(pmn.Assert(net.y, true, &rng).ok());
+  ASSERT_DOUBLE_EQ(pmn.probability(net.x), 0.0);
+  const std::vector<double> before = pmn.probabilities();
+  const uint64_t assertions_before = pmn.assertion_count();
+
+  EXPECT_EQ(pmn.Assert(net.x, true, &rng).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(pmn.feedback().IsApproved(net.x));
+  EXPECT_EQ(pmn.assertion_count(), assertions_before);
+  EXPECT_EQ(pmn.probabilities(), before);
+  // The network is still fully usable: an agreeing assertion succeeds.
+  EXPECT_TRUE(pmn.Assert(net.x, false, &rng).ok());
+  EXPECT_DOUBLE_EQ(pmn.Uncertainty(), 0.0);
+}
+
+TEST(ComponentSplitTest, UntouchedComponentKeepsItsGeneration) {
+  // Two independent clusters: asserting in one must not rebuild the other.
+  testing::RandomNetwork clustered =
+      testing::MakeClusteredNetwork({2, 3, 2, 0.6, 13});
+  Rng rng(5);
+  ProbabilisticNetwork pmn =
+      ProbabilisticNetwork::Create(clustered.network, clustered.constraints,
+                                   {}, &rng)
+          .value();
+  ASSERT_GE(pmn.component_count(), 2u);
+  const auto uncertain = pmn.UncertainCorrespondences();
+  ASSERT_FALSE(uncertain.empty());
+  const CorrespondenceId target = uncertain.front();
+  const size_t touched = pmn.ComponentOf(target);
+  ASSERT_NE(touched, ComponentIndex::kNoComponent);
+  DynamicBitset touched_members(clustered.network.correspondence_count());
+  for (CorrespondenceId member : pmn.component(touched).members) {
+    touched_members.Set(member);
+  }
+
+  ASSERT_TRUE(pmn.Assert(target, true, &rng).ok());
+  bool saw_untouched = false;
+  for (size_t i = 0; i < pmn.component_count(); ++i) {
+    const bool fragment_of_touched =
+        touched_members.Test(pmn.component(i).anchor);
+    if (fragment_of_touched) {
+      EXPECT_EQ(pmn.component_generation(i), 1u);
+    } else {
+      EXPECT_EQ(pmn.component_generation(i), 0u);
+      saw_untouched = true;
+    }
+  }
+  EXPECT_TRUE(saw_untouched);
+}
+
+TEST(ComponentSubproblemTest, BoundaryApprovalsAreCarried) {
+  testing::Fig1Network fig1 = testing::MakeFig1Network();
+  const Feedback feedback = MakeFeedback(5, {fig1.c2}, {});
+  const auto determined =
+      PropagateFeedback(fig1.constraints, feedback, 5).value();
+  const auto groups = fig1.constraints.CouplingGroups();
+  DynamicBitset active(5);
+  active.Set(fig1.c1);
+  active.Set(fig1.c3);
+  active.Set(fig1.c5);
+  const ComponentIndex index = ComponentIndex::Build(groups, active, 5);
+  ASSERT_EQ(index.component_count(), 1u);
+
+  const ComponentSubproblem subproblem =
+      BuildComponentSubproblem(fig1.network, fig1.constraints, groups,
+                               index.component(0), determined, nullptr)
+          .value();
+  // Candidates: the three members plus the determined-in boundary c2 (the
+  // chain {c1, c2, c3} conditions c1/c3 on it). The determined-out c4 is
+  // omitted — absence encodes disapproval exactly.
+  EXPECT_EQ(subproblem.local_to_global,
+            (std::vector<CorrespondenceId>{fig1.c1, fig1.c2, fig1.c3,
+                                           fig1.c5}));
+  EXPECT_EQ(subproblem.member_local_ids.size(), 3u);
+  EXPECT_EQ(subproblem.feedback.approved_count(), 1u);
+  EXPECT_TRUE(subproblem.feedback.IsApproved(1));  // Local id of c2.
+  EXPECT_EQ(subproblem.network->correspondence_count(), 4u);
+}
+
+TEST(ComponentSubproblemTest, SchemasWithoutCandidatesYieldNoComponents) {
+  NetworkBuilder builder;
+  const SchemaId s0 = builder.AddSchema("S0");
+  const SchemaId s1 = builder.AddSchema("S1");
+  builder.AddAttribute(s0, "a").value();
+  builder.AddAttribute(s1, "b").value();
+  ASSERT_TRUE(builder.AddEdge(s0, s1).ok());
+  Network network = builder.Build().value();
+  ConstraintSet constraints = testing::MakeStandardConstraints(network);
+
+  const auto groups = constraints.CouplingGroups();
+  EXPECT_TRUE(groups.empty());
+  const ComponentIndex index =
+      ComponentIndex::Build(groups, DynamicBitset(0), 0);
+  EXPECT_EQ(index.component_count(), 0u);
+
+  // End to end: an edge with zero candidates reconciles trivially.
+  Rng rng(3);
+  ProbabilisticNetwork pmn =
+      ProbabilisticNetwork::Create(network, constraints, {}, &rng).value();
+  EXPECT_EQ(pmn.component_count(), 0u);
+  EXPECT_DOUBLE_EQ(pmn.Uncertainty(), 0.0);
+  EXPECT_TRUE(pmn.exhausted());
+  ASSERT_EQ(pmn.samples().size(), 1u);
+  EXPECT_TRUE(pmn.samples()[0].None());
+}
+
+TEST(ComponentOneToOneTest, CouplingGroupsMatchConflictPairs) {
+  auto constraint = std::make_unique<OneToOneConstraint>();
+  testing::Fig1Network fig1 = testing::MakeFig1Network();
+  ASSERT_TRUE(constraint->Compile(fig1.network).ok());
+  std::vector<std::vector<CorrespondenceId>> groups;
+  constraint->AppendCouplingGroups(&groups);
+  EXPECT_EQ(groups.size(), constraint->conflict_pair_count());
+  for (const auto& group : groups) {
+    ASSERT_EQ(group.size(), 2u);
+    EXPECT_TRUE(constraint->ConflictRow(group[0]).Test(group[1]));
+  }
+}
+
+}  // namespace
+}  // namespace smn

@@ -70,6 +70,37 @@ TEST(InteractionGraphTest, TriangleEnumerationRingHasNone) {
   EXPECT_TRUE(graph.Triangles().empty());
 }
 
+TEST(InteractionGraphTest, SelfLoopRejectionLeavesGraphUnchanged) {
+  InteractionGraph graph(3);
+  ASSERT_TRUE(graph.AddEdge(0, 1).ok());
+  ASSERT_EQ(graph.AddEdge(2, 2).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(graph.edge_count(), 1u);
+  EXPECT_TRUE(graph.Neighbors(2).empty());
+  EXPECT_FALSE(graph.HasEdge(2, 2));
+}
+
+TEST(InteractionGraphTest, HasEdgeOutOfRangeIsFalse) {
+  InteractionGraph graph(2);
+  graph.AddEdge(0, 1);
+  EXPECT_FALSE(graph.HasEdge(0, 5));
+  EXPECT_FALSE(graph.HasEdge(7, 9));
+}
+
+TEST(InteractionGraphTest, TrianglesOnDisjointCliques) {
+  // Two disjoint 3-cliques: exactly one triangle each, nothing across.
+  InteractionGraph graph(6);
+  for (SchemaId base : {SchemaId{0}, SchemaId{3}}) {
+    graph.AddEdge(base, base + 1);
+    graph.AddEdge(base, base + 2);
+    graph.AddEdge(base + 1, base + 2);
+  }
+  const auto triangles = graph.Triangles();
+  ASSERT_EQ(triangles.size(), 2u);
+  EXPECT_EQ(triangles[0], (std::array<SchemaId, 3>{0, 1, 2}));
+  EXPECT_EQ(triangles[1], (std::array<SchemaId, 3>{3, 4, 5}));
+  EXPECT_FALSE(graph.IsComplete());
+}
+
 TEST(InteractionGraphTest, IsComplete) {
   InteractionGraph graph(3);
   graph.AddEdge(0, 1);

@@ -109,6 +109,83 @@ TEST_F(ReconcilerTest, StepReturnsNotFoundWhenConverged) {
   EXPECT_EQ(step.status().code(), StatusCode::kNotFound);
 }
 
+TEST_F(ReconcilerTest, EffortExcludesPreCertainCorrespondences) {
+  // Regression for the effort definition: E divides by the number of
+  // *initially uncertain* correspondences, not |C|. This network has a
+  // conflict path x–y–z (two instances: {x, z, w} and {y, w}) plus an
+  // isolated singleton w that every maximal instance contains — w is
+  // pre-certain and must not dilute the effort denominator.
+  NetworkBuilder builder;
+  const SchemaId s0 = builder.AddSchema("S0");
+  const SchemaId s1 = builder.AddSchema("S1");
+  const SchemaId s2 = builder.AddSchema("S2");
+  const SchemaId s3 = builder.AddSchema("S3");
+  const AttributeId a0 = builder.AddAttribute(s0, "a0").value();
+  const AttributeId a1 = builder.AddAttribute(s0, "a1").value();
+  const AttributeId b0 = builder.AddAttribute(s1, "b0").value();
+  const AttributeId b1 = builder.AddAttribute(s1, "b1").value();
+  const AttributeId c0 = builder.AddAttribute(s2, "c0").value();
+  const AttributeId d0 = builder.AddAttribute(s3, "d0").value();
+  ASSERT_TRUE(builder.AddEdge(s0, s1).ok());
+  ASSERT_TRUE(builder.AddEdge(s2, s3).ok());
+  const CorrespondenceId x = builder.AddCorrespondence(a0, b1, 0.9).value();
+  builder.AddCorrespondence(a0, b0, 0.8).value();  // y: conflicts x and z.
+  const CorrespondenceId z = builder.AddCorrespondence(a1, b0, 0.7).value();
+  const CorrespondenceId w = builder.AddCorrespondence(c0, d0, 0.6).value();
+  Network network = builder.Build().value();
+  ConstraintSet constraints = testing::MakeStandardConstraints(network);
+
+  Rng rng(7);
+  ProbabilisticNetwork pmn =
+      ProbabilisticNetwork::Create(network, constraints, SmallOptions(), &rng)
+          .value();
+  ASSERT_DOUBLE_EQ(pmn.probability(w), 1.0);  // Pre-certain, unasserted.
+  ASSERT_EQ(pmn.UncertainCorrespondences().size(), 3u);
+
+  auto strategy = MakeStrategy(StrategyKind::kSequential);
+  Reconciler reconciler(&pmn, strategy.get(), [&](CorrespondenceId c) {
+    return c == x || c == z || c == w;
+  });
+  const auto first = reconciler.Step(&rng);
+  ASSERT_TRUE(first.ok());
+  // One of three initially-uncertain candidates asserted: E = 1/3, not 1/4.
+  EXPECT_DOUBLE_EQ(first->effort_after, 1.0 / 3.0);
+
+  const auto trace = reconciler.Run(ReconcileGoal{}, &rng);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->initially_uncertain, 3u);
+  EXPECT_DOUBLE_EQ(pmn.Uncertainty(), 0.0);
+  // Every recorded effort stays within [0, 1] under the corrected
+  // denominator; |C| in the denominator would have capped the curve at 3/4.
+  for (const ReconcileStep& step : trace->steps) {
+    EXPECT_GT(step.effort_after, 0.0);
+    EXPECT_LE(step.effort_after, 1.0);
+  }
+}
+
+TEST_F(ReconcilerTest, EffortExcludesAssertionsMadeBeforeConstruction) {
+  // Feedback integrated before the reconciler exists is neither this run's
+  // effort (numerator) nor this run's question pool (denominator): the
+  // recorded efforts must stay in (0, 1].
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.Assert(fig1_.c1, true, &rng_).ok());
+  const size_t uncertain_at_start = pmn.UncertainCorrespondences().size();
+  ASSERT_GT(uncertain_at_start, 0u);
+
+  auto strategy = MakeStrategy(StrategyKind::kSequential);
+  Reconciler reconciler(&pmn, strategy.get(), TruthOracle());
+  const auto trace = reconciler.Run(ReconcileGoal{}, &rng_);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->initially_uncertain, uncertain_at_start);
+  ASSERT_FALSE(trace->steps.empty());
+  EXPECT_DOUBLE_EQ(trace->steps.front().effort_after,
+                   1.0 / static_cast<double>(uncertain_at_start));
+  for (const ReconcileStep& step : trace->steps) {
+    EXPECT_GT(step.effort_after, 0.0);
+    EXPECT_LE(step.effort_after, 1.0);
+  }
+}
+
 TEST_F(ReconcilerTest, RandomStrategyAlsoConverges) {
   // Marginal-entropy sums are not guaranteed monotone step-by-step (an
   // assertion can make another correspondence *more* ambiguous), but every

@@ -75,5 +75,59 @@ RandomNetwork MakeRandomNetwork(const RandomNetworkSpec& spec) {
   return RandomNetwork{std::move(network), std::move(constraints)};
 }
 
+RandomNetwork MakeClusteredNetwork(const ClusteredNetworkSpec& spec) {
+  Rng rng(spec.seed);
+  NetworkBuilder builder;
+  std::vector<std::vector<std::vector<AttributeId>>> attributes(spec.clusters);
+  std::vector<std::vector<SchemaId>> schemas(spec.clusters);
+  for (size_t k = 0; k < spec.clusters; ++k) {
+    attributes[k].resize(spec.schemas_per_cluster);
+    for (size_t s = 0; s < spec.schemas_per_cluster; ++s) {
+      const SchemaId schema = builder.AddSchema(
+          "K" + std::to_string(k) + "S" + std::to_string(s));
+      schemas[k].push_back(schema);
+      for (size_t a = 0; a < spec.attributes_per_schema; ++a) {
+        attributes[k][s].push_back(
+            builder.AddAttribute(schema, "a" + std::to_string(a)).value());
+      }
+    }
+  }
+  // Complete graph within each cluster, no edges across clusters.
+  for (size_t k = 0; k < spec.clusters; ++k) {
+    for (size_t s1 = 0; s1 < spec.schemas_per_cluster; ++s1) {
+      for (size_t s2 = s1 + 1; s2 < spec.schemas_per_cluster; ++s2) {
+        const Status status = builder.AddEdge(schemas[k][s1], schemas[k][s2]);
+        (void)status;  // Cannot fail: distinct fresh schemas.
+      }
+    }
+  }
+  for (size_t k = 0; k < spec.clusters; ++k) {
+    size_t added = 0;
+    for (size_t s1 = 0; s1 < spec.schemas_per_cluster; ++s1) {
+      for (size_t s2 = s1 + 1; s2 < spec.schemas_per_cluster; ++s2) {
+        for (AttributeId a : attributes[k][s1]) {
+          for (AttributeId b : attributes[k][s2]) {
+            if (rng.Bernoulli(spec.candidate_density)) {
+              builder.AddCorrespondence(a, b, rng.UniformDouble()).value();
+              ++added;
+            }
+          }
+        }
+      }
+    }
+    if (added == 0) {
+      // Guarantee every cluster contributes at least one candidate so the
+      // component count is predictable.
+      builder
+          .AddCorrespondence(attributes[k][0][0], attributes[k][1][0],
+                             rng.UniformDouble())
+          .value();
+    }
+  }
+  Network network = builder.Build().value();
+  ConstraintSet constraints = MakeStandardConstraints(network);
+  return RandomNetwork{std::move(network), std::move(constraints)};
+}
+
 }  // namespace testing
 }  // namespace smn

@@ -60,6 +60,29 @@ struct RandomNetwork {
 /// exhaustive enumeration when spec sizes are small.
 RandomNetwork MakeRandomNetwork(const RandomNetworkSpec& spec);
 
+/// Parameters for clustered multi-component networks: `clusters` disjoint
+/// schema groups, complete within a cluster, no edges across clusters — so
+/// correspondences of different clusters can never share a constraint and
+/// the candidate set provably splits into at least `clusters`
+/// constraint-connected components.
+struct ClusteredNetworkSpec {
+  size_t clusters = 3;
+  size_t schemas_per_cluster = 3;
+  size_t attributes_per_schema = 2;
+  /// Chance that any intra-cluster cross-schema attribute pair becomes a
+  /// candidate.
+  double candidate_density = 0.5;
+  uint64_t seed = 7;
+};
+
+/// Builds a clustered network with compiled standard constraints (see
+/// ClusteredNetworkSpec). The incremental-reconciliation equivalence tests
+/// use it to exercise genuine multi-component behavior. Mirrors
+/// bench::BuildClusteredNetwork (bench/synthetic_networks.h) — bench/ and
+/// tests/ deliberately do not link each other's fixtures; keep the cluster
+/// geometry of the two in sync.
+RandomNetwork MakeClusteredNetwork(const ClusteredNetworkSpec& spec);
+
 }  // namespace testing
 }  // namespace smn
 
