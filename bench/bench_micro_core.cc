@@ -1,10 +1,17 @@
 // Google-benchmark microbenchmarks of the engine hot paths: the repair of a
-// single addition (Algorithm 4 + closure), one random-walk transition, full
-// sample-chain draws, information-gain computation over the sample matrix,
-// and the instantiation local search (Algorithm 2).
+// single addition (Algorithm 4 + closure), one random-walk transition through
+// the compiled walk kernel, full sample-chain draws, information-gain
+// computation over the sample matrix, and the instantiation local search
+// (Algorithm 2). A global allocation counter (operator new/delete overrides
+// below) feeds the allocs_per_step / allocs_per_sample counters, so the
+// kernel's zero-allocation steady state is recorded in the JSON trajectory
+// alongside the timings.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -14,9 +21,40 @@
 #include "core/probabilistic_network.h"
 #include "core/repair.h"
 #include "core/sampler.h"
+#include "core/walk_scratch.h"
+
+namespace {
+std::atomic<uint64_t> g_allocation_count{0};
+}  // namespace
+
+// The replacement operators intentionally pair malloc/free; GCC's
+// -Wmismatched-new-delete heuristic cannot see through the global
+// replacement and misfires at inlined call sites in this TU.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace smn {
 namespace {
+
+uint64_t AllocationCount() {
+  return g_allocation_count.load(std::memory_order_relaxed);
+}
 
 void BM_RepairSingleAddition(benchmark::State& state) {
   const size_t candidates = static_cast<size_t>(state.range(0));
@@ -31,14 +69,16 @@ void BM_RepairSingleAddition(benchmark::State& state) {
   const DynamicBitset base = seed_samples.front();
 
   const size_t n = synthetic.network.correspondence_count();
+  WalkScratch scratch(n);
+  DynamicBitset instance = base;  // Equal-size buffer: assignment reuses it.
   for (auto _ : state) {
-    DynamicBitset instance = base;
+    instance = base;
     const CorrespondenceId added = static_cast<CorrespondenceId>(rng.Index(n));
-    benchmark::DoNotOptimize(
-        RepairInstance(synthetic.constraints, feedback, added, &instance));
+    benchmark::DoNotOptimize(RepairInstance(synthetic.constraints, feedback,
+                                            added, &instance, &scratch));
   }
 }
-BENCHMARK(BM_RepairSingleAddition)->Arg(128)->Arg(512)->Arg(2048);
+BENCHMARK(BM_RepairSingleAddition)->Arg(128)->Arg(512)->Arg(1024)->Arg(2048);
 
 void BM_SamplerWalkStep(benchmark::State& state) {
   const size_t candidates = static_cast<size_t>(state.range(0));
@@ -47,14 +87,27 @@ void BM_SamplerWalkStep(benchmark::State& state) {
   Feedback feedback(synthetic.network.correspondence_count());
   Sampler sampler(synthetic.network, synthetic.constraints);
   Rng rng(11);
-  DynamicBitset current(synthetic.network.correspondence_count());
+  const size_t n = synthetic.network.correspondence_count();
+  WalkScratch scratch(n);
+  DynamicBitset current(n);
   for (auto _ : state) {
-    auto next = sampler.NextInstance(current, feedback, &rng);
-    current = std::move(next).value();
-    benchmark::DoNotOptimize(current);
+    // Step is an external call mutating `current` through a pointer — the
+    // work cannot be elided, so no per-iteration DoNotOptimize overhead.
+    sampler.Step(feedback, &rng, &current, &scratch).ok();
   }
+  benchmark::DoNotOptimize(current);
+  // Steady-state allocation probe, outside the timed loop: the kernel claim
+  // is zero allocations per transition once the scratch is warm.
+  constexpr size_t kProbeSteps = 4096;
+  const uint64_t before = AllocationCount();
+  for (size_t i = 0; i < kProbeSteps; ++i) {
+    sampler.Step(feedback, &rng, &current, &scratch).ok();
+  }
+  state.counters["allocs_per_step"] =
+      static_cast<double>(AllocationCount() - before) /
+      static_cast<double>(kProbeSteps);
 }
-BENCHMARK(BM_SamplerWalkStep)->Arg(128)->Arg(512)->Arg(2048);
+BENCHMARK(BM_SamplerWalkStep)->Arg(128)->Arg(512)->Arg(1024)->Arg(2048);
 
 void BM_SampleChain(benchmark::State& state) {
   const size_t candidates = static_cast<size_t>(state.range(0));
@@ -63,13 +116,26 @@ void BM_SampleChain(benchmark::State& state) {
   Feedback feedback(synthetic.network.correspondence_count());
   Sampler sampler(synthetic.network, synthetic.constraints);
   Rng rng(13);
+  constexpr size_t kSamplesPerDraw = 10;
   for (auto _ : state) {
     std::vector<DynamicBitset> out;
-    sampler.SampleChain(feedback, 10, &rng, &out).ok();
+    sampler.SampleChain(feedback, kSamplesPerDraw, &rng, &out).ok();
     benchmark::DoNotOptimize(out);
   }
+  // Per-sample allocations for a warm chain draw (emitted sample copies and
+  // the output vector dominate; the walk steps themselves are free).
+  constexpr size_t kProbeDraws = 16;
+  std::vector<DynamicBitset> probe_out;
+  probe_out.reserve(kProbeDraws * kSamplesPerDraw);
+  const uint64_t before = AllocationCount();
+  for (size_t i = 0; i < kProbeDraws; ++i) {
+    sampler.SampleChain(feedback, kSamplesPerDraw, &rng, &probe_out).ok();
+  }
+  state.counters["allocs_per_sample"] =
+      static_cast<double>(AllocationCount() - before) /
+      static_cast<double>(kProbeDraws * kSamplesPerDraw);
 }
-BENCHMARK(BM_SampleChain)->Arg(128)->Arg(1024);
+BENCHMARK(BM_SampleChain)->Arg(128)->Arg(512)->Arg(1024);
 
 void BM_InformationGains(benchmark::State& state) {
   const size_t candidates = static_cast<size_t>(state.range(0));
@@ -121,10 +187,15 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
       const double iterations = static_cast<double>(run.iterations);
       const double real_ms = run.real_accumulated_time * 1e3;
       const double cpu_ms = run.cpu_accumulated_time * 1e3;
-      out_->AddEntry(run.benchmark_name(), real_ms,
-                     {{"iterations", iterations},
-                      {"real_ms_per_iter", real_ms / iterations},
-                      {"cpu_ms_per_iter", cpu_ms / iterations}});
+      bench::BenchReporter::Fields fields = {
+          {"iterations", iterations},
+          {"real_ms_per_iter", real_ms / iterations},
+          {"cpu_ms_per_iter", cpu_ms / iterations}};
+      // User counters (e.g. allocs_per_step) ride along into the JSON.
+      for (const auto& [name, counter] : run.counters) {
+        fields.emplace_back(name, static_cast<double>(counter.value));
+      }
+      out_->AddEntry(run.benchmark_name(), real_ms, std::move(fields));
     }
     ConsoleReporter::ReportRuns(runs);
   }

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Guards the perf trajectory: compares a freshly produced BENCH_<name>.json
+against the committed baseline and fails when a key metric regresses beyond
+the tolerance band.
+
+Entries are matched by name. For lower-is-better fields (times) the fresh
+value must satisfy fresh <= baseline * max_ratio; for higher-is-better
+metrics (speedups) fresh >= baseline / max_ratio. Zero-valued baselines
+(e.g. allocs_per_step == 0, the kernel's zero-allocation claim) switch to an
+absolute bound: fresh <= zero_epsilon. Entries present only in the fresh
+file are new benchmarks and pass; entries present only in the baseline fail,
+so coverage cannot silently shrink.
+
+Usage:
+  check_bench_regress.py --baseline BENCH_micro_core.json \
+      --fresh build/BENCH_micro_core.json \
+      --lower-is-better real_ms_per_iter,allocs_per_step \
+      [--higher-is-better speedup_mean_per_assertion] \
+      [--max-ratio 2.5] [--zero-epsilon 0.01]
+
+The default --max-ratio is deliberately loose: the committed baselines come
+from a dev box, CI runners differ in absolute speed, and micro timings are
+noisy. The band is tight enough to catch structural regressions (an
+accidentally reintroduced per-step allocation is a >3x hit on the walk
+benches) without flaking on machine variance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"error: cannot read bench JSON {path!r}: {error}")
+
+
+def numeric_fields(entry: dict) -> dict:
+    fields = dict(entry.get("fields", {}))
+    return {k: v for k, v in fields.items() if isinstance(v, (int, float))}
+
+
+def check(args: argparse.Namespace) -> int:
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    lower = [f for f in args.lower_is_better.split(",") if f]
+    higher = [f for f in args.higher_is_better.split(",") if f]
+
+    base_entries = {e["name"]: e for e in baseline.get("entries", [])}
+    fresh_entries = {e["name"]: e for e in fresh.get("entries", [])}
+
+    failures = []
+    rows = []
+
+    def judge(name: str, field: str, base_value: float, fresh_value: float,
+              lower_better: bool) -> None:
+        if base_value == 0 and lower_better:
+            ok = abs(fresh_value) <= args.zero_epsilon
+            bound = f"<= {args.zero_epsilon} (abs, zero baseline)"
+        elif base_value == 0:
+            ok = fresh_value >= 0
+            bound = ">= 0 (zero baseline)"
+        elif lower_better:
+            ok = fresh_value <= base_value * args.max_ratio
+            bound = f"<= {base_value * args.max_ratio:.6g}"
+        else:
+            ok = fresh_value >= base_value / args.max_ratio
+            bound = f">= {base_value / args.max_ratio:.6g}"
+        rows.append((name, field, base_value, fresh_value, bound, ok))
+        if not ok:
+            failures.append(f"{name}.{field}: fresh {fresh_value:.6g} "
+                            f"vs baseline {base_value:.6g} (bound {bound})")
+
+    for name, base_entry in sorted(base_entries.items()):
+        if name not in fresh_entries:
+            failures.append(f"{name}: present in baseline but missing from "
+                            f"fresh run — bench coverage shrank")
+            continue
+        base_fields = numeric_fields(base_entry)
+        fresh_fields = numeric_fields(fresh_entries[name])
+        for field in lower + higher:
+            if field not in base_fields:
+                continue
+            if field not in fresh_fields:
+                failures.append(f"{name}.{field}: dropped from fresh run")
+                continue
+            judge(name, field, base_fields[field], fresh_fields[field],
+                  field in lower)
+
+    # Top-level metrics (e.g. speedup_mean_per_assertion) follow the same
+    # rules, matched by key.
+    base_metrics = {k: v for k, v in baseline.get("metrics", {}).items()
+                    if isinstance(v, (int, float))}
+    fresh_metrics = {k: v for k, v in fresh.get("metrics", {}).items()
+                     if isinstance(v, (int, float))}
+    for field in lower + higher:
+        if field in base_metrics:
+            if field not in fresh_metrics:
+                failures.append(f"metrics.{field}: dropped from fresh run")
+            else:
+                judge("metrics", field, base_metrics[field],
+                      fresh_metrics[field], field in lower)
+
+    width = max((len(r[0]) + len(r[1]) for r in rows), default=20) + 1
+    for name, field, base_value, fresh_value, bound, ok in rows:
+        flag = "ok  " if ok else "FAIL"
+        print(f"{flag} {name + '.' + field:<{width}} "
+              f"baseline={base_value:.6g} fresh={fresh_value:.6g} "
+              f"bound {bound}")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond the tolerance band "
+              f"(max-ratio {args.max_ratio}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} checked metrics within the tolerance band "
+          f"(max-ratio {args.max_ratio})")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_<name>.json")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly produced BENCH_<name>.json")
+    parser.add_argument("--lower-is-better", default="",
+                        help="comma-separated entry fields where smaller is "
+                             "better (times, allocation counts)")
+    parser.add_argument("--higher-is-better", default="",
+                        help="comma-separated fields where larger is better "
+                             "(speedups, throughputs)")
+    parser.add_argument("--max-ratio", type=float, default=2.5,
+                        help="tolerated ratio against the baseline "
+                             "(default: %(default)s)")
+    parser.add_argument("--zero-epsilon", type=float, default=0.01,
+                        help="absolute bound used when the baseline value "
+                             "is exactly zero (default: %(default)s)")
+    args = parser.parse_args()
+    if not args.lower_is_better and not args.higher_is_better:
+        parser.error("nothing to check: pass --lower-is-better and/or "
+                     "--higher-is-better")
+    return check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,8 +11,6 @@ std::unique_ptr<Constraint> CycleConstraint::CloneUncompiled() const {
 Status CycleConstraint::Compile(const Network& network) {
   const size_t n = network.correspondence_count();
   chains_.clear();
-  chains_at_.assign(n, {});
-  closing_of_.assign(n, {});
 
   // Chains pivot on a shared attribute: for attribute b, correspondences
   // a~b and b~c chain when a and c live in different schemas and the three
@@ -30,13 +28,41 @@ Status CycleConstraint::Compile(const Network& network) {
         if (schema_i == schema_j) continue;  // One-to-one territory.
         if (!network.graph().HasEdge(schema_i, schema_j)) continue;
         const auto closing = network.FindCorrespondence(end_i, end_j);
-        const uint32_t chain_index = static_cast<uint32_t>(chains_.size());
         chains_.push_back(Chain{ci.id, cj.id,
                                 closing.value_or(kInvalidCorrespondence)});
-        chains_at_[ci.id].push_back(chain_index);
-        chains_at_[cj.id].push_back(chain_index);
-        if (closing.has_value()) closing_of_[*closing].push_back(chain_index);
       }
+    }
+  }
+
+  // Second pass: pack the per-correspondence adjacency into CSR tables via
+  // counting sort. Filling in chain order keeps each row sorted by chain
+  // index, which is exactly the order the old per-correspondence vectors
+  // accumulated — violation report order is unchanged.
+  member_offsets_.assign(n + 1, 0);
+  closing_offsets_.assign(n + 1, 0);
+  for (const Chain& chain : chains_) {
+    ++member_offsets_[chain.first + 1];
+    ++member_offsets_[chain.second + 1];
+    if (chain.closing != kInvalidCorrespondence) {
+      ++closing_offsets_[chain.closing + 1];
+    }
+  }
+  for (size_t c = 0; c < n; ++c) {
+    member_offsets_[c + 1] += member_offsets_[c];
+    closing_offsets_[c + 1] += closing_offsets_[c];
+  }
+  member_chains_.assign(member_offsets_[n], 0);
+  closing_chains_.assign(closing_offsets_[n], 0);
+  std::vector<uint32_t> member_fill(member_offsets_.begin(),
+                                    member_offsets_.end() - 1);
+  std::vector<uint32_t> closing_fill(closing_offsets_.begin(),
+                                     closing_offsets_.end() - 1);
+  for (uint32_t index = 0; index < chains_.size(); ++index) {
+    const Chain& chain = chains_[index];
+    member_chains_[member_fill[chain.first]++] = index;
+    member_chains_[member_fill[chain.second]++] = index;
+    if (chain.closing != kInvalidCorrespondence) {
+      closing_chains_[closing_fill[chain.closing]++] = index;
     }
   }
   return Status::OK();
@@ -59,8 +85,8 @@ void CycleConstraint::FindViolations(const DynamicBitset& selection,
 void CycleConstraint::FindViolationsInvolving(const DynamicBitset& selection,
                                               CorrespondenceId c,
                                               std::vector<Violation>* out) const {
-  for (uint32_t index : chains_at_[c]) {
-    const Chain& chain = chains_[index];
+  for (uint32_t i = member_offsets_[c]; i < member_offsets_[c + 1]; ++i) {
+    const Chain& chain = chains_[member_chains_[i]];
     if (ChainViolated(chain, selection)) out->push_back(MakeViolation(chain));
   }
 }
@@ -69,34 +95,88 @@ void CycleConstraint::FindViolationsCreatedByRemoval(
     const DynamicBitset& selection, CorrespondenceId removed,
     std::vector<Violation>* out) const {
   // Removing a closing correspondence re-opens every triangle it closed.
-  for (uint32_t index : closing_of_[removed]) {
-    const Chain& chain = chains_[index];
+  for (uint32_t i = closing_offsets_[removed]; i < closing_offsets_[removed + 1];
+       ++i) {
+    const Chain& chain = chains_[closing_chains_[i]];
     if (selection.Test(chain.first) && selection.Test(chain.second)) {
       out->push_back(MakeViolation(chain));
     }
   }
 }
 
-bool CycleConstraint::AdditionViolates(const DynamicBitset& selection,
-                                       CorrespondenceId candidate) const {
-  for (uint32_t index : chains_at_[candidate]) {
-    const Chain& chain = chains_[index];
-    const CorrespondenceId partner =
-        chain.first == candidate ? chain.second : chain.first;
-    if (!selection.Test(partner)) continue;
-    if (chain.closing == kInvalidCorrespondence ||
-        !selection.Test(chain.closing)) {
-      return true;
+void CycleConstraint::AppendConflicts(const DynamicBitset& selection,
+                                      std::vector<KernelViolation>* out) const {
+  for (const Chain& chain : chains_) {
+    if (ChainViolated(chain, selection)) {
+      out->push_back(MakeKernelViolation(chain));
     }
   }
-  return false;
+}
+
+void CycleConstraint::SeedAdditionBlockCounts(
+    const DynamicBitset& selection, uint32_t* monotone_blocks,
+    uint32_t* reversible_blocks) const {
+  // One flat pass over the compiled chains. A chain (m1, m2, z) blocks the
+  // addition of one member exactly while the other member is selected and z
+  // is not: permanently (monotone) when no closing candidate exists — only
+  // removing the selected member releases it — and reversibly when z merely
+  // is not selected yet. The two member roles are scored independently so
+  // the counts stay exact even for inconsistent selections (both members
+  // selected with an open closing), which the incremental delta path can
+  // traverse transiently.
+  for (const Chain& chain : chains_) {
+    const bool first_in = selection.Test(chain.first);
+    const bool second_in = selection.Test(chain.second);
+    if (!first_in && !second_in) continue;
+    if (chain.closing == kInvalidCorrespondence) {
+      if (first_in) ++monotone_blocks[chain.second];
+      if (second_in) ++monotone_blocks[chain.first];
+    } else if (!selection.Test(chain.closing)) {
+      if (first_in) ++reversible_blocks[chain.second];
+      if (second_in) ++reversible_blocks[chain.first];
+    }
+  }
+}
+
+void CycleConstraint::AppendAdditionDeltaOps(
+    CorrespondenceId changed, std::vector<AdditionDeltaOp>* out) const {
+  // Chains where `changed` is a member: its partner gains/loses one block —
+  // monotone for hard conflicts, reversible-while-the-closing-is-open
+  // otherwise. The partner's own membership is irrelevant: block counts are
+  // maintained for selected correspondences too, which is what keeps the
+  // table exact across arbitrary flip sequences.
+  for (uint32_t i = member_offsets_[changed]; i < member_offsets_[changed + 1];
+       ++i) {
+    const Chain& chain = chains_[member_chains_[i]];
+    const CorrespondenceId partner =
+        chain.first == changed ? chain.second : chain.first;
+    if (chain.closing == kInvalidCorrespondence) {
+      out->push_back(AdditionDeltaOp{AdditionDeltaOp::Kind::kMonotone,
+                                     partner, kInvalidCorrespondence});
+    } else {
+      out->push_back(AdditionDeltaOp{AdditionDeltaOp::Kind::kReversibleIfOpen,
+                                     partner, chain.closing});
+    }
+  }
+  // Chains where `changed` is the closing correspondence: while a member is
+  // selected, the opposite member is reversibly blocked iff the closing is
+  // absent — adding the closing releases those blocks, removing it
+  // re-imposes them.
+  for (uint32_t i = closing_offsets_[changed];
+       i < closing_offsets_[changed + 1]; ++i) {
+    const Chain& chain = chains_[closing_chains_[i]];
+    out->push_back(AdditionDeltaOp{AdditionDeltaOp::Kind::kReleaseIfSelected,
+                                   chain.second, chain.first});
+    out->push_back(AdditionDeltaOp{AdditionDeltaOp::Kind::kReleaseIfSelected,
+                                   chain.first, chain.second});
+  }
 }
 
 size_t CycleConstraint::CountViolationsInvolving(const DynamicBitset& selection,
                                                  CorrespondenceId c) const {
   size_t count = 0;
-  for (uint32_t index : chains_at_[c]) {
-    if (ChainViolated(chains_[index], selection)) ++count;
+  for (uint32_t i = member_offsets_[c]; i < member_offsets_[c + 1]; ++i) {
+    if (ChainViolated(chains_[member_chains_[i]], selection)) ++count;
   }
   return count;
 }

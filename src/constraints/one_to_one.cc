@@ -32,13 +32,28 @@ Status OneToOneConstraint::Compile(const Network& network) {
       }
     }
   }
+  // Pack the rows into one flat word matrix for the kernel queries.
+  words_per_row_ = (n + 63) / 64;
+  row_words_.assign(n * words_per_row_, 0);
+  for (CorrespondenceId c = 0; c < n; ++c) {
+    for (size_t w = 0; w < words_per_row_; ++w) {
+      row_words_[c * words_per_row_ + w] = conflicts_[c].word(w);
+    }
+  }
   return Status::OK();
 }
 
 bool OneToOneConstraint::IsSatisfied(const DynamicBitset& selection) const {
   bool ok = true;
   selection.ForEachSetBit([&](size_t c) {
-    if (ok && conflicts_[c].Intersects(selection)) ok = false;
+    if (!ok) return;
+    const uint64_t* row = Row(static_cast<CorrespondenceId>(c));
+    for (size_t w = 0; w < words_per_row_; ++w) {
+      if (row[w] & selection.word(w)) {
+        ok = false;
+        return;
+      }
+    }
   });
   return ok;
 }
@@ -46,9 +61,7 @@ bool OneToOneConstraint::IsSatisfied(const DynamicBitset& selection) const {
 void OneToOneConstraint::FindViolations(const DynamicBitset& selection,
                                         std::vector<Violation>* out) const {
   selection.ForEachSetBit([&](size_t c) {
-    DynamicBitset row = conflicts_[c];
-    row &= selection;
-    row.ForEachSetBit([&](size_t other) {
+    conflicts_[c].ForEachIntersection(selection, [&](size_t other) {
       if (other > c) {  // Report each conflicting pair once.
         out->push_back(Violation{
             name(),
@@ -63,23 +76,57 @@ void OneToOneConstraint::FindViolations(const DynamicBitset& selection,
 void OneToOneConstraint::FindViolationsInvolving(const DynamicBitset& selection,
                                                  CorrespondenceId c,
                                                  std::vector<Violation>* out) const {
-  DynamicBitset row = conflicts_[c];
-  row &= selection;
-  row.ForEachSetBit([&](size_t other) {
+  conflicts_[c].ForEachIntersection(selection, [&](size_t other) {
     out->push_back(Violation{name(),
                              {c, static_cast<CorrespondenceId>(other)},
                              kInvalidCorrespondence});
   });
 }
 
-bool OneToOneConstraint::AdditionViolates(const DynamicBitset& selection,
-                                          CorrespondenceId candidate) const {
-  return conflicts_[candidate].Intersects(selection);
+void OneToOneConstraint::AppendConflicts(const DynamicBitset& selection,
+                                         std::vector<KernelViolation>* out) const {
+  selection.ForEachSetBit([&](size_t c) {
+    conflicts_[c].ForEachIntersection(selection, [&](size_t other) {
+      if (other > c) {  // Report each conflicting pair once.
+        out->push_back(KernelViolation{static_cast<CorrespondenceId>(c),
+                                       static_cast<CorrespondenceId>(other),
+                                       kInvalidCorrespondence});
+      }
+    });
+  });
 }
 
 size_t OneToOneConstraint::CountViolationsInvolving(
     const DynamicBitset& selection, CorrespondenceId c) const {
-  return conflicts_[c].IntersectionCount(selection);
+  const uint64_t* row = Row(c);
+  size_t count = 0;
+  for (size_t w = 0; w < words_per_row_; ++w) {
+    count += static_cast<size_t>(__builtin_popcountll(row[w] & selection.word(w)));
+  }
+  return count;
+}
+
+void OneToOneConstraint::SeedAdditionBlockCounts(
+    const DynamicBitset& selection, uint32_t* monotone_blocks,
+    uint32_t* reversible_blocks) const {
+  (void)reversible_blocks;  // One-to-one blocks are never addition-released.
+  // Rows are symmetric, so monotone_blocks[x] gains |row(x) ∩ selection| by
+  // bumping every selected row's members once.
+  selection.ForEachSetBit([&](size_t c) {
+    conflicts_[c].ForEachSetBit(
+        [&](size_t other) { ++monotone_blocks[other]; });
+  });
+}
+
+void OneToOneConstraint::AppendAdditionDeltaOps(
+    CorrespondenceId changed, std::vector<AdditionDeltaOp>* out) const {
+  // Selecting (clearing) `changed` blocks (releases) every conflict
+  // partner, unconditionally — one monotone op per row member.
+  conflicts_[changed].ForEachSetBit([&](size_t other) {
+    out->push_back(AdditionDeltaOp{AdditionDeltaOp::Kind::kMonotone,
+                                   static_cast<CorrespondenceId>(other),
+                                   kInvalidCorrespondence});
+  });
 }
 
 void OneToOneConstraint::AppendCouplingGroups(

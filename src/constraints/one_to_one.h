@@ -16,9 +16,12 @@ namespace smn {
 ///
 /// Compilation builds a pairwise conflict graph as adjacency bitsets over C,
 /// making every query a handful of word-parallel bitset operations.
-class OneToOneConstraint : public Constraint {
+class OneToOneConstraint final : public Constraint {
  public:
   std::string_view name() const override { return "one-to-one"; }
+
+  /// Kernel dispatch tag (devirtualized fast path).
+  ConstraintKind kind() const override { return ConstraintKind::kOneToOne; }
 
   Status Compile(const Network& network) override;
 
@@ -34,10 +37,53 @@ class OneToOneConstraint : public Constraint {
                                std::vector<Violation>* out) const override;
 
   bool AdditionViolates(const DynamicBitset& selection,
-                        CorrespondenceId candidate) const override;
+                        CorrespondenceId candidate) const override {
+    const uint64_t* row = Row(candidate);
+    for (size_t w = 0; w < words_per_row_; ++w) {
+      if (row[w] & selection.word(w)) return true;
+    }
+    return false;
+  }
+
+  /// Allocation-free kernel scan over all conflict rows.
+  void AppendConflicts(const DynamicBitset& selection,
+                       std::vector<KernelViolation>* out) const override;
+
+  /// Allocation-free word-parallel intersection of c's conflict row with the
+  /// selection — O(degree of c) set bits, no row copy. Inline so the walk
+  /// kernel's devirtualized dispatch can flatten it into the repair loop.
+  void AppendConflictsInvolving(const DynamicBitset& selection,
+                                CorrespondenceId c,
+                                std::vector<KernelViolation>* out) const override {
+    const uint64_t* row = Row(c);
+    for (size_t w = 0; w < words_per_row_; ++w) {
+      uint64_t word = row[w] & selection.word(w);
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        out->push_back(KernelViolation{
+            c, static_cast<CorrespondenceId>(w * 64 + static_cast<size_t>(bit)),
+            kInvalidCorrespondence});
+        word &= word - 1;
+      }
+    }
+  }
 
   size_t CountViolationsInvolving(const DynamicBitset& selection,
                                   CorrespondenceId c) const override;
+
+  /// One-to-one supports the addition-tracking counters: all its blocks are
+  /// monotone (only a removal ever releases a conflict with a selected
+  /// correspondence).
+  bool SupportsAdditionTracking() const override { return true; }
+
+  /// Bumps monotone_blocks over the selected conflict rows.
+  void SeedAdditionBlockCounts(const DynamicBitset& selection,
+                               uint32_t* monotone_blocks,
+                               uint32_t* reversible_blocks) const override;
+
+  /// One monotone op per conflict-row member of `changed`.
+  void AppendAdditionDeltaOps(CorrespondenceId changed,
+                              std::vector<AdditionDeltaOp>* out) const override;
 
   /// Each conflicting pair {c, c'} is one coupling group.
   void AppendCouplingGroups(
@@ -59,7 +105,18 @@ class OneToOneConstraint : public Constraint {
   size_t conflict_pair_count() const { return conflict_pair_count_; }
 
  private:
+  /// Pointer to correspondence c's row of the flat conflict matrix.
+  const uint64_t* Row(CorrespondenceId c) const {
+    return row_words_.data() + c * words_per_row_;
+  }
+
   std::vector<DynamicBitset> conflicts_;
+  // The same adjacency as `conflicts_`, packed as one flat row-major word
+  // matrix (n rows of words_per_row_ words). The kernel queries walk these
+  // rows directly: one contiguous allocation instead of a heap vector per
+  // row, which is what keeps the per-step intersections cache-resident.
+  std::vector<uint64_t> row_words_;
+  size_t words_per_row_ = 0;
   size_t conflict_pair_count_ = 0;
 };
 

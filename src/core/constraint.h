@@ -14,6 +14,43 @@
 
 namespace smn {
 
+/// One compiled instruction of the addition-block tracker (see
+/// Constraint::AppendAdditionDeltaOps). Applied for a selection change of
+/// correspondence c with sign s (+1 when c was just set, -1 when just
+/// cleared):
+///   kMonotone:          monotone_blocks[target] += s
+///   kReversibleIfOpen:  if `cond` is unselected, reversible_blocks[target]
+///                       += s (an open chain gained/lost its selected
+///                       member)
+///   kReleaseIfSelected: if `cond` is selected, reversible_blocks[target]
+///                       -= s (c is the chain's closing correspondence:
+///                       adding it releases the block on the opposite
+///                       member, removing it re-imposes it)
+struct AdditionDeltaOp {
+  /// Instruction kinds (see the struct comment).
+  enum class Kind : uint8_t {
+    kMonotone,           ///< Unconditional monotone-counter adjustment.
+    kReversibleIfOpen,   ///< Reversible adjustment gated on `cond` unselected.
+    kReleaseIfSelected,  ///< Reversible release gated on `cond` selected.
+  };
+  /// What to do with `target`'s counter.
+  Kind kind;
+  /// Correspondence whose block counter is adjusted.
+  CorrespondenceId target;
+  /// Guard correspondence for the conditional kinds (unused by kMonotone).
+  CorrespondenceId cond;
+};
+
+/// Concrete-type tag of a compiled constraint. The walk kernel's inner loop
+/// uses it to dispatch the hot violation queries with static_cast direct
+/// calls to the (final) built-in constraint classes instead of virtual
+/// dispatch; kGeneric constraints take the virtual path.
+enum class ConstraintKind : uint8_t {
+  kGeneric,   ///< Unknown concrete type; virtual dispatch only.
+  kOneToOne,  ///< OneToOneConstraint (final).
+  kCycle,     ///< CycleConstraint (final).
+};
+
 /// A network-level integrity constraint γ ∈ Γ. Implementations compile the
 /// constraint against a concrete Network once (building whatever lookup
 /// tables they need) and then answer violation queries over correspondence
@@ -42,6 +79,11 @@ class Constraint {
 
   /// Stable name used in violation reports ("one-to-one", "cycle").
   virtual std::string_view name() const = 0;
+
+  /// Concrete-type tag for the kernel's devirtualized dispatch (see
+  /// ConstraintKind). Only the built-in final classes return a non-generic
+  /// kind; returning kGeneric is always safe.
+  virtual ConstraintKind kind() const { return ConstraintKind::kGeneric; }
 
   /// Builds internal tables for `network`. Must be called before any query.
   /// The network must outlive this constraint.
@@ -81,6 +123,85 @@ class Constraint {
   /// that satisfies this constraint would create at least one violation.
   virtual bool AdditionViolates(const DynamicBitset& selection,
                                 CorrespondenceId candidate) const = 0;
+
+  /// Kernel query: appends every violation in `selection` as a fixed-size
+  /// KernelViolation. The default adapts the Violation-based path (and
+  /// allocates); the built-in constraints override it with allocation-free
+  /// scans over their compiled adjacency tables. Used to seed RepairAll's
+  /// worklist and as the slow-path oracle in the kernel differential tests.
+  virtual void AppendConflicts(const DynamicBitset& selection,
+                               std::vector<KernelViolation>* out) const {
+    std::vector<Violation> violations;
+    FindViolations(selection, &violations);
+    for (const Violation& v : violations) out->push_back(ToKernelViolation(v));
+  }
+
+  /// Kernel query: appends the violations in `selection` that involve the
+  /// selected correspondence `c`. The built-in overrides are O(degree) in
+  /// the compiled adjacency index — a word-parallel conflict-row
+  /// intersection for one-to-one, a CSR chain-row walk for the cycle
+  /// constraint — and never allocate once `out` has warmed-up capacity.
+  virtual void AppendConflictsInvolving(const DynamicBitset& selection,
+                                        CorrespondenceId c,
+                                        std::vector<KernelViolation>* out) const {
+    std::vector<Violation> violations;
+    FindViolationsInvolving(selection, c, &violations);
+    for (const Violation& v : violations) out->push_back(ToKernelViolation(v));
+  }
+
+  /// Kernel query: appends violations that exist in `selection` only because
+  /// `removed` was just cleared from it (see FindViolationsCreatedByRemoval).
+  /// The default adapter is allocation-free for constraints that keep the
+  /// base no-op FindViolationsCreatedByRemoval.
+  virtual void AppendConflictsCreatedByRemoval(
+      const DynamicBitset& selection, CorrespondenceId removed,
+      std::vector<KernelViolation>* out) const {
+    std::vector<Violation> violations;
+    FindViolationsCreatedByRemoval(selection, removed, &violations);
+    for (const Violation& v : violations) out->push_back(ToKernelViolation(v));
+  }
+
+  /// True when this constraint implements the incremental addition-block
+  /// counters below. The counters power Maximalize's fast path (and its
+  /// cross-sample incremental seeding): instead of probing AdditionViolates
+  /// for every candidate on every fixpoint pass, per-candidate block counts
+  /// are seeded once and maintained per selection change. Constraints
+  /// answering false force callers back to the generic per-candidate
+  /// probing loop.
+  virtual bool SupportsAdditionTracking() const { return false; }
+
+  /// Seeds the addition-block counters for `selection` (an arbitrary subset
+  /// of C): for every correspondence x, adds to `monotone_blocks[x]` the
+  /// number of this constraint's elements that currently forbid adding x
+  /// and can only stop doing so when a selected correspondence is REMOVED
+  /// (a one-to-one conflict with a selected correspondence, a hard-conflict
+  /// chain), and to `reversible_blocks[x]` the number that could also be
+  /// released by a further ADDITION (an open chain whose closing
+  /// correspondence may yet be selected). x is addable under this
+  /// constraint exactly when both its counts are zero; the split lets
+  /// grow-only fixpoints drop monotonically-blocked candidates for good.
+  /// Only called when SupportsAdditionTracking() is true.
+  virtual void SeedAdditionBlockCounts(const DynamicBitset& selection,
+                                       uint32_t* monotone_blocks,
+                                       uint32_t* reversible_blocks) const {
+    (void)selection;
+    (void)monotone_blocks;
+    (void)reversible_blocks;
+  }
+
+  /// Exports the compiled delta program for `changed`: the op sequence
+  /// that, applied with sign +1 after setting `changed` in a selection (or
+  /// sign -1 after clearing it), keeps the addition-block counters of
+  /// SeedAdditionBlockCounts exact — for arbitrary, even transiently
+  /// inconsistent, selections. ConstraintSet::Compile concatenates every
+  /// constraint's ops per correspondence into one flat CSR table so the
+  /// tracker's hot path applies them without virtual dispatch or pointer
+  /// chasing. Only called when SupportsAdditionTracking() is true.
+  virtual void AppendAdditionDeltaOps(CorrespondenceId changed,
+                                      std::vector<AdditionDeltaOp>* out) const {
+    (void)changed;
+    (void)out;
+  }
 
   /// Number of violations in `selection` that involve `c`.
   virtual size_t CountViolationsInvolving(const DynamicBitset& selection,

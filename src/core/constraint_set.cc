@@ -1,5 +1,6 @@
 #include "core/constraint_set.h"
 
+#include <atomic>
 #include <cassert>
 
 namespace smn {
@@ -14,6 +15,25 @@ Status ConstraintSet::Compile(const Network& network) {
     SMN_RETURN_IF_ERROR(c->Compile(network));
   }
   compiled_ = true;
+  // Stamp this compilation with a process-unique id (see compile_id()).
+  static std::atomic<uint64_t> next_compile_id{1};
+  compile_id_ = next_compile_id.fetch_add(1, std::memory_order_relaxed);
+  // Compile the addition tracker's flat delta table (see
+  // ApplyAdditionBlockDelta): one CSR row of merged per-constraint ops per
+  // correspondence.
+  delta_offsets_.clear();
+  delta_ops_.clear();
+  if (SupportsAdditionTracking()) {
+    const size_t n = network.correspondence_count();
+    delta_offsets_.reserve(n + 1);
+    delta_offsets_.push_back(0);
+    for (CorrespondenceId c = 0; c < n; ++c) {
+      for (const auto& constraint : constraints_) {
+        constraint->AppendAdditionDeltaOps(c, &delta_ops_);
+      }
+      delta_offsets_.push_back(static_cast<uint32_t>(delta_ops_.size()));
+    }
+  }
   return Status::OK();
 }
 
@@ -54,6 +74,51 @@ std::vector<Violation> ConstraintSet::FindViolationsCreatedByRemoval(
   }
   return violations;
 }
+
+void ConstraintSet::AppendConflicts(const DynamicBitset& selection,
+                                    std::vector<KernelViolation>* out) const {
+  assert(compiled_);
+  for (const auto& constraint : constraints_) {
+    constraint->AppendConflicts(selection, out);
+  }
+}
+
+void ConstraintSet::AppendConflictsInvolving(
+    const DynamicBitset& selection, CorrespondenceId c,
+    std::vector<KernelViolation>* out) const {
+  assert(compiled_);
+  for (const auto& constraint : constraints_) {
+    constraint->AppendConflictsInvolving(selection, c, out);
+  }
+}
+
+void ConstraintSet::AppendConflictsCreatedByRemoval(
+    const DynamicBitset& selection, CorrespondenceId removed,
+    std::vector<KernelViolation>* out) const {
+  assert(compiled_);
+  for (const auto& constraint : constraints_) {
+    constraint->AppendConflictsCreatedByRemoval(selection, removed, out);
+  }
+}
+
+bool ConstraintSet::SupportsAdditionTracking() const {
+  assert(compiled_);
+  for (const auto& constraint : constraints_) {
+    if (!constraint->SupportsAdditionTracking()) return false;
+  }
+  return true;
+}
+
+void ConstraintSet::SeedAdditionBlockCounts(const DynamicBitset& selection,
+                                            uint32_t* monotone_blocks,
+                                            uint32_t* reversible_blocks) const {
+  assert(compiled_);
+  for (const auto& constraint : constraints_) {
+    constraint->SeedAdditionBlockCounts(selection, monotone_blocks,
+                                        reversible_blocks);
+  }
+}
+
 
 bool ConstraintSet::AdditionViolates(const DynamicBitset& selection,
                                      CorrespondenceId candidate) const {

@@ -38,6 +38,10 @@ StatusOr<InstantiationResult> Instantiator::Instantiate(
     return options_.use_likelihood && ll_a > ll_b;
   };
 
+  // One scratch for every repair/maximalize in this search: the local
+  // search's inner loop rides the same zero-allocation kernel as the walk.
+  WalkScratch scratch(n);
+
   // Step 1: initialization — greedy pick-up among the maintained samples.
   DynamicBitset best(n);
   bool have_best = false;
@@ -59,9 +63,9 @@ StatusOr<InstantiationResult> Instantiator::Instantiate(
     // completes it or reports a genuinely contradictory approval set.
     best = feedback.approved();
     if (!constraints.IsSatisfied(best)) {
-      SMN_RETURN_IF_ERROR(RepairAll(constraints, feedback, &best));
+      SMN_RETURN_IF_ERROR(RepairAll(constraints, feedback, &best, &scratch));
     }
-    Maximalize(constraints, feedback, rng, &best);
+    Maximalize(constraints, feedback, rng, &best, &scratch);
     best_distance = RepairDistance(best, n);
     best_ll = InstanceLogLikelihood(best, probabilities);
   }
@@ -95,7 +99,7 @@ StatusOr<InstantiationResult> Instantiator::Instantiate(
     }
 
     SMN_RETURN_IF_ERROR(
-        RepairInstance(constraints, feedback, chosen, &current));
+        RepairInstance(constraints, feedback, chosen, &current, &scratch));
 
     const size_t distance = RepairDistance(current, n);
     const double ll = InstanceLogLikelihood(current, probabilities);
@@ -107,7 +111,7 @@ StatusOr<InstantiationResult> Instantiator::Instantiate(
   }
 
   if (options_.maximalize_result) {
-    Maximalize(constraints, feedback, rng, &best);
+    Maximalize(constraints, feedback, rng, &best, &scratch);
     best_distance = RepairDistance(best, n);
     best_ll = InstanceLogLikelihood(best, probabilities);
   }

@@ -3,6 +3,7 @@
 
 #include "core/constraint_set.h"
 #include "core/feedback.h"
+#include "core/walk_scratch.h"
 #include "util/dynamic_bitset.h"
 #include "util/rng.h"
 
@@ -33,7 +34,12 @@ bool IsMatchingInstance(const ConstraintSet& constraints,
 /// Greedily extends a consistent `selection` until it is maximal, adding
 /// addable correspondences in random order (randomization keeps the sampler
 /// unbiased across the maximal instances extending the input). The input
-/// must be consistent.
+/// must be consistent. The candidate shuffle buffer lives in `*scratch`, so
+/// per-sample maximalization in the walk allocates nothing at steady state.
+void Maximalize(const ConstraintSet& constraints, const Feedback& feedback,
+                Rng* rng, DynamicBitset* selection, WalkScratch* scratch);
+
+/// Convenience overload backed by a per-thread scratch; identical results.
 void Maximalize(const ConstraintSet& constraints, const Feedback& feedback,
                 Rng* rng, DynamicBitset* selection);
 

@@ -12,16 +12,20 @@ namespace {
 
 /// One full chain: overdispersed (or plain) start, burn-in + quota emitted
 /// samples, head discarded. Owns its Rng by value — chains never share
-/// generator state.
+/// generator state — and its WalkScratch: one scratch per worker task, so
+/// every steady-state walk step across all chains is allocation-free while
+/// the shared Sampler stays const and thread-safe.
 StatusOr<std::vector<DynamicBitset>> RunChain(const Sampler& sampler,
                                               const Feedback& feedback,
                                               size_t burn_in, size_t quota,
                                               bool overdisperse, Rng rng) {
+  WalkScratch scratch;
   std::vector<DynamicBitset> samples;
-  SMN_ASSIGN_OR_RETURN(DynamicBitset state,
-                       sampler.ChainStart(feedback, overdisperse, &rng));
-  SMN_RETURN_IF_ERROR(
-      sampler.ContinueChain(feedback, burn_in + quota, &rng, &state, &samples));
+  SMN_ASSIGN_OR_RETURN(
+      DynamicBitset state,
+      sampler.ChainStart(feedback, overdisperse, &rng, &scratch));
+  SMN_RETURN_IF_ERROR(sampler.ContinueChain(feedback, burn_in + quota, &rng,
+                                            &state, &samples, &scratch));
   samples.erase(samples.begin(),
                 samples.begin() + static_cast<std::ptrdiff_t>(burn_in));
   return samples;

@@ -4,6 +4,7 @@
 #include "core/constraint_set.h"
 #include "core/feedback.h"
 #include "core/types.h"
+#include "core/walk_scratch.h"
 #include "util/dynamic_bitset.h"
 #include "util/status.h"
 
@@ -38,14 +39,41 @@ struct RepairOptions {
 /// returned.
 ///
 /// Runs in O(|I|^2) worst case; the violation worklist is maintained
-/// incrementally, so typical repairs touch only the neighborhood of `added`.
+/// incrementally in `*scratch`, so typical repairs touch only the
+/// neighborhood of `added` and allocate nothing at steady state. This is
+/// the kernel entry point the sampler's walk steps use; `*scratch` must not
+/// be shared across threads.
+Status RepairInstance(const ConstraintSet& constraints, const Feedback& feedback,
+                      CorrespondenceId added, DynamicBitset* instance,
+                      WalkScratch* scratch, const RepairOptions& options = {});
+
+/// Repairs an arbitrary (possibly wildly inconsistent) selection by the same
+/// rules, protecting only F+, with working memory in `*scratch`. Used to
+/// seed chains from a chain-open F+ and to turn raw matcher output into a
+/// consistent matching.
+Status RepairAll(const ConstraintSet& constraints, const Feedback& feedback,
+                 DynamicBitset* instance, WalkScratch* scratch,
+                 const RepairOptions& options = {});
+
+/// The walk kernel's proposal repair: RepairInstance specialized for the
+/// sampler's inner step. Preconditions the step already guarantees: `added`
+/// is a valid, currently-unselected correspondence and `*scratch` is
+/// Prepared for the instance size. Returns false on the rare dead end
+/// (violations resolvable only through protected correspondences) — the
+/// caller discards the proposal buffer — and carries no Status objects on
+/// the hot path.
+bool RepairProposal(const ConstraintSet& constraints, const Feedback& feedback,
+                    CorrespondenceId added, DynamicBitset* instance,
+                    WalkScratch* scratch, const RepairOptions& options = {});
+
+/// Convenience overload backed by a per-thread scratch. Identical results to
+/// the kernel entry point; thread the scratch explicitly in hot loops.
 Status RepairInstance(const ConstraintSet& constraints, const Feedback& feedback,
                       CorrespondenceId added, DynamicBitset* instance,
                       const RepairOptions& options = {});
 
-/// Repairs an arbitrary (possibly wildly inconsistent) selection by the same
-/// rules, protecting only F+. Used to turn raw matcher output into a
-/// consistent matching and as the slow-path oracle in tests.
+/// Convenience overload of the scratch-threaded RepairAll (per-thread
+/// scratch).
 Status RepairAll(const ConstraintSet& constraints, const Feedback& feedback,
                  DynamicBitset* instance, const RepairOptions& options = {});
 

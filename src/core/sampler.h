@@ -7,6 +7,7 @@
 #include "core/feedback.h"
 #include "core/network.h"
 #include "core/repair.h"
+#include "core/walk_scratch.h"
 #include "util/dynamic_bitset.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -43,8 +44,18 @@ class Sampler {
   Sampler(const Network& network, const ConstraintSet& constraints,
           SamplerOptions options = {});
 
+  /// Runs one random-walk transition in place on `*state` (which must be
+  /// consistent): propose a random addition, repair (Algorithm 4), accept
+  /// with the annealing probability. This is the engine's innermost kernel —
+  /// all working memory lives in `*scratch`, so steady-state steps perform
+  /// zero heap allocations. `*scratch` must not be shared across threads;
+  /// results are bit-identical to NextInstance for the same rng state.
+  Status Step(const Feedback& feedback, Rng* rng, DynamicBitset* state,
+              WalkScratch* scratch) const;
+
   /// Runs one random-walk transition from `current` (which must be
-  /// consistent) and returns the next chain state.
+  /// consistent) and returns the next chain state. Convenience wrapper over
+  /// Step backed by a per-thread scratch; use Step in hot loops.
   StatusOr<DynamicBitset> NextInstance(const DynamicBitset& current,
                                        const Feedback& feedback, Rng* rng) const;
 
@@ -59,13 +70,25 @@ class Sampler {
   /// additionally extended to a random maximal instance — the overdispersed
   /// initial points that cross-chain convergence diagnostics assume
   /// (the walk's stationary distribution is unchanged either way). Fails when
-  /// F+ is genuinely contradictory.
+  /// F+ is genuinely contradictory. Works in `*scratch`.
+  StatusOr<DynamicBitset> ChainStart(const Feedback& feedback,
+                                     bool overdisperse, Rng* rng,
+                                     WalkScratch* scratch) const;
+
+  /// ChainStart backed by a per-thread scratch; identical results.
   StatusOr<DynamicBitset> ChainStart(const Feedback& feedback,
                                      bool overdisperse, Rng* rng) const;
 
   /// Advances the walk from `*state`, appending `count` emitted samples to
   /// `*out` and leaving `*state` at the final chain position. `*state` must
-  /// be consistent (normally a ChainStart result).
+  /// be consistent (normally a ChainStart result). All per-step working
+  /// memory lives in `*scratch` (one scratch per chain / per worker); the
+  /// only steady-state allocations are the emitted samples themselves.
+  Status ContinueChain(const Feedback& feedback, size_t count, Rng* rng,
+                       DynamicBitset* state, std::vector<DynamicBitset>* out,
+                       WalkScratch* scratch) const;
+
+  /// ContinueChain backed by a per-thread scratch; identical results.
   Status ContinueChain(const Feedback& feedback, size_t count, Rng* rng,
                        DynamicBitset* state,
                        std::vector<DynamicBitset>* out) const;
@@ -75,9 +98,11 @@ class Sampler {
 
  private:
   /// Picks a uniformly random correspondence outside I ∪ F-, or
-  /// kInvalidCorrespondence when every correspondence is in I ∪ F-.
+  /// kInvalidCorrespondence when every correspondence is in I ∪ F-. The
+  /// saturation fallback scans into the scratch's id buffer.
   CorrespondenceId PickCandidate(const DynamicBitset& current,
-                                 const Feedback& feedback, Rng* rng) const;
+                                 const Feedback& feedback, Rng* rng,
+                                 WalkScratch* scratch) const;
 
   const Network& network_;
   const ConstraintSet& constraints_;

@@ -32,6 +32,37 @@ struct Violation {
   }
 };
 
+/// Fixed-size violation record used by the compiled walk kernel. Unlike
+/// Violation it owns no heap storage, so worklists of KernelViolation can be
+/// reused across repair calls without allocating. The constraints of the
+/// paper are pairwise (one-to-one conflicts, cycle chains): every violation
+/// has at most two selected participants plus an optional absent closing
+/// correspondence. Constraints whose violations need more participants must
+/// stay on the Violation-based slow path.
+struct KernelViolation {
+  /// First selected participant.
+  CorrespondenceId a = kInvalidCorrespondence;
+  /// Second selected participant, or kInvalidCorrespondence for violations
+  /// with a single participant.
+  CorrespondenceId b = kInvalidCorrespondence;
+  /// Absent closing correspondence that would also resolve the violation,
+  /// or kInvalidCorrespondence when none exists in C.
+  CorrespondenceId missing = kInvalidCorrespondence;
+
+  /// True when `c` participates in this violation.
+  bool Involves(CorrespondenceId c) const { return a == c || b == c; }
+};
+
+/// Converts a Violation into the kernel record, keeping the first two
+/// participants (the constraints shipped with the engine never emit more).
+inline KernelViolation ToKernelViolation(const Violation& v) {
+  KernelViolation kernel;
+  if (!v.participants.empty()) kernel.a = v.participants[0];
+  if (v.participants.size() > 1) kernel.b = v.participants[1];
+  kernel.missing = v.missing;
+  return kernel;
+}
+
 }  // namespace smn
 
 #endif  // SMN_CORE_VIOLATION_H_

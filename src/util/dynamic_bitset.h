@@ -97,6 +97,36 @@ class DynamicBitset {
     }
   }
 
+  /// Calls `fn(index)` for each bit set in both this and `other`, ascending.
+  /// Word-parallel and allocation-free — the kernel-query equivalent of
+  /// materializing `*this & other` and walking its set bits. Requires equal
+  /// sizes.
+  template <typename Fn>
+  void ForEachIntersection(const DynamicBitset& other, Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w] & other.words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Number of 64-bit words backing the bitset (kernel support: word-level
+  /// scans over precompiled adjacency rows).
+  size_t word_count() const { return words_.size(); }
+
+  /// The i-th backing word; bit j of word w is bit 64*w + j of the set.
+  uint64_t word(size_t i) const { return words_[i]; }
+
+  /// Copies `other`'s bits into this bitset's existing storage — the
+  /// walk kernel's in-place proposal copy. Requires equal sizes.
+  void CopyFrom(const DynamicBitset& other) {
+    const size_t count = words_.size();
+    for (size_t w = 0; w < count; ++w) words_[w] = other.words_[w];
+  }
+
   /// "10110..." string, bit 0 first. Intended for debugging and test output.
   std::string ToString() const;
 

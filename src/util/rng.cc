@@ -13,8 +13,6 @@ uint64_t SplitMix64(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 Rng::Rng(uint64_t seed) {
@@ -22,43 +20,10 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : state_) s = SplitMix64(&sm);
 }
 
-uint64_t Rng::NextUint64() {
-  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
-  const uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
-  return result;
-}
-
-uint64_t Rng::UniformUint64(uint64_t bound) {
-  assert(bound > 0);
-  // Rejection sampling to avoid modulo bias.
-  const uint64_t threshold = (0ULL - bound) % bound;
-  for (;;) {
-    const uint64_t r = NextUint64();
-    if (r >= threshold) return r % bound;
-  }
-}
-
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
   assert(lo <= hi);
   const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
   return lo + static_cast<int64_t>(UniformUint64(span));
-}
-
-double Rng::UniformDouble() {
-  // 53 high-quality bits -> double in [0, 1).
-  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::Bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return UniformDouble() < p;
 }
 
 double Rng::Exponential() {

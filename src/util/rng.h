@@ -17,21 +17,53 @@ class Rng {
   /// platform; the default seed gives a documented, stable stream.
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
-  /// Returns the next 64 random bits.
-  uint64_t NextUint64();
+  /// Returns the next 64 random bits. Inline: the sampler's walk kernel
+  /// draws several times per transition.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
 
   /// Returns a uniform integer in [0, bound). `bound` must be > 0. Uses
   /// rejection sampling, so the result is unbiased.
-  uint64_t UniformUint64(uint64_t bound);
+  uint64_t UniformUint64(uint64_t bound) {
+    if ((bound & (bound - 1)) == 0) {
+      // Power-of-two bound: the rejection threshold (2^64 mod bound) is 0 —
+      // the first draw is always accepted — and the modulo is a mask. Same
+      // value, same number of draws as the general path, without the two
+      // 64-bit divisions.
+      return NextUint64() & (bound - 1);
+    }
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0ULL - bound) % bound;
+    for (;;) {
+      const uint64_t r = NextUint64();
+      if (r >= threshold) return r % bound;
+    }
+  }
 
   /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   int64_t UniformInt(int64_t lo, int64_t hi);
 
   /// Returns a uniform double in [0, 1).
-  double UniformDouble();
+  double UniformDouble() {
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
 
   /// Returns true with probability `p` (clamped to [0, 1]).
-  bool Bernoulli(double p);
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformDouble() < p;
+  }
 
   /// Returns a sample from the geometric-ish exponential with rate 1,
   /// used by annealing schedules.
@@ -72,6 +104,11 @@ class Rng {
   Rng Fork(uint64_t stream_id) const;
 
  private:
+  /// 64-bit rotate-left (xoshiro's mixing primitive).
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   uint64_t state_[4];
 };
 
