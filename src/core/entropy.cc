@@ -5,6 +5,11 @@
 namespace smn {
 
 double BinaryEntropy(double p) {
+  // NaN (e.g. a 0/0 marginal from an empty or zero-weight sample set) must
+  // not propagate into H(C, P): every comparison with NaN is false, so
+  // without this guard the expression below would return NaN and poison
+  // every uncertainty aggregate built on top.
+  if (std::isnan(p)) return 0.0;
   if (p <= 0.0 || p >= 1.0) return 0.0;
   return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -33,13 +34,33 @@ DynamicBitset Globalize(const DynamicBitset& local_sample,
 
 }  // namespace
 
+void ProbabilisticNetwork::ComputeUnweightedMarginals(
+    ComponentCache* cache, const ConstraintComponent& component) {
+  cache->member_probabilities.assign(component.members.size(), 0.0);
+  if (!cache->samples.empty()) {
+    const double denom = static_cast<double>(cache->samples.size());
+    for (size_t j = 0; j < component.members.size(); ++j) {
+      size_t count = 0;
+      for (const DynamicBitset& sample : cache->samples) {
+        if (sample.Test(component.members[j])) ++count;
+      }
+      cache->member_probabilities[j] = static_cast<double>(count) / denom;
+    }
+  }
+  cache->entropy = 0.0;
+  for (double p : cache->member_probabilities) {
+    cache->entropy += BinaryEntropy(p);
+  }
+}
+
 ProbabilisticNetwork::ProbabilisticNetwork(
     const Network& network, const ConstraintSet& constraints,
     ProbabilisticNetworkOptions options)
     : network_(&network),
       constraints_(&constraints),
       options_(options),
-      feedback_(network.correspondence_count()) {}
+      feedback_(network.correspondence_count()),
+      soft_evidence_(network.correspondence_count()) {}
 
 StatusOr<ProbabilisticNetwork> ProbabilisticNetwork::Create(
     const Network& network, const ConstraintSet& constraints,
@@ -127,22 +148,118 @@ ProbabilisticNetwork::BuildCache(
   }
 
   // Member marginals and the component's entropy contribution.
-  cache->member_probabilities.assign(component.members.size(), 0.0);
-  if (!cache->samples.empty()) {
-    const double denom = static_cast<double>(cache->samples.size());
-    for (size_t j = 0; j < component.members.size(); ++j) {
-      size_t count = 0;
-      for (const DynamicBitset& sample : cache->samples) {
-        if (sample.Test(component.members[j])) ++count;
-      }
-      cache->member_probabilities[j] = static_cast<double>(count) / denom;
+  ComputeUnweightedMarginals(cache.get(), component);
+  // A rebuilt cache starts from fresh unweighted marginals; standing soft
+  // evidence on its members must be reapplied so incremental and
+  // full-resample modes derive identical weighted state from identical
+  // sample sets.
+  ApplyEvidence(cache.get(), component);
+  return cache;
+}
+
+void ProbabilisticNetwork::ApplyEvidence(
+    ComponentCache* cache, const ConstraintComponent& component) const {
+  cache->weights.clear();
+  cache->evidence_revision = 0;
+  if (cache->samples.empty()) return;
+  // Evidence-free components keep the exact integer-count marginals: the
+  // weighted formula (c·w)/(m·w) is mathematically but not bitwise equal to
+  // c/m, and the evidence-free path must stay bit-identical to the pre-soft
+  // engine. Contradictory hard evidence is uninformative (every sample gets
+  // the same unit weight), so it counts as no evidence here.
+  bool any_member_evidence = false;
+  for (CorrespondenceId member : component.members) {
+    if (soft_evidence_.HasEvidence(member) &&
+        !soft_evidence_.Contradictory(member)) {
+      any_member_evidence = true;
+      break;
     }
+  }
+  if (!any_member_evidence) return;
+
+  // Member-restricted importance weights, accumulated directly over the
+  // component's members — an AssertSoft happens once per elicited answer,
+  // and scanning the whole network's evidence ledger (or allocating a
+  // full-|C| mask) per answer would scale with network size instead of
+  // component size. Restriction to members is exact: evidence on any other
+  // correspondence contributes the same constant factor to every sample of
+  // this component and cancels under the max-shift.
+  const size_t m = cache->samples.size();
+  std::vector<double> log_weights(m, 0.0);
+  for (CorrespondenceId member : component.members) {
+    if (!soft_evidence_.HasEvidence(member) ||
+        soft_evidence_.Contradictory(member)) {
+      continue;
+    }
+    const double log_in = soft_evidence_.LogLikelihoodIn(member);
+    const double log_out = soft_evidence_.LogLikelihoodOut(member);
+    for (size_t i = 0; i < m; ++i) {
+      log_weights[i] += cache->samples[i].Test(member) ? log_in : log_out;
+    }
+  }
+  double max_log = -std::numeric_limits<double>::infinity();
+  for (double lw : log_weights) max_log = std::max(max_log, lw);
+  cache->gains_valid = false;
+  double total = 0.0;
+  if (max_log != -std::numeric_limits<double>::infinity()) {
+    cache->weights.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      cache->weights[i] = std::exp(log_weights[i] - max_log);
+      total += cache->weights[i];
+    }
+  }
+  // Zero likelihood on every sample (contradiction-free evidence on one
+  // correspondence cannot do this; conflicting hard answers across coupled
+  // members can): fall back to the unweighted marginals rather than divide
+  // by zero.
+  if (cache->weights.empty() || total <= 0.0) {
+    cache->weights.clear();
+    ComputeUnweightedMarginals(cache, component);
+    return;
+  }
+  for (size_t j = 0; j < component.members.size(); ++j) {
+    double with_member = 0.0;
+    for (size_t i = 0; i < cache->samples.size(); ++i) {
+      if (cache->samples[i].Test(component.members[j])) {
+        with_member += cache->weights[i];
+      }
+    }
+    cache->member_probabilities[j] = with_member / total;
   }
   cache->entropy = 0.0;
   for (double p : cache->member_probabilities) {
     cache->entropy += BinaryEntropy(p);
   }
-  return cache;
+}
+
+Status ProbabilisticNetwork::AssertSoft(CorrespondenceId c, bool approved,
+                                        double error_rate, Rng* rng) {
+  // The perfect-expert limit: a zero-error answer is ground truth and takes
+  // the hard path verbatim (closure propagation + component re-sampling),
+  // making soft reconciliation at ε = 0 bit-identical to Algorithm 1.
+  // Anything else outside (0, 0.5] — negative, NaN, > 0.5 — falls through
+  // to Record, which rejects it.
+  if (error_rate == 0.0) {
+    return Assert(c, approved, rng);
+  }
+  (void)rng;  // Reweighting is deterministic; no randomness consumed.
+  SMN_RETURN_IF_ERROR(soft_evidence_.Record(c, approved, error_rate));
+  const size_t touched = index_.ComponentOf(c);
+  if (touched == ComponentIndex::kNoComponent) {
+    // Determined by the feedback closure: the answer joins the ledger (it
+    // still cost an elicitation) but cannot move a logically pinned value.
+    return Status::OK();
+  }
+  ComponentCache& cache = *caches_[touched];
+  const uint64_t revision = cache.evidence_revision + 1;
+  ApplyEvidence(&cache, index_.component(touched));
+  cache.evidence_revision = revision;
+  cache.gains_valid = false;
+  const ConstraintComponent& component = index_.component(touched);
+  for (size_t j = 0; j < component.members.size(); ++j) {
+    probabilities_[component.members[j]] = cache.member_probabilities[j];
+  }
+  return Status::OK();
 }
 
 Status ProbabilisticNetwork::Assert(CorrespondenceId c, bool approved,
@@ -195,6 +312,13 @@ Status ProbabilisticNetwork::Assert(CorrespondenceId c, bool approved,
           BuildCache(index_.component(i),
                      &caches_[i]->subproblem.local_to_global,
                      caches_[i]->built_at, determined));
+      // BuildCache resets the evidence revision (correct for the touched
+      // component, whose generation advances); an untouched component keeps
+      // its generation, so it must keep its revision too — a reissued
+      // (generation, revision = 0) key would alias the pre-evidence state
+      // in selection-strategy caches, and the accessor would diverge from
+      // incremental mode.
+      rebuilt[i]->evidence_revision = caches_[i]->evidence_revision;
     }
   }
 
@@ -323,6 +447,50 @@ void ProbabilisticNetwork::ComputeGains(
   cache.gains_valid = true;
   if (m == 0) return;
 
+  if (!cache.weights.empty()) {
+    // Importance-weighted gains: the same Equations 4-5 with every sample
+    // count replaced by its weight mass, so conditioning respects the soft
+    // evidence exactly like the marginals do. Kept separate from the
+    // integer-count path below, which must stay bit-identical when no
+    // evidence touches the component.
+    double total = 0.0;
+    for (double w : cache.weights) total += w;
+    if (total <= 0.0) return;
+    std::vector<double> member_mass(k, 0.0);
+    std::vector<double> joint(k * k, 0.0);
+    std::vector<size_t> present;
+    present.reserve(k);
+    for (size_t i = 0; i < m; ++i) {
+      const double w = cache.weights[i];
+      if (w <= 0.0) continue;
+      present.clear();
+      for (size_t j = 0; j < k; ++j) {
+        if (cache.samples[i].Test(component.members[j])) present.push_back(j);
+      }
+      for (size_t a : present) {
+        member_mass[a] += w;
+        for (size_t b : present) joint[a * k + b] += w;
+      }
+    }
+    const double h_now = cache.entropy;
+    for (size_t j = 0; j < k; ++j) {
+      const double mass = member_mass[j];
+      if (mass <= 0.0 || mass >= total) continue;  // Certain: IG is zero.
+      const double p_c = mass / total;
+      const double without = total - mass;
+      double h_plus = 0.0;
+      double h_minus = 0.0;
+      for (size_t x = 0; x < k; ++x) {
+        const double j_mass = joint[x * k + j];
+        h_plus += BinaryEntropy(j_mass / mass);
+        h_minus += BinaryEntropy((member_mass[x] - j_mass) / without);
+      }
+      const double h_conditional = p_c * h_plus + (1.0 - p_c) * h_minus;
+      cache.member_gains[j] = h_now - h_conditional;
+    }
+    return;
+  }
+
   // Membership column per member over the component's samples.
   std::vector<DynamicBitset> columns(k, DynamicBitset(m));
   for (size_t i = 0; i < m; ++i) {
@@ -377,6 +545,18 @@ std::vector<double> ProbabilisticNetwork::InformationGains() const {
 
 uint64_t ProbabilisticNetwork::component_generation(size_t i) const {
   return caches_[i]->built_at;
+}
+
+uint64_t ProbabilisticNetwork::component_evidence_revision(size_t i) const {
+  return caches_[i]->evidence_revision;
+}
+
+double ProbabilisticNetwork::ComponentEffectiveSampleSize(size_t i) const {
+  const ComponentCache& cache = *caches_[i];
+  if (cache.weights.empty()) {
+    return static_cast<double>(cache.samples.size());
+  }
+  return EffectiveSampleSize(cache.weights);
 }
 
 double ProbabilisticNetwork::ComponentEntropy(size_t i) const {

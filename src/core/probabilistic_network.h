@@ -9,6 +9,7 @@
 #include "core/feedback.h"
 #include "core/network.h"
 #include "core/sample_store.h"
+#include "core/soft_feedback.h"
 #include "util/rng.h"
 #include "util/statusor.h"
 
@@ -92,6 +93,26 @@ class ProbabilisticNetwork {
   /// bit-identical.
   Status Assert(CorrespondenceId c, bool approved, Rng* rng);
 
+  /// Records one noisy expert answer on `c` under the worker error-rate
+  /// model (see SoftEvidence) and reweights the touched component's
+  /// marginals by importance-weighting its stored samples with the feedback
+  /// likelihood — no re-sampling, no closure change, and no `rng`
+  /// consumption (the parameter mirrors Assert for interface stability).
+  ///
+  /// `error_rate` exactly 0 is the perfect-expert limit and delegates to
+  /// the hard Assert verbatim, so the soft path at ε = 0 is bit-identical
+  /// to the paper's Algorithm 1 by construction; rates outside [0, 0.5]
+  /// (negative, NaN, > 0.5) are rejected. Evidence on a correspondence
+  /// already determined by the feedback closure is recorded in the ledger
+  /// but cannot move its pinned probability. Fails with OutOfRange /
+  /// InvalidArgument on bad inputs (and, in the ε = 0 case, with whatever
+  /// Assert fails with).
+  Status AssertSoft(CorrespondenceId c, bool approved, double error_rate,
+                    Rng* rng);
+
+  /// The accumulated noisy-answer ledger driving the likelihood reweighting.
+  const SoftEvidence& soft_evidence() const { return soft_evidence_; }
+
   /// The network uncertainty H(C, P) of Equation 3, in bits: the sum of the
   /// maintained per-component entropies (determined correspondences
   /// contribute zero).
@@ -152,10 +173,25 @@ class ProbabilisticNetwork {
   size_t ComponentOf(CorrespondenceId c) const { return index_.ComponentOf(c); }
 
   /// Generation of component `i`: the assertion count at which its cache was
-  /// last rebuilt. A (anchor, generation) pair uniquely identifies a cache
-  /// state; selection strategies key their incremental gain bookkeeping on
-  /// it.
+  /// last rebuilt. A (anchor, generation) pair uniquely identifies a cache's
+  /// *sample set*; selection strategies key their incremental gain
+  /// bookkeeping on it together with component_evidence_revision (soft
+  /// evidence changes marginals and gains without re-sampling).
   uint64_t component_generation(size_t i) const;
+
+  /// Number of soft-evidence reweights applied to component `i` since its
+  /// cache was last rebuilt (0 right after a rebuild). The pair
+  /// (generation, evidence revision) uniquely identifies the component's
+  /// marginal/gain state.
+  uint64_t component_evidence_revision(size_t i) const;
+
+  /// Kish effective sample size of component `i` under the current
+  /// importance weights: |Ω*_K| when no soft evidence touches the component,
+  /// shrinking toward 1 as evidence concentrates the weight mass. A
+  /// collapsed ESS means the reweighted marginals have little resolution
+  /// left and the caller should either commit a hard assertion (which
+  /// re-samples under the new closure) or distrust the estimates.
+  double ComponentEffectiveSampleSize(size_t i) const;
 
   /// Per-member information gains of component `i` (aligned with
   /// component(i).members). Computed lazily and memoized until the component
@@ -201,6 +237,15 @@ class ProbabilisticNetwork {
     ChainDiagnostics diagnostics;
     /// Assertion count at the time this cache was built.
     uint64_t built_at = 0;
+    /// Unnormalized importance weights over `samples` under the soft
+    /// evidence restricted to the component members (max weight exactly 1).
+    /// Empty = uniform (no member evidence, or evidence that zero-weights
+    /// every sample): marginals then use the exact unweighted counts, which
+    /// keeps the evidence-free path bit-identical to the pre-soft engine.
+    std::vector<double> weights;
+    /// Reweights applied since the cache was built (see
+    /// component_evidence_revision).
+    uint64_t evidence_revision = 0;
     /// Lazily computed member gains (aligned with members).
     mutable std::vector<double> member_gains;
     /// True when member_gains is up to date.
@@ -224,6 +269,20 @@ class ProbabilisticNetwork {
   /// from the component caches and the determined closure.
   void RefreshDerivedState();
 
+  /// Recomputes `cache`'s importance weights, member marginals, and entropy
+  /// from the soft evidence on the component's members. No-op (weights stay
+  /// empty, unweighted marginals untouched) when no member carries
+  /// evidence; falls back to the unweighted marginals when the evidence
+  /// zero-weights every stored sample. Invalidates the cached gains.
+  void ApplyEvidence(ComponentCache* cache,
+                     const ConstraintComponent& component) const;
+
+  /// Exact integer-count marginals and entropy of an unweighted sample set —
+  /// the evidence-free baseline both BuildCache and the zero-likelihood
+  /// fallback of ApplyEvidence derive from.
+  static void ComputeUnweightedMarginals(ComponentCache* cache,
+                                         const ConstraintComponent& component);
+
   /// Computes a cache's member gains from its samples (see
   /// InformationGains).
   void ComputeGains(const ComponentCache& cache,
@@ -233,6 +292,7 @@ class ProbabilisticNetwork {
   const ConstraintSet* constraints_;
   ProbabilisticNetworkOptions options_;
   Feedback feedback_;
+  SoftEvidence soft_evidence_;
   /// Static coupling structure of the compiled constraints.
   std::vector<std::vector<CorrespondenceId>> groups_;
   DeterminedSet determined_;

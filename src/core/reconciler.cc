@@ -1,36 +1,105 @@
 #include "core/reconciler.h"
 
+#include <algorithm>
+
 namespace smn {
 
 Reconciler::Reconciler(ProbabilisticNetwork* pmn, SelectionStrategy* strategy,
-                       AssertionOracle oracle)
+                       AssertionOracle oracle, ElicitationPolicy policy)
     : pmn_(pmn),
       strategy_(strategy),
       oracle_(std::move(oracle)),
-      initially_uncertain_(pmn->UncertainCorrespondences().size()),
-      initially_asserted_(pmn->feedback().asserted_count()) {}
+      policy_(policy),
+      initially_uncertain_(pmn->UncertainCorrespondences().size()) {}
+
+Status Reconciler::IntegrateHard(CorrespondenceId c, bool approved, Rng* rng,
+                                 ReconcileStep* step) {
+  Status status = pmn_->Assert(c, approved, rng);
+  if (status.ok()) {
+    step->committed = true;
+    return status;
+  }
+  if (status.code() != StatusCode::kFailedPrecondition) {
+    return status;  // Sampler or input failure: a real error, propagate.
+  }
+  // The decision contradicts the feedback closure (Assert rejected it
+  // atomically, leaving the network untouched). The feedback integrated so
+  // far is consistent, so a proven contradiction of c = approved means every
+  // remaining instance fixes c to the complement: record the rejection and
+  // integrate that forced value instead of aborting the run. Unit
+  // propagation cannot fail on it — it only derives facts true in all
+  // consistent instances.
+  ++rejected_;
+  step->rejected = true;
+  Status complement = pmn_->Assert(c, !approved, rng);
+  if (complement.ok()) {
+    step->committed = true;
+    // The step ends with c pinned to the complement, not to the expert-side
+    // decision: report the posterior the network actually holds.
+    step->posterior = approved ? 0.0 : 1.0;
+  }
+  return complement;
+}
 
 StatusOr<ReconcileStep> Reconciler::Step(Rng* rng) {
   const std::optional<CorrespondenceId> selected = strategy_->Select(*pmn_, rng);
   if (!selected.has_value()) {
     return Status::NotFound("reconciliation complete: no uncertain correspondence");
   }
-  const bool approved = oracle_(*selected);
-  SMN_RETURN_IF_ERROR(pmn_->Assert(*selected, approved, rng));
-
   ReconcileStep step;
   step.correspondence = *selected;
-  step.approved = approved;
+
+  if (policy_.error_rate == 0.0) {
+    // Perfect-expert path (the paper's Algorithm 1): one question, the
+    // answer is ground truth. Bit-identical to the pre-policy reconciler.
+    const bool approved = oracle_(*selected);
+    ++elicitations_;
+    step.questions = 1;
+    step.approvals = approved ? 1 : 0;
+    step.approved = approved;
+    step.posterior = approved ? 1.0 : 0.0;
+    SMN_RETURN_IF_ERROR(IntegrateHard(*selected, approved, rng, &step));
+  } else {
+    // Repeated questioning: elicit up to max_questions answers, integrating
+    // each as soft evidence, and stop early once the likelihood-weighted
+    // marginal is confident. Every answer costs one elicitation. Reject a
+    // malformed error model (negative, NaN, > 0.5) before spending any:
+    // AssertSoft would refuse it anyway, but only after the oracle answered.
+    if (!(policy_.error_rate > 0.0) || policy_.error_rate > 0.5) {
+      return Status::InvalidArgument(
+          "Step: policy error_rate must be in [0, 0.5]");
+    }
+    const size_t budget = std::max<size_t>(1, policy_.max_questions);
+    double posterior = pmn_->probability(*selected);
+    while (step.questions < budget) {
+      const bool answer = oracle_(*selected);
+      ++elicitations_;
+      ++step.questions;
+      if (answer) ++step.approvals;
+      SMN_RETURN_IF_ERROR(
+          pmn_->AssertSoft(*selected, answer, policy_.error_rate, rng));
+      posterior = pmn_->probability(*selected);
+      if (std::max(posterior, 1.0 - posterior) >= policy_.confidence) break;
+    }
+    step.posterior = posterior;
+    // Posterior-majority decision; at an exactly balanced posterior the raw
+    // answer majority breaks the tie (approve on an answer tie, matching
+    // p = 1/2 indifference).
+    step.approved = posterior > 0.5 ||
+                    (posterior == 0.5 && 2 * step.approvals >= step.questions);
+    if (policy_.commit_hard) {
+      SMN_RETURN_IF_ERROR(IntegrateHard(*selected, step.approved, rng, &step));
+    }
+  }
+
   step.uncertainty_after = pmn_->Uncertainty();
-  // Effort counts assertions elicited by this reconciler over the
-  // initially-uncertain count, not |F|/|C|: pre-certain correspondences
-  // never need expert attention and pre-existing assertions were not this
-  // run's effort (see ReconcileStep).
+  // Effort counts every elicited answer over the initially-uncertain count
+  // (see ReconcileStep::effort_after): re-asked and rejected questions are
+  // real user effort even when their integration is a no-op.
   step.effort_after =
       initially_uncertain_ == 0
           ? 0.0
-          : static_cast<double>(pmn_->feedback().asserted_count() -
-                                initially_asserted_) /
+          : static_cast<double>(elicitations_) /
                 static_cast<double>(initially_uncertain_);
   return step;
 }
@@ -39,9 +108,15 @@ StatusOr<ReconcileTrace> Reconciler::Run(const ReconcileGoal& goal, Rng* rng) {
   ReconcileTrace trace;
   trace.initial_uncertainty = pmn_->Uncertainty();
   trace.initially_uncertain = initially_uncertain_;
+  const size_t elicitations_before = elicitations_;
+  const size_t rejected_before = rejected_;
   for (;;) {
     if (goal.max_assertions.has_value() &&
         trace.steps.size() >= *goal.max_assertions) {
+      break;
+    }
+    if (goal.max_elicitations.has_value() &&
+        elicitations_ - elicitations_before >= *goal.max_elicitations) {
       break;
     }
     if (goal.uncertainty_threshold.has_value() &&
@@ -55,6 +130,8 @@ StatusOr<ReconcileTrace> Reconciler::Run(const ReconcileGoal& goal, Rng* rng) {
     }
     trace.steps.push_back(*step);
   }
+  trace.total_elicitations = elicitations_ - elicitations_before;
+  trace.rejected_assertions = rejected_ - rejected_before;
   return trace;
 }
 

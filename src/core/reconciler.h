@@ -20,37 +20,91 @@ using AssertionOracle = std::function<bool(CorrespondenceId)>;
 /// The reconciliation goal δ of Algorithm 1. Reconciliation stops when any
 /// configured bound is reached, or when no uncertain correspondence remains.
 struct ReconcileGoal {
-  /// Effort budget: maximum number of assertions (the paper's k).
+  /// Effort budget: maximum number of select-elicit-integrate steps (the
+  /// paper's k; under a repeated-questioning policy one step may spend
+  /// several elicitations — bound those with max_elicitations).
   std::optional<size_t> max_assertions;
+  /// Elicitation budget: maximum number of oracle answers, counting every
+  /// re-ask of a repeated-questioning policy. The bound is checked between
+  /// steps, so the final step may overshoot by at most its own panel size.
+  std::optional<size_t> max_elicitations;
   /// Stop once H(C, P) drops to or below this threshold.
   std::optional<double> uncertainty_threshold;
+};
+
+/// Noisy-expert elicitation policy: how many answers to gather per selected
+/// correspondence and how to integrate them. The default (error_rate = 0,
+/// one question, hard commit) is the paper's perfect-expert Algorithm 1,
+/// bit-identical to the pre-policy Reconciler.
+struct ElicitationPolicy {
+  /// Assumed per-answer worker error rate ε of the evidence model, in
+  /// [0, 0.5]. Exactly 0 trusts every answer as ground truth and takes the
+  /// hard Assert path (single question, no soft evidence) regardless of
+  /// the other knobs; rates outside the domain (negative, NaN, > 0.5) make
+  /// Step fail fast with InvalidArgument before eliciting anything.
+  double error_rate = 0.0;
+  /// Maximum answers elicited per selected correspondence (majority-of-k;
+  /// odd k recommended). Values < 1 behave as 1.
+  size_t max_questions = 1;
+  /// Stop re-asking early once max(posterior, 1 - posterior) reaches this
+  /// confidence τ, where the posterior is the network's likelihood-weighted
+  /// marginal of the selected correspondence after each answer. τ > 1 never
+  /// stops early (always asks max_questions).
+  double confidence = 0.95;
+  /// After the panel, integrate the posterior-majority decision as a hard
+  /// assertion (closure propagation + component re-sampling). When false the
+  /// answers stay soft evidence only: probabilities sharpen but nothing is
+  /// ever logically pinned, so runs need an explicit budget to terminate.
+  bool commit_hard = true;
 };
 
 /// One executed feedback step.
 struct ReconcileStep {
   /// The correspondence whose assertion was elicited.
   CorrespondenceId correspondence = kInvalidCorrespondence;
-  /// The expert's answer.
+  /// The integrated decision: the expert's answer under the default policy,
+  /// the posterior-majority decision under a repeated-questioning policy.
   bool approved = false;
+  /// Oracle answers elicited by this step (1 under the default policy).
+  size_t questions = 0;
+  /// How many of those answers approved.
+  size_t approvals = 0;
+  /// Posterior P(c ∈ I | answers) when the step ended: exactly 1/0 under
+  /// the hard path, the likelihood-weighted marginal under a soft policy.
+  /// On a rejected step this reports the forced complement the network
+  /// actually integrated (1/0), not the expert-side decision.
+  double posterior = 0.0;
+  /// True when the decision contradicted the feedback closure: the network
+  /// rejected the assertion, the logically forced complement was integrated
+  /// instead (see Reconciler), and `approved` reflects the expert-side
+  /// decision that was rejected — not what entered the feedback.
+  bool rejected = false;
+  /// True when a hard assertion (the decision or its forced complement) was
+  /// integrated this step; false for soft-only (commit_hard = false) steps.
+  bool committed = false;
   /// H(C, P') after integrating this assertion.
   double uncertainty_after = 0.0;
-  /// User effort after this assertion. Exact definition:
-  /// E = |assertions elicited by this reconciler| / |C_u(0)|, where C_u(0)
-  /// is the set of correspondences that were *uncertain* (0 < p < 1) when
-  /// the Reconciler was constructed; assertions integrated into the network
-  /// before construction count toward neither side.
+  /// User effort after this step. Exact definition:
+  /// E = |oracle answers elicited by this reconciler| / |C_u(0)|, where
+  /// C_u(0) is the set of correspondences that were *uncertain*
+  /// (0 < p < 1) when the Reconciler was constructed; elicitations and
+  /// assertions that predate construction count toward neither side.
+  /// Counting elicitations (not integrated assertions) makes re-asked
+  /// questions and closure-rejected answers cost what they cost the user —
+  /// a no-op re-assertion is still a question someone answered. Under the
+  /// default single-question policy this coincides with the historical
+  /// |F_new| / |C_u(0)| definition on every run that integrates each
+  /// answer exactly once.
   /// Correspondences already certain at reconciliation start — pre-asserted,
   /// logically forced by constraints, or pinned to probability 0/1 by the
   /// initial sample set — can never be selected, so they are excluded from
-  /// the denominator: asserting every initially-reconcilable correspondence
-  /// reads E = 1.0. (The paper's E = |F| / |C| coincides with this when
-  /// every candidate starts uncertain; dividing by |C| understates effort on
-  /// networks with pre-certain correspondences and caps E below 1 even when
-  /// the expert has answered every question that could be asked.) Zero when
-  /// nothing was uncertain at start. Caveat: in the sampling regime a
-  /// correspondence pinned to 0/1 by sampling noise can become uncertain
-  /// again after its component is re-sampled, so E can marginally exceed 1
-  /// on such runs; under exact enumeration E ≤ 1 always.
+  /// the denominator: asking one question per initially-reconcilable
+  /// correspondence reads E = 1.0, and a majority-of-k policy reads k
+  /// times that. Zero when nothing was uncertain at start. Caveat: in the
+  /// sampling regime a correspondence pinned to 0/1 by sampling noise can
+  /// become uncertain again after its component is re-sampled, so E can
+  /// marginally exceed the per-policy bound on such runs; under exact
+  /// enumeration and the default policy E ≤ 1 always.
   double effort_after = 0.0;
 };
 
@@ -61,19 +115,35 @@ struct ReconcileTrace {
   /// Number of uncertain correspondences at Reconciler construction — the
   /// effort denominator (see ReconcileStep::effort_after).
   size_t initially_uncertain = 0;
-  /// Every executed select-elicit-integrate step, in order.
+  /// Total oracle answers elicited across all steps (the effort numerator).
+  size_t total_elicitations = 0;
+  /// Steps whose decision the network rejected as contradicting the
+  /// feedback closure (their forced complements were integrated instead).
+  size_t rejected_assertions = 0;
+  /// Every executed select-elicit-integrate step, in order. On goal-bounded
+  /// or converged runs this is the full history; it is never discarded on a
+  /// rejected assertion.
   std::vector<ReconcileStep> steps;
 };
 
 /// The generic uncertainty-reduction procedure of Algorithm 1: repeatedly
-/// select an uncertain correspondence (strategy), elicit its assertion
-/// (oracle), and integrate the feedback into the probabilistic matching
-/// network.
+/// select an uncertain correspondence (strategy), elicit its assertion —
+/// once, or repeatedly under a noisy-expert ElicitationPolicy — and
+/// integrate the feedback into the probabilistic matching network.
+///
+/// Noisy answers can contradict the feedback closure (approve a
+/// correspondence the earlier answers logically force out). The network
+/// rejects such assertions atomically; the reconciler records the rejection
+/// in the step/trace instead of aborting, and integrates the logically
+/// forced complement — sound because a rejection proves every instance
+/// consistent with the integrated feedback takes the opposite value — so a
+/// run under an imperfect oracle always completes with a full trace.
 class Reconciler {
  public:
-  /// All three collaborators must outlive the reconciler.
+  /// All three collaborators must outlive the reconciler. The default
+  /// policy reproduces the paper's perfect-expert loop exactly.
   Reconciler(ProbabilisticNetwork* pmn, SelectionStrategy* strategy,
-             AssertionOracle oracle);
+             AssertionOracle oracle, ElicitationPolicy policy = {});
 
   /// Executes one select-elicit-integrate iteration. Returns NotFound when
   /// no uncertain correspondence remains.
@@ -82,16 +152,35 @@ class Reconciler {
   /// Runs Algorithm 1 until the goal is met or the network is certain.
   StatusOr<ReconcileTrace> Run(const ReconcileGoal& goal, Rng* rng);
 
+  /// Oracle answers elicited by this reconciler so far (every question
+  /// counts: re-asks of a repeated-questioning policy and answers whose
+  /// integration was rejected included — cf. Oracle::assertion_count()).
+  size_t elicitation_count() const { return elicitations_; }
+
+  /// Steps so far whose decision the network rejected as contradicting the
+  /// feedback closure.
+  size_t rejected_count() const { return rejected_; }
+
+  /// The active elicitation policy.
+  const ElicitationPolicy& policy() const { return policy_; }
+
  private:
+  /// Integrates `approved` as a hard assertion; on a closure contradiction
+  /// records the rejection and integrates the forced complement.
+  Status IntegrateHard(CorrespondenceId c, bool approved, Rng* rng,
+                       ReconcileStep* step);
+
   ProbabilisticNetwork* pmn_;
   SelectionStrategy* strategy_;
   AssertionOracle oracle_;
+  ElicitationPolicy policy_;
   /// |C_u(0)|: uncertain correspondences at construction, the effort
   /// denominator (see ReconcileStep::effort_after).
   size_t initially_uncertain_;
-  /// |F| at construction: pre-existing assertions are excluded from the
-  /// effort numerator.
-  size_t initially_asserted_;
+  /// Oracle answers elicited by this reconciler (the effort numerator).
+  size_t elicitations_ = 0;
+  /// Rejected (closure-contradicting) step decisions so far.
+  size_t rejected_ = 0;
 };
 
 }  // namespace smn

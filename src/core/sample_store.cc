@@ -108,6 +108,27 @@ size_t SampleStore::DistinctCount() const {
   return seen.size();
 }
 
+std::vector<double> SampleStore::ComputeWeightedProbabilities(
+    const SoftEvidence& evidence) const {
+  const size_t n = network_.correspondence_count();
+  if (samples_.empty() || evidence.evidenced().None()) {
+    return ComputeProbabilities();
+  }
+  const std::vector<double> weights =
+      ComputeImportanceWeights(evidence, samples_);
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (weights.empty() || total <= 0.0) return ComputeProbabilities();
+  std::vector<double> probabilities(n, 0.0);
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    const double w = weights[i];
+    if (w <= 0.0) continue;
+    samples_[i].ForEachSetBit([&](size_t c) { probabilities[c] += w; });
+  }
+  for (size_t c = 0; c < n; ++c) probabilities[c] /= total;
+  return probabilities;
+}
+
 std::vector<double> SampleStore::ComputeProbabilities() const {
   const size_t n = network_.correspondence_count();
   std::vector<double> probabilities(n, 0.0);

@@ -8,6 +8,7 @@
 #include "core/feedback.h"
 #include "core/network.h"
 #include "core/parallel_sampler.h"
+#include "core/soft_feedback.h"
 #include "util/dynamic_bitset.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -69,6 +70,18 @@ class SampleStore {
   /// Per-correspondence probabilities p_c = |{I ∈ Ω* | c ∈ I}| / |Ω*|
   /// (Equation 2). Returns an all-zero vector when the store is empty.
   std::vector<double> ComputeProbabilities() const;
+
+  /// Likelihood-reweighted marginals under noisy-expert evidence:
+  /// p_c = Σ_{I ∈ Ω*, c ∈ I} w(I) / Σ_{I ∈ Ω*} w(I) with
+  /// w(I) ∝ Π_x P(answers on x | 1[x ∈ I]) — Equation 2 importance-weighted
+  /// by the feedback likelihood (see ComputeImportanceWeights). With no
+  /// recorded evidence, or evidence that zero-weights every stored sample,
+  /// this returns exactly ComputeProbabilities(); with hard (ε = 0)
+  /// consistent evidence it equals the post-filter marginals of the
+  /// Assert/view-maintenance path over the same sample set — the soft layer
+  /// degenerates to the paper's hard semantics in the ε → 0 limit.
+  std::vector<double> ComputeWeightedProbabilities(
+      const SoftEvidence& evidence) const;
 
   /// True when Ω* provably contains every matching instance (probabilities
   /// are exact).

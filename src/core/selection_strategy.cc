@@ -50,15 +50,21 @@ class InformationGainStrategy : public SelectionStrategy {
     }
 
     // Refresh stale component entries. A component is stale when its anchor
-    // is new or its cache generation advanced (it was re-sampled or split).
+    // is new, its cache generation advanced (it was re-sampled or split), or
+    // its soft-evidence revision advanced (a noisy answer reweighted its
+    // marginals and gains without re-sampling).
     std::unordered_map<CorrespondenceId, size_t> anchor_to_index;
     anchor_to_index.reserve(pmn.component_count());
     for (size_t i = 0; i < pmn.component_count(); ++i) {
       const ConstraintComponent& component = pmn.component(i);
       anchor_to_index[component.anchor] = i;
       const uint64_t generation = pmn.component_generation(i);
+      const uint64_t revision = pmn.component_evidence_revision(i);
       auto [slot, inserted] = best_.try_emplace(component.anchor);
-      if (!inserted && slot->second.generation == generation) continue;
+      if (!inserted && slot->second.generation == generation &&
+          slot->second.revision == revision) {
+        continue;
+      }
       const std::vector<double>& gains = pmn.ComponentGains(i);
       double best = kNone;
       for (size_t j = 0; j < component.members.size(); ++j) {
@@ -66,18 +72,19 @@ class InformationGainStrategy : public SelectionStrategy {
         if (p <= 0.0 || p >= 1.0) continue;  // Certain: not selectable.
         best = std::max(best, gains[j]);
       }
-      slot->second = Entry{generation, best};
-      if (best > kNone) heap_.push({best, component.anchor, generation});
+      slot->second = Entry{generation, revision, best};
+      if (best > kNone) heap_.push({best, component.anchor, generation, revision});
     }
 
     // Pop stale heap entries until the top matches a live component best.
     double leader = kNone;
     while (!heap_.empty()) {
-      const auto& [gain, anchor, generation] = heap_.top();
+      const auto& [gain, anchor, generation, revision] = heap_.top();
       const auto index_it = anchor_to_index.find(anchor);
       const auto slot = best_.find(anchor);
       if (index_it == anchor_to_index.end() || slot == best_.end() ||
           slot->second.generation != generation ||
+          slot->second.revision != revision ||
           slot->second.best != gain) {
         heap_.pop();
         continue;
@@ -111,14 +118,16 @@ class InformationGainStrategy : public SelectionStrategy {
   /// Cached per-component state, keyed by anchor.
   struct Entry {
     uint64_t generation = 0;
+    uint64_t revision = 0;
     double best = -std::numeric_limits<double>::infinity();
   };
 
   /// instance_id() of the network the cached state belongs to (0 = none).
   uint64_t instance_id_ = 0;
   std::unordered_map<CorrespondenceId, Entry> best_;
-  /// Lazy-deletion max-heap of (best gain, anchor, generation).
-  std::priority_queue<std::tuple<double, CorrespondenceId, uint64_t>> heap_;
+  /// Lazy-deletion max-heap of (best gain, anchor, generation, revision).
+  std::priority_queue<std::tuple<double, CorrespondenceId, uint64_t, uint64_t>>
+      heap_;
 };
 
 class MaxEntropyStrategy : public SelectionStrategy {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
+#include <utility>
 
 #include "constraints/cycle.h"
 #include "constraints/one_to_one.h"
@@ -110,16 +112,29 @@ StatusOr<std::vector<CurvePoint>> RunReconciliationCurve(
         ProbabilisticNetwork pmn,
         ProbabilisticNetwork::Create(setup.network, setup.constraints,
                                      options.network_options, &rng));
-    Oracle oracle(setup.oracle_truth);
+    // The perfect-expert path stays bit-identical to the historical driver:
+    // the panel (and its extra seed draw) exists only for noisy runs.
+    std::optional<Oracle> perfect;
+    std::optional<OraclePanel> panel;
+    AssertionOracle callback;
+    if (options.worker_error_rates.empty()) {
+      perfect.emplace(setup.oracle_truth);
+      callback = perfect->AsCallback();
+    } else {
+      panel.emplace(setup.oracle_truth, options.worker_error_rates,
+                    rng.NextUint64());
+      callback = panel->AsCallback();
+    }
     std::unique_ptr<SelectionStrategy> strategy = MakeStrategy(options.strategy);
-    Reconciler reconciler(&pmn, strategy.get(), oracle.AsCallback());
+    Reconciler reconciler(&pmn, strategy.get(), std::move(callback),
+                          options.policy);
 
     bool converged = false;
     for (size_t point = 0; point < checkpoints.size(); ++point) {
-      const size_t target_assertions = static_cast<size_t>(
+      const size_t target_elicitations = static_cast<size_t>(
           checkpoints[point] * static_cast<double>(total) + 0.5);
       while (!converged &&
-             pmn.feedback().asserted_count() < target_assertions) {
+             reconciler.elicitation_count() < target_elicitations) {
         auto step = reconciler.Step(&rng);
         if (!step.ok()) {
           if (step.status().code() == StatusCode::kNotFound) {
@@ -131,9 +146,11 @@ StatusOr<std::vector<CurvePoint>> RunReconciliationCurve(
       }
 
       CurvePoint& out = accumulated[point];
-      out.effort += static_cast<double>(pmn.feedback().asserted_count()) /
+      out.effort += static_cast<double>(reconciler.elicitation_count()) /
                     static_cast<double>(total);
       out.uncertainty += pmn.Uncertainty();
+      out.rejected_assertions +=
+          static_cast<double>(reconciler.rejected_count());
 
       // Prec(C \ F-): the candidate set an integration task would use if it
       // stopped reconciling right now and merely dropped the disapproved.
@@ -152,6 +169,7 @@ StatusOr<std::vector<CurvePoint>> RunReconciliationCurve(
             inst.instance, setup.truth_candidates, setup.truth_total);
         out.instantiation_precision += quality.precision;
         out.instantiation_recall += quality.recall;
+        out.instantiation_f1 += quality.f1;
       }
     }
   }
@@ -164,6 +182,8 @@ StatusOr<std::vector<CurvePoint>> RunReconciliationCurve(
     out.precision_remaining /= runs;
     out.instantiation_precision /= runs;
     out.instantiation_recall /= runs;
+    out.instantiation_f1 /= runs;
+    out.rejected_assertions /= runs;
     // Report the nominal checkpoint as the effort axis value when runs
     // converged early at different points.
     if (out.effort > checkpoints[point]) out.effort = checkpoints[point];

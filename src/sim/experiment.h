@@ -8,6 +8,7 @@
 #include "core/instantiation.h"
 #include "core/network.h"
 #include "core/probabilistic_network.h"
+#include "core/reconciler.h"
 #include "core/selection_strategy.h"
 #include "datasets/generator.h"
 #include "matchers/matching_system.h"
@@ -58,31 +59,44 @@ StatusOr<ExperimentSetup> BuildExperimentSetupWithGraph(
 
 /// One averaged point of a reconciliation curve.
 struct CurvePoint {
-  double effort = 0.0;                // E = |F| / |C| at the checkpoint.
+  double effort = 0.0;                // E = elicitations / |C| at checkpoint.
   double uncertainty = 0.0;           // H(C, P).
   double precision_remaining = 0.0;   // Prec(C \ F-), Fig. 9's quality axis.
   double instantiation_precision = 0.0;  // Prec(H), Figs. 10/11.
   double instantiation_recall = 0.0;     // Rec(H).
+  double instantiation_f1 = 0.0;         // F1(H), the noisy-bench axis.
+  double rejected_assertions = 0.0;   // Closure-rejected decisions so far.
 };
 
 /// Parameters of a reconciliation-curve experiment.
 struct CurveOptions {
   StrategyKind strategy = StrategyKind::kInformationGain;
-  /// Effort levels (fractions of |C|) at which statistics are recorded.
+  /// Effort levels (fractions of |C|, in elicitations) at which statistics
+  /// are recorded.
   std::vector<double> checkpoints;
   /// Independent runs to average over (the paper uses 50 for Fig. 9).
   size_t runs = 10;
-  /// Run Algorithm 2 at every checkpoint and record Prec(H)/Rec(H).
+  /// Run Algorithm 2 at every checkpoint and record Prec(H)/Rec(H)/F1(H).
   bool instantiate = false;
   ProbabilisticNetworkOptions network_options;
   InstantiationOptions instantiation_options;
+  /// Simulated-expert noise (extension beyond the paper): per-worker error
+  /// rates of the oracle panel answering the questions. Empty = the paper's
+  /// single perfect expert (and a bit-identical code path to it).
+  std::vector<double> worker_error_rates;
+  /// How the reconciler elicits and integrates answers. The default is the
+  /// paper's single-question hard-assert loop; pair a noisy panel with a
+  /// matching error_rate model and majority-of-k to reconcile robustly.
+  ElicitationPolicy policy;
   uint64_t seed = 1;
 };
 
 /// Runs the reconciliation process `runs` times with the given selection
-/// strategy against the ground-truth oracle, recording the curve metrics at
-/// each effort checkpoint and averaging across runs. This is the engine
-/// behind Figs. 9, 10 and 11.
+/// strategy against the ground-truth oracle (or noisy oracle panel),
+/// recording the curve metrics at each effort checkpoint and averaging
+/// across runs. This is the engine behind Figs. 9, 10 and 11 and the
+/// noisy-reconciliation bench. Runs never abort on closure-rejected noisy
+/// answers; rejections are averaged into CurvePoint::rejected_assertions.
 StatusOr<std::vector<CurvePoint>> RunReconciliationCurve(
     const ExperimentSetup& setup, const CurveOptions& options);
 

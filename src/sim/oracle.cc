@@ -16,4 +16,39 @@ AssertionOracle Oracle::AsCallback() {
   return [this](CorrespondenceId c) { return Assert(c); };
 }
 
+OraclePanel::OraclePanel(DynamicBitset truth, std::vector<double> error_rates,
+                         uint64_t seed)
+    : truth_(std::move(truth)), error_rates_(std::move(error_rates)) {
+  // Degenerate empty panel: behave as a single perfect worker rather than
+  // dividing by a zero worker count in the round-robin.
+  if (error_rates_.empty()) error_rates_.push_back(0.0);
+  const Rng base(seed);
+  rngs_.reserve(error_rates_.size());
+  for (size_t w = 0; w < error_rates_.size(); ++w) {
+    rngs_.push_back(base.Fork(w));
+  }
+}
+
+bool OraclePanel::Assert(CorrespondenceId c) {
+  const size_t worker = next_worker_;
+  next_worker_ = (next_worker_ + 1) % error_rates_.size();
+  ++assertion_count_;
+  const bool correct = truth_.Test(c);
+  if (error_rates_[worker] > 0.0 && rngs_[worker].Bernoulli(error_rates_[worker])) {
+    return !correct;
+  }
+  return correct;
+}
+
+AssertionOracle OraclePanel::AsCallback() {
+  return [this](CorrespondenceId c) { return Assert(c); };
+}
+
+double OraclePanel::MeanErrorRate() const {
+  if (error_rates_.empty()) return 0.0;
+  double total = 0.0;
+  for (double rate : error_rates_) total += rate;
+  return total / static_cast<double>(error_rates_.size());
+}
+
 }  // namespace smn

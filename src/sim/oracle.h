@@ -1,6 +1,8 @@
 #ifndef SMN_SIM_ORACLE_H_
 #define SMN_SIM_ORACLE_H_
 
+#include <vector>
+
 #include "core/reconciler.h"
 #include "core/types.h"
 #include "util/dynamic_bitset.h"
@@ -32,6 +34,49 @@ class Oracle {
   DynamicBitset truth_;
   double error_rate_;
   Rng rng_;
+  size_t assertion_count_ = 0;
+};
+
+/// A panel of independent simulated workers with heterogeneous error rates —
+/// the crowd-of-fallible-experts counterpart of Oracle. Worker w answers
+/// from the shared ground truth, flipping with its own error_rates[w];
+/// elicitations are assigned round-robin in call order, so a majority-of-k
+/// panel on one correspondence hears k distinct workers whenever
+/// k ≤ worker_count(). Each worker draws from its own pure Fork stream:
+/// results are deterministic per seed and independent of which
+/// correspondences the questions target.
+class OraclePanel {
+ public:
+  /// `truth` marks, over the candidate set C, which candidates belong to M.
+  /// `error_rates` must be non-empty; one worker per entry.
+  OraclePanel(DynamicBitset truth, std::vector<double> error_rates,
+              uint64_t seed = 0x5EED);
+
+  /// Answer of the next round-robin worker. True = approve.
+  bool Assert(CorrespondenceId c);
+
+  /// Adapts this panel to the Reconciler's callback type. The panel must
+  /// outlive the returned callable.
+  AssertionOracle AsCallback();
+
+  /// Total answers elicited from the panel so far.
+  size_t assertion_count() const { return assertion_count_; }
+
+  /// Number of workers.
+  size_t worker_count() const { return error_rates_.size(); }
+
+  /// Per-worker error rates, in worker order.
+  const std::vector<double>& error_rates() const { return error_rates_; }
+
+  /// Mean worker error rate — the single-ε evidence model to feed an
+  /// ElicitationPolicy when the panel is heterogeneous.
+  double MeanErrorRate() const;
+
+ private:
+  DynamicBitset truth_;
+  std::vector<double> error_rates_;
+  std::vector<Rng> rngs_;
+  size_t next_worker_ = 0;
   size_t assertion_count_ = 0;
 };
 

@@ -58,8 +58,13 @@ class Rng {
     return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
   }
 
-  /// Returns true with probability `p` (clamped to [0, 1]).
+  /// Returns true with probability `p` (clamped to [0, 1]). Degenerate
+  /// inputs are deterministic and consume no randomness: p ≤ 0 is false,
+  /// p ≥ 1 is true, and NaN is false — a NaN error rate must not silently
+  /// turn into a data-dependent draw (and must not advance the stream, so a
+  /// guarded caller stays bit-identical to an unguarded one).
   bool Bernoulli(double p) {
+    if (p != p) return false;  // NaN: explicit, stream-preserving reject.
     if (p <= 0.0) return false;
     if (p >= 1.0) return true;
     return UniformDouble() < p;

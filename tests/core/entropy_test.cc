@@ -1,6 +1,7 @@
 #include "core/entropy.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -46,6 +47,26 @@ TEST(NetworkUncertaintyTest, CertainNetworkHasZeroUncertainty) {
 TEST(NetworkUncertaintyTest, GeneralValues) {
   const double h = NetworkUncertainty({0.25, 0.75});
   EXPECT_NEAR(h, 2 * (-0.25 * std::log2(0.25) - 0.75 * std::log2(0.75)), 1e-12);
+}
+
+TEST(BinaryEntropyTest, NanInputYieldsZeroNotNan) {
+  // Regression for the noisy-regime sweeps: a 0/0 marginal (empty or
+  // zero-weight sample set) must not poison H(C, P) with NaN.
+  EXPECT_DOUBLE_EQ(BinaryEntropy(std::nan("")), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(std::numeric_limits<double>::quiet_NaN()),
+                   0.0);
+}
+
+TEST(BinaryEntropyTest, ExactBoundaryInputsAreZero) {
+  // Pinned: exactly 1.0 and exactly 0.0 (not merely near) are certain.
+  EXPECT_DOUBLE_EQ(BinaryEntropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryEntropy(std::nextafter(1.0, 2.0)), 0.0);
+  EXPECT_GT(BinaryEntropy(std::nextafter(1.0, 0.0)), 0.0);
+}
+
+TEST(NetworkUncertaintyTest, NanMarginalDoesNotPoisonTheSum) {
+  EXPECT_DOUBLE_EQ(NetworkUncertainty({0.5, std::nan(""), 0.5}), 2.0);
 }
 
 }  // namespace

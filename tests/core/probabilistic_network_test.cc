@@ -1,7 +1,11 @@
 #include "core/probabilistic_network.h"
 
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "core/entropy.h"
 #include "tests/testing/test_networks.h"
 
 namespace smn {
@@ -122,6 +126,193 @@ TEST_F(ProbabilisticNetworkTest, ProbabilitiesStayInUnitInterval) {
     EXPECT_GE(p, 0.0);
     EXPECT_LE(p, 1.0);
   }
+}
+
+TEST_F(ProbabilisticNetworkTest, AssertSoftReweightsExactMarginals) {
+  // Fig. 1 is exhaustively enumerated (5 instances; c1 in 3 of them), so
+  // the likelihood-reweighted marginals have closed forms: one approving
+  // answer on c1 at ε = 0.2 weights c1-instances 0.8 and the rest 0.2.
+  //   p(c1) = 3·0.8 / (3·0.8 + 2·0.2) = 6/7
+  //   p(c2) = (w(I1) + w(I4)) / 2.8 = (0.8 + 0.2) / 2.8 = 5/14, same for
+  //   c3, c4, c5 by symmetry of the instance list.
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.AssertSoft(fig1_.c1, true, 0.2, &rng_).ok());
+  EXPECT_NEAR(pmn.probability(fig1_.c1), 6.0 / 7.0, 1e-12);
+  for (CorrespondenceId c : {fig1_.c2, fig1_.c3, fig1_.c4, fig1_.c5}) {
+    EXPECT_NEAR(pmn.probability(c), 5.0 / 14.0, 1e-12);
+  }
+  // No hard feedback, no closure change, everything still uncertain.
+  EXPECT_EQ(pmn.feedback().asserted_count(), 0u);
+  EXPECT_EQ(pmn.soft_evidence().total_answers(), 1u);
+  EXPECT_EQ(pmn.UncertainCorrespondences().size(), 5u);
+  // Uncertainty is the entropy of the weighted marginals.
+  const double expected =
+      BinaryEntropy(6.0 / 7.0) + 4.0 * BinaryEntropy(5.0 / 14.0);
+  EXPECT_NEAR(pmn.Uncertainty(), expected, 1e-12);
+}
+
+TEST_F(ProbabilisticNetworkTest, AssertSoftBumpsRevisionAndShrinksEss) {
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_EQ(pmn.component_count(), 1u);
+  EXPECT_EQ(pmn.component_evidence_revision(0), 0u);
+  const double ess_before = pmn.ComponentEffectiveSampleSize(0);
+  EXPECT_DOUBLE_EQ(ess_before, 5.0);  // Exhaustive: 5 uniform samples.
+  ASSERT_TRUE(pmn.AssertSoft(fig1_.c1, true, 0.2, &rng_).ok());
+  EXPECT_EQ(pmn.component_evidence_revision(0), 1u);
+  EXPECT_LT(pmn.ComponentEffectiveSampleSize(0), ess_before);
+  EXPECT_GT(pmn.ComponentEffectiveSampleSize(0), 1.0);
+  ASSERT_TRUE(pmn.AssertSoft(fig1_.c2, false, 0.3, &rng_).ok());
+  EXPECT_EQ(pmn.component_evidence_revision(0), 2u);
+}
+
+TEST_F(ProbabilisticNetworkTest, AssertSoftZeroErrorDelegatesToHardAssert) {
+  Rng rng_a(55);
+  Rng rng_b(55);
+  ProbabilisticNetwork hard =
+      ProbabilisticNetwork::Create(fig1_.network, fig1_.constraints,
+                                   SmallOptions(), &rng_a)
+          .value();
+  ProbabilisticNetwork soft =
+      ProbabilisticNetwork::Create(fig1_.network, fig1_.constraints,
+                                   SmallOptions(), &rng_b)
+          .value();
+  ASSERT_TRUE(hard.Assert(fig1_.c2, true, &rng_a).ok());
+  ASSERT_TRUE(soft.AssertSoft(fig1_.c2, true, 0.0, &rng_b).ok());
+  // Bit-identical: same feedback, same closure, same marginals.
+  EXPECT_EQ(soft.feedback().asserted_count(), 1u);
+  EXPECT_EQ(soft.soft_evidence().total_answers(), 0u);
+  ASSERT_EQ(hard.probabilities().size(), soft.probabilities().size());
+  for (size_t c = 0; c < hard.probabilities().size(); ++c) {
+    EXPECT_EQ(hard.probabilities()[c], soft.probabilities()[c]);
+  }
+  EXPECT_EQ(hard.Uncertainty(), soft.Uncertainty());
+}
+
+TEST_F(ProbabilisticNetworkTest, AssertSoftValidatesInputs) {
+  ProbabilisticNetwork pmn = MakePmn();
+  EXPECT_EQ(pmn.AssertSoft(99, true, 0.2, &rng_).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(pmn.AssertSoft(fig1_.c1, true, 0.7, &rng_).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(pmn.AssertSoft(fig1_.c1, true, std::nan(""), &rng_).code(),
+            StatusCode::kInvalidArgument);
+  // Negative rates are invalid, not a route onto the hard-assert path.
+  EXPECT_EQ(pmn.AssertSoft(fig1_.c1, true, -0.1, &rng_).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(pmn.feedback().asserted_count(), 0u);
+  // Failed records leave the marginals untouched.
+  EXPECT_DOUBLE_EQ(pmn.probability(fig1_.c1), 0.6);
+}
+
+TEST_F(ProbabilisticNetworkTest, AssertSoftOnDeterminedIsLedgerOnly) {
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.Assert(fig1_.c2, true, &rng_).ok());
+  ASSERT_DOUBLE_EQ(pmn.probability(fig1_.c4), 0.0);  // Closure-forced out.
+  // A contradicting noisy answer on a determined correspondence cannot move
+  // its pinned probability, but it still lands in the ledger (it cost an
+  // elicitation and the effort accounting wants it).
+  ASSERT_TRUE(pmn.AssertSoft(fig1_.c4, true, 0.2, &rng_).ok());
+  EXPECT_DOUBLE_EQ(pmn.probability(fig1_.c4), 0.0);
+  EXPECT_EQ(pmn.soft_evidence().total_answers(), 1u);
+}
+
+TEST_F(ProbabilisticNetworkTest, HardAssertAfterSoftRebuildsConsistently) {
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.AssertSoft(fig1_.c1, true, 0.2, &rng_).ok());
+  ASSERT_TRUE(pmn.Assert(fig1_.c2, true, &rng_).ok());
+  // Approving c2 leaves instances I1 = {c1,c2,c3} and I4 = {c2,c5}; the
+  // standing c1 evidence reweights them 0.8 : 0.2.
+  EXPECT_NEAR(pmn.probability(fig1_.c1), 0.8, 1e-12);
+  EXPECT_NEAR(pmn.probability(fig1_.c3), 0.8, 1e-12);
+  EXPECT_NEAR(pmn.probability(fig1_.c5), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(pmn.probability(fig1_.c2), 1.0);
+  EXPECT_DOUBLE_EQ(pmn.probability(fig1_.c4), 0.0);
+}
+
+TEST_F(ProbabilisticNetworkTest, SoftEvidenceInvalidatesInformationGains) {
+  ProbabilisticNetwork pmn = MakePmn();
+  const std::vector<double> gains_before = pmn.InformationGains();
+  ASSERT_TRUE(pmn.AssertSoft(fig1_.c1, true, 0.2, &rng_).ok());
+  const std::vector<double> gains_after = pmn.InformationGains();
+  ASSERT_EQ(gains_before.size(), gains_after.size());
+  // Reweighting must flow into the gains, not serve a stale cache.
+  bool changed = false;
+  for (size_t c = 0; c < gains_after.size(); ++c) {
+    EXPECT_GE(gains_after[c], -1e-9);  // Gains stay non-negative.
+    if (std::abs(gains_after[c] - gains_before[c]) > 1e-9) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST_F(ProbabilisticNetworkTest,
+       IncrementalAndFullResampleAgreeUnderSoftEvidence) {
+  // The determinism contract extends to the soft layer: interleaved hard
+  // and soft assertions produce bit-identical marginals, gains, and
+  // (generation, evidence revision) cache keys whether untouched components
+  // are cached or recomputed from frozen projections. The clustered network
+  // guarantees the hard assertion lands in a *different* component than the
+  // soft evidence — regression for the full-resample rebuild resetting an
+  // untouched component's evidence revision to 0, which reissued a stale
+  // (generation, 0) key for a post-evidence gain state.
+  const testing::RandomNetwork random =
+      testing::MakeClusteredNetwork({3, 3, 2, 0.5, 11});
+  ProbabilisticNetworkOptions incremental_options = SmallOptions();
+  incremental_options.incremental = true;
+  ProbabilisticNetworkOptions full_options = SmallOptions();
+  full_options.incremental = false;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  ProbabilisticNetwork incremental =
+      ProbabilisticNetwork::Create(random.network, random.constraints,
+                                   incremental_options, &rng_a)
+          .value();
+  ProbabilisticNetwork full =
+      ProbabilisticNetwork::Create(random.network, random.constraints,
+                                   full_options, &rng_b)
+          .value();
+  const auto uncertain = incremental.UncertainCorrespondences();
+  ASSERT_GE(uncertain.size(), 2u);
+  const CorrespondenceId soft_target = uncertain[0];
+  const size_t soft_component = incremental.ComponentOf(soft_target);
+  CorrespondenceId hard_target = kInvalidCorrespondence;
+  for (CorrespondenceId c : uncertain) {
+    if (incremental.ComponentOf(c) != soft_component) {
+      hard_target = c;
+      break;
+    }
+  }
+  ASSERT_NE(hard_target, kInvalidCorrespondence);  // Clustered: multi-comp.
+  for (ProbabilisticNetwork* pmn : {&incremental, &full}) {
+    Rng* rng = pmn == &incremental ? &rng_a : &rng_b;
+    ASSERT_TRUE(pmn->AssertSoft(soft_target, true, 0.2, rng).ok());
+    ASSERT_TRUE(pmn->Assert(hard_target, false, rng).ok());
+    ASSERT_TRUE(pmn->AssertSoft(soft_target, false, 0.3, rng).ok());
+  }
+  ASSERT_EQ(incremental.probabilities().size(), full.probabilities().size());
+  for (size_t c = 0; c < incremental.probabilities().size(); ++c) {
+    EXPECT_EQ(incremental.probabilities()[c], full.probabilities()[c]);
+  }
+  EXPECT_EQ(incremental.Uncertainty(), full.Uncertainty());
+  const std::vector<double> gains_incremental = incremental.InformationGains();
+  const std::vector<double> gains_full = full.InformationGains();
+  for (size_t c = 0; c < gains_incremental.size(); ++c) {
+    EXPECT_EQ(gains_incremental[c], gains_full[c]);
+  }
+  // Cache keys agree per component, and the evidence-laden component's
+  // revision survived the full-resample rebuild of untouched caches.
+  ASSERT_EQ(incremental.component_count(), full.component_count());
+  bool saw_positive_revision = false;
+  for (size_t i = 0; i < incremental.component_count(); ++i) {
+    EXPECT_EQ(incremental.component(i).anchor, full.component(i).anchor);
+    EXPECT_EQ(incremental.component_generation(i),
+              full.component_generation(i));
+    EXPECT_EQ(incremental.component_evidence_revision(i),
+              full.component_evidence_revision(i));
+    if (incremental.component_evidence_revision(i) > 0) {
+      saw_positive_revision = true;
+    }
+  }
+  EXPECT_TRUE(saw_positive_revision);
 }
 
 }  // namespace

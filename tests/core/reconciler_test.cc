@@ -1,5 +1,7 @@
 #include "core/reconciler.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "tests/testing/test_networks.h"
@@ -184,6 +186,226 @@ TEST_F(ReconcilerTest, EffortExcludesAssertionsMadeBeforeConstruction) {
     EXPECT_GT(step.effort_after, 0.0);
     EXPECT_LE(step.effort_after, 1.0);
   }
+}
+
+/// Returns a fixed sequence of correspondences, then gives up. Models a
+/// selection strategy acting on stale or noisy marginals — the realistic
+/// trigger for closure-contradicting assertions in the noisy regime.
+class ScriptedStrategy : public SelectionStrategy {
+ public:
+  explicit ScriptedStrategy(std::vector<CorrespondenceId> script)
+      : script_(std::move(script)) {}
+
+  std::string_view name() const override { return "Scripted"; }
+
+  std::optional<CorrespondenceId> Select(const ProbabilisticNetwork& pmn,
+                                         Rng* rng) override {
+    (void)pmn;
+    (void)rng;
+    if (next_ >= script_.size()) return std::nullopt;
+    return script_[next_++];
+  }
+
+ private:
+  std::vector<CorrespondenceId> script_;
+  size_t next_ = 0;
+};
+
+TEST_F(ReconcilerTest, RejectedAssertionIntegratesForcedComplement) {
+  // Approving c1 and c2 forces c3 into every remaining instance (cycle
+  // closure). A disapproving answer on c3 then contradicts the closure: the
+  // network must reject it atomically and the reconciler must record the
+  // rejection and integrate the logically forced approval instead of
+  // erroring out.
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.Assert(fig1_.c1, true, &rng_).ok());
+  ASSERT_TRUE(pmn.Assert(fig1_.c2, true, &rng_).ok());
+  ASSERT_TRUE(pmn.determined().approved.Test(fig1_.c3));
+  ASSERT_FALSE(pmn.feedback().IsAsserted(fig1_.c3));
+
+  ScriptedStrategy strategy({fig1_.c3});
+  Reconciler reconciler(&pmn, &strategy,
+                        [](CorrespondenceId) { return false; });  // Lies.
+  const auto step = reconciler.Step(&rng_);
+  ASSERT_TRUE(step.ok());
+  EXPECT_TRUE(step->rejected);
+  EXPECT_TRUE(step->committed);
+  EXPECT_FALSE(step->approved);  // The expert-side decision that bounced.
+  // The posterior reports what the network integrated, not the rejected
+  // answer: c3 ended the step pinned in.
+  EXPECT_DOUBLE_EQ(step->posterior, 1.0);
+  EXPECT_TRUE(pmn.feedback().IsApproved(fig1_.c3));  // Forced complement.
+  EXPECT_EQ(reconciler.rejected_count(), 1u);
+  EXPECT_EQ(reconciler.elicitation_count(), 1u);
+}
+
+TEST_F(ReconcilerTest, MalformedPolicyFailsFastWithoutElicitation) {
+  // 0.6 models a "60% accuracy" confusion, -0.02 a buggy calibration; both
+  // are outside [0, 0.5] and must fail fast instead of silently running
+  // (for a negative rate, the old <= 0 routing would have committed every
+  // noisy answer as ground truth via the hard path).
+  for (double bad_rate : {0.6, -0.02, std::nan("")}) {
+    ProbabilisticNetwork pmn = MakePmn();
+    auto strategy = MakeStrategy(StrategyKind::kSequential);
+    ElicitationPolicy policy;
+    policy.error_rate = bad_rate;
+    size_t oracle_calls = 0;
+    Reconciler reconciler(&pmn, strategy.get(),
+                          [&](CorrespondenceId) {
+                            ++oracle_calls;
+                            return true;
+                          },
+                          policy);
+    const auto step = reconciler.Step(&rng_);
+    EXPECT_EQ(step.status().code(), StatusCode::kInvalidArgument)
+        << "error_rate=" << bad_rate;
+    EXPECT_EQ(oracle_calls, 0u);  // Rejected before spending user effort.
+    EXPECT_EQ(reconciler.elicitation_count(), 0u);
+  }
+}
+
+TEST_F(ReconcilerTest, RunSurvivesRejectionsAndKeepsTheTrace) {
+  ProbabilisticNetwork pmn = MakePmn();
+  ASSERT_TRUE(pmn.Assert(fig1_.c1, true, &rng_).ok());
+  ASSERT_TRUE(pmn.Assert(fig1_.c2, true, &rng_).ok());
+  ScriptedStrategy strategy({fig1_.c3});
+  Reconciler reconciler(&pmn, &strategy,
+                        [](CorrespondenceId) { return false; });
+  const auto trace = reconciler.Run(ReconcileGoal{}, &rng_);
+  // Pre-fix behavior: FailedPrecondition aborted Run and discarded every
+  // recorded step. Now the run completes with the rejection on record.
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->steps.size(), 1u);
+  EXPECT_TRUE(trace->steps.front().rejected);
+  EXPECT_EQ(trace->rejected_assertions, 1u);
+  EXPECT_EQ(trace->total_elicitations, 1u);
+}
+
+TEST_F(ReconcilerTest, RepeatedQuestioningCountsEveryElicitation) {
+  ProbabilisticNetwork pmn = MakePmn();
+  auto strategy = MakeStrategy(StrategyKind::kSequential);
+  ElicitationPolicy policy;
+  policy.error_rate = 0.2;
+  policy.max_questions = 3;
+  policy.confidence = 1.5;  // Never confident: always ask all 3.
+  Reconciler reconciler(&pmn, strategy.get(), TruthOracle(), policy);
+  const auto step = reconciler.Step(&rng_);
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step->questions, 3u);
+  EXPECT_EQ(step->approvals, 3u);  // Perfect answers, noisy model.
+  EXPECT_EQ(reconciler.elicitation_count(), 3u);
+  // Effort threads the elicitation count, not |F|: three questions on one
+  // correspondence out of five initially uncertain.
+  EXPECT_DOUBLE_EQ(step->effort_after, 3.0 / 5.0);
+  EXPECT_TRUE(step->committed);
+  EXPECT_EQ(pmn.feedback().asserted_count(), 1u);  // One integrated decision.
+}
+
+TEST_F(ReconcilerTest, ConfidenceThresholdStopsReAskingEarly) {
+  ProbabilisticNetwork pmn = MakePmn();
+  auto strategy = MakeStrategy(StrategyKind::kSequential);
+  ElicitationPolicy policy;
+  policy.error_rate = 0.2;
+  policy.max_questions = 10;
+  policy.confidence = 0.75;
+  Reconciler reconciler(&pmn, strategy.get(), TruthOracle(), policy);
+  const auto step = reconciler.Step(&rng_);
+  ASSERT_TRUE(step.ok());
+  // Sequential selects c1 (p = 0.6); one approving answer at ε = 0.2 lifts
+  // the weighted marginal to 0.6·0.8 / (0.6·0.8 + 0.4·0.2) = 6/7 ≥ 0.75.
+  EXPECT_EQ(step->correspondence, fig1_.c1);
+  EXPECT_EQ(step->questions, 1u);
+  EXPECT_NEAR(step->posterior, 6.0 / 7.0, 1e-12);
+  EXPECT_TRUE(step->approved);
+}
+
+TEST_F(ReconcilerTest, ZeroErrorPolicyBitIdenticalToDefaultPath) {
+  // The ε → 0 limit of the soft-evidence path is the paper's hard loop:
+  // identical selections, answers, uncertainties, and marginals, bit for
+  // bit, whatever the other policy knobs say.
+  Rng rng_a(99);
+  Rng rng_b(99);
+  ProbabilisticNetwork pmn_a =
+      ProbabilisticNetwork::Create(fig1_.network, fig1_.constraints,
+                                   SmallOptions(), &rng_a)
+          .value();
+  ProbabilisticNetwork pmn_b =
+      ProbabilisticNetwork::Create(fig1_.network, fig1_.constraints,
+                                   SmallOptions(), &rng_b)
+          .value();
+  auto strategy_a = MakeStrategy(StrategyKind::kInformationGain);
+  auto strategy_b = MakeStrategy(StrategyKind::kInformationGain);
+  ElicitationPolicy zero_error;
+  zero_error.error_rate = 0.0;
+  zero_error.max_questions = 5;
+  zero_error.confidence = 0.6;
+  zero_error.commit_hard = true;
+  Reconciler baseline(&pmn_a, strategy_a.get(), TruthOracle());
+  Reconciler soft_limit(&pmn_b, strategy_b.get(), TruthOracle(), zero_error);
+  const auto trace_a = baseline.Run(ReconcileGoal{}, &rng_a);
+  const auto trace_b = soft_limit.Run(ReconcileGoal{}, &rng_b);
+  ASSERT_TRUE(trace_a.ok());
+  ASSERT_TRUE(trace_b.ok());
+  ASSERT_EQ(trace_a->steps.size(), trace_b->steps.size());
+  for (size_t i = 0; i < trace_a->steps.size(); ++i) {
+    EXPECT_EQ(trace_a->steps[i].correspondence,
+              trace_b->steps[i].correspondence);
+    EXPECT_EQ(trace_a->steps[i].approved, trace_b->steps[i].approved);
+    EXPECT_EQ(trace_a->steps[i].questions, 1u);
+    EXPECT_EQ(trace_b->steps[i].questions, 1u);
+    EXPECT_EQ(trace_a->steps[i].uncertainty_after,
+              trace_b->steps[i].uncertainty_after);
+    EXPECT_EQ(trace_a->steps[i].effort_after, trace_b->steps[i].effort_after);
+  }
+  ASSERT_EQ(pmn_a.probabilities().size(), pmn_b.probabilities().size());
+  for (size_t c = 0; c < pmn_a.probabilities().size(); ++c) {
+    EXPECT_EQ(pmn_a.probabilities()[c], pmn_b.probabilities()[c]);
+  }
+}
+
+TEST_F(ReconcilerTest, SoftOnlyModeSharpensWithoutPinning) {
+  ProbabilisticNetwork pmn = MakePmn();
+  auto strategy = MakeStrategy(StrategyKind::kSequential);
+  ElicitationPolicy policy;
+  policy.error_rate = 0.2;
+  policy.max_questions = 3;
+  policy.confidence = 1.5;
+  policy.commit_hard = false;
+  Reconciler reconciler(&pmn, strategy.get(), TruthOracle(), policy);
+  const double h_before = pmn.Uncertainty();
+  const auto step = reconciler.Step(&rng_);
+  ASSERT_TRUE(step.ok());
+  EXPECT_FALSE(step->committed);
+  EXPECT_EQ(pmn.feedback().asserted_count(), 0u);  // Nothing pinned.
+  // Three approving answers sharpen c1 well past its 0.6 prior without
+  // determining it; uncertainty drops accordingly.
+  EXPECT_GT(pmn.probability(fig1_.c1), 0.95);
+  EXPECT_LT(pmn.probability(fig1_.c1), 1.0);
+  EXPECT_LT(pmn.Uncertainty(), h_before);
+  // Budget-bounded runs terminate even though nothing becomes certain.
+  ReconcileGoal goal;
+  goal.max_assertions = 4;
+  const auto trace = reconciler.Run(goal, &rng_);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_LE(trace->steps.size(), 4u);
+}
+
+TEST_F(ReconcilerTest, MaxElicitationsBoundsRepeatedQuestioning) {
+  ProbabilisticNetwork pmn = MakePmn();
+  auto strategy = MakeStrategy(StrategyKind::kSequential);
+  ElicitationPolicy policy;
+  policy.error_rate = 0.2;
+  policy.max_questions = 3;
+  policy.confidence = 1.5;
+  Reconciler reconciler(&pmn, strategy.get(), TruthOracle(), policy);
+  ReconcileGoal goal;
+  goal.max_elicitations = 4;
+  const auto trace = reconciler.Run(goal, &rng_);
+  ASSERT_TRUE(trace.ok());
+  // Steps cost 3 questions each; the bound is checked between steps, so the
+  // run stops after the second step (6 elicitations ≥ 4, overshoot < 3).
+  EXPECT_EQ(trace->steps.size(), 2u);
+  EXPECT_EQ(trace->total_elicitations, 6u);
 }
 
 TEST_F(ReconcilerTest, RandomStrategyAlsoConverges) {

@@ -1,8 +1,11 @@
 #include "core/sample_store.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/matching_instance.h"
+#include "core/probabilistic_network.h"
 #include "tests/testing/test_networks.h"
 
 namespace smn {
@@ -111,6 +114,75 @@ TEST_F(SampleStoreTest, LargerNetworkKeepsTargetSampleCount) {
   }
   for (const DynamicBitset& sample : store.samples()) {
     EXPECT_TRUE(IsMatchingInstance(random.constraints, feedback, sample));
+  }
+}
+
+TEST_F(SampleStoreTest, WeightedProbabilitiesReflectSoftEvidence) {
+  // Fig. 1 exhausted: 5 instances, c1 in 3 of them. One approving answer on
+  // c1 at ε = 0.2 weights c1-instances 0.8 and the rest 0.2:
+  //   p(c1) = 3·0.8 / (3·0.8 + 2·0.2) = 6/7.
+  SampleStore store(fig1_.network, fig1_.constraints, SmallStore());
+  Rng rng(1);
+  ASSERT_TRUE(store.Initialize(feedback_, &rng).ok());
+  ASSERT_TRUE(store.exhausted());
+  SoftEvidence evidence(fig1_.network.correspondence_count());
+  ASSERT_TRUE(evidence.Record(fig1_.c1, true, 0.2).ok());
+  const std::vector<double> weighted =
+      store.ComputeWeightedProbabilities(evidence);
+  EXPECT_NEAR(weighted[fig1_.c1], 6.0 / 7.0, 1e-12);
+  // Every other correspondence sits in one c1-instance and one non-c1
+  // instance: p = (0.8 + 0.2) / 2.8 = 5/14.
+  for (CorrespondenceId c : {fig1_.c2, fig1_.c3, fig1_.c4, fig1_.c5}) {
+    EXPECT_NEAR(weighted[c], 5.0 / 14.0, 1e-12);
+  }
+  // Differential pin against the per-component engine: the store-global
+  // reweighting and ProbabilisticNetwork::AssertSoft implement the same
+  // w(I)-weighted Equation 2 and must not drift apart.
+  Rng pmn_rng(3);
+  ProbabilisticNetwork pmn =
+      ProbabilisticNetwork::Create(fig1_.network, fig1_.constraints,
+                                   ProbabilisticNetworkOptions{}, &pmn_rng)
+          .value();
+  ASSERT_TRUE(pmn.AssertSoft(fig1_.c1, true, 0.2, &pmn_rng).ok());
+  for (CorrespondenceId c = 0; c < weighted.size(); ++c) {
+    EXPECT_NEAR(weighted[c], pmn.probability(c), 1e-12);
+  }
+}
+
+TEST_F(SampleStoreTest, WeightedProbabilitiesDegenerateCases) {
+  SampleStore store(fig1_.network, fig1_.constraints, SmallStore());
+  Rng rng(1);
+  ASSERT_TRUE(store.Initialize(feedback_, &rng).ok());
+  // No evidence: bitwise equal to the unweighted marginals.
+  SoftEvidence empty(fig1_.network.correspondence_count());
+  const std::vector<double> unweighted = store.ComputeProbabilities();
+  const std::vector<double> no_evidence =
+      store.ComputeWeightedProbabilities(empty);
+  ASSERT_EQ(no_evidence.size(), unweighted.size());
+  for (size_t c = 0; c < unweighted.size(); ++c) {
+    EXPECT_EQ(no_evidence[c], unweighted[c]);
+  }
+  // Hard consistent evidence (ε = 0) equals the post-filter marginals: a
+  // hard approval of c2 keeps exactly {c1,c2,c3} and {c2,c5}.
+  SoftEvidence hard(fig1_.network.correspondence_count());
+  ASSERT_TRUE(hard.Record(fig1_.c2, true, 0.0).ok());
+  const std::vector<double> filtered =
+      store.ComputeWeightedProbabilities(hard);
+  EXPECT_DOUBLE_EQ(filtered[fig1_.c2], 1.0);
+  EXPECT_DOUBLE_EQ(filtered[fig1_.c1], 0.5);
+  EXPECT_DOUBLE_EQ(filtered[fig1_.c3], 0.5);
+  EXPECT_DOUBLE_EQ(filtered[fig1_.c4], 0.0);
+  EXPECT_DOUBLE_EQ(filtered[fig1_.c5], 0.5);
+  // Evidence that zero-weights every sample falls back to unweighted.
+  SoftEvidence contradictory(fig1_.network.correspondence_count());
+  ASSERT_TRUE(contradictory.Record(fig1_.c1, true, 0.0).ok());
+  ASSERT_TRUE(contradictory.Record(fig1_.c2, false, 0.0).ok());
+  ASSERT_TRUE(contradictory.Record(fig1_.c3, true, 0.0).ok());
+  ASSERT_TRUE(contradictory.Record(fig1_.c4, true, 0.0).ok());
+  const std::vector<double> fallback =
+      store.ComputeWeightedProbabilities(contradictory);
+  for (size_t c = 0; c < unweighted.size(); ++c) {
+    EXPECT_EQ(fallback[c], unweighted[c]);
   }
 }
 

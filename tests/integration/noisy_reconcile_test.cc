@@ -1,0 +1,211 @@
+// End-to-end coverage of the noisy-expert regime: reconciliation against
+// fallible oracles must never abort, must degenerate bit-identically to the
+// paper's perfect-expert Algorithm 1 at error rate 0, and must recover the
+// ground truth under moderate noise when the elicitation policy re-asks.
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/probabilistic_network.h"
+#include "core/reconciler.h"
+#include "core/selection_strategy.h"
+#include "datasets/standard.h"
+#include "sim/experiment.h"
+#include "sim/oracle.h"
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace {
+
+ProbabilisticNetworkOptions SmallNetworkOptions() {
+  ProbabilisticNetworkOptions options;
+  options.store.target_samples = 200;
+  options.store.min_samples = 50;
+  return options;
+}
+
+StatusOr<ExperimentSetup> SmallSetup() {
+  StandardDataset bp = MakeBpDataset();
+  // 0.3 keeps the run fast but leaves a real workload (|C| = 35 with ~20
+  // reconcilable candidates); 0.2 collapses to 4 pre-certain candidates.
+  bp.config = ScaleConfig(bp.config, 0.3);
+  Rng rng(123);
+  return BuildExperimentSetup(bp.config, bp.vocabulary,
+                              MatcherKind::kComaLike, &rng);
+}
+
+TEST(NoisyReconcileTest, PanelOfOnePerfectWorkerMatchesOracleBitwise) {
+  // OraclePanel at ε = 0 consumes no randomness, exactly like Oracle at
+  // ε = 0: the two backends must drive bit-identical reconciliations.
+  const testing::RandomNetwork net = testing::MakeRandomNetwork({4, 3, 0.5, 9});
+  Rng rng_a(41);
+  Rng rng_b(41);
+  ProbabilisticNetwork pmn_a =
+      ProbabilisticNetwork::Create(net.network, net.constraints,
+                                   SmallNetworkOptions(), &rng_a)
+          .value();
+  ProbabilisticNetwork pmn_b =
+      ProbabilisticNetwork::Create(net.network, net.constraints,
+                                   SmallNetworkOptions(), &rng_b)
+          .value();
+  ASSERT_FALSE(pmn_a.samples().empty());
+  const DynamicBitset truth = pmn_a.samples()[0];
+  Oracle oracle(truth);
+  OraclePanel panel(truth, {0.0});
+  auto strategy_a = MakeStrategy(StrategyKind::kInformationGain);
+  auto strategy_b = MakeStrategy(StrategyKind::kInformationGain);
+  Reconciler reconciler_a(&pmn_a, strategy_a.get(), oracle.AsCallback());
+  Reconciler reconciler_b(&pmn_b, strategy_b.get(), panel.AsCallback());
+  const auto trace_a = reconciler_a.Run(ReconcileGoal{}, &rng_a);
+  const auto trace_b = reconciler_b.Run(ReconcileGoal{}, &rng_b);
+  ASSERT_TRUE(trace_a.ok());
+  ASSERT_TRUE(trace_b.ok());
+  ASSERT_EQ(trace_a->steps.size(), trace_b->steps.size());
+  for (size_t i = 0; i < trace_a->steps.size(); ++i) {
+    EXPECT_EQ(trace_a->steps[i].correspondence,
+              trace_b->steps[i].correspondence);
+    EXPECT_EQ(trace_a->steps[i].approved, trace_b->steps[i].approved);
+    EXPECT_EQ(trace_a->steps[i].uncertainty_after,
+              trace_b->steps[i].uncertainty_after);
+  }
+  for (size_t c = 0; c < pmn_a.probabilities().size(); ++c) {
+    EXPECT_EQ(pmn_a.probabilities()[c], pmn_b.probabilities()[c]);
+  }
+}
+
+TEST(NoisyReconcileTest, CurveDriverBitIdenticalAtZeroErrorPolicy) {
+  // The full sim driver with a zero-error repeated-questioning policy must
+  // reproduce the historical perfect-expert curves bit for bit.
+  const auto setup = SmallSetup();
+  ASSERT_TRUE(setup.ok());
+  CurveOptions baseline;
+  baseline.checkpoints = {0.25, 0.5, 1.0};
+  baseline.runs = 2;
+  baseline.instantiate = true;
+  baseline.network_options = SmallNetworkOptions();
+  baseline.seed = 17;
+  CurveOptions zero_error = baseline;
+  zero_error.policy.error_rate = 0.0;
+  zero_error.policy.max_questions = 3;
+  zero_error.policy.confidence = 0.8;
+  const auto curve_a = RunReconciliationCurve(*setup, baseline);
+  const auto curve_b = RunReconciliationCurve(*setup, zero_error);
+  ASSERT_TRUE(curve_a.ok());
+  ASSERT_TRUE(curve_b.ok());
+  ASSERT_EQ(curve_a->size(), curve_b->size());
+  for (size_t i = 0; i < curve_a->size(); ++i) {
+    EXPECT_EQ((*curve_a)[i].effort, (*curve_b)[i].effort);
+    EXPECT_EQ((*curve_a)[i].uncertainty, (*curve_b)[i].uncertainty);
+    EXPECT_EQ((*curve_a)[i].precision_remaining,
+              (*curve_b)[i].precision_remaining);
+    EXPECT_EQ((*curve_a)[i].instantiation_precision,
+              (*curve_b)[i].instantiation_precision);
+    EXPECT_EQ((*curve_a)[i].instantiation_recall,
+              (*curve_b)[i].instantiation_recall);
+    EXPECT_EQ((*curve_a)[i].rejected_assertions, 0.0);
+  }
+}
+
+TEST(NoisyReconcileTest, ConvergesToTruthUnderModerateNoise) {
+  // ε = 0.2 workers with re-ask-until-confident (majority-of-5, τ = 0.9):
+  // the per-decision error collapses far below the per-answer error and the
+  // run must recover the sampled ground truth almost everywhere. Seeded and
+  // single-threaded-deterministic, so the bound is stable.
+  const testing::RandomNetwork net =
+      testing::MakeRandomNetwork({4, 3, 0.5, 77});
+  Rng rng(13);
+  ProbabilisticNetwork pmn =
+      ProbabilisticNetwork::Create(net.network, net.constraints,
+                                   SmallNetworkOptions(), &rng)
+          .value();
+  ASSERT_FALSE(pmn.samples().empty());
+  const DynamicBitset truth = pmn.samples()[0];
+  const size_t uncertain_at_start = pmn.UncertainCorrespondences().size();
+  ASSERT_GT(uncertain_at_start, 0u);
+  OraclePanel panel(truth, {0.2, 0.2, 0.2}, 99);
+  ElicitationPolicy policy;
+  policy.error_rate = 0.2;
+  policy.max_questions = 5;
+  policy.confidence = 0.9;
+  auto strategy = MakeStrategy(StrategyKind::kInformationGain);
+  Reconciler reconciler(&pmn, strategy.get(), panel.AsCallback(), policy);
+  const auto trace = reconciler.Run(ReconcileGoal{}, &rng);
+  ASSERT_TRUE(trace.ok());  // Never aborts, whatever the noise did.
+  EXPECT_DOUBLE_EQ(pmn.Uncertainty(), 0.0);
+  size_t correct = 0;
+  size_t decided = 0;
+  for (CorrespondenceId c = 0; c < net.network.correspondence_count(); ++c) {
+    const double p = pmn.probability(c);
+    if (p != 0.0 && p != 1.0) continue;
+    ++decided;
+    if ((p == 1.0) == truth.Test(c)) ++correct;
+  }
+  EXPECT_EQ(decided, net.network.correspondence_count());
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(decided), 0.9);
+}
+
+TEST(NoisyReconcileTest, NoConfigurationAbortsAcrossTheSweep) {
+  const auto setup = SmallSetup();
+  ASSERT_TRUE(setup.ok());
+  for (double error_rate : {0.05, 0.1, 0.2}) {
+    for (int mode = 0; mode < 3; ++mode) {
+      CurveOptions options;
+      options.checkpoints = {0.5, 1.0};
+      options.runs = 1;
+      options.network_options = SmallNetworkOptions();
+      options.seed = 29;
+      options.worker_error_rates = {error_rate, error_rate, error_rate};
+      switch (mode) {
+        case 0:  // Naive: trust every noisy answer as ground truth.
+          options.policy.error_rate = 0.0;
+          break;
+        case 1:  // Majority-of-3, hard commit.
+          options.policy.error_rate = error_rate;
+          options.policy.max_questions = 3;
+          options.policy.confidence = 0.9;
+          break;
+        default:  // Soft evidence only, never pins.
+          options.policy.error_rate = error_rate;
+          options.policy.max_questions = 3;
+          options.policy.confidence = 0.9;
+          options.policy.commit_hard = false;
+          break;
+      }
+      const auto curve = RunReconciliationCurve(*setup, options);
+      ASSERT_TRUE(curve.ok()) << "error_rate=" << error_rate
+                              << " mode=" << mode << ": " << curve.status();
+    }
+  }
+}
+
+TEST(NoisyReconcileTest, MajorityOfThreeBeatsNaiveHardAssertAtErrorPoint2) {
+  // The acceptance benchmark in miniature: at ε = 0.2, majority-of-3 with a
+  // matching evidence model must reach strictly higher instantiation F1
+  // than naively trusting each single noisy answer, measured at a budget
+  // that lets both modes finish (3 answers per candidate).
+  const auto setup = SmallSetup();
+  ASSERT_TRUE(setup.ok());
+  CurveOptions naive;
+  naive.checkpoints = {3.0};
+  naive.runs = 3;
+  naive.instantiate = true;
+  naive.network_options = SmallNetworkOptions();
+  naive.seed = 31;
+  naive.worker_error_rates = {0.2, 0.2, 0.2};
+  CurveOptions majority = naive;
+  majority.policy.error_rate = 0.2;
+  majority.policy.max_questions = 3;
+  majority.policy.confidence = 0.95;
+  const auto naive_curve = RunReconciliationCurve(*setup, naive);
+  const auto majority_curve = RunReconciliationCurve(*setup, majority);
+  ASSERT_TRUE(naive_curve.ok());
+  ASSERT_TRUE(majority_curve.ok());
+  const CurvePoint& naive_end = naive_curve->back();
+  const CurvePoint& majority_end = majority_curve->back();
+  EXPECT_GT(majority_end.instantiation_f1, naive_end.instantiation_f1);
+}
+
+}  // namespace
+}  // namespace smn

@@ -95,6 +95,71 @@ TEST(OracleTest, CallbackAdapterWorks) {
   EXPECT_FALSE(callback(1));
 }
 
+// ------------------------------------------------------------ oracle panel
+
+TEST(OraclePanelTest, PerfectWorkersAnswerFromTruth) {
+  DynamicBitset truth(4);
+  truth.Set(1);
+  truth.Set(3);
+  OraclePanel panel(truth, {0.0, 0.0, 0.0});
+  EXPECT_EQ(panel.worker_count(), 3u);
+  for (int round = 0; round < 3; ++round) {  // Cycles through all workers.
+    EXPECT_FALSE(panel.Assert(0));
+    EXPECT_TRUE(panel.Assert(1));
+    EXPECT_TRUE(panel.Assert(3));
+  }
+  EXPECT_EQ(panel.assertion_count(), 9u);
+}
+
+TEST(OraclePanelTest, DeterministicPerSeed) {
+  DynamicBitset truth(2);
+  truth.Set(0);
+  OraclePanel a(truth, {0.4, 0.1}, 77);
+  OraclePanel b(truth, {0.4, 0.1}, 77);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Assert(i % 2), b.Assert(i % 2));
+  }
+}
+
+TEST(OraclePanelTest, RoundRobinGivesPerfectWorkerEverySecondAnswer) {
+  // Worker 0 is a coin-flipper, worker 1 is perfect; round-robin assignment
+  // means every second answer is truthful regardless of worker 0's noise.
+  DynamicBitset truth(1);
+  truth.Set(0);
+  OraclePanel panel(truth, {0.5, 0.0}, 5);
+  for (int i = 0; i < 50; ++i) {
+    panel.Assert(0);              // Worker 0: anything.
+    EXPECT_TRUE(panel.Assert(0));  // Worker 1: truth.
+  }
+}
+
+TEST(OraclePanelTest, ErrorRateFlipsInBand) {
+  DynamicBitset truth(1);
+  truth.Set(0);
+  OraclePanel panel(truth, {0.3}, 11);
+  int wrong = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!panel.Assert(0)) ++wrong;
+  }
+  EXPECT_GT(wrong, 480);
+  EXPECT_LT(wrong, 720);
+}
+
+TEST(OraclePanelTest, MeanErrorRateAndCallback) {
+  DynamicBitset truth(2);
+  truth.Set(1);
+  OraclePanel panel(truth, {0.1, 0.3, 0.2});
+  EXPECT_NEAR(panel.MeanErrorRate(), 0.2, 1e-12);
+  AssertionOracle callback = panel.AsCallback();
+  (void)callback(0);
+  EXPECT_EQ(panel.assertion_count(), 1u);
+  // Degenerate empty panel behaves as one perfect worker.
+  OraclePanel empty(truth, {});
+  EXPECT_EQ(empty.worker_count(), 1u);
+  EXPECT_TRUE(empty.Assert(1));
+  EXPECT_FALSE(empty.Assert(0));
+}
+
 // -------------------------------------------------------------- experiment
 
 class ExperimentTest : public ::testing::Test {

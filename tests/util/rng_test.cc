@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -79,6 +80,31 @@ TEST(RngTest, BernoulliEdgeCases) {
     EXPECT_TRUE(rng.Bernoulli(1.0));
     EXPECT_FALSE(rng.Bernoulli(-0.5));
     EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliDegenerateInputsConsumeNoRandomness) {
+  // Regression for the noisy-regime sweeps: p exactly 1.0 / 0.0 and NaN are
+  // deterministic AND stream-preserving. Without that, an ε = 1.0 oracle
+  // would silently desynchronize any run compared against a guarded one,
+  // and a NaN error rate would turn into a data-dependent coin flip.
+  Rng guarded(31);
+  Rng untouched(31);
+  EXPECT_FALSE(guarded.Bernoulli(0.0));
+  EXPECT_TRUE(guarded.Bernoulli(1.0));
+  EXPECT_FALSE(guarded.Bernoulli(std::nan("")));
+  EXPECT_FALSE(guarded.Bernoulli(-std::nan("")));
+  EXPECT_FALSE(guarded.Bernoulli(-2.0));
+  EXPECT_TRUE(guarded.Bernoulli(2.0));
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(guarded.NextUint64(), untouched.NextUint64());
+  }
+}
+
+TEST(RngTest, BernoulliNanIsAlwaysFalse) {
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(std::numeric_limits<double>::quiet_NaN()));
   }
 }
 
