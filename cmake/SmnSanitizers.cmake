@@ -3,16 +3,63 @@
 #   cmake -B build -S . -DSMN_SANITIZE=address,undefined
 #   cmake -B build -S . -DSMN_SANITIZE=thread
 #
-# Accepts a comma- or semicolon-separated list of sanitizer names that are
-# passed straight to -fsanitize=. Empty (the default) builds without
-# instrumentation.
+# Accepts a comma- or semicolon-separated list of sanitizer names. Empty
+# (the default) builds without instrumentation. Unknown names and known-
+# incompatible combinations (thread with address/leak/memory) are rejected
+# at configure time instead of producing a build that silently misbehaves.
+#
+# UBSAN is made *fatal*: -fno-sanitize-recover=all turns every detected UB
+# into a non-zero exit, so an out-of-range shift actually fails CI rather
+# than printing a diagnostic and continuing. Runtime knobs worth knowing:
+#
+#   UBSAN_OPTIONS=print_stacktrace=1          # symbolized traces
+#   ASAN_OPTIONS=halt_on_error=1:detect_leaks=1
+#   TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1
+#
+# halt_on_error defaults to 1 for ASAN/UBSAN fatal errors; setting it
+# explicitly in CI documents the intent and guards against environment
+# overrides.
 
 set(SMN_SANITIZE "" CACHE STRING
   "Comma-separated sanitizers to enable (e.g. address,undefined)")
 
 if(SMN_SANITIZE)
   string(REPLACE ";" "," _smn_sanitize_flag "${SMN_SANITIZE}")
+  string(REPLACE "," ";" _smn_sanitize_list "${_smn_sanitize_flag}")
+
+  set(_smn_known_sanitizers address undefined thread leak memory)
+  foreach(_smn_name IN LISTS _smn_sanitize_list)
+    if(NOT _smn_name IN_LIST _smn_known_sanitizers)
+      message(FATAL_ERROR
+        "SMN_SANITIZE: unknown sanitizer '${_smn_name}' "
+        "(known: ${_smn_known_sanitizers})")
+    endif()
+  endforeach()
+
+  # TSAN and MSAN each need the whole process built their way and cannot
+  # coexist with the malloc-interposing sanitizers (or each other).
+  foreach(_smn_exclusive thread memory)
+    if(_smn_exclusive IN_LIST _smn_sanitize_list)
+      foreach(_smn_other address leak thread memory)
+        if(NOT _smn_other STREQUAL _smn_exclusive
+           AND _smn_other IN_LIST _smn_sanitize_list)
+          message(FATAL_ERROR
+            "SMN_SANITIZE: '${_smn_exclusive}' cannot be combined with "
+            "'${_smn_other}' — they interpose the same runtime hooks. "
+            "Use separate build trees (e.g. build-tsan, build-asan).")
+        endif()
+      endforeach()
+    endif()
+  endforeach()
+
   message(STATUS "Building with -fsanitize=${_smn_sanitize_flag}")
   add_compile_options(-fsanitize=${_smn_sanitize_flag} -fno-omit-frame-pointer -g)
   add_link_options(-fsanitize=${_smn_sanitize_flag})
+
+  if("undefined" IN_LIST _smn_sanitize_list)
+    # Without this UBSAN reports and *recovers*, so UB passes CI silently.
+    add_compile_options(-fno-sanitize-recover=all)
+    add_link_options(-fno-sanitize-recover=all)
+    message(STATUS "UBSAN diagnostics are fatal (-fno-sanitize-recover=all)")
+  endif()
 endif()

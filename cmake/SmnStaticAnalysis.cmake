@@ -1,0 +1,26 @@
+# Static-analysis configuration for first-party targets.
+#
+# Thread Safety Analysis: Clang proves the lock discipline declared through
+# src/util/thread_annotations.h (SMN_GUARDED_BY and friends) at compile
+# time. The warnings are always on under Clang; the CI `lint` job escalates
+# them to errors with -DSMN_THREAD_SAFETY_WERROR=ON so a forgotten lock is a
+# red build. GCC builds are unaffected (the macros expand to nothing).
+#
+# clang-tidy: the curated check set lives in .clang-tidy at the repository
+# root; CI runs it over the exported compile database (see
+# CMAKE_EXPORT_COMPILE_COMMANDS in the top-level CMakeLists and the `lint`
+# job in .github/workflows/ci.yml).
+
+option(SMN_THREAD_SAFETY_WERROR
+  "Promote Clang -Wthread-safety diagnostics to errors (CI lint job)" OFF)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  target_compile_options(smn_warnings INTERFACE -Wthread-safety)
+  if(SMN_THREAD_SAFETY_WERROR)
+    target_compile_options(smn_warnings INTERFACE -Werror=thread-safety)
+  endif()
+elseif(SMN_THREAD_SAFETY_WERROR)
+  message(WARNING
+    "SMN_THREAD_SAFETY_WERROR=ON has no effect: thread safety analysis "
+    "requires Clang (current compiler: ${CMAKE_CXX_COMPILER_ID})")
+endif()

@@ -16,7 +16,14 @@ Usage:
       --fresh build/BENCH_micro_core.json \
       --lower-is-better real_ms_per_iter,allocs_per_step \
       [--higher-is-better speedup_mean_per_assertion] \
-      [--max-ratio 2.5] [--zero-epsilon 0.01]
+      [--max-ratio 2.5] [--zero-epsilon 0.01] \
+      [--warn-underprovisioned speedup_at_4t=4]
+
+--warn-underprovisioned FIELD=N (repeatable) downgrades a failure on FIELD
+to a warning when the fresh run records metrics.hardware_threads < N: a
+4-thread scaling metric measured on a 2-core runner says nothing about a
+scaling regression, only about the runner. Warnings are printed but do not
+affect the exit code.
 
 The default --max-ratio is deliberately loose: the committed baselines come
 from a dev box, CI runners differ in absolute speed, and micro timings are
@@ -45,17 +52,44 @@ def numeric_fields(entry: dict) -> dict:
     return {k: v for k, v in fields.items() if isinstance(v, (int, float))}
 
 
+def parse_underprovisioned(specs: list[str]) -> dict[str, int]:
+    thresholds: dict[str, int] = {}
+    for spec in specs:
+        field, sep, value = spec.partition("=")
+        if not sep or not field:
+            sys.exit(f"error: --warn-underprovisioned expects FIELD=N, "
+                     f"got {spec!r}")
+        try:
+            thresholds[field] = int(value)
+        except ValueError:
+            sys.exit(f"error: --warn-underprovisioned threshold must be an "
+                     f"integer, got {spec!r}")
+    return thresholds
+
+
 def check(args: argparse.Namespace) -> int:
     baseline = load(args.baseline)
     fresh = load(args.fresh)
     lower = [f for f in args.lower_is_better.split(",") if f]
     higher = [f for f in args.higher_is_better.split(",") if f]
+    underprovisioned = parse_underprovisioned(args.warn_underprovisioned)
+    hardware_threads = fresh.get("metrics", {}).get("hardware_threads")
 
     base_entries = {e["name"]: e for e in baseline.get("entries", [])}
     fresh_entries = {e["name"]: e for e in fresh.get("entries", [])}
 
     failures = []
+    warnings = []
     rows = []
+
+    def demote_to_warning(field: str) -> bool:
+        """True when a failure on `field` reflects runner provisioning, not a
+        regression: the fresh run had fewer hardware threads than the metric
+        needs to be meaningful."""
+        needed = underprovisioned.get(field)
+        return (needed is not None
+                and isinstance(hardware_threads, (int, float))
+                and hardware_threads < needed)
 
     def judge(name: str, field: str, base_value: float, fresh_value: float,
               lower_better: bool) -> None:
@@ -71,10 +105,17 @@ def check(args: argparse.Namespace) -> int:
         else:
             ok = fresh_value >= base_value / args.max_ratio
             bound = f">= {base_value / args.max_ratio:.6g}"
+        detail = (f"{name}.{field}: fresh {fresh_value:.6g} "
+                  f"vs baseline {base_value:.6g} (bound {bound})")
+        if not ok and demote_to_warning(field):
+            warnings.append(f"{detail} — runner has "
+                            f"{hardware_threads:.6g} hardware thread(s), "
+                            f"metric needs {underprovisioned[field]}")
+            rows.append((name, field, base_value, fresh_value, bound, None))
+            return
         rows.append((name, field, base_value, fresh_value, bound, ok))
         if not ok:
-            failures.append(f"{name}.{field}: fresh {fresh_value:.6g} "
-                            f"vs baseline {base_value:.6g} (bound {bound})")
+            failures.append(detail)
 
     for name, base_entry in sorted(base_entries.items()):
         if name not in fresh_entries:
@@ -108,10 +149,16 @@ def check(args: argparse.Namespace) -> int:
 
     width = max((len(r[0]) + len(r[1]) for r in rows), default=20) + 1
     for name, field, base_value, fresh_value, bound, ok in rows:
-        flag = "ok  " if ok else "FAIL"
+        flag = "warn" if ok is None else ("ok  " if ok else "FAIL")
         print(f"{flag} {name + '.' + field:<{width}} "
               f"baseline={base_value:.6g} fresh={fresh_value:.6g} "
               f"bound {bound}")
+
+    if warnings:
+        print(f"\n{len(warnings)} warning(s) on an underprovisioned runner "
+              f"(not counted as regressions):", file=sys.stderr)
+        for warning in warnings:
+            print(f"  {warning}", file=sys.stderr)
 
     if failures:
         print(f"\n{len(failures)} regression(s) beyond the tolerance band "
@@ -119,8 +166,9 @@ def check(args: argparse.Namespace) -> int:
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
+    note = f" ({len(warnings)} warning(s))" if warnings else ""
     print(f"\nall {len(rows)} checked metrics within the tolerance band "
-          f"(max-ratio {args.max_ratio})")
+          f"(max-ratio {args.max_ratio}){note}")
     return 0
 
 
@@ -142,6 +190,11 @@ def main() -> int:
     parser.add_argument("--zero-epsilon", type=float, default=0.01,
                         help="absolute bound used when the baseline value "
                              "is exactly zero (default: %(default)s)")
+    parser.add_argument("--warn-underprovisioned", action="append",
+                        default=[], metavar="FIELD=N",
+                        help="downgrade a failure on FIELD to a warning when "
+                             "the fresh run's metrics.hardware_threads < N "
+                             "(repeatable)")
     args = parser.parse_args()
     if not args.lower_is_better and not args.higher_is_better:
         parser.error("nothing to check: pass --lower-is-better and/or "

@@ -60,7 +60,8 @@ ProbabilisticNetwork::ProbabilisticNetwork(
       constraints_(&constraints),
       options_(options),
       feedback_(network.correspondence_count()),
-      soft_evidence_(network.correspondence_count()) {}
+      soft_evidence_(network.correspondence_count()),
+      lazy_mu_(std::make_unique<Mutex>()) {}
 
 StatusOr<ProbabilisticNetwork> ProbabilisticNetwork::Create(
     const Network& network, const ConstraintSet& constraints,
@@ -199,7 +200,10 @@ void ProbabilisticNetwork::ApplyEvidence(
   }
   double max_log = -std::numeric_limits<double>::infinity();
   for (double lw : log_weights) max_log = std::max(max_log, lw);
-  cache->gains_valid = false;
+  {
+    MutexLock lock(cache->gains_mu_);
+    cache->gains_valid = false;
+  }
   double total = 0.0;
   if (max_log != -std::numeric_limits<double>::infinity()) {
     cache->weights.resize(m);
@@ -254,7 +258,12 @@ Status ProbabilisticNetwork::AssertSoft(CorrespondenceId c, bool approved,
   const uint64_t revision = cache.evidence_revision + 1;
   ApplyEvidence(&cache, index_.component(touched));
   cache.evidence_revision = revision;
-  cache.gains_valid = false;
+  {
+    // ApplyEvidence already invalidated the gains on the evidence path;
+    // this also covers its early returns (contradictory-only evidence).
+    MutexLock lock(cache.gains_mu_);
+    cache.gains_valid = false;
+  }
   const ConstraintComponent& component = index_.component(touched);
   for (size_t j = 0; j < component.members.size(); ++j) {
     probabilities_[component.members[j]] = cache.member_probabilities[j];
@@ -419,6 +428,7 @@ void ProbabilisticNetwork::RefreshDerivedState() {
   }
   merged_diagnostics_ = std::move(merged);
 
+  MutexLock lock(*lazy_mu_);
   sample_view_valid_ = false;
 }
 
@@ -527,6 +537,11 @@ void ProbabilisticNetwork::ComputeGains(
 const std::vector<double>& ProbabilisticNetwork::ComponentGains(
     size_t i) const {
   const ComponentCache& cache = *caches_[i];
+  // Compute-once latch: the lock covers the validity check, the fill, and
+  // the return expression, so concurrent readers race neither the flag nor
+  // the vector. The reference stays valid after release — only the
+  // exclusive Assert/AssertSoft paths invalidate or replace the cache.
+  MutexLock lock(cache.gains_mu_);
   if (!cache.gains_valid) ComputeGains(cache, index_.component(i));
   return cache.member_gains;
 }
@@ -568,6 +583,9 @@ bool ProbabilisticNetwork::ComponentExhausted(size_t i) const {
 }
 
 const std::vector<DynamicBitset>& ProbabilisticNetwork::samples() const {
+  // Same latch pattern as ComponentGains: lock spans check, materialize,
+  // and return; the view only changes under an exclusive assertion.
+  MutexLock lock(*lazy_mu_);
   if (sample_view_valid_) return sample_view_;
   sample_view_.clear();
 

@@ -10,8 +10,10 @@
 #include "core/network.h"
 #include "core/sample_store.h"
 #include "core/soft_feedback.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace smn {
 
@@ -55,6 +57,16 @@ struct ProbabilisticNetworkOptions {
 /// incremental cache is enabled.
 ///
 /// The wrapped Network and ConstraintSet must outlive this object.
+///
+/// Concurrency contract: const accessors — probabilities(), Uncertainty(),
+/// InformationGains(), ComponentGains(), samples(), the diagnostics — are
+/// safe to call concurrently from any number of threads on one instance;
+/// the lazily memoized state they share (the per-component gain caches and
+/// the stitched sample view) is protected by annotated locks, enforced at
+/// compile time by -Wthread-safety. The mutating entry points (Assert,
+/// AssertSoft) require exclusive access: callers serialize writes against
+/// all other calls, the discipline a session manager provides naturally
+/// (snapshot-consistent reads between asserts).
 class ProbabilisticNetwork {
  public:
   /// Builds the network state and draws the initial per-component sample
@@ -246,10 +258,15 @@ class ProbabilisticNetwork {
     /// Reweights applied since the cache was built (see
     /// component_evidence_revision).
     uint64_t evidence_revision = 0;
+    /// Guards the lazy gain memoization below — the only cache state
+    /// mutated under const accessors (everything above is written solely by
+    /// the exclusive Assert/AssertSoft paths). Caches live behind
+    /// unique_ptr, so the non-movable mutex never has to move.
+    mutable Mutex gains_mu_;
     /// Lazily computed member gains (aligned with members).
-    mutable std::vector<double> member_gains;
+    mutable std::vector<double> member_gains SMN_GUARDED_BY(gains_mu_);
     /// True when member_gains is up to date.
-    mutable bool gains_valid = false;
+    mutable bool gains_valid SMN_GUARDED_BY(gains_mu_) = false;
   };
 
   ProbabilisticNetwork(const Network& network, const ConstraintSet& constraints,
@@ -284,9 +301,11 @@ class ProbabilisticNetwork {
                                          const ConstraintComponent& component);
 
   /// Computes a cache's member gains from its samples (see
-  /// InformationGains).
+  /// InformationGains). Caller holds the cache's gain lock (ComponentGains
+  /// is the single call site).
   void ComputeGains(const ComponentCache& cache,
-                    const ConstraintComponent& component) const;
+                    const ConstraintComponent& component) const
+      SMN_REQUIRES(cache.gains_mu_);
 
   const Network* network_;
   const ConstraintSet* constraints_;
@@ -307,8 +326,12 @@ class ProbabilisticNetwork {
   std::vector<double> probabilities_;
   ChainDiagnostics merged_diagnostics_;
   bool exhausted_ = false;
-  mutable std::vector<DynamicBitset> sample_view_;
-  mutable bool sample_view_valid_ = false;
+  /// Guards the lazily stitched whole-network sample view (samples()
+  /// materializes it on first use after an assertion). Held via unique_ptr
+  /// so the network stays movable; never null on a live instance.
+  mutable std::unique_ptr<Mutex> lazy_mu_;
+  mutable std::vector<DynamicBitset> sample_view_ SMN_GUARDED_BY(*lazy_mu_);
+  mutable bool sample_view_valid_ SMN_GUARDED_BY(*lazy_mu_) = false;
 };
 
 }  // namespace smn

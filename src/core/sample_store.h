@@ -41,6 +41,13 @@ struct SampleStoreOptions {
 /// instances, the instance space is declared exhausted: Ω* then holds every
 /// matching instance exactly once and the probabilities of Equation 1 are
 /// exact.
+///
+/// Concurrency contract: a SampleStore holds no internal locks. Const
+/// accessors are safe to share across threads (they read state only written
+/// by the mutating calls); Initialize/ApplyAssertion require exclusive
+/// access. In the component-decomposed engine each store belongs to exactly
+/// one ComponentCache, whose ownership discipline ProbabilisticNetwork
+/// documents and -Wthread-safety enforces.
 class SampleStore {
  public:
   /// `network` and `constraints` must outlive the store.

@@ -8,6 +8,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace smn {
 namespace {
 
@@ -32,6 +35,12 @@ class RandomStrategy : public SelectionStrategy {
 /// finds the leading component without scanning; ties across components are
 /// then gathered in global id order and broken uniformly at random, exactly
 /// as the non-incremental computation would.
+///
+/// The incremental bookkeeping (best_, heap_, instance_id_) is guarded by
+/// mu_, so one strategy instance may serve concurrent sessions over
+/// distinct networks — though each Select call still needs its own Rng, and
+/// sharing an instance across networks thrashes the cache (the instance-id
+/// check clears it on every switch).
 class InformationGainStrategy : public SelectionStrategy {
  public:
   std::string_view name() const override { return "InformationGain"; }
@@ -40,6 +49,7 @@ class InformationGainStrategy : public SelectionStrategy {
                                          Rng* rng) override {
     constexpr double kTie = 1e-12;
     constexpr double kNone = -std::numeric_limits<double>::infinity();
+    MutexLock lock(mu_);
     // A different network instance (by process-unique id, so a fresh network
     // reusing a destroyed one's address cannot alias) invalidates every
     // cached entry.
@@ -122,12 +132,14 @@ class InformationGainStrategy : public SelectionStrategy {
     double best = -std::numeric_limits<double>::infinity();
   };
 
+  /// Guards the incremental gain bookkeeping below across Select calls.
+  Mutex mu_;
   /// instance_id() of the network the cached state belongs to (0 = none).
-  uint64_t instance_id_ = 0;
-  std::unordered_map<CorrespondenceId, Entry> best_;
+  uint64_t instance_id_ SMN_GUARDED_BY(mu_) = 0;
+  std::unordered_map<CorrespondenceId, Entry> best_ SMN_GUARDED_BY(mu_);
   /// Lazy-deletion max-heap of (best gain, anchor, generation, revision).
   std::priority_queue<std::tuple<double, CorrespondenceId, uint64_t, uint64_t>>
-      heap_;
+      heap_ SMN_GUARDED_BY(mu_);
 };
 
 class MaxEntropyStrategy : public SelectionStrategy {

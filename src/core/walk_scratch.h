@@ -123,6 +123,12 @@ class WalkScratch {
 /// object stateful or thread-unsafe. The scratch persists for the thread's
 /// lifetime, sized for the largest candidate set it has served; hot loops
 /// should thread an explicitly owned scratch instead.
+///
+/// This is the repository's one sanctioned use of thread_local state: the
+/// determinism linter (scripts/check_determinism.py, rule `thread-local`)
+/// allowlists exactly this header and flags any other occurrence — scratch
+/// memory is reusable precisely because its contents never influence which
+/// samples the walk emits.
 inline WalkScratch& ThreadLocalWalkScratch() {
   thread_local WalkScratch scratch;
   return scratch;

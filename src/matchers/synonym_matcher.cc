@@ -139,6 +139,9 @@ SimilarityMatrix SynonymMatcher::Score(const SchemaView& s1,
     for (size_t j = 0; j < right.size(); ++j) {
       if (left[i].empty() || right[j].empty()) continue;
       size_t shared = 0;
+      // Order-independent reduction (a sum of membership counts), so the
+      // unordered iteration order cannot reach the output.
+      // smn-lint: allow(unordered-iter)
       for (const std::string& token : left[i]) shared += right[j].count(token);
       const size_t united = left[i].size() + right[j].size() - shared;
       const double jaccard =

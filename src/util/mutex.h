@@ -1,0 +1,90 @@
+#ifndef SMN_UTIL_MUTEX_H_
+#define SMN_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace smn {
+
+/// std::mutex wrapped as a Clang Thread Safety Analysis capability.
+///
+/// libstdc++'s std::mutex carries no thread-safety attributes, so locks
+/// taken through it are invisible to -Wthread-safety and every access to a
+/// GUARDED_BY member would be flagged. This wrapper is the repository's one
+/// lockable type: the analysis sees Lock/Unlock (and MutexLock scopes) as
+/// capability transfers, which is what lets SMN_GUARDED_BY declarations be
+/// enforced at compile time. Non-reentrant, non-movable — a mutex address
+/// is its identity for both the analysis and the waiting threads.
+class SMN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Blocks until the calling thread holds the mutex exclusively.
+  void Lock() SMN_ACQUIRE() { mu_.lock(); }
+
+  /// Releases the mutex. Caller must hold it.
+  void Unlock() SMN_RELEASE() { mu_.unlock(); }
+
+  /// Acquires the mutex iff it is free; returns whether it was acquired.
+  bool TryLock() SMN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped exclusive lock on a Mutex (the RAII shape the analysis models as
+/// a scoped capability). Prefer this over manual Lock/Unlock pairs.
+class SMN_SCOPED_CAPABILITY MutexLock {
+ public:
+  /// Acquires `mu` for the lifetime of this object.
+  explicit MutexLock(Mutex& mu) SMN_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() SMN_RELEASE() { mu_.Unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait atomically releases the mutex
+/// while blocking and reacquires it before returning, so from the analysis'
+/// point of view (and the caller's invariant discipline) the capability is
+/// held across the call — hence SMN_REQUIRES rather than acquire/release
+/// annotations. Use the classic predicate loop:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. Spurious wakeups are possible: always re-check
+  /// the predicate in a loop.
+  void Wait(Mutex& mu) SMN_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // Ownership stays with the caller's scope.
+  }
+
+  /// Wakes one waiting thread (if any).
+  void NotifyOne() { cv_.notify_one(); }
+
+  /// Wakes every waiting thread.
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_UTIL_MUTEX_H_

@@ -1,0 +1,86 @@
+#ifndef SMN_UTIL_THREAD_ANNOTATIONS_H_
+#define SMN_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attribute macros (no-ops on every other
+// compiler). Together with util/mutex.h these turn the repository's lock
+// discipline into a compile-time proof: a member declared
+// SMN_GUARDED_BY(mu_) cannot be read or written without holding mu_, a
+// function declared SMN_REQUIRES(mu_) cannot be called without it, and the
+// CI lint job builds the tree with -Wthread-safety -Werror=thread-safety so
+// a violation is a red build rather than a probabilistic TSAN catch.
+//
+// Conventions (see ARCHITECTURE.md, "Static guarantees"):
+//  - Every mutex-protected member is annotated at its declaration, with the
+//    mutex declared above the data it guards.
+//  - Functions touching guarded state either take the lock themselves
+//    (scoped SMN_ACQUIRE/SMN_RELEASE via MutexLock) or declare
+//    SMN_REQUIRES(mu) and leave locking to the caller; `Locked` name
+//    suffixes mark the latter.
+//  - SMN_NO_THREAD_SAFETY_ANALYSIS is a last resort for code the analysis
+//    cannot model; each use carries a justification comment.
+
+#if defined(__clang__) && !defined(SWIG)
+#define SMN_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SMN_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Declares a type to be a capability ("mutex") the analysis tracks.
+#define SMN_CAPABILITY(x) SMN_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type that acquires a capability at construction and
+/// releases it at destruction (MutexLock).
+#define SMN_SCOPED_CAPABILITY SMN_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define SMN_GUARDED_BY(x) SMN_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define SMN_PT_GUARDED_BY(x) SMN_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Caller must hold the capability exclusively before calling.
+#define SMN_REQUIRES(...) \
+  SMN_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared before calling.
+#define SMN_REQUIRES_SHARED(...) \
+  SMN_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability exclusively and does not release it.
+#define SMN_ACQUIRE(...) \
+  SMN_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared and does not release it.
+#define SMN_ACQUIRE_SHARED(...) \
+  SMN_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the (exclusively held) capability.
+#define SMN_RELEASE(...) \
+  SMN_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function releases the (shared-held) capability.
+#define SMN_RELEASE_SHARED(...) \
+  SMN_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the success value.
+#define SMN_TRY_ACQUIRE(...) \
+  SMN_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention for
+/// non-reentrant mutexes).
+#define SMN_EXCLUDES(...) \
+  SMN_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held (re-syncs the analysis).
+#define SMN_ASSERT_CAPABILITY(x) \
+  SMN_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define SMN_RETURN_CAPABILITY(x) \
+  SMN_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Opts a function out of the analysis entirely. Last resort; justify.
+#define SMN_NO_THREAD_SAFETY_ANALYSIS \
+  SMN_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // SMN_UTIL_THREAD_ANNOTATIONS_H_

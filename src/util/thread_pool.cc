@@ -17,15 +17,15 @@ ThreadPool::ThreadPool(size_t thread_count) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
 size_t ThreadPool::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return tasks_.size();
 }
 
@@ -33,8 +33,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) wake_.Wait(mutex_);
       if (tasks_.empty()) return;  // stopping_ set and queue drained.
       task = std::move(tasks_.front());
       tasks_.pop();

@@ -1,17 +1,18 @@
 #ifndef SMN_UTIL_THREAD_POOL_H_
 #define SMN_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace smn {
 
@@ -24,7 +25,9 @@ namespace smn {
 /// The destructor finishes every task already submitted, then joins the
 /// workers, so futures obtained from a pool are always eventually ready.
 /// Submit() is safe to call from multiple threads concurrently; submitting
-/// after the destructor has started is not.
+/// after the destructor has started is not. The queue discipline is proven
+/// statically: tasks_ and stopping_ are SMN_GUARDED_BY(mutex_), so an
+/// unlocked access anywhere is a -Wthread-safety compile error.
 class ThreadPool {
  public:
   /// Spawns `thread_count` workers; 0 means DefaultThreadCount().
@@ -38,7 +41,7 @@ class ThreadPool {
 
   /// Number of submitted tasks that have not started yet. Diagnostic only:
   /// the value can be stale by the time the caller reads it.
-  size_t pending() const;
+  size_t pending() const SMN_EXCLUDES(mutex_);
 
   /// std::thread::hardware_concurrency() with a floor of 1 (the standard
   /// allows it to report 0 when the count is unknown).
@@ -46,7 +49,8 @@ class ThreadPool {
 
   /// Schedules `fn` for execution and returns the future of its result.
   template <typename Fn>
-  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>>
+      SMN_EXCLUDES(mutex_) {
     using Result = std::invoke_result_t<std::decay_t<Fn>>;
     // packaged_task is move-only but std::function requires copyable
     // callables, hence the shared_ptr wrapper.
@@ -54,21 +58,21 @@ class ThreadPool {
         std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
     std::future<Result> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       tasks_.push([task] { (*task)(); });
     }
-    wake_.notify_one();
+    wake_.NotifyOne();
     return future;
   }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SMN_EXCLUDES(mutex_);
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> tasks_;
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar wake_;
+  std::queue<std::function<void()>> tasks_ SMN_GUARDED_BY(mutex_);
+  bool stopping_ SMN_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace smn

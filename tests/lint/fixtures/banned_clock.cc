@@ -1,0 +1,16 @@
+// Fixture: rule `wall-clock` must fire on each read below.
+#include <chrono>
+#include <ctime>
+
+long SteadyNow() {
+  using Clock = std::chrono::steady_clock;
+  return Clock::now().time_since_epoch().count();  // finding: aliased ::now
+}
+
+long SystemNow() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // finding
+}
+
+long LibcTime() {
+  return static_cast<long>(time(nullptr));  // finding: time()
+}

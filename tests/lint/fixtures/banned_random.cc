@@ -1,0 +1,13 @@
+// Fixture: rule `raw-random` must fire on each use below.
+#include <cstdlib>
+#include <random>
+
+unsigned UnseededEntropy() {
+  std::random_device device;  // finding: std::random_device
+  return device();
+}
+
+int LibcRand() {
+  srand(42);     // finding: srand
+  return rand();  // finding: rand
+}

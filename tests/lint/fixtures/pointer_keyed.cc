@@ -1,0 +1,18 @@
+// Fixture: rule `pointer-key` must fire on the pointer-keyed ordered
+// containers and stay silent on pointer *values*.
+#include <map>
+#include <set>
+#include <string>
+
+struct Session {
+  int id;
+};
+
+int PointerKeyedContainers() {
+  std::set<Session*> live;                      // finding: pointer key
+  std::map<const Session*, int> scores;         // finding: pointer key
+  std::map<int, Session*> by_id;                // ok: pointer value, int key
+  std::set<std::string> names;                  // ok: value key
+  return static_cast<int>(live.size() + scores.size() + by_id.size() +
+                          names.size());
+}

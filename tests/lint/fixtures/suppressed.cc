@@ -1,0 +1,44 @@
+// Fixture: every violation below carries a justified
+// `// smn-lint: allow(<rule>)` — the linter must report nothing.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <unordered_set>
+
+int SuppressedUnorderedIteration() {
+  std::unordered_set<int> values{1, 2, 3};
+  int sum = 0;
+  // Order-independent reduction; iteration order cannot reach the output.
+  // smn-lint: allow(unordered-iter)
+  for (int v : values) sum += v;
+  return sum;
+}
+
+int SuppressedSameLine() {
+  return rand();  // smn-lint: allow(raw-random)
+}
+
+long SuppressedClock() {
+  // Telemetry only, never sampler input.
+  // smn-lint: allow(wall-clock)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int SuppressedPointerKey() {
+  // Keys are compared for identity only; the map is never iterated.
+  // smn-lint: allow(pointer-key)
+  std::map<int*, int> identity;
+  return static_cast<int>(identity.size());
+}
+
+int SuppressedThreadLocal() {
+  // Scratch counter; value never influences emitted samples.
+  // smn-lint: allow(thread-local)
+  thread_local int counter = 0;
+  return ++counter;
+}
+
+int SuppressedMultiRule() {
+  // smn-lint: allow(raw-random, wall-clock)
+  return rand() + static_cast<int>(clock());
+}

@@ -1,0 +1,6 @@
+// Fixture: rule `thread-local` must fire — per-thread state outside the
+// documented scratch fallback (src/core/walk_scratch.h).
+int NextPerThreadId() {
+  thread_local int counter = 0;  // finding: thread_local
+  return ++counter;
+}

@@ -1,0 +1,28 @@
+// Fixture: rule `unordered-iter` must fire on each loop below.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int RangeForOverUnorderedSet() {
+  std::unordered_set<int> values{1, 2, 3};
+  int sum = 0;
+  for (int v : values) sum += v;  // finding: range-for, direct
+  return sum;
+}
+
+int RangeForOverNestedUnordered() {
+  std::vector<std::unordered_set<std::string>> buckets(4);
+  int total = 0;
+  for (const std::string& s : buckets[0]) total += s.size();  // finding
+  return total;
+}
+
+int IteratorLoopOverUnorderedMap() {
+  std::unordered_map<std::string, int> counts;
+  int total = 0;
+  for (auto it = counts.begin(); it != counts.end(); ++it) {  // finding
+    total += it->second;
+  }
+  return total;
+}

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Self-tests for scripts/check_bench_regress.py.
+
+Covers the tolerance band edges (exact bound passes, just past it fails,
+both directions), the zero-baseline absolute bound used by the kernel's
+allocation counters, shrinking coverage, and the --warn-underprovisioned
+downgrade path. Written against the stdlib unittest runner (pytest collects
+these too).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TEST_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(TEST_DIR))
+SCRIPT = os.path.join(REPO_ROOT, "scripts", "check_bench_regress.py")
+
+
+def bench_json(entries=None, metrics=None):
+    return {"entries": entries or [], "metrics": metrics or {}}
+
+
+def entry(name, **fields):
+    return {"name": name, "fields": fields}
+
+
+class RegressCheckTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return path
+
+    def run_check(self, baseline, fresh, *extra):
+        argv = [sys.executable, SCRIPT,
+                "--baseline", self.write("baseline.json", baseline),
+                "--fresh", self.write("fresh.json", fresh), *extra]
+        return subprocess.run(argv, capture_output=True, text=True)
+
+    # ---- tolerance band edges -------------------------------------------
+
+    def test_lower_is_better_at_exact_bound_passes(self):
+        base = bench_json([entry("walk", real_ms=10.0)])
+        fresh = bench_json([entry("walk", real_ms=25.0)])  # 10 * 2.5
+        result = self.run_check(base, fresh, "--lower-is-better", "real_ms",
+                                "--max-ratio", "2.5")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_lower_is_better_just_past_bound_fails(self):
+        base = bench_json([entry("walk", real_ms=10.0)])
+        fresh = bench_json([entry("walk", real_ms=25.01)])
+        result = self.run_check(base, fresh, "--lower-is-better", "real_ms",
+                                "--max-ratio", "2.5")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("walk.real_ms", result.stderr)
+
+    def test_higher_is_better_at_exact_bound_passes(self):
+        base = bench_json([entry("scale", speedup=4.0)])
+        fresh = bench_json([entry("scale", speedup=2.0)])  # 4 / 2.0
+        result = self.run_check(base, fresh, "--higher-is-better", "speedup",
+                                "--max-ratio", "2.0")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_higher_is_better_below_bound_fails(self):
+        base = bench_json([entry("scale", speedup=4.0)])
+        fresh = bench_json([entry("scale", speedup=1.99)])
+        result = self.run_check(base, fresh, "--higher-is-better", "speedup",
+                                "--max-ratio", "2.0")
+        self.assertEqual(result.returncode, 1)
+
+    # ---- zero-baseline absolute bound (allocation counters) -------------
+
+    def test_zero_baseline_holds_allocation_counter_at_zero(self):
+        base = bench_json([entry("walk", allocs_per_step=0)])
+        fresh = bench_json([entry("walk", allocs_per_step=0)])
+        result = self.run_check(base, fresh,
+                                "--lower-is-better", "allocs_per_step")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_zero_baseline_fails_on_reintroduced_allocation(self):
+        base = bench_json([entry("walk", allocs_per_step=0)])
+        fresh = bench_json([entry("walk", allocs_per_step=1)])
+        result = self.run_check(base, fresh,
+                                "--lower-is-better", "allocs_per_step")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("zero baseline", result.stdout)
+
+    def test_zero_epsilon_bounds_float_noise(self):
+        base = bench_json([entry("walk", allocs_per_step=0)])
+        fresh = bench_json([entry("walk", allocs_per_step=0.005)])
+        result = self.run_check(base, fresh,
+                                "--lower-is-better", "allocs_per_step",
+                                "--zero-epsilon", "0.01")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    # ---- coverage guards -------------------------------------------------
+
+    def test_missing_entry_in_fresh_run_fails(self):
+        base = bench_json([entry("walk", real_ms=10.0)])
+        fresh = bench_json([])
+        result = self.run_check(base, fresh, "--lower-is-better", "real_ms")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("coverage shrank", result.stderr)
+
+    def test_new_entry_in_fresh_run_passes(self):
+        base = bench_json([entry("walk", real_ms=10.0)])
+        fresh = bench_json([entry("walk", real_ms=10.0),
+                            entry("new_bench", real_ms=99.0)])
+        result = self.run_check(base, fresh, "--lower-is-better", "real_ms")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_top_level_metrics_are_checked(self):
+        base = bench_json(metrics={"speedup_at_4t": 3.0})
+        fresh = bench_json(metrics={"speedup_at_4t": 1.0,
+                                    "hardware_threads": 8})
+        result = self.run_check(base, fresh,
+                                "--higher-is-better", "speedup_at_4t",
+                                "--max-ratio", "2.0")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("metrics.speedup_at_4t", result.stderr)
+
+    # ---- underprovisioned-runner downgrade -------------------------------
+
+    def test_underprovisioned_runner_downgrades_to_warning(self):
+        base = bench_json(metrics={"speedup_at_4t": 3.0})
+        fresh = bench_json(metrics={"speedup_at_4t": 1.0,
+                                    "hardware_threads": 2})
+        result = self.run_check(base, fresh,
+                                "--higher-is-better", "speedup_at_4t",
+                                "--max-ratio", "2.0",
+                                "--warn-underprovisioned", "speedup_at_4t=4")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("warn", result.stdout)
+        self.assertIn("underprovisioned", result.stderr)
+
+    def test_provisioned_runner_still_fails(self):
+        base = bench_json(metrics={"speedup_at_4t": 3.0})
+        fresh = bench_json(metrics={"speedup_at_4t": 1.0,
+                                    "hardware_threads": 8})
+        result = self.run_check(base, fresh,
+                                "--higher-is-better", "speedup_at_4t",
+                                "--max-ratio", "2.0",
+                                "--warn-underprovisioned", "speedup_at_4t=4")
+        self.assertEqual(result.returncode, 1)
+
+    def test_downgrade_requires_hardware_threads_metric(self):
+        # Without the metric we cannot attribute the miss to the runner, so
+        # it stays a failure.
+        base = bench_json(metrics={"speedup_at_4t": 3.0})
+        fresh = bench_json(metrics={"speedup_at_4t": 1.0})
+        result = self.run_check(base, fresh,
+                                "--higher-is-better", "speedup_at_4t",
+                                "--max-ratio", "2.0",
+                                "--warn-underprovisioned", "speedup_at_4t=4")
+        self.assertEqual(result.returncode, 1)
+
+    def test_downgrade_is_field_scoped(self):
+        # An unrelated failing field is not excused by the runner size.
+        base = bench_json(metrics={"speedup_at_4t": 3.0,
+                                   "determinism_ok": 1.0})
+        fresh = bench_json(metrics={"speedup_at_4t": 1.0,
+                                    "determinism_ok": 0.0,
+                                    "hardware_threads": 2})
+        result = self.run_check(base, fresh,
+                                "--higher-is-better",
+                                "speedup_at_4t,determinism_ok",
+                                "--max-ratio", "2.0",
+                                "--warn-underprovisioned", "speedup_at_4t=4")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("determinism_ok", result.stderr)
+
+    def test_malformed_underprovisioned_spec_is_rejected(self):
+        base = bench_json(metrics={"speedup_at_4t": 3.0})
+        fresh = bench_json(metrics={"speedup_at_4t": 3.0})
+        result = self.run_check(base, fresh,
+                                "--higher-is-better", "speedup_at_4t",
+                                "--warn-underprovisioned", "speedup_at_4t")
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("FIELD=N", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
