@@ -1,0 +1,263 @@
+// Server load generator: N concurrent expert sessions over one registered
+// tenant, each running open → (snapshot → pick → assert)* → close through
+// the ReconcileService request queue. Reports session throughput
+// (sessions/sec) and the submit→ready latency distribution of the async
+// assert path (p50/p99), plus the service-layer determinism check: a
+// single-session server run must produce bit-identical marginals to a batch
+// ProbabilisticNetwork driven with the same seed and assertion script.
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/synthetic_networks.h"
+#include "core/probabilistic_network.h"
+#include "server/reconcile_service.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+namespace smn {
+namespace {
+
+using server::ReconcileService;
+using server::ServerOptions;
+using server::SessionId;
+using server::SessionSnapshot;
+using server::TenantId;
+
+/// The deterministic session policy: lowest-id uncertain correspondence,
+/// approved when its marginal is already leaning in (>= 0.5).
+struct Pick {
+  CorrespondenceId c = kInvalidCorrespondence;
+  bool approved = false;
+  bool found = false;
+};
+
+Pick PickNext(const std::vector<double>& probabilities) {
+  Pick pick;
+  for (CorrespondenceId c = 0; c < probabilities.size(); ++c) {
+    const double p = probabilities[c];
+    if (p > 0.0 && p < 1.0) {
+      pick.c = c;
+      pick.approved = p >= 0.5;
+      pick.found = true;
+      return pick;
+    }
+  }
+  return pick;
+}
+
+double Percentile(std::vector<double> sorted, double percentile) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      percentile / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+/// One session lifecycle over the service; returns the per-assert
+/// submit→ready latencies or exits false on any service error.
+bool RunSessionLifecycle(ReconcileService* service, TenantId tenant,
+                         uint64_t seed, size_t rounds,
+                         std::vector<double>* latencies_ms) {
+  const StatusOr<SessionId> session = service->OpenSession(tenant, seed);
+  if (!session.ok()) return false;
+  const SessionId id = session.value();
+  for (size_t round = 0; round < rounds; ++round) {
+    const StatusOr<SessionSnapshot> snapshot = service->Snapshot(id);
+    if (!snapshot.ok()) return false;
+    const Pick pick = PickNext(snapshot.value().probabilities);
+    if (!pick.found) break;  // Session fully reconciled early.
+    Stopwatch watch;
+    std::future<Status> done =
+        service->SubmitAssert(id, pick.c, pick.approved);
+    const Status status = done.get();
+    latencies_ms->push_back(watch.ElapsedMillis());
+    if (!status.ok()) return false;
+  }
+  return service->Close(id).ok();
+}
+
+/// Registers the shared tenant network (built fresh from `seed`).
+StatusOr<TenantId> RegisterTenant(ReconcileService* service, size_t clusters,
+                                  size_t candidates_per_cluster,
+                                  uint64_t seed) {
+  bench::SyntheticNetwork built =
+      bench::BuildClusteredNetwork(clusters, candidates_per_cluster, seed);
+  auto network = std::make_unique<Network>(std::move(built.network));
+  auto constraints =
+      std::make_unique<ConstraintSet>(std::move(built.constraints));
+  return service->RegisterTenant("load", std::move(network),
+                                 std::move(constraints));
+}
+
+/// Single-session determinism: drive one server session and one batch
+/// network with the same seed and policy; the marginals must be the same
+/// doubles after every step.
+bool CheckServerBatchDeterminism(size_t clusters,
+                                 size_t candidates_per_cluster,
+                                 uint64_t network_seed, uint64_t session_seed,
+                                 size_t rounds) {
+  ReconcileService service;
+  const StatusOr<TenantId> tenant = RegisterTenant(
+      &service, clusters, candidates_per_cluster, network_seed);
+  if (!tenant.ok()) return false;
+  const StatusOr<SessionId> session =
+      service.OpenSession(tenant.value(), session_seed);
+  if (!session.ok()) return false;
+
+  bench::SyntheticNetwork batch_built = bench::BuildClusteredNetwork(
+      clusters, candidates_per_cluster, network_seed);
+  Rng batch_rng(session_seed);
+  StatusOr<ProbabilisticNetwork> batch = ProbabilisticNetwork::Create(
+      batch_built.network, batch_built.constraints,
+      ProbabilisticNetworkOptions{}, &batch_rng);
+  if (!batch.ok()) return false;
+
+  for (size_t round = 0; round < rounds; ++round) {
+    const StatusOr<SessionSnapshot> snapshot =
+        service.Snapshot(session.value());
+    if (!snapshot.ok()) return false;
+    if (snapshot.value().probabilities != batch.value().probabilities()) {
+      return false;
+    }
+    const Pick pick = PickNext(snapshot.value().probabilities);
+    const Pick batch_pick = PickNext(batch.value().probabilities());
+    if (pick.found != batch_pick.found || pick.c != batch_pick.c) {
+      return false;
+    }
+    if (!pick.found) break;
+    const Status server_status =
+        service.Assert(session.value(), pick.c, pick.approved);
+    const Status batch_status =
+        batch.value().Assert(pick.c, pick.approved, &batch_rng);
+    if (server_status.ok() != batch_status.ok()) return false;
+  }
+  return service.Snapshot(session.value()).value().probabilities ==
+         batch.value().probabilities();
+}
+
+int Run() {
+  bench::BenchReporter reporter("server_load");
+  const size_t sessions = bench::EnvSize("SMN_BENCH_SESSIONS", 8);
+  const size_t lifecycles = bench::EnvSize("SMN_BENCH_LIFECYCLES", 3);
+  const size_t rounds = bench::EnvSize("SMN_BENCH_ROUNDS", 4);
+  const size_t clusters = bench::EnvSize("SMN_BENCH_CLUSTERS", 4);
+  const size_t per_cluster = bench::EnvSize("SMN_BENCH_PER_CLUSTER", 8);
+  const size_t hardware = ThreadPool::DefaultThreadCount();
+
+  reporter.AddMetric("sessions", static_cast<double>(sessions));
+  reporter.AddMetric("lifecycles", static_cast<double>(lifecycles));
+  reporter.AddMetric("rounds", static_cast<double>(rounds));
+  reporter.AddMetric("hardware_threads", static_cast<double>(hardware));
+
+  std::cout << "=== Server load (" << sessions << " concurrent sessions x "
+            << lifecycles << " lifecycles, " << rounds << " rounds each, "
+            << hardware << " hardware threads) ===\n";
+
+  ReconcileService service;
+  const StatusOr<TenantId> tenant =
+      RegisterTenant(&service, clusters, per_cluster, /*seed=*/11);
+  if (!tenant.ok()) {
+    std::cerr << "tenant registration failed: " << tenant.status().message()
+              << "\n";
+    return 1;
+  }
+  const size_t correspondence_count = service.TenantArtifact(tenant.value())
+                                          .value()
+                                          ->network()
+                                          .correspondence_count();
+  reporter.AddMetric("correspondences",
+                     static_cast<double>(correspondence_count));
+
+  // N driver threads, each running `lifecycles` full sessions against the
+  // shared tenant. Assert latencies are submit→ready through the request
+  // queue; session seeds are pure functions of (driver, lifecycle) so every
+  // run reconciles the same work.
+  std::vector<std::vector<double>> per_driver_latencies(sessions);
+  std::vector<bool> driver_ok(sessions, true);
+  Stopwatch load_watch;
+  {
+    std::vector<std::thread> drivers;
+    drivers.reserve(sessions);
+    for (size_t d = 0; d < sessions; ++d) {
+      drivers.emplace_back([&, d] {
+        for (size_t l = 0; l < lifecycles; ++l) {
+          const uint64_t seed = 1000 + 100 * d + l;
+          if (!RunSessionLifecycle(&service, tenant.value(), seed, rounds,
+                                   &per_driver_latencies[d])) {
+            driver_ok[d] = false;
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& driver : drivers) driver.join();
+  }
+  const double load_ms = load_watch.ElapsedMillis();
+  for (size_t d = 0; d < sessions; ++d) {
+    if (!driver_ok[d]) {
+      std::cerr << "driver " << d << " failed\n";
+      return 1;
+    }
+  }
+
+  std::vector<double> latencies;
+  for (const auto& driver : per_driver_latencies) {
+    latencies.insert(latencies.end(), driver.begin(), driver.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = Percentile(latencies, 50.0);
+  const double p99 = Percentile(latencies, 99.0);
+  const double total_sessions =
+      static_cast<double>(sessions) * static_cast<double>(lifecycles);
+  const double sessions_per_sec = 1000.0 * total_sessions / load_ms;
+
+  reporter.AddMetric("asserts", static_cast<double>(latencies.size()));
+  reporter.AddMetric("sessions_per_sec", sessions_per_sec);
+  reporter.AddMetric("assert_p50_ms", p50);
+  reporter.AddMetric("assert_p99_ms", p99);
+  reporter.AddEntry("load", load_ms,
+                    {{"sessions_per_sec", sessions_per_sec},
+                     {"assert_p50_ms", p50},
+                     {"assert_p99_ms", p99}});
+
+  // Determinism gate: server == batch, bit for bit, on a fresh service.
+  Stopwatch determinism_watch;
+  const bool deterministic = CheckServerBatchDeterminism(
+      clusters, per_cluster, /*network_seed=*/11, /*session_seed=*/1000,
+      rounds);
+  reporter.AddEntry("determinism", determinism_watch.ElapsedMillis(), {});
+  reporter.AddMetric("determinism_ok", deterministic ? 1.0 : 0.0);
+
+  TablePrinter table({"Sessions", "Sessions/s", "p50 (ms)", "p99 (ms)",
+                      "Deterministic"});
+  table.AddRow({std::to_string(sessions) + "x" + std::to_string(lifecycles),
+                FormatDouble(sessions_per_sec, 1), FormatDouble(p50, 3),
+                FormatDouble(p99, 3), deterministic ? "yes" : "NO"});
+  table.Print(std::cout);
+  if (hardware < 4) {
+    // Throughput and latency on an underprovisioned runner measure the
+    // host, not the service; the regression gate demotes them to warnings
+    // (check_bench_regress.py --warn-underprovisioned ...=4) while the
+    // determinism metric stays hard-gated everywhere.
+    std::cout << "\nWARNING: only " << hardware
+              << " hardware thread(s); throughput/latency rows measure the "
+                 "runner and are excluded from hard regression gating.\n";
+  }
+  std::cout << "\nShape to check: sessions/sec scaling with hardware "
+               "threads, p99 staying within a small multiple of p50, and "
+               "determinism_ok = 1 unconditionally.\n";
+  const bool wrote = reporter.Write();
+  if (!deterministic) return 1;
+  return wrote ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace smn
+
+int main() { return smn::Run(); }

@@ -20,10 +20,13 @@ Usage:
       [--warn-underprovisioned speedup_at_4t=4]
 
 --warn-underprovisioned FIELD=N (repeatable) downgrades a failure on FIELD
-to a warning when the fresh run records metrics.hardware_threads < N: a
-4-thread scaling metric measured on a 2-core runner says nothing about a
-scaling regression, only about the runner. Warnings are printed but do not
-affect the exit code.
+to a warning when either side of the comparison records
+metrics.hardware_threads < N: a 4-thread scaling metric measured on a
+2-core runner says nothing about a scaling regression, only about the
+runner — and a baseline recorded on such a runner is equally meaningless as
+a reference, so the comparison is only hard-gated when both sides were
+provisioned for the metric. Warnings are printed but do not affect the exit
+code.
 
 The default --max-ratio is deliberately loose: the committed baselines come
 from a dev box, CI runners differ in absolute speed, and micro timings are
@@ -74,6 +77,7 @@ def check(args: argparse.Namespace) -> int:
     higher = [f for f in args.higher_is_better.split(",") if f]
     underprovisioned = parse_underprovisioned(args.warn_underprovisioned)
     hardware_threads = fresh.get("metrics", {}).get("hardware_threads")
+    baseline_threads = baseline.get("metrics", {}).get("hardware_threads")
 
     base_entries = {e["name"]: e for e in baseline.get("entries", [])}
     fresh_entries = {e["name"]: e for e in fresh.get("entries", [])}
@@ -82,14 +86,23 @@ def check(args: argparse.Namespace) -> int:
     warnings = []
     rows = []
 
-    def demote_to_warning(field: str) -> bool:
-        """True when a failure on `field` reflects runner provisioning, not a
-        regression: the fresh run had fewer hardware threads than the metric
-        needs to be meaningful."""
+    def demote_to_warning(field: str) -> str | None:
+        """Returns the demotion reason when a failure on `field` reflects
+        runner provisioning, not a regression: the fresh run — or the run
+        that recorded the baseline — had fewer hardware threads than the
+        metric needs to be meaningful. None means hard-gate the failure."""
         needed = underprovisioned.get(field)
-        return (needed is not None
-                and isinstance(hardware_threads, (int, float))
-                and hardware_threads < needed)
+        if needed is None:
+            return None
+        if (isinstance(hardware_threads, (int, float))
+                and hardware_threads < needed):
+            return (f"fresh runner has {hardware_threads:.6g} hardware "
+                    f"thread(s), metric needs {needed}")
+        if (isinstance(baseline_threads, (int, float))
+                and baseline_threads < needed):
+            return (f"baseline was recorded on {baseline_threads:.6g} "
+                    f"hardware thread(s), metric needs {needed}")
+        return None
 
     def judge(name: str, field: str, base_value: float, fresh_value: float,
               lower_better: bool) -> None:
@@ -107,10 +120,9 @@ def check(args: argparse.Namespace) -> int:
             bound = f">= {base_value / args.max_ratio:.6g}"
         detail = (f"{name}.{field}: fresh {fresh_value:.6g} "
                   f"vs baseline {base_value:.6g} (bound {bound})")
-        if not ok and demote_to_warning(field):
-            warnings.append(f"{detail} — runner has "
-                            f"{hardware_threads:.6g} hardware thread(s), "
-                            f"metric needs {underprovisioned[field]}")
+        demotion = demote_to_warning(field) if not ok else None
+        if demotion is not None:
+            warnings.append(f"{detail} — {demotion}")
             rows.append((name, field, base_value, fresh_value, bound, None))
             return
         rows.append((name, field, base_value, fresh_value, bound, ok))
@@ -193,7 +205,7 @@ def main() -> int:
     parser.add_argument("--warn-underprovisioned", action="append",
                         default=[], metavar="FIELD=N",
                         help="downgrade a failure on FIELD to a warning when "
-                             "the fresh run's metrics.hardware_threads < N "
+                             "either side's metrics.hardware_threads < N "
                              "(repeatable)")
     args = parser.parse_args()
     if not args.lower_is_better and not args.higher_is_better:

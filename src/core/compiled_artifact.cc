@@ -1,0 +1,41 @@
+#include "core/compiled_artifact.h"
+
+#include <utility>
+
+namespace smn {
+
+StatusOr<CompiledArtifact> CompiledArtifact::Build(
+    const Network& network, const ConstraintSet& constraints) {
+  CompiledArtifact artifact;
+  artifact.network_ = &network;
+  artifact.constraints_ = &constraints;
+  artifact.groups_ = constraints.CouplingGroups();
+  const size_t n = network.correspondence_count();
+  const Feedback empty(n);
+  SMN_ASSIGN_OR_RETURN(artifact.initial_determined_,
+                       PropagateFeedback(constraints, empty, n));
+  DynamicBitset active(n);
+  for (CorrespondenceId c = 0; c < n; ++c) {
+    if (!artifact.initial_determined_.IsDetermined(c)) active.Set(c);
+  }
+  artifact.initial_index_ = ComponentIndex::Build(artifact.groups_, active, n);
+  return artifact;
+}
+
+StatusOr<std::shared_ptr<const CompiledArtifact>>
+CompiledArtifact::TakeOwnership(std::unique_ptr<const Network> network,
+                                std::unique_ptr<const ConstraintSet> constraints) {
+  if (network == nullptr || constraints == nullptr) {
+    return Status::InvalidArgument(
+        "TakeOwnership: network and constraints must be non-null");
+  }
+  SMN_ASSIGN_OR_RETURN(CompiledArtifact artifact,
+                       Build(*network, *constraints));
+  // Adopt after Build so the internal pointers already reference the heap
+  // objects whose addresses ownership transfer preserves.
+  artifact.owned_network_ = std::move(network);
+  artifact.owned_constraints_ = std::move(constraints);
+  return std::make_shared<const CompiledArtifact>(std::move(artifact));
+}
+
+}  // namespace smn

@@ -54,31 +54,42 @@ void ProbabilisticNetwork::ComputeUnweightedMarginals(
 }
 
 ProbabilisticNetwork::ProbabilisticNetwork(
-    const Network& network, const ConstraintSet& constraints,
+    std::shared_ptr<const CompiledArtifact> artifact,
     ProbabilisticNetworkOptions options)
-    : network_(&network),
-      constraints_(&constraints),
+    : artifact_(std::move(artifact)),
       options_(options),
-      feedback_(network.correspondence_count()),
-      soft_evidence_(network.correspondence_count()),
+      feedback_(artifact_->network().correspondence_count()),
+      soft_evidence_(artifact_->network().correspondence_count()),
       lazy_mu_(std::make_unique<Mutex>()) {}
 
 StatusOr<ProbabilisticNetwork> ProbabilisticNetwork::Create(
     const Network& network, const ConstraintSet& constraints,
     ProbabilisticNetworkOptions options, Rng* rng) {
-  ProbabilisticNetwork pmn(network, constraints, options);
-  const size_t n = network.correspondence_count();
+  // Borrowing path: compile a private artifact over the caller's objects.
+  // The derived state is a pure function of (network, constraints), so this
+  // is bit-identical to sharing a prebuilt artifact.
+  SMN_ASSIGN_OR_RETURN(CompiledArtifact artifact,
+                       CompiledArtifact::Build(network, constraints));
+  return Create(std::make_shared<const CompiledArtifact>(std::move(artifact)),
+                options, rng);
+}
+
+StatusOr<ProbabilisticNetwork> ProbabilisticNetwork::Create(
+    std::shared_ptr<const CompiledArtifact> artifact,
+    ProbabilisticNetworkOptions options, Rng* rng) {
+  if (artifact == nullptr) {
+    return Status::InvalidArgument("Create: artifact must be non-null");
+  }
+  ProbabilisticNetwork pmn(std::move(artifact), options);
   pmn.instance_id_ =
       g_next_instance_id.fetch_add(1, std::memory_order_relaxed);
   pmn.base_ = rng->Split();
-  pmn.groups_ = constraints.CouplingGroups();
-  SMN_ASSIGN_OR_RETURN(pmn.determined_,
-                       PropagateFeedback(constraints, pmn.feedback_, n));
-  DynamicBitset active(n);
-  for (CorrespondenceId c = 0; c < n; ++c) {
-    if (!pmn.determined_.IsDetermined(c)) active.Set(c);
-  }
-  pmn.index_ = ComponentIndex::Build(pmn.groups_, active, n);
+  // Seed the session's mutable state from the artifact's empty-feedback
+  // baseline: the closure and partition are copied (they diverge as this
+  // session's feedback pins variables), the coupling groups are read through
+  // the artifact and never duplicated.
+  pmn.determined_ = pmn.artifact_->initial_determined();
+  pmn.index_ = pmn.artifact_->initial_index();
   for (size_t i = 0; i < pmn.index_.component_count(); ++i) {
     SMN_ASSIGN_OR_RETURN(
         std::unique_ptr<ComponentCache> cache,
@@ -95,11 +106,12 @@ ProbabilisticNetwork::BuildCache(
     const ConstraintComponent& component,
     const std::vector<CorrespondenceId>* frozen_candidates,
     uint64_t built_at, const DeterminedSet& determined) const {
-  const size_t n = network_->correspondence_count();
+  const size_t n = artifact_->network().correspondence_count();
   auto cache = std::make_unique<ComponentCache>();
   SMN_ASSIGN_OR_RETURN(
       cache->subproblem,
-      BuildComponentSubproblem(*network_, *constraints_, groups_, component,
+      BuildComponentSubproblem(artifact_->network(), artifact_->constraints(),
+                               artifact_->coupling_groups(), component,
                                determined, frozen_candidates));
   cache->built_at = built_at;
   const ComponentSubproblem& sub = cache->subproblem;
@@ -277,11 +289,11 @@ Status ProbabilisticNetwork::Assert(CorrespondenceId c, bool approved,
   // Stage every fallible step against local state; commit only once nothing
   // can fail anymore, so a rejected assertion (contradictory feedback
   // closure, sampler failure) leaves the network exactly as it was.
-  const size_t n = network_->correspondence_count();
+  const size_t n = artifact_->network().correspondence_count();
   Feedback feedback = feedback_;
   SMN_RETURN_IF_ERROR(feedback.Assert(c, approved));
   SMN_ASSIGN_OR_RETURN(DeterminedSet determined,
-                       PropagateFeedback(*constraints_, feedback, n));
+                       PropagateFeedback(artifact_->constraints(), feedback, n));
   const uint64_t assertion_count = assertion_count_ + 1;
   const size_t touched = index_.ComponentOf(c);
 
@@ -297,7 +309,7 @@ Status ProbabilisticNetwork::Assert(CorrespondenceId c, bool approved,
       if (!determined.IsDetermined(member)) touched_active.Set(member);
     }
     const ComponentIndex split =
-        ComponentIndex::Build(groups_, touched_active, n);
+        ComponentIndex::Build(artifact_->coupling_groups(), touched_active, n);
     for (size_t i = 0; i < split.component_count(); ++i) {
       SMN_ASSIGN_OR_RETURN(std::unique_ptr<ComponentCache> cache,
                            BuildCache(split.component(i), nullptr,
@@ -365,7 +377,7 @@ Status ProbabilisticNetwork::Assert(CorrespondenceId c, bool approved,
 }
 
 void ProbabilisticNetwork::RefreshDerivedState() {
-  const size_t n = network_->correspondence_count();
+  const size_t n = artifact_->network().correspondence_count();
   probabilities_.assign(n, 0.0);
   for (size_t i = 0; i < caches_.size(); ++i) {
     const ConstraintComponent& component = index_.component(i);
@@ -547,7 +559,7 @@ const std::vector<double>& ProbabilisticNetwork::ComponentGains(
 }
 
 std::vector<double> ProbabilisticNetwork::InformationGains() const {
-  std::vector<double> gains(network_->correspondence_count(), 0.0);
+  std::vector<double> gains(artifact_->network().correspondence_count(), 0.0);
   for (size_t i = 0; i < caches_.size(); ++i) {
     const ConstraintComponent& component = index_.component(i);
     const std::vector<double>& member_gains = ComponentGains(i);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/compiled_artifact.h"
 #include "core/component_index.h"
 #include "core/constraint_set.h"
 #include "core/feedback.h"
@@ -56,7 +57,13 @@ struct ProbabilisticNetworkOptions {
 /// assertion sequence — independent of thread count and of whether the
 /// incremental cache is enabled.
 ///
-/// The wrapped Network and ConstraintSet must outlive this object.
+/// The state is explicitly split: everything compile-time immutable —
+/// network, compiled constraints, coupling groups, the empty-feedback
+/// closure and partition — lives in a shared CompiledArtifact, while this
+/// object holds only the per-session mutable state (the feedback and
+/// soft-evidence ledgers, the per-component sample/gains caches). Under the
+/// borrowing Create the wrapped Network and ConstraintSet must outlive this
+/// object; under the artifact Create the shared_ptr keeps them alive.
 ///
 /// Concurrency contract: const accessors — probabilities(), Uncertainty(),
 /// InformationGains(), ComponentGains(), samples(), the diagnostics — are
@@ -71,9 +78,20 @@ class ProbabilisticNetwork {
  public:
   /// Builds the network state and draws the initial per-component sample
   /// sets. Advances `*rng` exactly once (the split seeds every
-  /// per-component stream).
+  /// per-component stream). Compiles a private CompiledArtifact internally;
+  /// `network` and `constraints` must outlive this object.
   static StatusOr<ProbabilisticNetwork> Create(
       const Network& network, const ConstraintSet& constraints,
+      ProbabilisticNetworkOptions options, Rng* rng);
+
+  /// Session-style construction over a shared compiled artifact: copies only
+  /// the cheap mutable seeds (the initial closure and partition) from the
+  /// artifact and draws the initial per-component sample sets. N sessions
+  /// over one tenant share one artifact — the compiled constraint tables and
+  /// coupling groups are never duplicated. Bit-identical to the borrowing
+  /// Create for the same network, constraints, options, and rng stream.
+  static StatusOr<ProbabilisticNetwork> Create(
+      std::shared_ptr<const CompiledArtifact> artifact,
       ProbabilisticNetworkOptions options, Rng* rng);
 
   /// Movable, not copyable (per-component caches are owned exclusively).
@@ -82,9 +100,15 @@ class ProbabilisticNetwork {
   ProbabilisticNetwork& operator=(ProbabilisticNetwork&&) = default;
 
   /// The wrapped candidate network.
-  const Network& network() const { return *network_; }
+  const Network& network() const { return artifact_->network(); }
   /// The compiled constraints Γ.
-  const ConstraintSet& constraints() const { return *constraints_; }
+  const ConstraintSet& constraints() const { return artifact_->constraints(); }
+
+  /// The shared immutable compiled artifact this session state derives from.
+  /// Sessions created over the same tenant return the same object.
+  const std::shared_ptr<const CompiledArtifact>& artifact() const {
+    return artifact_;
+  }
   /// The raw expert feedback F = <F+, F->.
   const Feedback& feedback() const { return feedback_; }
 
@@ -269,7 +293,7 @@ class ProbabilisticNetwork {
     mutable bool gains_valid SMN_GUARDED_BY(gains_mu_) = false;
   };
 
-  ProbabilisticNetwork(const Network& network, const ConstraintSet& constraints,
+  ProbabilisticNetwork(std::shared_ptr<const CompiledArtifact> artifact,
                        ProbabilisticNetworkOptions options);
 
   /// Builds (or rebuilds) the cache for `component` under the given feedback
@@ -307,13 +331,13 @@ class ProbabilisticNetwork {
                     const ConstraintComponent& component) const
       SMN_REQUIRES(cache.gains_mu_);
 
-  const Network* network_;
-  const ConstraintSet* constraints_;
+  /// Shared immutable compiled state: network, compiled constraints,
+  /// coupling groups, and the empty-feedback baseline. Everything below is
+  /// this session's private mutable state.
+  std::shared_ptr<const CompiledArtifact> artifact_;
   ProbabilisticNetworkOptions options_;
   Feedback feedback_;
   SoftEvidence soft_evidence_;
-  /// Static coupling structure of the compiled constraints.
-  std::vector<std::vector<CorrespondenceId>> groups_;
   DeterminedSet determined_;
   ComponentIndex index_;
   /// Parallel to index_ components (ascending anchor order).

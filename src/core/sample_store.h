@@ -47,7 +47,10 @@ struct SampleStoreOptions {
 /// by the mutating calls); Initialize/ApplyAssertion require exclusive
 /// access. In the component-decomposed engine each store belongs to exactly
 /// one ComponentCache, whose ownership discipline ProbabilisticNetwork
-/// documents and -Wthread-safety enforces.
+/// documents and -Wthread-safety enforces; in the service layer that whole
+/// network (caches included) is in turn owned by exactly one
+/// server::Session, whose per-session mutex serializes every mutating
+/// request against snapshot reads.
 class SampleStore {
  public:
   /// `network` and `constraints` must outlive the store.

@@ -116,12 +116,20 @@ std::vector<double> ComputeImportanceWeights(
       log_weights[i] += samples[i].Test(c) ? log_in : log_out;
     }
   });
+  // The max-shift must come from a finite log-weight: a +inf or NaN entry
+  // (a caller-supplied degenerate likelihood) would otherwise poison the
+  // shift and turn every weight into NaN. Non-finite entries themselves map
+  // to weight 0 below — a sample whose likelihood is not a number carries no
+  // usable evidence.
   double max_log = kNegInf;
-  for (double lw : log_weights) max_log = std::max(max_log, lw);
-  if (max_log == kNegInf) return {};  // Every sample has zero likelihood.
+  for (double lw : log_weights) {
+    if (std::isfinite(lw)) max_log = std::max(max_log, lw);
+  }
+  if (max_log == kNegInf) return {};  // No sample has a finite likelihood.
   std::vector<double> weights(m);
   for (size_t i = 0; i < m; ++i) {
-    weights[i] = std::exp(log_weights[i] - max_log);
+    weights[i] =
+        std::isfinite(log_weights[i]) ? std::exp(log_weights[i] - max_log) : 0.0;
   }
   return weights;
 }
@@ -130,10 +138,18 @@ double EffectiveSampleSize(const std::vector<double>& weights) {
   double sum = 0.0;
   double sum_squares = 0.0;
   for (double w : weights) {
+    // A single +inf or NaN weight makes sum_squares NaN, and NaN slips past
+    // a `<= 0.0` guard — the ESS itself would come out NaN and defeat every
+    // downstream `ess < threshold` resample trigger. A weight vector
+    // containing a non-finite entry is degenerate: report zero effective
+    // samples so callers resample.
+    if (!std::isfinite(w)) return 0.0;
     sum += w;
     sum_squares += w * w;
   }
-  if (sum_squares <= 0.0) return 0.0;
+  // `!(x > 0)` instead of `x <= 0` so a NaN from accumulated rounding also
+  // lands in the degenerate branch.
+  if (!(sum_squares > 0.0)) return 0.0;
   return (sum * sum) / sum_squares;
 }
 

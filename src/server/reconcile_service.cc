@@ -1,0 +1,121 @@
+#include "server/reconcile_service.h"
+
+#include <string>
+#include <utility>
+
+namespace smn {
+namespace server {
+
+ReconcileService::ReconcileService(ServerOptions options)
+    : options_(std::move(options)),
+      sessions_(options_.session_idle_ttl),
+      pool_(options_.worker_threads) {}
+
+StatusOr<TenantId> ReconcileService::RegisterTenant(
+    std::string name, std::unique_ptr<const Network> network,
+    std::unique_ptr<const ConstraintSet> constraints) {
+  SMN_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledArtifact> artifact,
+                       CompiledArtifact::TakeOwnership(std::move(network),
+                                                       std::move(constraints)));
+  MutexLock lock(mu_);
+  const TenantId id = next_tenant_++;
+  tenants_[id] = Tenant{std::move(name), std::move(artifact)};
+  return id;
+}
+
+StatusOr<std::shared_ptr<const CompiledArtifact>>
+ReconcileService::TenantArtifact(TenantId tenant) const {
+  MutexLock lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return Status::NotFound("TenantArtifact: no tenant with id " +
+                            std::to_string(tenant));
+  }
+  return it->second.artifact;
+}
+
+StatusOr<SessionId> ReconcileService::OpenSession(TenantId tenant,
+                                                  uint64_t seed) {
+  SMN_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledArtifact> artifact,
+                       TenantArtifact(tenant));
+  SMN_ASSIGN_OR_RETURN(
+      std::shared_ptr<Session> session,
+      sessions_.Create(std::move(artifact), options_.network, seed));
+  {
+    MutexLock lock(stats_mu_);
+    ++stats_.sessions_opened;
+  }
+  return session->id();
+}
+
+Status ReconcileService::Assert(SessionId session, CorrespondenceId c,
+                                bool approved) {
+  SMN_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, sessions_.Lookup(session));
+  {
+    MutexLock lock(stats_mu_);
+    ++stats_.asserts;
+  }
+  return s->Assert(c, approved);
+}
+
+Status ReconcileService::AssertSoft(SessionId session, CorrespondenceId c,
+                                    bool approved, double error_rate) {
+  SMN_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, sessions_.Lookup(session));
+  {
+    MutexLock lock(stats_mu_);
+    ++stats_.soft_asserts;
+  }
+  return s->AssertSoft(c, approved, error_rate);
+}
+
+StatusOr<SessionSnapshot> ReconcileService::Snapshot(SessionId session) {
+  SMN_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, sessions_.Lookup(session));
+  {
+    MutexLock lock(stats_mu_);
+    ++stats_.snapshots;
+  }
+  return s->Snapshot();
+}
+
+StatusOr<ReconcileTrace> ReconcileService::Reconcile(
+    SessionId session, StrategyKind kind, const ReconcileGoal& goal,
+    AssertionOracle oracle, const ElicitationPolicy& policy) {
+  SMN_ASSIGN_OR_RETURN(std::shared_ptr<Session> s, sessions_.Lookup(session));
+  return s->Reconcile(kind, goal, std::move(oracle), policy);
+}
+
+Status ReconcileService::Close(SessionId session) {
+  SMN_RETURN_IF_ERROR(sessions_.Close(session));
+  MutexLock lock(stats_mu_);
+  ++stats_.sessions_closed;
+  return Status::OK();
+}
+
+std::future<Status> ReconcileService::SubmitAssert(SessionId session,
+                                                   CorrespondenceId c,
+                                                   bool approved) {
+  return pool_.Submit(
+      [this, session, c, approved] { return Assert(session, c, approved); });
+}
+
+std::future<Status> ReconcileService::SubmitAssertSoft(SessionId session,
+                                                       CorrespondenceId c,
+                                                       bool approved,
+                                                       double error_rate) {
+  return pool_.Submit([this, session, c, approved, error_rate] {
+    return AssertSoft(session, c, approved, error_rate);
+  });
+}
+
+std::future<StatusOr<SessionSnapshot>> ReconcileService::SubmitSnapshot(
+    SessionId session) {
+  return pool_.Submit([this, session] { return Snapshot(session); });
+}
+
+ServerStats ReconcileService::stats() const {
+  MutexLock lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace server
+}  // namespace smn

@@ -1,0 +1,154 @@
+#ifndef SMN_SERVER_RECONCILE_SERVICE_H_
+#define SMN_SERVER_RECONCILE_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/compiled_artifact.h"
+#include "server/session_manager.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
+
+namespace smn {
+namespace server {
+
+/// Identifies a registered tenant network (one schema-matching network plus
+/// its compiled constraints).
+using TenantId = uint64_t;
+
+/// Server configuration.
+struct ServerOptions {
+  /// Per-session network options (sample budgets, incremental mode).
+  ProbabilisticNetworkOptions network;
+  /// Worker threads of the request queue; 0 means
+  /// ThreadPool::DefaultThreadCount().
+  size_t worker_threads = 0;
+  /// Logical-tick idle TTL for sessions (see SessionManager); 0 = never
+  /// expire.
+  uint64_t session_idle_ttl = 0;
+};
+
+/// Monotonic service counters (copied atomically under the stats lock).
+struct ServerStats {
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
+  uint64_t asserts = 0;
+  uint64_t soft_asserts = 0;
+  uint64_t snapshots = 0;
+};
+
+/// The in-process reconciliation service: the server-shaped frontend over
+/// the artifact/session split.
+///
+/// A *tenant* is registered once per matching network: RegisterTenant
+/// compiles nothing (the caller supplies compiled constraints) but builds
+/// the tenant's immutable CompiledArtifact — conflict tables, coupling
+/// groups, the empty-feedback closure and partition — exactly once.
+/// OpenSession then stamps out per-session mutable state over the shared
+/// artifact: N concurrent sessions cost N feedback ledgers and sample
+/// caches, never N copies of the compiled tables.
+///
+/// Request paths: the synchronous calls (Assert, Snapshot, ...) execute on
+/// the caller's thread; the Submit* variants enqueue the same operation on
+/// the service's ThreadPool — the request queue — and return the future of
+/// its result. Both paths resolve the session through the SessionManager
+/// and run under the session's own lock, so they interleave safely.
+///
+/// Lock order (acyclic, enforced by construction): service registry/stats
+/// mutexes and the manager mutex are leaves — none is ever held while a
+/// session lock is taken, and sessions lock only themselves. Snapshot
+/// consistency follows: a snapshot copies all of its fields inside one
+/// session critical section.
+class ReconcileService {
+ public:
+  explicit ReconcileService(ServerOptions options = {});
+
+  /// Drains the request queue (ThreadPool joins its workers).
+  ~ReconcileService() = default;
+
+  ReconcileService(const ReconcileService&) = delete;
+  ReconcileService& operator=(const ReconcileService&) = delete;
+
+  /// Registers a tenant network and builds its shared artifact.
+  /// `constraints` must already be compiled against `*network`. The heap
+  /// objects are owned by the artifact from here on and live until the last
+  /// session over them closes.
+  StatusOr<TenantId> RegisterTenant(
+      std::string name, std::unique_ptr<const Network> network,
+      std::unique_ptr<const ConstraintSet> constraints) SMN_EXCLUDES(mu_);
+
+  /// The shared artifact of a registered tenant (NotFound otherwise).
+  /// Exposed so tests can assert that sessions really share one object.
+  StatusOr<std::shared_ptr<const CompiledArtifact>> TenantArtifact(
+      TenantId tenant) const SMN_EXCLUDES(mu_);
+
+  /// Opens a reconciliation session over `tenant`'s artifact, seeding the
+  /// session RNG with `seed`. Equal seeds over equal tenants give
+  /// bit-identical sessions.
+  StatusOr<SessionId> OpenSession(TenantId tenant, uint64_t seed)
+      SMN_EXCLUDES(mu_);
+
+  /// Integrates a hard assertion into the session.
+  Status Assert(SessionId session, CorrespondenceId c, bool approved);
+
+  /// Records a noisy answer under worker error rate `error_rate`.
+  Status AssertSoft(SessionId session, CorrespondenceId c, bool approved,
+                    double error_rate);
+
+  /// Returns a consistent snapshot (marginals, uncertainty, revision).
+  StatusOr<SessionSnapshot> Snapshot(SessionId session);
+
+  /// Runs Algorithm 1 inside the session (see Session::Reconcile).
+  StatusOr<ReconcileTrace> Reconcile(SessionId session, StrategyKind kind,
+                                     const ReconcileGoal& goal,
+                                     AssertionOracle oracle,
+                                     const ElicitationPolicy& policy = {});
+
+  /// Closes the session; later calls on its id return NotFound.
+  Status Close(SessionId session);
+
+  /// Enqueues Assert on the request queue and returns its future.
+  std::future<Status> SubmitAssert(SessionId session, CorrespondenceId c,
+                                   bool approved);
+
+  /// Enqueues AssertSoft on the request queue.
+  std::future<Status> SubmitAssertSoft(SessionId session, CorrespondenceId c,
+                                       bool approved, double error_rate);
+
+  /// Enqueues Snapshot on the request queue.
+  std::future<StatusOr<SessionSnapshot>> SubmitSnapshot(SessionId session);
+
+  /// Expires idle sessions (see SessionManager::ExpireIdle).
+  size_t ExpireIdleSessions() { return sessions_.ExpireIdle(); }
+
+  /// Number of live sessions.
+  size_t session_count() const { return sessions_.size(); }
+
+  /// Copies the monotonic request counters.
+  ServerStats stats() const SMN_EXCLUDES(stats_mu_);
+
+ private:
+  struct Tenant {
+    std::string name;
+    std::shared_ptr<const CompiledArtifact> artifact;
+  };
+
+  ServerOptions options_;
+  SessionManager sessions_;
+  /// The request queue backing the Submit* calls.
+  ThreadPool pool_;
+  mutable Mutex mu_;
+  std::map<TenantId, Tenant> tenants_ SMN_GUARDED_BY(mu_);
+  TenantId next_tenant_ SMN_GUARDED_BY(mu_) = 1;
+  mutable Mutex stats_mu_;
+  ServerStats stats_ SMN_GUARDED_BY(stats_mu_);
+};
+
+}  // namespace server
+}  // namespace smn
+
+#endif  // SMN_SERVER_RECONCILE_SERVICE_H_

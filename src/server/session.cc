@@ -1,0 +1,66 @@
+#include "server/session.h"
+
+#include <utility>
+
+namespace smn {
+namespace server {
+
+Session::Session(SessionId id, uint64_t seed)
+    : id_(id), seed_(seed), rng_(seed) {}
+
+StatusOr<std::unique_ptr<Session>> Session::Create(
+    SessionId id, std::shared_ptr<const CompiledArtifact> artifact,
+    const ProbabilisticNetworkOptions& options, uint64_t seed) {
+  if (artifact == nullptr) {
+    return Status::InvalidArgument("Session::Create: artifact must be non-null");
+  }
+  // The session is unpublished until returned, but rng_/pmn_ are annotated
+  // members, so take the lock anyway — it is uncontended and keeps the
+  // access pattern provable instead of exempted.
+  auto session = std::unique_ptr<Session>(new Session(id, seed));
+  MutexLock lock(session->mu_);
+  SMN_ASSIGN_OR_RETURN(
+      ProbabilisticNetwork pmn,
+      ProbabilisticNetwork::Create(std::move(artifact), options,
+                                   &session->rng_));
+  session->pmn_.emplace(std::move(pmn));
+  return session;
+}
+
+Status Session::Assert(CorrespondenceId c, bool approved) {
+  MutexLock lock(mu_);
+  return pmn_->Assert(c, approved, &rng_);
+}
+
+Status Session::AssertSoft(CorrespondenceId c, bool approved,
+                           double error_rate) {
+  MutexLock lock(mu_);
+  SMN_RETURN_IF_ERROR(pmn_->AssertSoft(c, approved, error_rate, &rng_));
+  ++soft_answers_;
+  return Status::OK();
+}
+
+SessionSnapshot Session::Snapshot() const {
+  MutexLock lock(mu_);
+  SessionSnapshot snapshot;
+  snapshot.session_id = id_;
+  snapshot.revision = pmn_->assertion_count();
+  snapshot.soft_answer_count = soft_answers_;
+  snapshot.probabilities = pmn_->probabilities();
+  snapshot.uncertainty = pmn_->Uncertainty();
+  snapshot.exhausted = pmn_->exhausted();
+  return snapshot;
+}
+
+StatusOr<ReconcileTrace> Session::Reconcile(StrategyKind kind,
+                                            const ReconcileGoal& goal,
+                                            AssertionOracle oracle,
+                                            const ElicitationPolicy& policy) {
+  MutexLock lock(mu_);
+  std::unique_ptr<SelectionStrategy> strategy = MakeStrategy(kind);
+  Reconciler reconciler(&*pmn_, strategy.get(), std::move(oracle), policy);
+  return reconciler.Run(goal, &rng_);
+}
+
+}  // namespace server
+}  // namespace smn

@@ -15,13 +15,20 @@ ThreadPool::ThreadPool(size_t thread_count) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     MutexLock lock(mutex_);
     stopping_ = true;
   }
   wake_.NotifyAll();
-  for (std::thread& thread : threads_) thread.join();
+  // join() only the threads a prior Shutdown() has not already joined, which
+  // makes repeated calls (including the destructor after an explicit
+  // Shutdown()) safe.
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
 }
 
 size_t ThreadPool::pending() const {

@@ -22,17 +22,26 @@ namespace smn {
 /// any exception the task throws, so worker failures surface at the join
 /// point instead of dying silently on a pool thread.
 ///
-/// The destructor finishes every task already submitted, then joins the
-/// workers, so futures obtained from a pool are always eventually ready.
-/// Submit() is safe to call from multiple threads concurrently; submitting
-/// after the destructor has started is not. The queue discipline is proven
-/// statically: tasks_ and stopping_ are SMN_GUARDED_BY(mutex_), so an
-/// unlocked access anywhere is a -Wthread-safety compile error.
+/// Shutdown() (and the destructor, which calls it) finishes every task
+/// already submitted, then joins the workers, so futures obtained from a
+/// pool are always eventually ready. Submit() is safe to call from multiple
+/// threads concurrently, including concurrently with Shutdown(): a task
+/// submitted after shutdown has begun is never enqueued — it runs inline on
+/// the submitting thread before Submit() returns, so its future is ready
+/// immediately and no future from this pool can be abandoned unresolved.
+/// The queue discipline is proven statically: tasks_ and stopping_ are
+/// SMN_GUARDED_BY(mutex_), so an unlocked access anywhere is a
+/// -Wthread-safety compile error.
 class ThreadPool {
  public:
   /// Spawns `thread_count` workers; 0 means DefaultThreadCount().
   explicit ThreadPool(size_t thread_count = 0);
   ~ThreadPool();
+
+  /// Drains the queue, joins the workers, and flips the pool into inline
+  /// mode: every later Submit() runs its task on the calling thread.
+  /// Idempotent; called by the destructor.
+  void Shutdown() SMN_EXCLUDES(mutex_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -48,6 +57,10 @@ class ThreadPool {
   static size_t DefaultThreadCount();
 
   /// Schedules `fn` for execution and returns the future of its result.
+  /// After Shutdown() the task is not enqueued (the workers are gone and
+  /// would never run it); it executes inline on this thread instead, so the
+  /// returned future is already ready — never a future that cannot become
+  /// ready.
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>>
       SMN_EXCLUDES(mutex_) {
@@ -57,11 +70,20 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
     std::future<Result> future = task->get_future();
+    bool run_inline = false;
     {
       MutexLock lock(mutex_);
-      tasks_.push([task] { (*task)(); });
+      if (stopping_) {
+        run_inline = true;
+      } else {
+        tasks_.push([task] { (*task)(); });
+      }
     }
-    wake_.NotifyOne();
+    if (run_inline) {
+      (*task)();  // Exceptions land in the future, same as on a worker.
+    } else {
+      wake_.NotifyOne();
+    }
     return future;
   }
 

@@ -315,5 +315,59 @@ TEST_F(ProbabilisticNetworkTest,
   EXPECT_TRUE(saw_positive_revision);
 }
 
+TEST_F(ProbabilisticNetworkTest, SharedArtifactCreateIsBitIdenticalToBorrowing) {
+  // The derived state is a pure function of (network, constraints, options,
+  // rng stream), so constructing over a prebuilt shared artifact must give
+  // exactly the network the borrowing Create gives.
+  Rng borrowing_rng(99);
+  ProbabilisticNetwork borrowing =
+      ProbabilisticNetwork::Create(fig1_.network, fig1_.constraints,
+                                   SmallOptions(), &borrowing_rng)
+          .value();
+
+  auto artifact = std::make_shared<const CompiledArtifact>(
+      CompiledArtifact::Build(fig1_.network, fig1_.constraints).value());
+  Rng artifact_rng(99);
+  ProbabilisticNetwork shared =
+      ProbabilisticNetwork::Create(artifact, SmallOptions(), &artifact_rng)
+          .value();
+
+  ASSERT_EQ(shared.probabilities().size(), borrowing.probabilities().size());
+  for (size_t c = 0; c < shared.probabilities().size(); ++c) {
+    EXPECT_EQ(shared.probabilities()[c], borrowing.probabilities()[c]);
+  }
+  EXPECT_EQ(shared.Uncertainty(), borrowing.Uncertainty());
+  EXPECT_EQ(shared.exhausted(), borrowing.exhausted());
+
+  // And the equivalence survives an assertion on both sides.
+  Rng unused_a(0), unused_b(0);
+  ASSERT_TRUE(shared.Assert(fig1_.c2, true, &unused_a).ok());
+  ASSERT_TRUE(borrowing.Assert(fig1_.c2, true, &unused_b).ok());
+  for (size_t c = 0; c < shared.probabilities().size(); ++c) {
+    EXPECT_EQ(shared.probabilities()[c], borrowing.probabilities()[c]);
+  }
+}
+
+TEST_F(ProbabilisticNetworkTest, SessionsShareOneArtifactButNotState) {
+  auto artifact = std::make_shared<const CompiledArtifact>(
+      CompiledArtifact::Build(fig1_.network, fig1_.constraints).value());
+  Rng rng_a(1), rng_b(2);
+  ProbabilisticNetwork a =
+      ProbabilisticNetwork::Create(artifact, SmallOptions(), &rng_a).value();
+  ProbabilisticNetwork b =
+      ProbabilisticNetwork::Create(artifact, SmallOptions(), &rng_b).value();
+
+  // Same immutable artifact object underneath...
+  EXPECT_EQ(a.artifact().get(), artifact.get());
+  EXPECT_EQ(b.artifact().get(), artifact.get());
+  // ...but fully private mutable state: feedback in one session never leaks
+  // into the other.
+  Rng unused(0);
+  ASSERT_TRUE(a.Assert(fig1_.c1, false, &unused).ok());
+  EXPECT_DOUBLE_EQ(a.probability(fig1_.c1), 0.0);
+  EXPECT_DOUBLE_EQ(b.probability(fig1_.c1), 0.6);
+  EXPECT_EQ(b.assertion_count(), 0u);
+}
+
 }  // namespace
 }  // namespace smn

@@ -186,6 +186,55 @@ TEST_F(SampleStoreTest, WeightedProbabilitiesDegenerateCases) {
   }
 }
 
+TEST_F(SampleStoreTest, ApplyAssertionComposesWithWeightedProbabilities) {
+  // Direct-user composition: hard view maintenance first, soft reweighting
+  // on top of the filtered sample set.
+  SampleStore store(fig1_.network, fig1_.constraints, SmallStore());
+  Rng rng(6);
+  ASSERT_TRUE(store.Initialize(feedback_, &rng).ok());
+  ASSERT_TRUE(feedback_.Approve(fig1_.c2).ok());
+  ASSERT_TRUE(store.ApplyAssertion(fig1_.c2, true, feedback_, &rng).ok());
+  // Survivors: {c1,c2,c3} and {c2,c5}.
+  ASSERT_EQ(store.samples().size(), 2u);
+
+  SoftEvidence evidence(fig1_.network.correspondence_count());
+  ASSERT_TRUE(evidence.Record(fig1_.c1, true, 0.2).ok());
+  const auto weighted = store.ComputeWeightedProbabilities(evidence);
+  // w({c1,c2,c3}) = 0.8 → 1 after max-shift; w({c2,c5}) = 0.2 → 0.25.
+  EXPECT_DOUBLE_EQ(weighted[fig1_.c1], 1.0 / 1.25);
+  EXPECT_DOUBLE_EQ(weighted[fig1_.c3], 1.0 / 1.25);
+  EXPECT_DOUBLE_EQ(weighted[fig1_.c5], 0.25 / 1.25);
+  // The hard assertion stays pinned: every survivor contains c2.
+  EXPECT_DOUBLE_EQ(weighted[fig1_.c2], 1.0);
+  // The unweighted marginals are untouched by the evidence.
+  const auto unweighted = store.ComputeProbabilities();
+  EXPECT_DOUBLE_EQ(unweighted[fig1_.c1], 0.5);
+  EXPECT_DOUBLE_EQ(unweighted[fig1_.c2], 1.0);
+}
+
+TEST_F(SampleStoreTest, EvidenceZeroWeightingEverySurvivorFallsBack) {
+  // Corner: after ApplyAssertion(c2, approved) every stored sample contains
+  // c2; hard soft-evidence *against* c2 then zero-weights every survivor.
+  // ComputeWeightedProbabilities must fall back to the unweighted marginals
+  // instead of dividing by a zero (or NaN) total.
+  SampleStore store(fig1_.network, fig1_.constraints, SmallStore());
+  Rng rng(7);
+  ASSERT_TRUE(store.Initialize(feedback_, &rng).ok());
+  ASSERT_TRUE(feedback_.Approve(fig1_.c2).ok());
+  ASSERT_TRUE(store.ApplyAssertion(fig1_.c2, true, feedback_, &rng).ok());
+  ASSERT_EQ(store.samples().size(), 2u);
+
+  SoftEvidence evidence(fig1_.network.correspondence_count());
+  ASSERT_TRUE(evidence.Record(fig1_.c2, false, 0.0).ok());  // Hard: c2 out.
+  const auto weighted = store.ComputeWeightedProbabilities(evidence);
+  const auto unweighted = store.ComputeProbabilities();
+  ASSERT_EQ(weighted.size(), unweighted.size());
+  for (size_t c = 0; c < weighted.size(); ++c) {
+    SCOPED_TRACE(c);
+    EXPECT_DOUBLE_EQ(weighted[c], unweighted[c]);
+  }
+}
+
 TEST_F(SampleStoreTest, EmptyNetworkProbabilities) {
   NetworkBuilder builder;
   builder.AddSchema("A");

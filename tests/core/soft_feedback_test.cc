@@ -209,5 +209,38 @@ TEST(EffectiveSampleSizeTest, KishFormula) {
   EXPECT_DOUBLE_EQ(EffectiveSampleSize({1.0, 1.0, 0.0}), 2.0);
 }
 
+TEST(EffectiveSampleSizeTest, NonFiniteWeightsGiveZeroNotNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Regression: inf*inf (or NaN) made sum_squares NaN, NaN slipped past the
+  // old `sum_squares <= 0.0` guard, and the ESS came back NaN — which then
+  // failed every `ess < threshold` resample trigger downstream.
+  EXPECT_DOUBLE_EQ(EffectiveSampleSize({1.0, kInf}), 0.0);
+  EXPECT_DOUBLE_EQ(EffectiveSampleSize({1.0, nan}), 0.0);
+  EXPECT_DOUBLE_EQ(EffectiveSampleSize({-kInf}), 0.0);
+  EXPECT_DOUBLE_EQ(EffectiveSampleSize({nan, nan, nan}), 0.0);
+  // Finite vectors are untouched by the guard.
+  EXPECT_DOUBLE_EQ(EffectiveSampleSize({1.0, 1.0}), 2.0);
+}
+
+TEST(ImportanceWeightsTest, NonFiniteLogWeightsDoNotPoisonTheShift) {
+  // Error rate 1.0 gives log-likelihood log(0) = -inf for an approved-but-
+  // absent correspondence; stacking evidence the other way can push a
+  // log-weight to +inf/NaN through caller-side accumulation. The max-shift
+  // must ignore non-finite entries and map them to weight zero instead of
+  // normalizing every sample by a non-finite maximum.
+  SoftEvidence evidence(2);
+  ASSERT_TRUE(evidence.Record(0, true, 0.0).ok());   // log_out = -inf.
+  const auto samples = MakeSamples(2, {{0}, {1}});
+  const std::vector<double> weights =
+      ComputeImportanceWeights(evidence, samples);
+  ASSERT_EQ(weights.size(), 2u);
+  for (double w : weights) EXPECT_TRUE(std::isfinite(w));
+  EXPECT_DOUBLE_EQ(weights[0], 1.0);
+  EXPECT_DOUBLE_EQ(weights[1], 0.0);
+  const double ess = EffectiveSampleSize(weights);
+  EXPECT_TRUE(std::isfinite(ess));
+  EXPECT_DOUBLE_EQ(ess, 1.0);
+}
+
 }  // namespace
 }  // namespace smn

@@ -1,0 +1,137 @@
+// Pins the server's core promise: a single session driven through
+// ReconcileService is bit-identical to a batch Reconciler::Run over a
+// directly constructed ProbabilisticNetwork — same seed, same strategy,
+// same oracle, exactly the same steps and final probabilities. The service
+// layer relocates state (shared artifact + per-session mutable state), it
+// must never change a single sampled bit.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/probabilistic_network.h"
+#include "core/reconciler.h"
+#include "core/selection_strategy.h"
+#include "server/reconcile_service.h"
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace server {
+namespace {
+
+constexpr uint64_t kSeed = 1234;
+
+/// Deterministic stand-in expert: approves even ids, disapproves odd.
+bool Oracle(CorrespondenceId c) { return c % 2 == 0; }
+
+ReconcileGoal Goal() {
+  ReconcileGoal goal;
+  goal.max_assertions = 6;
+  return goal;
+}
+
+TEST(ServerEquivalenceTest, SingleSessionRunIsBitIdenticalToBatch) {
+  // Batch side: the pre-server shape — network and constraints on the
+  // stack, a local Rng, Reconciler::Run.
+  testing::ClusteredNetworkSpec spec;
+  testing::RandomNetwork batch_built = testing::MakeClusteredNetwork(spec);
+  Rng batch_rng(kSeed);
+  StatusOr<ProbabilisticNetwork> batch_pmn = ProbabilisticNetwork::Create(
+      batch_built.network, batch_built.constraints,
+      ProbabilisticNetworkOptions{}, &batch_rng);
+  ASSERT_TRUE(batch_pmn.ok()) << batch_pmn.status().message();
+  std::unique_ptr<SelectionStrategy> strategy =
+      MakeStrategy(StrategyKind::kInformationGain);
+  Reconciler reconciler(&batch_pmn.value(), strategy.get(), Oracle);
+  StatusOr<ReconcileTrace> batch_trace = reconciler.Run(Goal(), &batch_rng);
+  ASSERT_TRUE(batch_trace.ok()) << batch_trace.status().message();
+
+  // Server side: the same network spec built again, registered as a tenant,
+  // reconciled through a session seeded identically.
+  ReconcileService service;
+  testing::RandomNetwork server_built = testing::MakeClusteredNetwork(spec);
+  auto network = std::make_unique<Network>(std::move(server_built.network));
+  auto constraints =
+      std::make_unique<ConstraintSet>(std::move(server_built.constraints));
+  StatusOr<TenantId> tenant = service.RegisterTenant(
+      "equivalence", std::move(network), std::move(constraints));
+  ASSERT_TRUE(tenant.ok()) << tenant.status().message();
+  StatusOr<SessionId> session = service.OpenSession(tenant.value(), kSeed);
+  ASSERT_TRUE(session.ok()) << session.status().message();
+  StatusOr<ReconcileTrace> server_trace = service.Reconcile(
+      session.value(), StrategyKind::kInformationGain, Goal(), Oracle);
+  ASSERT_TRUE(server_trace.ok()) << server_trace.status().message();
+
+  // Traces match step for step, bit for bit.
+  const ReconcileTrace& batch = batch_trace.value();
+  const ReconcileTrace& server = server_trace.value();
+  EXPECT_DOUBLE_EQ(server.initial_uncertainty, batch.initial_uncertainty);
+  ASSERT_EQ(server.steps.size(), batch.steps.size());
+  ASSERT_GT(server.steps.size(), 0u);
+  for (size_t i = 0; i < server.steps.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(server.steps[i].correspondence, batch.steps[i].correspondence);
+    EXPECT_EQ(server.steps[i].approved, batch.steps[i].approved);
+    EXPECT_EQ(server.steps[i].rejected, batch.steps[i].rejected);
+    // Exact comparison on purpose: the derived entropies must be the same
+    // doubles, not merely close.
+    EXPECT_EQ(server.steps[i].uncertainty_after,
+              batch.steps[i].uncertainty_after);
+  }
+
+  // Final marginals are the same doubles too.
+  const SessionSnapshot snapshot =
+      service.Snapshot(session.value()).value();
+  const std::vector<double>& batch_p = batch_pmn.value().probabilities();
+  ASSERT_EQ(snapshot.probabilities.size(), batch_p.size());
+  for (size_t c = 0; c < batch_p.size(); ++c) {
+    SCOPED_TRACE(c);
+    EXPECT_EQ(snapshot.probabilities[c], batch_p[c]);
+  }
+  EXPECT_EQ(snapshot.revision, batch_pmn.value().assertion_count());
+}
+
+TEST(ServerEquivalenceTest, ManualAssertSequenceMatchesBatch) {
+  // The request-by-request path (Assert/Snapshot instead of Reconcile) is
+  // equivalent too: what reaches the network is the same call sequence.
+  testing::ClusteredNetworkSpec spec;
+  testing::RandomNetwork batch_built = testing::MakeClusteredNetwork(spec);
+  Rng batch_rng(kSeed);
+  StatusOr<ProbabilisticNetwork> batch_pmn = ProbabilisticNetwork::Create(
+      batch_built.network, batch_built.constraints,
+      ProbabilisticNetworkOptions{}, &batch_rng);
+  ASSERT_TRUE(batch_pmn.ok());
+
+  ReconcileService service;
+  testing::RandomNetwork server_built = testing::MakeClusteredNetwork(spec);
+  auto network = std::make_unique<Network>(std::move(server_built.network));
+  auto constraints =
+      std::make_unique<ConstraintSet>(std::move(server_built.constraints));
+  const TenantId tenant =
+      service
+          .RegisterTenant("manual", std::move(network), std::move(constraints))
+          .value();
+  const SessionId session = service.OpenSession(tenant, kSeed).value();
+
+  const std::vector<std::pair<CorrespondenceId, bool>> script = {
+      {0, true}, {3, false}, {5, true}};
+  for (const auto& [c, approved] : script) {
+    const Status batch_status = batch_pmn.value().Assert(c, approved, &batch_rng);
+    const Status server_status = service.Assert(session, c, approved);
+    ASSERT_EQ(batch_status.ok(), server_status.ok());
+  }
+  const SessionSnapshot snapshot = service.Snapshot(session).value();
+  const std::vector<double>& batch_p = batch_pmn.value().probabilities();
+  ASSERT_EQ(snapshot.probabilities.size(), batch_p.size());
+  for (size_t c = 0; c < batch_p.size(); ++c) {
+    SCOPED_TRACE(c);
+    EXPECT_EQ(snapshot.probabilities[c], batch_p[c]);
+  }
+  EXPECT_EQ(snapshot.uncertainty, batch_pmn.value().Uncertainty());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace smn

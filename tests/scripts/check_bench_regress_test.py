@@ -179,6 +179,32 @@ class RegressCheckTest(unittest.TestCase):
         self.assertEqual(result.returncode, 1)
         self.assertIn("determinism_ok", result.stderr)
 
+    def test_underprovisioned_baseline_downgrades_to_warning(self):
+        # A baseline recorded on a too-small box is not a meaningful
+        # reference for the metric, even when the fresh runner is large
+        # enough — like must compare with like.
+        base = bench_json(metrics={"speedup_at_4t": 3.0,
+                                   "hardware_threads": 1})
+        fresh = bench_json(metrics={"speedup_at_4t": 1.0,
+                                    "hardware_threads": 8})
+        result = self.run_check(base, fresh,
+                                "--higher-is-better", "speedup_at_4t",
+                                "--max-ratio", "2.0",
+                                "--warn-underprovisioned", "speedup_at_4t=4")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("baseline was recorded on", result.stderr)
+
+    def test_both_sides_provisioned_still_fails(self):
+        base = bench_json(metrics={"speedup_at_4t": 3.0,
+                                   "hardware_threads": 8})
+        fresh = bench_json(metrics={"speedup_at_4t": 1.0,
+                                    "hardware_threads": 8})
+        result = self.run_check(base, fresh,
+                                "--higher-is-better", "speedup_at_4t",
+                                "--max-ratio", "2.0",
+                                "--warn-underprovisioned", "speedup_at_4t=4")
+        self.assertEqual(result.returncode, 1)
+
     def test_malformed_underprovisioned_spec_is_rejected(self):
         base = bench_json(metrics={"speedup_at_4t": 3.0})
         fresh = bench_json(metrics={"speedup_at_4t": 3.0})

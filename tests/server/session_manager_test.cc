@@ -1,0 +1,115 @@
+#include "server/session_manager.h"
+
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace server {
+namespace {
+
+/// One shared artifact for the whole suite: SessionManager only needs some
+/// valid compiled tenant state.
+std::shared_ptr<const CompiledArtifact> MakeArtifact() {
+  testing::RandomNetwork built =
+      testing::MakeClusteredNetwork(testing::ClusteredNetworkSpec{});
+  auto network = std::make_unique<Network>(std::move(built.network));
+  auto constraints =
+      std::make_unique<ConstraintSet>(std::move(built.constraints));
+  return CompiledArtifact::TakeOwnership(std::move(network),
+                                         std::move(constraints))
+      .value();
+}
+
+TEST(SessionManagerTest, CreateAssignsUniqueIdsAndLookupResolvesThem) {
+  SessionManager manager;
+  const auto artifact = MakeArtifact();
+  std::set<SessionId> ids;
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    auto session =
+        manager.Create(artifact, ProbabilisticNetworkOptions{}, seed);
+    ASSERT_TRUE(session.ok()) << session.status().message();
+    ids.insert(session.value()->id());
+    sessions.push_back(session.value());
+  }
+  EXPECT_EQ(ids.size(), 4u);
+  EXPECT_EQ(manager.size(), 4u);
+  for (const auto& session : sessions) {
+    auto found = manager.Lookup(session->id());
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value().get(), session.get());
+  }
+}
+
+TEST(SessionManagerTest, LookupUnknownIdIsNotFound) {
+  SessionManager manager;
+  const auto missing = manager.Lookup(99);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SessionManagerTest, CloseRemovesButInFlightSharedPtrStaysValid) {
+  SessionManager manager;
+  const auto artifact = MakeArtifact();
+  auto session =
+      manager.Create(artifact, ProbabilisticNetworkOptions{}, /*seed=*/1);
+  ASSERT_TRUE(session.ok());
+  const SessionId id = session.value()->id();
+  std::shared_ptr<Session> in_flight = session.value();
+
+  ASSERT_TRUE(manager.Close(id).ok());
+  EXPECT_EQ(manager.size(), 0u);
+  EXPECT_FALSE(manager.Lookup(id).ok());
+  EXPECT_EQ(manager.Close(id).code(), StatusCode::kNotFound);
+
+  // The shared_ptr held across the close still works: closing evicts from
+  // the registry, it does not tear down state under an in-flight call.
+  const SessionSnapshot snapshot = in_flight->Snapshot();
+  EXPECT_EQ(snapshot.session_id, id);
+}
+
+TEST(SessionManagerTest, ExpireIdleReapsOnlyStaleSessions) {
+  SessionManager manager(/*idle_ttl=*/2);
+  const auto artifact = MakeArtifact();
+  const SessionId stale =
+      manager.Create(artifact, ProbabilisticNetworkOptions{}, 1).value()->id();
+  const SessionId fresh =
+      manager.Create(artifact, ProbabilisticNetworkOptions{}, 2).value()->id();
+  // Each Lookup advances the logical clock by one tick; `stale` is not
+  // touched again, so its lag grows past the TTL while `fresh` stays warm.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(manager.Lookup(fresh).ok());
+  EXPECT_EQ(manager.ExpireIdle(), 1u);
+  EXPECT_FALSE(manager.Lookup(stale).ok());
+  EXPECT_TRUE(manager.Lookup(fresh).ok());
+}
+
+TEST(SessionManagerTest, ZeroTtlNeverExpires) {
+  SessionManager manager(/*idle_ttl=*/0);
+  const auto artifact = MakeArtifact();
+  const SessionId id =
+      manager.Create(artifact, ProbabilisticNetworkOptions{}, 1).value()->id();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(manager.ExpireIdle(), 0u);
+  EXPECT_TRUE(manager.Lookup(id).ok());
+}
+
+TEST(SessionManagerTest, SessionsOverOneArtifactShareIt) {
+  SessionManager manager;
+  const auto artifact = MakeArtifact();
+  auto a = manager.Create(artifact, ProbabilisticNetworkOptions{}, 1).value();
+  auto b = manager.Create(artifact, ProbabilisticNetworkOptions{}, 2).value();
+  const SessionSnapshot sa = a->Snapshot();
+  const SessionSnapshot sb = b->Snapshot();
+  // Distinct mutable state, one immutable artifact underneath.
+  EXPECT_NE(sa.session_id, sb.session_id);
+  EXPECT_EQ(sa.probabilities.size(), sb.probabilities.size());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace smn

@@ -119,6 +119,48 @@ TEST(ThreadPoolTest, TasksRunConcurrentlyAcrossWorkers) {
   b.get();
 }
 
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInlineAndFutureIsReady) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  // Regression: Submit after shutdown used to enqueue onto a queue no worker
+  // would ever drain, handing back a future that could never become ready.
+  std::future<int> future = pool.Submit([] { return 41 + 1; });
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsOnCallingThread) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  const std::thread::id caller = std::this_thread::get_id();
+  std::future<std::thread::id> ran_on =
+      pool.Submit([] { return std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on.get(), caller);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownPropagatesExceptions) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  std::future<int> boom =
+      pool.Submit([]() -> int { throw std::runtime_error("inline failure"); });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasksAndIsIdempotent) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(1);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  pool.Shutdown();
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 20);
+  pool.Shutdown();  // Second call (and the destructor after it) is a no-op.
+  EXPECT_EQ(counter.load(), 20);
+}
+
 TEST(ThreadPoolTest, PendingReportsQueuedTasks) {
   ThreadPool pool(1);
   std::promise<void> release;
