@@ -179,7 +179,9 @@ int Run() {
   // queue; session seeds are pure functions of (driver, lifecycle) so every
   // run reconciles the same work.
   std::vector<std::vector<double>> per_driver_latencies(sessions);
-  std::vector<bool> driver_ok(sessions, true);
+  // One byte per driver, not vector<bool>: each thread writes its own
+  // element, which must be a distinct memory location.
+  std::vector<char> driver_ok(sessions, 1);
   Stopwatch load_watch;
   {
     std::vector<std::thread> drivers;
@@ -190,7 +192,7 @@ int Run() {
           const uint64_t seed = 1000 + 100 * d + l;
           if (!RunSessionLifecycle(&service, tenant.value(), seed, rounds,
                                    &per_driver_latencies[d])) {
-            driver_ok[d] = false;
+            driver_ok[d] = 0;
             return;
           }
         }

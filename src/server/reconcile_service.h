@@ -33,6 +33,12 @@ struct ServerOptions {
 };
 
 /// Monotonic service counters (copied atomically under the stats lock).
+///
+/// sessions_opened/sessions_closed count *successful* lifecycle events.
+/// asserts/soft_asserts/snapshots are *attempted-request* counts: they
+/// increment once the request resolved a live session, whether or not the
+/// session operation itself then succeeded (e.g. a contradictory assertion
+/// that the session rejects still counts as one assert request).
 struct ServerStats {
   uint64_t sessions_opened = 0;
   uint64_t sessions_closed = 0;
@@ -139,13 +145,15 @@ class ReconcileService {
 
   ServerOptions options_;
   SessionManager sessions_;
-  /// The request queue backing the Submit* calls.
-  ThreadPool pool_;
   mutable Mutex mu_;
   std::map<TenantId, Tenant> tenants_ SMN_GUARDED_BY(mu_);
   TenantId next_tenant_ SMN_GUARDED_BY(mu_) = 1;
   mutable Mutex stats_mu_;
   ServerStats stats_ SMN_GUARDED_BY(stats_mu_);
+  /// The request queue backing the Submit* calls. Declared last so its
+  /// destructor joins the workers while every member a queued request may
+  /// touch (sessions_, stats_mu_, ...) is still alive.
+  ThreadPool pool_;
 };
 
 }  // namespace server

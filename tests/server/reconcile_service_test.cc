@@ -165,6 +165,29 @@ TEST(ReconcileServiceTest, ReconcileRunsAlgorithmOneInsideASession) {
             trace.value().steps.size());
 }
 
+TEST(ReconcileServiceTest, DestructionDrainsPendingAsyncRequests) {
+  // Regression: the service used to destroy its session/stats members
+  // before the ThreadPool joined, so requests still queued at destruction
+  // ran against dead mutexes. Drop the service with async work in flight
+  // and never call get(); the drain must complete against live members
+  // (caught by ASAN/TSAN if the member order regresses).
+  for (int round = 0; round < 4; ++round) {
+    std::future<Status> pending_assert;
+    std::future<StatusOr<SessionSnapshot>> pending_snapshot;
+    {
+      ReconcileService service(ServerOptions{{}, /*worker_threads=*/2, 0});
+      const TenantId tenant = RegisterTestTenant(&service);
+      const SessionId id = service.OpenSession(tenant, 11).value();
+      for (int i = 0; i < 16; ++i) {
+        pending_assert = service.SubmitAssert(id, 0, true);
+        pending_snapshot = service.SubmitSnapshot(id);
+      }
+    }  // ~ReconcileService drains the queue; futures outlive the service.
+    EXPECT_TRUE(pending_assert.valid());
+    EXPECT_TRUE(pending_snapshot.valid());
+  }
+}
+
 TEST(ReconcileServiceTest, CloseDecrementsLiveSessions) {
   ReconcileService service;
   const TenantId tenant = RegisterTestTenant(&service);
