@@ -1,20 +1,18 @@
 #include "constraints/one_to_one.h"
 
+#include <algorithm>
 #include <memory>
 
 namespace smn {
+namespace {
 
-std::unique_ptr<Constraint> OneToOneConstraint::CloneUncompiled() const {
-  return std::make_unique<OneToOneConstraint>();
-}
-
-Status OneToOneConstraint::Compile(const Network& network) {
-  const size_t n = network.correspondence_count();
-  conflicts_.assign(n, DynamicBitset(n));
-  conflict_pair_count_ = 0;
-  // Conflicts arise only between correspondences sharing an attribute: walk
-  // each attribute's incident candidates and mark pairs whose other
-  // endpoints land in the same schema.
+/// Invokes fn(c1, c2) once per conflicting pair. Conflicts arise only
+/// between correspondences sharing an attribute: walk each attribute's
+/// incident candidates and report pairs whose other endpoints land in the
+/// same schema. Two distinct correspondences share at most one attribute,
+/// so each pair is reported exactly once.
+template <typename Fn>
+void ForEachConflictPair(const Network& network, Fn&& fn) {
   for (AttributeId a = 0; a < network.attribute_count(); ++a) {
     const auto& incident = network.CorrespondencesAt(a);
     for (size_t i = 0; i < incident.size(); ++i) {
@@ -25,14 +23,62 @@ Status OneToOneConstraint::Compile(const Network& network) {
         const AttributeId other_j = cj.OtherEnd(a);
         if (network.attribute(other_i).schema ==
             network.attribute(other_j).schema) {
-          conflicts_[ci.id].Set(cj.id);
-          conflicts_[cj.id].Set(ci.id);
-          ++conflict_pair_count_;
+          fn(ci.id, cj.id);
         }
       }
     }
   }
-  // Pack the rows into one flat word matrix for the kernel queries.
+}
+
+}  // namespace
+
+std::unique_ptr<Constraint> OneToOneConstraint::CloneUncompiled() const {
+  return std::make_unique<OneToOneConstraint>(dense_row_limit_);
+}
+
+Status OneToOneConstraint::Compile(const Network& network) {
+  const size_t n = network.correspondence_count();
+  // Two passes over the attribute-incidence pairs keep compilation memory at
+  // exactly the CSR size: count degrees, then fill.
+  std::vector<uint32_t> degree(n, 0);
+  size_t pair_count = 0;
+  ForEachConflictPair(network, [&](CorrespondenceId c1, CorrespondenceId c2) {
+    ++degree[c1];
+    ++degree[c2];
+    ++pair_count;
+  });
+  offsets_.assign(n + 1, 0);
+  for (size_t c = 0; c < n; ++c) {
+    offsets_[c + 1] = offsets_[c] + degree[c];
+  }
+  neighbors_.assign(2 * pair_count, 0);
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  ForEachConflictPair(network, [&](CorrespondenceId c1, CorrespondenceId c2) {
+    neighbors_[cursor[c1]++] = c2;
+    neighbors_[cursor[c2]++] = c1;
+  });
+  // Sort each row ascending so CSR queries report partners in the same
+  // order the dense word scans do.
+  for (size_t c = 0; c < n; ++c) {
+    std::sort(neighbors_.begin() + offsets_[c],
+              neighbors_.begin() + offsets_[c + 1]);
+  }
+
+  dense_compiled_ = n <= dense_row_limit_;
+  if (!dense_compiled_) {
+    conflicts_.clear();
+    row_words_.clear();
+    words_per_row_ = 0;
+    return Status::OK();
+  }
+  // Pack the rows into adjacency bitsets plus one flat word matrix for the
+  // word-parallel kernel queries.
+  conflicts_.assign(n, DynamicBitset(n));
+  for (CorrespondenceId c = 0; c < n; ++c) {
+    for (uint32_t i = offsets_[c]; i < offsets_[c + 1]; ++i) {
+      conflicts_[c].Set(neighbors_[i]);
+    }
+  }
   words_per_row_ = (n + 63) / 64;
   row_words_.assign(n * words_per_row_, 0);
   for (CorrespondenceId c = 0; c < n; ++c) {
@@ -47,9 +93,18 @@ bool OneToOneConstraint::IsSatisfied(const DynamicBitset& selection) const {
   bool ok = true;
   selection.ForEachSetBit([&](size_t c) {
     if (!ok) return;
-    const uint64_t* row = Row(static_cast<CorrespondenceId>(c));
-    for (size_t w = 0; w < words_per_row_; ++w) {
-      if (row[w] & selection.word(w)) {
+    if (dense_compiled_) {
+      const uint64_t* row = Row(static_cast<CorrespondenceId>(c));
+      for (size_t w = 0; w < words_per_row_; ++w) {
+        if (row[w] & selection.word(w)) {
+          ok = false;
+          return;
+        }
+      }
+      return;
+    }
+    for (uint32_t i = offsets_[c]; i < offsets_[c + 1]; ++i) {
+      if (selection.Test(neighbors_[i])) {
         ok = false;
         return;
       }
@@ -61,13 +116,11 @@ bool OneToOneConstraint::IsSatisfied(const DynamicBitset& selection) const {
 void OneToOneConstraint::FindViolations(const DynamicBitset& selection,
                                         std::vector<Violation>* out) const {
   selection.ForEachSetBit([&](size_t c) {
-    conflicts_[c].ForEachIntersection(selection, [&](size_t other) {
-      if (other > c) {  // Report each conflicting pair once.
-        out->push_back(Violation{
-            name(),
-            {static_cast<CorrespondenceId>(c),
-             static_cast<CorrespondenceId>(other)},
-            kInvalidCorrespondence});
+    ForEachConflictOf(static_cast<CorrespondenceId>(c), [&](CorrespondenceId other) {
+      if (other > c && selection.Test(other)) {  // Report each pair once.
+        out->push_back(
+            Violation{name(), {static_cast<CorrespondenceId>(c), other},
+                      kInvalidCorrespondence});
       }
     });
   });
@@ -76,32 +129,49 @@ void OneToOneConstraint::FindViolations(const DynamicBitset& selection,
 void OneToOneConstraint::FindViolationsInvolving(const DynamicBitset& selection,
                                                  CorrespondenceId c,
                                                  std::vector<Violation>* out) const {
-  conflicts_[c].ForEachIntersection(selection, [&](size_t other) {
-    out->push_back(Violation{name(),
-                             {c, static_cast<CorrespondenceId>(other)},
-                             kInvalidCorrespondence});
+  ForEachConflictOf(c, [&](CorrespondenceId other) {
+    if (selection.Test(other)) {
+      out->push_back(Violation{name(), {c, other}, kInvalidCorrespondence});
+    }
   });
 }
 
 void OneToOneConstraint::AppendConflicts(const DynamicBitset& selection,
                                          std::vector<KernelViolation>* out) const {
   selection.ForEachSetBit([&](size_t c) {
-    conflicts_[c].ForEachIntersection(selection, [&](size_t other) {
-      if (other > c) {  // Report each conflicting pair once.
-        out->push_back(KernelViolation{static_cast<CorrespondenceId>(c),
-                                       static_cast<CorrespondenceId>(other),
+    if (dense_compiled_) {
+      conflicts_[c].ForEachIntersection(selection, [&](size_t other) {
+        if (other > c) {  // Report each conflicting pair once.
+          out->push_back(KernelViolation{static_cast<CorrespondenceId>(c),
+                                         static_cast<CorrespondenceId>(other),
+                                         kInvalidCorrespondence});
+        }
+      });
+      return;
+    }
+    for (uint32_t i = offsets_[c]; i < offsets_[c + 1]; ++i) {
+      const CorrespondenceId other = neighbors_[i];
+      if (other > c && selection.Test(other)) {
+        out->push_back(KernelViolation{static_cast<CorrespondenceId>(c), other,
                                        kInvalidCorrespondence});
       }
-    });
+    }
   });
 }
 
 size_t OneToOneConstraint::CountViolationsInvolving(
     const DynamicBitset& selection, CorrespondenceId c) const {
-  const uint64_t* row = Row(c);
   size_t count = 0;
-  for (size_t w = 0; w < words_per_row_; ++w) {
-    count += static_cast<size_t>(__builtin_popcountll(row[w] & selection.word(w)));
+  if (dense_compiled_) {
+    const uint64_t* row = Row(c);
+    for (size_t w = 0; w < words_per_row_; ++w) {
+      count += static_cast<size_t>(
+          __builtin_popcountll(row[w] & selection.word(w)));
+    }
+    return count;
+  }
+  for (uint32_t i = offsets_[c]; i < offsets_[c + 1]; ++i) {
+    if (selection.Test(neighbors_[i])) ++count;
   }
   return count;
 }
@@ -113,8 +183,8 @@ void OneToOneConstraint::SeedAdditionBlockCounts(
   // Rows are symmetric, so monotone_blocks[x] gains |row(x) ∩ selection| by
   // bumping every selected row's members once.
   selection.ForEachSetBit([&](size_t c) {
-    conflicts_[c].ForEachSetBit(
-        [&](size_t other) { ++monotone_blocks[other]; });
+    ForEachConflictOf(static_cast<CorrespondenceId>(c),
+                      [&](CorrespondenceId other) { ++monotone_blocks[other]; });
   });
 }
 
@@ -122,20 +192,18 @@ void OneToOneConstraint::AppendAdditionDeltaOps(
     CorrespondenceId changed, std::vector<AdditionDeltaOp>* out) const {
   // Selecting (clearing) `changed` blocks (releases) every conflict
   // partner, unconditionally — one monotone op per row member.
-  conflicts_[changed].ForEachSetBit([&](size_t other) {
-    out->push_back(AdditionDeltaOp{AdditionDeltaOp::Kind::kMonotone,
-                                   static_cast<CorrespondenceId>(other),
+  ForEachConflictOf(changed, [&](CorrespondenceId other) {
+    out->push_back(AdditionDeltaOp{AdditionDeltaOp::Kind::kMonotone, other,
                                    kInvalidCorrespondence});
   });
 }
 
 void OneToOneConstraint::AppendCouplingGroups(
     std::vector<std::vector<CorrespondenceId>>* out) const {
-  for (CorrespondenceId c = 0; c < conflicts_.size(); ++c) {
-    conflicts_[c].ForEachSetBit([&](size_t other) {
-      if (other > c) {
-        out->push_back({c, static_cast<CorrespondenceId>(other)});
-      }
+  const size_t n = offsets_.empty() ? 0 : offsets_.size() - 1;
+  for (CorrespondenceId c = 0; c < n; ++c) {
+    ForEachConflictOf(c, [&](CorrespondenceId other) {
+      if (other > c) out->push_back({c, other});
     });
   }
 }
@@ -146,16 +214,24 @@ Status OneToOneConstraint::PropagateDetermined(
   Status status = Status::OK();
   approved.ForEachSetBit([&](size_t c) {
     if (!status.ok()) return;
-    if (conflicts_[c].Intersects(approved)) {
+    // Two determined-in partners contradict the constraint; check the whole
+    // row before forcing anything out so a contradiction never half-emits.
+    bool conflict_approved = false;
+    ForEachConflictOf(static_cast<CorrespondenceId>(c),
+                      [&](CorrespondenceId other) {
+                        if (approved.Test(other)) conflict_approved = true;
+                      });
+    if (conflict_approved) {
       status = Status::FailedPrecondition(
           "one-to-one: two conflicting correspondences both determined in");
       return;
     }
-    DynamicBitset forced_out = conflicts_[c];
-    forced_out.SubtractInPlace(disapproved);
-    forced_out.ForEachSetBit([&](size_t other) {
-      out->emplace_back(static_cast<CorrespondenceId>(other), false);
-    });
+    ForEachConflictOf(static_cast<CorrespondenceId>(c),
+                      [&](CorrespondenceId other) {
+                        if (!disapproved.Test(other)) {
+                          out->emplace_back(other, false);
+                        }
+                      });
   });
   return status;
 }

@@ -11,6 +11,7 @@ StatusOr<CompiledArtifact> CompiledArtifact::Build(
   artifact.constraints_ = &constraints;
   artifact.groups_ = constraints.CouplingGroups();
   const size_t n = network.correspondence_count();
+  artifact.group_index_ = GroupIndex::Build(artifact.groups_, n);
   const Feedback empty(n);
   SMN_ASSIGN_OR_RETURN(artifact.initial_determined_,
                        PropagateFeedback(constraints, empty, n));

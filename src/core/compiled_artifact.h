@@ -66,6 +66,11 @@ class CompiledArtifact {
     return groups_;
   }
 
+  /// CSR index from correspondence to the coupling groups containing it,
+  /// computed once at Build. Sessions use it to keep per-assert closure and
+  /// re-partition work O(touched component) instead of O(all groups).
+  const GroupIndex& group_index() const { return group_index_; }
+
   /// The determined closure of *empty* feedback: correspondences forced in
   /// or out by the constraints alone. The starting closure of every session.
   const DeterminedSet& initial_determined() const {
@@ -94,6 +99,7 @@ class CompiledArtifact {
   const Network* network_ = nullptr;
   const ConstraintSet* constraints_ = nullptr;
   std::vector<std::vector<CorrespondenceId>> groups_;
+  GroupIndex group_index_;
   DeterminedSet initial_determined_;
   ComponentIndex initial_index_;
 };

@@ -49,6 +49,29 @@ StatusOr<DeterminedSet> PropagateFeedback(const ConstraintSet& constraints,
   return Status::Internal("feedback propagation failed to reach a fixpoint");
 }
 
+GroupIndex GroupIndex::Build(
+    const std::vector<std::vector<CorrespondenceId>>& groups,
+    size_t correspondence_count) {
+  GroupIndex index;
+  index.group_count_ = groups.size();
+  index.offsets_.assign(correspondence_count + 1, 0);
+  for (const auto& group : groups) {
+    for (CorrespondenceId member : group) ++index.offsets_[member + 1];
+  }
+  for (size_t c = 0; c < correspondence_count; ++c) {
+    index.offsets_[c + 1] += index.offsets_[c];
+  }
+  index.group_ids_.assign(index.offsets_[correspondence_count], 0);
+  std::vector<uint32_t> fill(index.offsets_.begin(), index.offsets_.end() - 1);
+  // Filling in group order keeps each row sorted by group id.
+  for (uint32_t g = 0; g < groups.size(); ++g) {
+    for (CorrespondenceId member : groups[g]) {
+      index.group_ids_[fill[member]++] = g;
+    }
+  }
+  return index;
+}
+
 namespace {
 
 /// Plain union-find with path halving and union by size.
@@ -116,6 +139,51 @@ ComponentIndex ComponentIndex::Build(
   return index;
 }
 
+ComponentIndex ComponentIndex::BuildRestricted(
+    const std::vector<std::vector<CorrespondenceId>>& groups,
+    const GroupIndex& group_index, const DynamicBitset& active,
+    size_t correspondence_count) {
+  UnionFind uf(correspondence_count);
+  // Union only over the groups incident to an active member; every other
+  // group links nothing (all its active-set tests fail), so the resulting
+  // partition matches the full Build exactly. The final partition is
+  // independent of union order, and the component extraction below depends
+  // only on the partition, so visiting groups in active-member order is
+  // safe.
+  DynamicBitset seen(group_index.group_count());
+  active.ForEachSetBit([&](size_t c) {
+    group_index.ForEachGroupOf(
+        static_cast<CorrespondenceId>(c), [&](uint32_t g) {
+          if (seen.Test(g)) return;
+          seen.Set(g);
+          CorrespondenceId previous = kInvalidCorrespondence;
+          for (CorrespondenceId member : groups[g]) {
+            if (!active.Test(member)) continue;
+            if (previous != kInvalidCorrespondence) uf.Union(previous, member);
+            previous = member;
+          }
+        });
+  });
+
+  ComponentIndex index;
+  index.component_of_.assign(correspondence_count, kNoComponent);
+  std::vector<size_t> root_to_component(correspondence_count, kNoComponent);
+  active.ForEachSetBit([&](size_t c) {
+    const size_t root = uf.Find(c);
+    size_t component = root_to_component[root];
+    if (component == kNoComponent) {
+      component = index.components_.size();
+      root_to_component[root] = component;
+      index.components_.push_back(
+          ConstraintComponent{static_cast<CorrespondenceId>(c), {}});
+    }
+    index.components_[component].members.push_back(
+        static_cast<CorrespondenceId>(c));
+    index.component_of_[c] = component;
+  });
+  return index;
+}
+
 ComponentIndex ComponentIndex::FromComponents(
     std::vector<ConstraintComponent> components, size_t correspondence_count) {
   ComponentIndex index;
@@ -133,7 +201,8 @@ StatusOr<ComponentSubproblem> BuildComponentSubproblem(
     const Network& network, const ConstraintSet& constraints,
     const std::vector<std::vector<CorrespondenceId>>& groups,
     const ConstraintComponent& component, const DeterminedSet& determined,
-    const std::vector<CorrespondenceId>* candidates) {
+    const std::vector<CorrespondenceId>* candidates,
+    const GroupIndex* group_index) {
   const size_t n = network.correspondence_count();
 
   DynamicBitset candidate_set(n);
@@ -150,24 +219,48 @@ StatusOr<ComponentSubproblem> BuildComponentSubproblem(
     for (CorrespondenceId member : component.members) {
       candidate_set.Set(member);
     }
-    for (bool changed = true; changed;) {
-      changed = false;
-      for (const auto& group : groups) {
-        bool touches = false;
-        bool missing_approved = false;
-        for (CorrespondenceId member : group) {
-          if (candidate_set.Test(member)) {
-            touches = true;
-          } else if (determined.approved.Test(member)) {
-            missing_approved = true;
+    if (group_index != nullptr) {
+      // Worklist closure: process each candidate's incident groups once.
+      // A group's contribution (its determined-in members) is fixed, so one
+      // visit per group suffices; every group touching the final candidate
+      // set is reached through the candidate that first touched it.
+      DynamicBitset seen(group_index->group_count());
+      std::vector<CorrespondenceId> worklist(component.members);
+      while (!worklist.empty()) {
+        const CorrespondenceId c = worklist.back();
+        worklist.pop_back();
+        group_index->ForEachGroupOf(c, [&](uint32_t g) {
+          if (seen.Test(g)) return;
+          seen.Set(g);
+          for (CorrespondenceId member : groups[g]) {
+            if (determined.approved.Test(member) &&
+                !candidate_set.Test(member)) {
+              candidate_set.Set(member);
+              worklist.push_back(member);
+            }
           }
-        }
-        if (!touches || !missing_approved) continue;
-        for (CorrespondenceId member : group) {
-          if (determined.approved.Test(member) &&
-              !candidate_set.Test(member)) {
-            candidate_set.Set(member);
-            changed = true;
+        });
+      }
+    } else {
+      for (bool changed = true; changed;) {
+        changed = false;
+        for (const auto& group : groups) {
+          bool touches = false;
+          bool missing_approved = false;
+          for (CorrespondenceId member : group) {
+            if (candidate_set.Test(member)) {
+              touches = true;
+            } else if (determined.approved.Test(member)) {
+              missing_approved = true;
+            }
+          }
+          if (!touches || !missing_approved) continue;
+          for (CorrespondenceId member : group) {
+            if (determined.approved.Test(member) &&
+                !candidate_set.Test(member)) {
+              candidate_set.Set(member);
+              changed = true;
+            }
           }
         }
       }
@@ -176,33 +269,61 @@ StatusOr<ComponentSubproblem> BuildComponentSubproblem(
 
   ComponentSubproblem subproblem;
 
-  // Copy the full schema/attribute/edge structure with ids preserved:
-  // constraint compilation needs the original interaction-graph triangles,
-  // and identical attribute ids keep the projection trivially auditable.
-  NetworkBuilder builder;
-  for (const Schema& schema : network.schemas()) {
-    builder.AddSchema(schema.name());
-  }
-  for (const Attribute& attribute : network.attributes()) {
-    SMN_ASSIGN_OR_RETURN(
-        AttributeId id,
-        builder.AddAttribute(attribute.schema, attribute.name,
-                             attribute.type));
-    if (id != attribute.id) {
-      return Status::Internal("subproblem attribute ids diverged");
-    }
-  }
-  for (const auto& [a, b] : network.graph().edges()) {
-    SMN_RETURN_IF_ERROR(builder.AddEdge(a, b));
-  }
+  // Induced projection: keep only the attributes touched by a candidate,
+  // their schemas, and the edges between included schemas, renumbering ids
+  // monotonically (ascending global order). Constraint compilation observes
+  // exactly the same structure it saw under a wholesale copy — incidence
+  // pair order, endpoint-schema identity, HasEdge between included schemas
+  // are all invariant under monotone renumbering — so the compiled tables
+  // enumerate conflicts and chains in the same order and subproblem
+  // sampling stays bit-identical, at O(component) instead of O(network)
+  // build cost.
+  DynamicBitset attribute_included(network.attribute_count());
   candidate_set.ForEachSetBit([&](size_t c) {
     const Correspondence& correspondence = network.correspondence(c);
-    subproblem.local_to_global.push_back(static_cast<CorrespondenceId>(c));
-    builder
-        .AddCorrespondence(correspondence.left, correspondence.right,
-                           correspondence.confidence)
-        .value();
+    attribute_included.Set(correspondence.left);
+    attribute_included.Set(correspondence.right);
   });
+  std::vector<SchemaId> schema_local(network.schemas().size(),
+                                     kInvalidSchema);
+  std::vector<AttributeId> attribute_local(network.attribute_count(),
+                                           kInvalidAttribute);
+  NetworkBuilder builder;
+  attribute_included.ForEachSetBit([&](size_t a) {
+    const SchemaId schema = network.attribute(a).schema;
+    if (schema_local[schema] == kInvalidSchema) {
+      schema_local[schema] = builder.AddSchema(network.schemas()[schema].name());
+    }
+  });
+  Status projection_status = Status::OK();
+  attribute_included.ForEachSetBit([&](size_t a) {
+    if (!projection_status.ok()) return;
+    const Attribute& attribute = network.attribute(a);
+    StatusOr<AttributeId> local = builder.AddAttribute(
+        schema_local[attribute.schema], attribute.name, attribute.type);
+    if (!local.ok()) {
+      projection_status = local.status();
+      return;
+    }
+    attribute_local[a] = local.value();
+  });
+  SMN_RETURN_IF_ERROR(projection_status);
+  for (const auto& [a, b] : network.graph().edges()) {
+    if (schema_local[a] == kInvalidSchema || schema_local[b] == kInvalidSchema) {
+      continue;
+    }
+    SMN_RETURN_IF_ERROR(builder.AddEdge(schema_local[a], schema_local[b]));
+  }
+  candidate_set.ForEachSetBit([&](size_t c) {
+    if (!projection_status.ok()) return;
+    const Correspondence& correspondence = network.correspondence(c);
+    subproblem.local_to_global.push_back(static_cast<CorrespondenceId>(c));
+    StatusOr<CorrespondenceId> local = builder.AddCorrespondence(
+        attribute_local[correspondence.left],
+        attribute_local[correspondence.right], correspondence.confidence);
+    if (!local.ok()) projection_status = local.status();
+  });
+  SMN_RETURN_IF_ERROR(projection_status);
   SMN_ASSIGN_OR_RETURN(Network projected, builder.Build());
   subproblem.network = std::make_unique<Network>(std::move(projected));
 

@@ -45,6 +45,41 @@ StatusOr<DeterminedSet> PropagateFeedback(const ConstraintSet& constraints,
                                           const Feedback& feedback,
                                           size_t correspondence_count);
 
+/// CSR index from correspondence id to the coupling groups containing it —
+/// the inverse of ConstraintSet::CouplingGroups. Built once per compiled
+/// artifact so per-assert work (boundary closure, restricted re-partition)
+/// touches only the groups incident to the correspondences involved instead
+/// of scanning every group in the network.
+class GroupIndex {
+ public:
+  /// Empty index (no groups).
+  GroupIndex() = default;
+
+  /// Indexes `groups` over an id space of `correspondence_count`.
+  static GroupIndex Build(
+      const std::vector<std::vector<CorrespondenceId>>& groups,
+      size_t correspondence_count);
+
+  /// Calls `fn(group_id)` for each group containing `c`, ascending.
+  template <typename Fn>
+  void ForEachGroupOf(CorrespondenceId c, Fn&& fn) const {
+    for (uint32_t i = offsets_[c]; i < offsets_[c + 1]; ++i) {
+      fn(group_ids_[i]);
+    }
+  }
+
+  /// Number of indexed groups.
+  size_t group_count() const { return group_count_; }
+
+  /// True when Build has not run (default-constructed).
+  bool empty() const { return offsets_.empty(); }
+
+ private:
+  size_t group_count_ = 0;
+  std::vector<uint32_t> offsets_;
+  std::vector<uint32_t> group_ids_;
+};
+
 /// One constraint-connected component: a maximal set of *undetermined*
 /// correspondences linked by coupling-group co-membership. Conditioned on
 /// the determined closure of the feedback, distinct components are mutually
@@ -76,6 +111,17 @@ class ComponentIndex {
   static ComponentIndex Build(
       const std::vector<std::vector<CorrespondenceId>>& groups,
       const DynamicBitset& active, size_t correspondence_count);
+
+  /// Build restricted to the groups incident to `active` members (looked up
+  /// through `group_index`). Groups touching no active member union nothing,
+  /// so the result is bit-identical to the full Build over the same active
+  /// set — but the cost is O(groups of the active members), which is what
+  /// keeps per-assert component splits O(component) on million-candidate
+  /// networks.
+  static ComponentIndex BuildRestricted(
+      const std::vector<std::vector<CorrespondenceId>>& groups,
+      const GroupIndex& group_index, const DynamicBitset& active,
+      size_t correspondence_count);
 
   /// Reassembles an index from explicit components (ascending anchor order,
   /// pairwise-disjoint members). Used when a partition is patched in place
@@ -112,9 +158,16 @@ class ComponentIndex {
 /// of the global instance distribution onto the component — the
 /// conditional-independence guarantee the incremental engine rests on.
 ///
-/// Schemas, attributes, and interaction-graph edges are copied wholesale
-/// (preserving ids) so constraint compilation sees the original triangle
-/// structure; only the candidate set is projected.
+/// The projection is *induced*: only the attributes touched by a candidate
+/// correspondence, their schemas, and the interaction-graph edges between
+/// included schemas are copied, with ids renumbered monotonically (ascending
+/// global order). Monotone renumbering preserves everything constraint
+/// compilation observes — attribute-incidence pair order, schema
+/// identity/distinctness of chain endpoints, HasEdge between included
+/// schemas — so compiled conflict tables and chain enumeration come out in
+/// the same order as under the old wholesale copy, keeping subproblem
+/// sampling bit-identical while the per-component cost drops from O(global
+/// network) to O(component).
 struct ComponentSubproblem {
   /// The projected network. Heap-allocated so the address stays stable for
   /// the components that hold references to it (SampleStore).
@@ -134,11 +187,15 @@ struct ComponentSubproblem {
 /// local_to_global of a previous build to reproduce it bit-for-bit under
 /// unchanged restricted feedback; pass nullptr to derive the candidate set
 /// fresh (members plus the approved closure reachable via `groups`).
+/// `group_index`, when non-null, turns the fresh closure into a worklist
+/// over the groups of the candidates (O(component) instead of O(all
+/// groups) per fixpoint round); the derived candidate set is identical.
 StatusOr<ComponentSubproblem> BuildComponentSubproblem(
     const Network& network, const ConstraintSet& constraints,
     const std::vector<std::vector<CorrespondenceId>>& groups,
     const ConstraintComponent& component, const DeterminedSet& determined,
-    const std::vector<CorrespondenceId>* candidates);
+    const std::vector<CorrespondenceId>* candidates,
+    const GroupIndex* group_index = nullptr);
 
 }  // namespace smn
 

@@ -22,27 +22,29 @@ uint64_t StreamId(CorrespondenceId anchor, uint64_t built_at) {
   return (static_cast<uint64_t>(anchor) << 32) ^ built_at;
 }
 
-/// Translates a local-id sample of `subproblem` into global coordinates.
-DynamicBitset Globalize(const DynamicBitset& local_sample,
-                        const std::vector<CorrespondenceId>& local_to_global,
-                        size_t global_size) {
-  DynamicBitset global(global_size);
+/// ORs a subproblem-local sample into a global-width bitset.
+void OrGlobalized(const DynamicBitset& local_sample,
+                  const std::vector<CorrespondenceId>& local_to_global,
+                  DynamicBitset* global) {
   local_sample.ForEachSetBit(
-      [&](size_t local) { global.Set(local_to_global[local]); });
-  return global;
+      [&](size_t local) { global->Set(local_to_global[local]); });
 }
 
 }  // namespace
 
 void ProbabilisticNetwork::ComputeUnweightedMarginals(
     ComponentCache* cache, const ConstraintComponent& component) {
+  // Samples are in subproblem-local coordinates: member j of the component
+  // is bit member_local_ids[j] of every sample.
+  const std::vector<CorrespondenceId>& member_local =
+      cache->subproblem.member_local_ids;
   cache->member_probabilities.assign(component.members.size(), 0.0);
   if (!cache->samples.empty()) {
     const double denom = static_cast<double>(cache->samples.size());
     for (size_t j = 0; j < component.members.size(); ++j) {
       size_t count = 0;
       for (const DynamicBitset& sample : cache->samples) {
-        if (sample.Test(component.members[j])) ++count;
+        if (sample.Test(member_local[j])) ++count;
       }
       cache->member_probabilities[j] = static_cast<double>(count) / denom;
     }
@@ -76,7 +78,8 @@ StatusOr<ProbabilisticNetwork> ProbabilisticNetwork::Create(
 
 StatusOr<ProbabilisticNetwork> ProbabilisticNetwork::Create(
     std::shared_ptr<const CompiledArtifact> artifact,
-    ProbabilisticNetworkOptions options, Rng* rng) {
+    ProbabilisticNetworkOptions options, Rng* rng,
+    const std::vector<size_t>* component_filter) {
   if (artifact == nullptr) {
     return Status::InvalidArgument("Create: artifact must be non-null");
   }
@@ -89,7 +92,30 @@ StatusOr<ProbabilisticNetwork> ProbabilisticNetwork::Create(
   // session's feedback pins variables), the coupling groups are read through
   // the artifact and never duplicated.
   pmn.determined_ = pmn.artifact_->initial_determined();
-  pmn.index_ = pmn.artifact_->initial_index();
+  const ComponentIndex& initial = pmn.artifact_->initial_index();
+  if (component_filter == nullptr) {
+    pmn.index_ = initial;
+  } else {
+    // Shard projection: keep only the filtered initial components. The
+    // fresh rng->Split() above matches an unfiltered session's base stream,
+    // and each cache's stream forks on (anchor, built_at) alone, so the
+    // filtered caches are bitwise identical to their unfiltered twins.
+    std::vector<ConstraintComponent> owned;
+    owned.reserve(component_filter->size());
+    for (size_t i : *component_filter) {
+      if (i >= initial.component_count()) {
+        return Status::InvalidArgument(
+            "Create: component_filter index out of range");
+      }
+      if (!owned.empty() && initial.component(i).anchor <= owned.back().anchor) {
+        return Status::InvalidArgument(
+            "Create: component_filter must be strictly ascending");
+      }
+      owned.push_back(initial.component(i));
+    }
+    pmn.index_ = ComponentIndex::FromComponents(
+        std::move(owned), pmn.artifact_->network().correspondence_count());
+  }
   for (size_t i = 0; i < pmn.index_.component_count(); ++i) {
     SMN_ASSIGN_OR_RETURN(
         std::unique_ptr<ComponentCache> cache,
@@ -106,13 +132,13 @@ ProbabilisticNetwork::BuildCache(
     const ConstraintComponent& component,
     const std::vector<CorrespondenceId>* frozen_candidates,
     uint64_t built_at, const DeterminedSet& determined) const {
-  const size_t n = artifact_->network().correspondence_count();
   auto cache = std::make_unique<ComponentCache>();
   SMN_ASSIGN_OR_RETURN(
       cache->subproblem,
       BuildComponentSubproblem(artifact_->network(), artifact_->constraints(),
                                artifact_->coupling_groups(), component,
-                               determined, frozen_candidates));
+                               determined, frozen_candidates,
+                               &artifact_->group_index()));
   cache->built_at = built_at;
   const ComponentSubproblem& sub = cache->subproblem;
   const size_t member_count = sub.member_local_ids.size();
@@ -137,7 +163,7 @@ ProbabilisticNetwork::BuildCache(
       if (!IsMaximalInstance(*sub.constraints, sub.feedback, selection)) {
         continue;
       }
-      cache->samples.push_back(Globalize(selection, sub.local_to_global, n));
+      cache->samples.push_back(std::move(selection));
     }
     cache->exhausted = true;
     cache->diagnostics = ChainDiagnostics{};
@@ -152,10 +178,7 @@ ProbabilisticNetwork::BuildCache(
         *sub.network, *sub.constraints, store_options);
     Rng stream = base_.Fork(StreamId(component.anchor, built_at));
     SMN_RETURN_IF_ERROR(cache->store->Initialize(sub.feedback, &stream));
-    cache->samples.reserve(cache->store->samples().size());
-    for (const DynamicBitset& sample : cache->store->samples()) {
-      cache->samples.push_back(Globalize(sample, sub.local_to_global, n));
-    }
+    cache->samples = cache->store->samples();
     cache->exhausted = cache->store->exhausted();
     cache->diagnostics = cache->store->chain_diagnostics();
   }
@@ -198,8 +221,11 @@ void ProbabilisticNetwork::ApplyEvidence(
   // correspondence contributes the same constant factor to every sample of
   // this component and cancels under the max-shift.
   const size_t m = cache->samples.size();
+  const std::vector<CorrespondenceId>& member_local =
+      cache->subproblem.member_local_ids;
   std::vector<double> log_weights(m, 0.0);
-  for (CorrespondenceId member : component.members) {
+  for (size_t j = 0; j < component.members.size(); ++j) {
+    const CorrespondenceId member = component.members[j];
     if (!soft_evidence_.HasEvidence(member) ||
         soft_evidence_.Contradictory(member)) {
       continue;
@@ -207,7 +233,8 @@ void ProbabilisticNetwork::ApplyEvidence(
     const double log_in = soft_evidence_.LogLikelihoodIn(member);
     const double log_out = soft_evidence_.LogLikelihoodOut(member);
     for (size_t i = 0; i < m; ++i) {
-      log_weights[i] += cache->samples[i].Test(member) ? log_in : log_out;
+      log_weights[i] += cache->samples[i].Test(member_local[j]) ? log_in
+                                                                : log_out;
     }
   }
   double max_log = -std::numeric_limits<double>::infinity();
@@ -236,7 +263,7 @@ void ProbabilisticNetwork::ApplyEvidence(
   for (size_t j = 0; j < component.members.size(); ++j) {
     double with_member = 0.0;
     for (size_t i = 0; i < cache->samples.size(); ++i) {
-      if (cache->samples[i].Test(component.members[j])) {
+      if (cache->samples[i].Test(member_local[j])) {
         with_member += cache->weights[i];
       }
     }
@@ -286,6 +313,15 @@ Status ProbabilisticNetwork::AssertSoft(CorrespondenceId c, bool approved,
 Status ProbabilisticNetwork::Assert(CorrespondenceId c, bool approved,
                                     Rng* rng) {
   (void)rng;  // See the header: randomness derives from per-component forks.
+  return AssertStamped(c, approved, assertion_count_ + 1);
+}
+
+Status ProbabilisticNetwork::AssertStamped(CorrespondenceId c, bool approved,
+                                           uint64_t revision) {
+  if (revision <= assertion_count_) {
+    return Status::InvalidArgument(
+        "AssertStamped: revision must exceed the current assertion count");
+  }
   // Stage every fallible step against local state; commit only once nothing
   // can fail anymore, so a rejected assertion (contradictory feedback
   // closure, sampler failure) leaves the network exactly as it was.
@@ -294,7 +330,7 @@ Status ProbabilisticNetwork::Assert(CorrespondenceId c, bool approved,
   SMN_RETURN_IF_ERROR(feedback.Assert(c, approved));
   SMN_ASSIGN_OR_RETURN(DeterminedSet determined,
                        PropagateFeedback(artifact_->constraints(), feedback, n));
-  const uint64_t assertion_count = assertion_count_ + 1;
+  const uint64_t assertion_count = revision;
   const size_t touched = index_.ComponentOf(c);
 
   std::vector<ConstraintComponent> split_components;
@@ -308,8 +344,9 @@ Status ProbabilisticNetwork::Assert(CorrespondenceId c, bool approved,
     for (CorrespondenceId member : index_.component(touched).members) {
       if (!determined.IsDetermined(member)) touched_active.Set(member);
     }
-    const ComponentIndex split =
-        ComponentIndex::Build(artifact_->coupling_groups(), touched_active, n);
+    const ComponentIndex split = ComponentIndex::BuildRestricted(
+        artifact_->coupling_groups(), artifact_->group_index(), touched_active,
+        n);
     for (size_t i = 0; i < split.component_count(); ++i) {
       SMN_ASSIGN_OR_RETURN(std::unique_ptr<ComponentCache> cache,
                            BuildCache(split.component(i), nullptr,
@@ -465,6 +502,8 @@ void ProbabilisticNetwork::ComputeGains(
     const ComponentCache& cache, const ConstraintComponent& component) const {
   const size_t k = component.members.size();
   const size_t m = cache.samples.size();
+  const std::vector<CorrespondenceId>& member_local =
+      cache.subproblem.member_local_ids;
   cache.member_gains.assign(k, 0.0);
   cache.gains_valid = true;
   if (m == 0) return;
@@ -487,7 +526,7 @@ void ProbabilisticNetwork::ComputeGains(
       if (w <= 0.0) continue;
       present.clear();
       for (size_t j = 0; j < k; ++j) {
-        if (cache.samples[i].Test(component.members[j])) present.push_back(j);
+        if (cache.samples[i].Test(member_local[j])) present.push_back(j);
       }
       for (size_t a : present) {
         member_mass[a] += w;
@@ -517,7 +556,7 @@ void ProbabilisticNetwork::ComputeGains(
   std::vector<DynamicBitset> columns(k, DynamicBitset(m));
   for (size_t i = 0; i < m; ++i) {
     for (size_t j = 0; j < k; ++j) {
-      if (cache.samples[i].Test(component.members[j])) columns[j].Set(i);
+      if (cache.samples[i].Test(member_local[j])) columns[j].Set(i);
     }
   }
   std::vector<size_t> totals(k, 0);
@@ -594,6 +633,10 @@ bool ProbabilisticNetwork::ComponentExhausted(size_t i) const {
   return caches_[i]->exhausted;
 }
 
+size_t ProbabilisticNetwork::ComponentSampleCount(size_t i) const {
+  return caches_[i]->samples.size();
+}
+
 const std::vector<DynamicBitset>& ProbabilisticNetwork::samples() const {
   // Same latch pattern as ComponentGains: lock spans check, materialize,
   // and return; the view only changes under an exclusive assertion.
@@ -614,7 +657,7 @@ const std::vector<DynamicBitset>& ProbabilisticNetwork::samples() const {
       for (const DynamicBitset& partial : sample_view_) {
         for (const DynamicBitset& sample : cache->samples) {
           DynamicBitset instance = partial;
-          instance |= sample;
+          OrGlobalized(sample, cache->subproblem.local_to_global, &instance);
           next.push_back(std::move(instance));
         }
       }
@@ -633,7 +676,8 @@ const std::vector<DynamicBitset>& ProbabilisticNetwork::samples() const {
       for (size_t i = 0; i < length; ++i) {
         DynamicBitset instance = base;
         for (const auto& cache : caches_) {
-          instance |= cache->samples[i % cache->samples.size()];
+          OrGlobalized(cache->samples[i % cache->samples.size()],
+                       cache->subproblem.local_to_global, &instance);
         }
         sample_view_.push_back(std::move(instance));
       }

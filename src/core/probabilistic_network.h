@@ -90,9 +90,18 @@ class ProbabilisticNetwork {
   /// over one tenant share one artifact — the compiled constraint tables and
   /// coupling groups are never duplicated. Bit-identical to the borrowing
   /// Create for the same network, constraints, options, and rng stream.
+  /// `component_filter`, when non-null, restricts the session to the given
+  /// *initial* component indices (ascending indices into
+  /// artifact->initial_index()): only those components get caches and
+  /// marginals; every other correspondence reads probability 0. This is the
+  /// shard projection — because coupling groups never span initial
+  /// components, a filtered session's state over its components is bitwise
+  /// identical to the same components inside an unfiltered session, provided
+  /// asserts are stamped with the global revision (see AssertStamped).
   static StatusOr<ProbabilisticNetwork> Create(
       std::shared_ptr<const CompiledArtifact> artifact,
-      ProbabilisticNetworkOptions options, Rng* rng);
+      ProbabilisticNetworkOptions options, Rng* rng,
+      const std::vector<size_t>* component_filter = nullptr);
 
   /// Movable, not copyable (per-component caches are owned exclusively).
   ProbabilisticNetwork(ProbabilisticNetwork&&) = default;
@@ -128,6 +137,17 @@ class ProbabilisticNetwork {
   /// Create-time split, which is what keeps incremental and full re-sampling
   /// bit-identical.
   Status Assert(CorrespondenceId c, bool approved, Rng* rng);
+
+  /// Assert with an explicit revision stamp: integrates the assertion as if
+  /// it were the `revision`-th successful assert of a monolithic session
+  /// (the rebuilt caches' RNG streams fork on `revision`, and
+  /// assertion_count() jumps to it). Assert(c, a, rng) is exactly
+  /// AssertStamped(c, a, assertion_count() + 1). Sharded execution routes
+  /// each globally accepted assert to the owning shard with the
+  /// coordinator's global revision, which is what keeps a
+  /// component-filtered session's sample streams bitwise identical to the
+  /// monolithic path. `revision` must be greater than assertion_count().
+  Status AssertStamped(CorrespondenceId c, bool approved, uint64_t revision);
 
   /// Records one noisy expert answer on `c` under the worker error-rate
   /// model (see SoftEvidence) and reweights the touched component's
@@ -241,6 +261,11 @@ class ProbabilisticNetwork {
   /// sub-instance.
   bool ComponentExhausted(size_t i) const;
 
+  /// Number of maintained samples of component `i` (|Ω*_K|). Snapshot
+  /// merging uses (anchor, exhausted, sample count) triples to reproduce the
+  /// monolithic exhausted() cross-product check across shards.
+  size_t ComponentSampleCount(size_t i) const;
+
   /// Number of assertions integrated so far. Also serves as a partition
   /// version: the component structure only changes when this advances.
   uint64_t assertion_count() const { return assertion_count_; }
@@ -261,7 +286,11 @@ class ProbabilisticNetwork {
     ComponentSubproblem subproblem;
     /// Sampling engine; null when the member-exact path enumerated Ω_K.
     std::unique_ptr<SampleStore> store;
-    /// Ω*_K translated to global correspondence ids.
+    /// Ω*_K in *subproblem-local* coordinates (width = subproblem candidate
+    /// count, not the global network width — O(component), which is what
+    /// keeps million-candidate sessions resident). Consumers index members
+    /// through subproblem.member_local_ids; the stitched samples() view
+    /// globalizes lazily.
     std::vector<DynamicBitset> samples;
     /// Marginals of the component members (aligned with members).
     std::vector<double> member_probabilities;

@@ -1,0 +1,46 @@
+#include "core/shard_plan.h"
+
+#include <algorithm>
+
+namespace smn {
+
+ShardPlan ShardPlan::Build(const ComponentIndex& index, size_t shard_count,
+                           size_t correspondence_count) {
+  if (shard_count == 0) shard_count = 1;
+  ShardPlan plan;
+  plan.components_.assign(shard_count, {});
+  plan.weights_.assign(shard_count, 0);
+  plan.shard_of_component_.assign(index.component_count(), kNoShard);
+  plan.shard_of_correspondence_.assign(correspondence_count, kNoShard);
+
+  // Longest-processing-time placement: largest component first (ascending
+  // component index on ties), each onto the lightest shard (lowest id on
+  // ties). Both tie-breaks are total orders, so the plan is deterministic.
+  std::vector<size_t> order(index.component_count());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const size_t wa = index.component(a).members.size();
+    const size_t wb = index.component(b).members.size();
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  for (size_t component : order) {
+    size_t lightest = 0;
+    for (size_t s = 1; s < shard_count; ++s) {
+      if (plan.weights_[s] < plan.weights_[lightest]) lightest = s;
+    }
+    plan.components_[lightest].push_back(component);
+    plan.weights_[lightest] += index.component(component).members.size();
+    plan.shard_of_component_[component] = lightest;
+    for (CorrespondenceId member : index.component(component).members) {
+      plan.shard_of_correspondence_[member] = lightest;
+    }
+  }
+  // ProbabilisticNetwork's component_filter requires ascending indices.
+  for (auto& owned : plan.components_) {
+    std::sort(owned.begin(), owned.end());
+  }
+  return plan;
+}
+
+}  // namespace smn

@@ -1,0 +1,73 @@
+#ifndef SMN_CORE_SHARD_PLAN_H_
+#define SMN_CORE_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/component_index.h"
+
+namespace smn {
+
+/// Deterministic size-balanced partition of a compiled artifact's initial
+/// constraint-connected components into K shards. Built once per sharded
+/// session from the artifact's initial ComponentIndex: components never
+/// migrate (per-assert splits stay inside their initial component because
+/// coupling groups never span components), so the owner of any
+/// correspondence is fixed for the session's lifetime.
+///
+/// Balancing is longest-processing-time: components are placed largest
+/// first (ties broken by ascending component index) onto the currently
+/// lightest shard (ties broken by ascending shard id). The plan is a pure
+/// function of (initial partition, shard count) — no randomness, no
+/// iteration-order dependence — so equal inputs give equal routing on every
+/// run, which the shard-equivalence differential suite relies on.
+class ShardPlan {
+ public:
+  /// ShardOfComponent/ShardOfCorrespondence result for inputs no shard owns
+  /// (initially determined correspondences).
+  static constexpr size_t kNoShard = static_cast<size_t>(-1);
+
+  /// Empty plan (no shards).
+  ShardPlan() = default;
+
+  /// Partitions `index`'s components into `shard_count` shards (clamped to
+  /// at least 1; shards may own zero components when there are fewer
+  /// components than shards). `correspondence_count` sizes the
+  /// correspondence routing table.
+  static ShardPlan Build(const ComponentIndex& index, size_t shard_count,
+                         size_t correspondence_count);
+
+  /// Number of shards.
+  size_t shard_count() const { return components_.size(); }
+
+  /// Initial-component indices owned by `shard`, strictly ascending — the
+  /// exact component_filter a shard passes to ProbabilisticNetwork::Create.
+  const std::vector<size_t>& components_of(size_t shard) const {
+    return components_[shard];
+  }
+
+  /// Shard owning initial component `component`.
+  size_t ShardOfComponent(size_t component) const {
+    return shard_of_component_[component];
+  }
+
+  /// Shard owning `c`'s initial component, or kNoShard when `c` is
+  /// determined by the empty-feedback closure (no shard samples it).
+  size_t ShardOfCorrespondence(CorrespondenceId c) const {
+    return shard_of_correspondence_[c];
+  }
+
+  /// Total member count of the components owned by `shard` (the balance
+  /// weight used by Build; exposed for tests and load reporting).
+  size_t shard_weight(size_t shard) const { return weights_[shard]; }
+
+ private:
+  std::vector<std::vector<size_t>> components_;
+  std::vector<size_t> weights_;
+  std::vector<size_t> shard_of_component_;
+  std::vector<size_t> shard_of_correspondence_;
+};
+
+}  // namespace smn
+
+#endif  // SMN_CORE_SHARD_PLAN_H_

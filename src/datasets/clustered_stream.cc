@@ -1,0 +1,180 @@
+#include "datasets/clustered_stream.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace smn {
+namespace datasets {
+namespace {
+
+/// Packs an unordered attribute pair into one dedup key (min, max).
+uint64_t PairKey(AttributeId a, AttributeId b) {
+  const uint64_t lo = std::min(a, b);
+  const uint64_t hi = std::max(a, b);
+  return (lo << 32) | hi;
+}
+
+}  // namespace
+
+size_t ClusteredStreamSpec::ResolvedAttrsPerSchema() const {
+  if (attrs_per_schema != 0) return attrs_per_schema;
+  return std::max<size_t>(3, candidates_per_cluster / 4);
+}
+
+ClusteredNetworkStream::ClusteredNetworkStream(ClusteredStreamSpec spec)
+    : spec_(spec) {
+  spec_.attrs_per_schema = spec_.ResolvedAttrsPerSchema();
+}
+
+bool ClusteredNetworkStream::Next(ClusterBatch* batch) {
+  if (next_cluster_ >= spec_.clusters) return false;
+  const size_t cluster = next_cluster_++;
+  const size_t schemas = spec_.schemas_per_cluster;
+  const size_t attrs = spec_.attrs_per_schema;
+
+  batch->cluster = cluster;
+  batch->first_schema = static_cast<SchemaId>(cluster * schemas);
+  batch->first_attribute = static_cast<AttributeId>(cluster * schemas * attrs);
+  batch->edges.clear();
+  batch->candidates.clear();
+
+  // Cluster-local complete graph in canonical pivot order.
+  for (size_t s1 = 0; s1 < schemas; ++s1) {
+    for (size_t s2 = s1 + 1; s2 < schemas; ++s2) {
+      batch->edges.emplace_back(
+          static_cast<SchemaId>(batch->first_schema + s1),
+          static_cast<SchemaId>(batch->first_schema + s2));
+    }
+  }
+
+  // The cluster's private stream: a pure function of (seed, cluster), so a
+  // batch's contents are independent of every other batch — the property
+  // that lets generation, digesting, and materialization all replay it.
+  Rng rng = Rng(spec_.seed).Fork(cluster);
+  seen_pairs_.clear();  // Capacity retained: scratch stays O(one cluster).
+  size_t added = 0;
+  size_t failures = 0;
+  while (added < spec_.candidates_per_cluster &&
+         failures < 64 * spec_.candidates_per_cluster) {
+    const size_t s1 = rng.Index(schemas);
+    const size_t s2 = rng.Index(schemas);
+    if (s1 == s2) {
+      ++failures;
+      continue;
+    }
+    const AttributeId a = static_cast<AttributeId>(batch->first_attribute +
+                                                   s1 * attrs +
+                                                   rng.Index(attrs));
+    const AttributeId b = static_cast<AttributeId>(batch->first_attribute +
+                                                   s2 * attrs +
+                                                   rng.Index(attrs));
+    // Draw the confidence before the duplicate check, matching the
+    // in-memory builders (which evaluate it as an argument either way).
+    const double confidence = rng.UniformDouble();
+    if (!seen_pairs_.insert(PairKey(a, b)).second) {
+      ++failures;
+      continue;
+    }
+    batch->candidates.push_back(ClusterBatch::Candidate{a, b, confidence});
+    ++added;
+  }
+  return true;
+}
+
+void NetworkDigest::MixDouble(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  Mix(bits);
+}
+
+uint64_t DigestClusteredStream(const ClusteredStreamSpec& spec) {
+  ClusteredNetworkStream stream(spec);
+  const ClusteredStreamSpec& resolved = stream.spec();
+  NetworkDigest digest;
+  // Canonical content order matches DigestNetwork's walk: schema count,
+  // each attribute's schema, every edge, every candidate. The first three
+  // are pure geometry — no stream state needed.
+  digest.Mix(resolved.schema_count());
+  for (size_t attr = 0; attr < resolved.attribute_count(); ++attr) {
+    digest.Mix(attr / resolved.attrs_per_schema);
+  }
+  for (size_t cluster = 0; cluster < resolved.clusters; ++cluster) {
+    const size_t first = cluster * resolved.schemas_per_cluster;
+    for (size_t s1 = 0; s1 < resolved.schemas_per_cluster; ++s1) {
+      for (size_t s2 = s1 + 1; s2 < resolved.schemas_per_cluster; ++s2) {
+        digest.Mix(first + s1);
+        digest.Mix(first + s2);
+      }
+    }
+  }
+  ClusterBatch batch;
+  while (stream.Next(&batch)) {
+    for (const ClusterBatch::Candidate& candidate : batch.candidates) {
+      // Canonical endpoint order is by schema id; attribute blocks are
+      // contiguous ascending per schema, so min/max on the attribute ids is
+      // exactly the (left, right) the Network stores.
+      digest.Mix(std::min(candidate.a, candidate.b));
+      digest.Mix(std::max(candidate.a, candidate.b));
+      digest.MixDouble(candidate.confidence);
+    }
+  }
+  return digest.value();
+}
+
+uint64_t DigestNetwork(const Network& network) {
+  NetworkDigest digest;
+  digest.Mix(network.schema_count());
+  for (const Attribute& attribute : network.attributes()) {
+    digest.Mix(attribute.schema);
+  }
+  for (const auto& edge : network.graph().edges()) {
+    digest.Mix(edge.first);
+    digest.Mix(edge.second);
+  }
+  for (const Correspondence& candidate : network.correspondences()) {
+    digest.Mix(candidate.left);
+    digest.Mix(candidate.right);
+    digest.MixDouble(candidate.confidence);
+  }
+  return digest.value();
+}
+
+StatusOr<Network> MaterializeClusteredStream(const ClusteredStreamSpec& spec) {
+  ClusteredNetworkStream stream(spec);
+  const ClusteredStreamSpec& resolved = stream.spec();
+  NetworkBuilder builder;
+  // All schemas and attributes up front (the builder freezes the schema set
+  // at the first AddEdge), in the same cluster-major order the stream's
+  // global-id arithmetic assumes.
+  for (size_t cluster = 0; cluster < resolved.clusters; ++cluster) {
+    for (size_t s = 0; s < resolved.schemas_per_cluster; ++s) {
+      const SchemaId schema = builder.AddSchema(
+          "K" + std::to_string(cluster) + "S" + std::to_string(s));
+      for (size_t a = 0; a < resolved.attrs_per_schema; ++a) {
+        SMN_ASSIGN_OR_RETURN(
+            AttributeId id,
+            builder.AddAttribute(schema, "a" + std::to_string(a)));
+        (void)id;
+      }
+    }
+  }
+  ClusterBatch batch;
+  while (stream.Next(&batch)) {
+    for (const auto& edge : batch.edges) {
+      SMN_RETURN_IF_ERROR(builder.AddEdge(edge.first, edge.second));
+    }
+    for (const ClusterBatch::Candidate& candidate : batch.candidates) {
+      SMN_ASSIGN_OR_RETURN(CorrespondenceId id,
+                           builder.AddCorrespondence(candidate.a, candidate.b,
+                                                     candidate.confidence));
+      (void)id;
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace datasets
+}  // namespace smn

@@ -1,0 +1,141 @@
+#ifndef SMN_DATASETS_CLUSTERED_STREAM_H_
+#define SMN_DATASETS_CLUSTERED_STREAM_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/network.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace smn {
+namespace datasets {
+
+/// Geometry of a streamed clustered synthetic network: `clusters` disjoint
+/// schema groups (complete interaction graph within a group, no edges
+/// across), each holding up to `candidates_per_cluster` random candidate
+/// correspondences. The same geometry as the in-memory clustered builders
+/// (bench/synthetic_networks.h, tests/testing), scaled to million-candidate
+/// networks: the stream derives every cluster independently, so generation
+/// keeps O(one cluster) state resident instead of O(network).
+struct ClusteredStreamSpec {
+  /// Number of disjoint clusters (each is at least one constraint-connected
+  /// component).
+  size_t clusters = 1;
+  /// Candidate correspondences targeted per cluster. The actual count can
+  /// fall short when the cluster's attribute-pair space saturates (the
+  /// generator retries duplicates up to 64 × the target, like the in-memory
+  /// builders).
+  size_t candidates_per_cluster = 8;
+  /// Generation seed. Every cluster forks its own stream off this seed, so
+  /// cluster k's contents are a pure function of (seed, k) — independent of
+  /// how many clusters precede it.
+  uint64_t seed = 0;
+  /// Schemas per cluster.
+  size_t schemas_per_cluster = 3;
+  /// Attributes per schema; 0 derives max(3, candidates_per_cluster / 4),
+  /// the in-memory builders' density.
+  size_t attrs_per_schema = 0;
+
+  /// The resolved attrs_per_schema (the 0 default made concrete).
+  size_t ResolvedAttrsPerSchema() const;
+  /// Total schema count across clusters.
+  size_t schema_count() const { return clusters * schemas_per_cluster; }
+  /// Total attribute count across clusters.
+  size_t attribute_count() const {
+    return schema_count() * ResolvedAttrsPerSchema();
+  }
+};
+
+/// One cluster's worth of network content, with *global* ids: schemas and
+/// attributes are allocated cluster-major (cluster k's schemas are
+/// [k·S, (k+1)·S), its attributes follow the same arithmetic), so a batch
+/// can be emitted — or digested — without knowing any other batch.
+struct ClusterBatch {
+  /// A candidate correspondence between two global attribute ids (distinct
+  /// schemas of this cluster).
+  struct Candidate {
+    AttributeId a = 0;
+    AttributeId b = 0;
+    double confidence = 0.0;
+  };
+
+  /// Cluster index this batch describes.
+  size_t cluster = 0;
+  /// First global schema id of the cluster (schemas_per_cluster follow).
+  SchemaId first_schema = 0;
+  /// First global attribute id (schemas_per_cluster · attrs_per_schema
+  /// follow, grouped by schema).
+  AttributeId first_attribute = 0;
+  /// Intra-cluster interaction edges, (smaller, larger) global schema ids in
+  /// canonical pivot order.
+  std::vector<std::pair<SchemaId, SchemaId>> edges;
+  /// Candidates in generation order (deduplicated within the cluster).
+  std::vector<Candidate> candidates;
+};
+
+/// Pull-based streaming generator: Next() yields one ClusterBatch at a time
+/// and reuses its scratch allocations across clusters, so the resident
+/// high-water mark is O(largest cluster), independent of spec.clusters —
+/// the property the generator memory test pins with an allocation hook.
+class ClusteredNetworkStream {
+ public:
+  explicit ClusteredNetworkStream(ClusteredStreamSpec spec);
+
+  /// Fills `*batch` with the next cluster. Returns false when every cluster
+  /// has been emitted. The batch's vectors are overwritten, not appended.
+  bool Next(ClusterBatch* batch);
+
+  /// Clusters emitted so far.
+  size_t clusters_emitted() const { return next_cluster_; }
+
+  /// The spec this stream was built from (attrs_per_schema resolved).
+  const ClusteredStreamSpec& spec() const { return spec_; }
+
+ private:
+  ClusteredStreamSpec spec_;
+  size_t next_cluster_ = 0;
+  /// Per-cluster duplicate filter, cleared (capacity retained) every batch.
+  std::unordered_set<uint64_t> seen_pairs_;
+};
+
+/// FNV-1a-style running digest over canonical network content. Both the
+/// stream (arithmetically, O(cluster) memory) and a materialized Network
+/// (by walking it) can produce one; equality is the streaming generator's
+/// correctness check.
+class NetworkDigest {
+ public:
+  /// Mixes one 64-bit word.
+  void Mix(uint64_t word) {
+    hash_ ^= word;
+    hash_ *= 0x100000001B3ULL;
+  }
+  /// Mixes a double by bit pattern (exact, not value-rounded).
+  void MixDouble(double value);
+  /// The digest so far.
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+/// Digest of a stream's entire canonical content — schema count, each
+/// attribute's schema, every edge, every candidate (endpoints + confidence
+/// bits) — computed cluster-at-a-time without materializing anything.
+uint64_t DigestClusteredStream(const ClusteredStreamSpec& spec);
+
+/// The same canonical digest computed from a materialized Network. Equal to
+/// DigestClusteredStream for the Network built by
+/// MaterializeClusteredStream over the same spec.
+uint64_t DigestNetwork(const Network& network);
+
+/// Replays the stream into a NetworkBuilder and returns the built Network —
+/// the in-memory endpoint of the stream, O(network) resident like any
+/// materialized network. Constraints are the caller's to attach.
+StatusOr<Network> MaterializeClusteredStream(const ClusteredStreamSpec& spec);
+
+}  // namespace datasets
+}  // namespace smn
+
+#endif  // SMN_DATASETS_CLUSTERED_STREAM_H_

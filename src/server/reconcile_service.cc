@@ -40,7 +40,8 @@ StatusOr<SessionId> ReconcileService::OpenSession(TenantId tenant,
                        TenantArtifact(tenant));
   SMN_ASSIGN_OR_RETURN(
       std::shared_ptr<Session> session,
-      sessions_.Create(std::move(artifact), options_.network, seed));
+      sessions_.Create(std::move(artifact), options_.network, seed,
+                       options_.session_shards));
   {
     MutexLock lock(stats_mu_);
     ++stats_.sessions_opened;

@@ -10,7 +10,7 @@ Session::Session(SessionId id, uint64_t seed)
 
 StatusOr<std::unique_ptr<Session>> Session::Create(
     SessionId id, std::shared_ptr<const CompiledArtifact> artifact,
-    const ProbabilisticNetworkOptions& options, uint64_t seed) {
+    const ProbabilisticNetworkOptions& options, uint64_t seed, size_t shards) {
   if (artifact == nullptr) {
     return Status::InvalidArgument("Session::Create: artifact must be non-null");
   }
@@ -19,6 +19,16 @@ StatusOr<std::unique_ptr<Session>> Session::Create(
   // access pattern provable instead of exempted.
   auto session = std::unique_ptr<Session>(new Session(id, seed));
   MutexLock lock(session->mu_);
+  if (shards >= 1) {
+    ShardedNetworkOptions sharded_options;
+    sharded_options.network = options;
+    sharded_options.shards = shards;
+    SMN_ASSIGN_OR_RETURN(
+        session->sharded_,
+        ShardedNetwork::Create(std::move(artifact), std::move(sharded_options),
+                               seed));
+    return session;
+  }
   SMN_ASSIGN_OR_RETURN(
       ProbabilisticNetwork pmn,
       ProbabilisticNetwork::Create(std::move(artifact), options,
@@ -29,21 +39,35 @@ StatusOr<std::unique_ptr<Session>> Session::Create(
 
 Status Session::Assert(CorrespondenceId c, bool approved) {
   MutexLock lock(mu_);
+  if (sharded_ != nullptr) return sharded_->Assert(c, approved);
   return pmn_->Assert(c, approved, &rng_);
 }
 
 Status Session::AssertSoft(CorrespondenceId c, bool approved,
                            double error_rate) {
   MutexLock lock(mu_);
-  SMN_RETURN_IF_ERROR(pmn_->AssertSoft(c, approved, error_rate, &rng_));
+  if (sharded_ != nullptr) {
+    SMN_RETURN_IF_ERROR(sharded_->AssertSoft(c, approved, error_rate));
+  } else {
+    SMN_RETURN_IF_ERROR(pmn_->AssertSoft(c, approved, error_rate, &rng_));
+  }
   ++soft_answers_;
   return Status::OK();
 }
 
-SessionSnapshot Session::Snapshot() const {
+StatusOr<SessionSnapshot> Session::Snapshot() const {
   MutexLock lock(mu_);
   SessionSnapshot snapshot;
   snapshot.session_id = id_;
+  if (sharded_ != nullptr) {
+    SMN_ASSIGN_OR_RETURN(ShardedSnapshot sharded, sharded_->Snapshot());
+    snapshot.revision = sharded.revision;
+    snapshot.soft_answer_count = soft_answers_;
+    snapshot.probabilities = std::move(sharded.probabilities);
+    snapshot.uncertainty = sharded.uncertainty;
+    snapshot.exhausted = sharded.exhausted;
+    return snapshot;
+  }
   snapshot.revision = pmn_->assertion_count();
   snapshot.soft_answer_count = soft_answers_;
   snapshot.probabilities = pmn_->probabilities();
@@ -57,6 +81,11 @@ StatusOr<ReconcileTrace> Session::Reconcile(StrategyKind kind,
                                             AssertionOracle oracle,
                                             const ElicitationPolicy& policy) {
   MutexLock lock(mu_);
+  if (sharded_ != nullptr) {
+    return Status::Unimplemented(
+        "Reconcile requires a monolithic session (shards = 0): the "
+        "reconciler loop drives the network directly");
+  }
   std::unique_ptr<SelectionStrategy> strategy = MakeStrategy(kind);
   Reconciler reconciler(&*pmn_, strategy.get(), std::move(oracle), policy);
   return reconciler.Run(goal, &rng_);

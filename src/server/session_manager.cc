@@ -9,7 +9,7 @@ namespace server {
 
 StatusOr<std::shared_ptr<Session>> SessionManager::Create(
     std::shared_ptr<const CompiledArtifact> artifact,
-    const ProbabilisticNetworkOptions& options, uint64_t seed) {
+    const ProbabilisticNetworkOptions& options, uint64_t seed, size_t shards) {
   SessionId id = 0;
   {
     MutexLock lock(mu_);
@@ -17,8 +17,9 @@ StatusOr<std::shared_ptr<Session>> SessionManager::Create(
   }
   // Build outside the lock: drawing the initial sample sets is the
   // expensive part of session creation and must not serialize the server.
-  SMN_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
-                       Session::Create(id, std::move(artifact), options, seed));
+  SMN_ASSIGN_OR_RETURN(
+      std::unique_ptr<Session> session,
+      Session::Create(id, std::move(artifact), options, seed, shards));
   std::shared_ptr<Session> shared = std::move(session);
   {
     MutexLock lock(mu_);

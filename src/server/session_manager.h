@@ -40,11 +40,13 @@ class SessionManager {
   SessionManager& operator=(const SessionManager&) = delete;
 
   /// Creates a session over `artifact`, building its initial sample state
-  /// outside the manager lock, and publishes it under a fresh id.
+  /// outside the manager lock, and publishes it under a fresh id. `shards`
+  /// selects the session's execution engine (see Session::Create): 0 is
+  /// monolithic, K ≥ 1 runs K worker shards.
   StatusOr<std::shared_ptr<Session>> Create(
       std::shared_ptr<const CompiledArtifact> artifact,
-      const ProbabilisticNetworkOptions& options, uint64_t seed)
-      SMN_EXCLUDES(mu_);
+      const ProbabilisticNetworkOptions& options, uint64_t seed,
+      size_t shards = 0) SMN_EXCLUDES(mu_);
 
   /// Resolves `id` and marks the session used at the current tick. Returns
   /// NotFound for unknown (or already expired/closed) ids.

@@ -1,0 +1,371 @@
+#include "server/sharded_network.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace smn {
+namespace server {
+
+ShardedNetwork::ShardedNetwork(
+    std::shared_ptr<const CompiledArtifact> artifact,
+    ShardedNetworkOptions options)
+    : artifact_(std::move(artifact)),
+      options_(std::move(options)),
+      correspondence_count_(artifact_->network().correspondence_count()),
+      feedback_(correspondence_count_),
+      soft_evidence_(correspondence_count_),
+      determined_(artifact_->initial_determined()) {}
+
+StatusOr<std::unique_ptr<ShardedNetwork>> ShardedNetwork::Create(
+    std::shared_ptr<const CompiledArtifact> artifact,
+    ShardedNetworkOptions options, uint64_t seed) {
+  if (artifact == nullptr) {
+    return Status::InvalidArgument("ShardedNetwork: artifact must not be null");
+  }
+  std::unique_ptr<ShardedNetwork> net(
+      new ShardedNetwork(std::move(artifact), std::move(options)));
+  net->plan_ = ShardPlan::Build(net->artifact_->initial_index(),
+                                net->options_.shards,
+                                net->correspondence_count_);
+  const size_t shards = net->plan_.shard_count();
+  net->pmns_.reserve(shards);
+  for (size_t k = 0; k < shards; ++k) {
+    // Every shard restarts the seed: its base stream equals the monolithic
+    // session's, so per-component forks — keyed purely on (anchor,
+    // revision) — reproduce the monolithic sample sets bit for bit.
+    Rng rng(seed);
+    SMN_ASSIGN_OR_RETURN(
+        ProbabilisticNetwork pmn,
+        ProbabilisticNetwork::Create(net->artifact_, net->options_.network,
+                                     &rng, &net->plan_.components_of(k)));
+    net->pmns_.push_back(std::move(pmn));
+  }
+  for (size_t k = 0; k < shards; ++k) {
+    net->queues_.push_back(std::make_unique<BoundedQueue<ShardRequest>>(
+        net->options_.queue_capacity));
+  }
+  // Workers start last: everything they read without locks (plan_, pmns_,
+  // queues_) is fully built, and thread creation synchronizes-with the
+  // worker's first read.
+  net->workers_.reserve(shards);
+  for (size_t k = 0; k < shards; ++k) {
+    net->workers_.emplace_back(&ShardedNetwork::WorkerLoop, net.get(), k);
+  }
+  return net;
+}
+
+ShardedNetwork::~ShardedNetwork() {
+  for (auto& queue : queues_) queue->Close();
+  // Workers drain every already accepted request (fulfilling its promise)
+  // before exiting — see BoundedQueue's shutdown contract.
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ShardedNetwork::WorkerLoop(size_t shard) {
+  ShardRequest request;
+  while (queues_[shard]->Pop(&request)) {
+    // A degraded shard stops mutating: its state diverged from the
+    // coordinator ledger at the first failure, so integrating later
+    // requests would compound the divergence. Drain them with the sticky
+    // error instead.
+    Status degraded = DegradedStatus();
+    if (options_.fault_hook && degraded.ok()) {
+      Status injected = options_.fault_hook(shard);
+      if (!injected.ok()) {
+        MarkDegraded(injected);
+        degraded = DegradedStatus();
+      }
+    }
+    switch (request.kind) {
+      case ShardRequest::Kind::kAssert: {
+        Status status = degraded.ok()
+                            ? pmns_[shard].AssertStamped(
+                                  request.c, request.approved, request.revision)
+                            : degraded;
+        if (degraded.ok() && !status.ok()) MarkDegraded(status);
+        request.done->set_value(std::move(status));
+        break;
+      }
+      case ShardRequest::Kind::kAssertSoft: {
+        // rng is never consumed on the soft path (and the ε = 0 case is
+        // resolved on the coordinator), so nullptr is safe — and loud if
+        // that invariant ever breaks.
+        Status status = degraded.ok()
+                            ? pmns_[shard].AssertSoft(request.c,
+                                                      request.approved,
+                                                      request.error_rate,
+                                                      /*rng=*/nullptr)
+                            : degraded;
+        if (degraded.ok() && !status.ok()) MarkDegraded(status);
+        request.done->set_value(std::move(status));
+        break;
+      }
+      case ShardRequest::Kind::kRead: {
+        ShardReadState state;
+        if (degraded.ok()) {
+          state = ReadShard(shard, request.want_gains);
+        } else {
+          state.status = std::move(degraded);
+        }
+        request.read->set_value(std::move(state));
+        break;
+      }
+    }
+  }
+}
+
+ShardedNetwork::ShardReadState ShardedNetwork::ReadShard(
+    size_t shard, bool want_gains) const {
+  ShardReadState state;
+  const ProbabilisticNetwork& pmn = pmns_[shard];
+  for (size_t i = 0; i < pmn.component_count(); ++i) {
+    const ConstraintComponent& component = pmn.component(i);
+    ComponentDigest digest;
+    digest.anchor = component.anchor;
+    digest.entropy = pmn.ComponentEntropy(i);
+    digest.exhausted = pmn.ComponentExhausted(i);
+    digest.sample_count = pmn.ComponentSampleCount(i);
+    state.components.push_back(digest);
+    for (CorrespondenceId member : component.members) {
+      state.member_probabilities.emplace_back(member, pmn.probability(member));
+    }
+    if (want_gains) {
+      const std::vector<double>& gains = pmn.ComponentGains(i);
+      for (size_t j = 0; j < component.members.size(); ++j) {
+        state.member_gains.emplace_back(component.members[j], gains[j]);
+      }
+    }
+  }
+  return state;
+}
+
+void ShardedNetwork::MarkDegraded(const Status& status) {
+  MutexLock lock(degraded_mu_);
+  if (degraded_.ok()) {
+    degraded_ = Status::FailedPrecondition("sharded session degraded: " +
+                                           status.ToString());
+  }
+}
+
+Status ShardedNetwork::DegradedStatus() const {
+  MutexLock lock(degraded_mu_);
+  return degraded_;
+}
+
+Status ShardedNetwork::Assert(CorrespondenceId c, bool approved) {
+  return SubmitAssert(c, approved).get();
+}
+
+std::future<Status> ShardedNetwork::SubmitAssert(CorrespondenceId c,
+                                                 bool approved) {
+  auto done = std::make_shared<std::promise<Status>>();
+  std::future<Status> result = done->get_future();
+  MutexLock lock(mu_);
+  {
+    Status degraded = DegradedStatus();
+    if (!degraded.ok()) {
+      done->set_value(std::move(degraded));
+      return result;
+    }
+  }
+  // Exactly the monolithic validation, staged against the coordinator
+  // ledger: a rejected assert resolves synchronously, consumes no revision,
+  // and reaches no shard — so accept/reject traces match the monolithic
+  // session's.
+  Feedback feedback = feedback_;
+  Status staged = feedback.Assert(c, approved);
+  if (!staged.ok()) {
+    done->set_value(std::move(staged));
+    return result;
+  }
+  StatusOr<DeterminedSet> determined = PropagateFeedback(
+      artifact_->constraints(), feedback, correspondence_count_);
+  if (!determined.ok()) {
+    done->set_value(determined.status());
+    return result;
+  }
+  feedback_ = std::move(feedback);
+  determined_ = std::move(determined).value();
+  ++revision_;
+  const size_t shard = plan_.ShardOfCorrespondence(c);
+  if (shard == ShardPlan::kNoShard) {
+    // Determined by the empty-feedback closure: the monolithic path touches
+    // no cache either (ComponentOf is kNoComponent), but the revision still
+    // advances — shards fork later rebuilds on the same stamps either way.
+    done->set_value(Status::OK());
+    return result;
+  }
+  ShardRequest request;
+  request.kind = ShardRequest::Kind::kAssert;
+  request.c = c;
+  request.approved = approved;
+  request.revision = revision_;
+  request.done = done;
+  if (!queues_[shard]->Push(std::move(request))) {
+    done->set_value(
+        Status::FailedPrecondition("sharded session is shutting down"));
+  }
+  return result;
+}
+
+Status ShardedNetwork::AssertSoft(CorrespondenceId c, bool approved,
+                                  double error_rate) {
+  // The perfect-expert limit takes the hard path verbatim, exactly like the
+  // monolithic AssertSoft.
+  if (error_rate == 0.0) return Assert(c, approved);
+  std::future<Status> routed;
+  bool has_routed = false;
+  {
+    MutexLock lock(mu_);
+    SMN_RETURN_IF_ERROR(DegradedStatus());
+    SMN_RETURN_IF_ERROR(soft_evidence_.Record(c, approved, error_rate));
+    ++soft_answers_;
+    const size_t shard = plan_.ShardOfCorrespondence(c);
+    if (shard != ShardPlan::kNoShard) {
+      auto done = std::make_shared<std::promise<Status>>();
+      routed = done->get_future();
+      ShardRequest request;
+      request.kind = ShardRequest::Kind::kAssertSoft;
+      request.c = c;
+      request.approved = approved;
+      request.error_rate = error_rate;
+      request.done = done;
+      if (!queues_[shard]->Push(std::move(request))) {
+        done->set_value(
+            Status::FailedPrecondition("sharded session is shutting down"));
+      }
+      has_routed = true;
+    }
+    // kNoShard: determined by the empty-feedback closure — ledger-only, as
+    // in the monolithic session (the answer still cost an elicitation).
+  }
+  if (!has_routed) return Status::OK();
+  return routed.get();
+}
+
+StatusOr<std::vector<ShardedNetwork::ShardReadState>>
+ShardedNetwork::FanOutRead(bool want_gains, uint64_t* revision_out,
+                           uint64_t* soft_out,
+                           DeterminedSet* determined_out) {
+  std::vector<std::future<ShardReadState>> futures;
+  futures.reserve(plan_.shard_count());
+  {
+    MutexLock lock(mu_);
+    SMN_RETURN_IF_ERROR(DegradedStatus());
+    if (revision_out != nullptr) *revision_out = revision_;
+    if (soft_out != nullptr) *soft_out = soft_answers_;
+    if (determined_out != nullptr) *determined_out = determined_;
+    // One read marker per shard, enqueued under the coordinator lock: FIFO
+    // mailboxes make this a consistent cut — every shard serves the read
+    // after exactly the asserts committed before this point.
+    for (size_t k = 0; k < plan_.shard_count(); ++k) {
+      auto read = std::make_shared<std::promise<ShardReadState>>();
+      futures.push_back(read->get_future());
+      ShardRequest request;
+      request.kind = ShardRequest::Kind::kRead;
+      request.want_gains = want_gains;
+      request.read = read;
+      if (!queues_[k]->Push(std::move(request))) {
+        ShardReadState unavailable;
+        unavailable.status =
+            Status::FailedPrecondition("sharded session is shutting down");
+        read->set_value(std::move(unavailable));
+      }
+    }
+  }
+  // Wait outside the lock: workers never need mu_, but holding it here
+  // would serialize overlapping reads for no reason.
+  std::vector<ShardReadState> states;
+  states.reserve(futures.size());
+  for (auto& future : futures) states.push_back(future.get());
+  for (const ShardReadState& state : states) {
+    SMN_RETURN_IF_ERROR(state.status);
+  }
+  return states;
+}
+
+StatusOr<ShardedSnapshot> ShardedNetwork::Snapshot() {
+  uint64_t revision = 0;
+  uint64_t soft = 0;
+  DeterminedSet determined;
+  SMN_ASSIGN_OR_RETURN(
+      std::vector<ShardReadState> states,
+      FanOutRead(/*want_gains=*/false, &revision, &soft, &determined));
+
+  ShardedSnapshot snapshot;
+  snapshot.revision = revision;
+  snapshot.soft_answer_count = soft;
+
+  // Replay RefreshDerivedState: zeros, member marginals by global id, then
+  // the closure pinned over them (members are undetermined, so the pinning
+  // order only matters for determined correspondences — same as monolithic).
+  snapshot.probabilities.assign(correspondence_count_, 0.0);
+  std::vector<ComponentDigest> digests;
+  for (const ShardReadState& state : states) {
+    for (const auto& entry : state.member_probabilities) {
+      snapshot.probabilities[entry.first] = entry.second;
+    }
+    digests.insert(digests.end(), state.components.begin(),
+                   state.components.end());
+  }
+  determined.approved.ForEachSetBit(
+      [&](size_t c) { snapshot.probabilities[c] = 1.0; });
+  determined.disapproved.ForEachSetBit(
+      [&](size_t c) { snapshot.probabilities[c] = 0.0; });
+
+  // Anchors are unique (a component's anchor is its least member), so this
+  // sort reproduces the monolithic component order exactly; entropy must be
+  // summed in that order for bitwise-equal float results.
+  std::sort(digests.begin(), digests.end(),
+            [](const ComponentDigest& a, const ComponentDigest& b) {
+              return a.anchor < b.anchor;
+            });
+  snapshot.uncertainty = 0.0;
+  for (const ComponentDigest& digest : digests) {
+    snapshot.uncertainty += digest.entropy;
+  }
+
+  // Replay the monolithic exhausted() check, including its sticky overflow
+  // corner (an overflowed cross-product stays overflowed even past a
+  // zero-sample component) — per-shard partial products would not.
+  bool all_exhausted = true;
+  bool product_overflow = false;
+  size_t product = 1;
+  for (const ComponentDigest& digest : digests) {
+    all_exhausted = all_exhausted && digest.exhausted;
+    const size_t size = digest.sample_count;
+    if (size == 0) {
+      product = 0;
+    } else if (product > std::numeric_limits<size_t>::max() / size) {
+      product_overflow = true;
+    } else {
+      product *= size;
+    }
+  }
+  snapshot.exhausted = all_exhausted && !product_overflow &&
+                       product <= options_.network.sample_view_cap;
+  return snapshot;
+}
+
+StatusOr<std::vector<double>> ShardedNetwork::InformationGains() {
+  SMN_ASSIGN_OR_RETURN(std::vector<ShardReadState> states,
+                       FanOutRead(/*want_gains=*/true, nullptr, nullptr,
+                                  nullptr));
+  std::vector<double> gains(correspondence_count_, 0.0);
+  for (const ShardReadState& state : states) {
+    for (const auto& entry : state.member_gains) {
+      gains[entry.first] = entry.second;
+    }
+  }
+  return gains;
+}
+
+uint64_t ShardedNetwork::revision() const {
+  MutexLock lock(mu_);
+  return revision_;
+}
+
+}  // namespace server
+}  // namespace smn

@@ -1,0 +1,259 @@
+#ifndef SMN_SERVER_SHARDED_NETWORK_H_
+#define SMN_SERVER_SHARDED_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/compiled_artifact.h"
+#include "core/probabilistic_network.h"
+#include "core/shard_plan.h"
+#include "util/bounded_queue.h"
+#include "util/mutex.h"
+#include "util/statusor.h"
+#include "util/thread_annotations.h"
+
+namespace smn {
+namespace server {
+
+/// Tuning knobs for a sharded reconciliation session.
+struct ShardedNetworkOptions {
+  /// Per-shard network configuration (sampling targets, incremental mode,
+  /// sample view cap). Every shard uses the same options.
+  ProbabilisticNetworkOptions network;
+  /// Number of worker shards. 1 is a degenerate but valid configuration:
+  /// one worker owning every component, still routed through the queue.
+  size_t shards = 1;
+  /// Capacity of each shard's request queue. Producers block (backpressure)
+  /// when a shard falls this far behind.
+  size_t queue_capacity = 64;
+  /// Test-only fault injection: when set, called on the worker thread before
+  /// every request it processes; a non-OK return fails that request and
+  /// degrades the session exactly like an internal shard failure. Never set
+  /// in production configurations.
+  std::function<Status(size_t shard)> fault_hook;
+};
+
+/// A snapshot-consistent read of a sharded session, merged across shards.
+/// Field-for-field comparable with the monolithic session's view: equal
+/// seeds and assert sequences give bitwise-equal contents at any shard
+/// count.
+struct ShardedSnapshot {
+  /// Number of accepted hard assertions (the coordinator revision).
+  uint64_t revision = 0;
+  /// Number of recorded soft answers.
+  uint64_t soft_answer_count = 0;
+  /// Correspondence probabilities P, closure-pinned to exactly 1/0.
+  std::vector<double> probabilities;
+  /// Network uncertainty H(C, P) in bits.
+  double uncertainty = 0.0;
+  /// True when the per-component sample sets provably cover Ω and their
+  /// cross-product fits the configured view cap.
+  bool exhausted = false;
+};
+
+/// Single-process N-worker-shard execution engine over one compiled
+/// artifact: the sharded counterpart of a ProbabilisticNetwork session.
+///
+/// Structure. Create partitions the artifact's initial constraint-connected
+/// components into K size-balanced shards (ShardPlan) and builds one
+/// component-filtered ProbabilisticNetwork per shard — each holding caches
+/// only for its own components. One worker thread per shard owns its
+/// network exclusively and serves requests from a bounded FIFO mailbox.
+/// The coordinator (any caller thread) owns the global feedback and
+/// soft-evidence ledgers, validates every mutation against them, and routes
+/// accepted work to the owning shard.
+///
+/// Determinism contract. Every shard seeds its network from the same
+/// Create-time seed, so a shard's base stream equals the monolithic
+/// session's; per-component streams fork purely on (anchor, revision); and
+/// the coordinator stamps each routed assert with the global revision
+/// (AssertStamped). Coupling groups never span initial components, so a
+/// shard's restricted closure equals the global closure restricted to its
+/// components. Together: marginals, entropies, gains, and accept/reject
+/// traces are bitwise identical to the monolithic session at any K — the
+/// invariant the shard-equivalence differential suite pins.
+///
+/// Mutation path (Assert). Under the coordinator lock: stage the feedback
+/// ledger, run the same closure propagation a monolithic Assert runs, and
+/// reject synchronously — a rejected assert consumes no revision and
+/// reaches no shard. On acceptance: commit the ledger, advance the
+/// revision, and enqueue the stamped assert to the owning shard (none when
+/// the correspondence is determined by the empty-feedback closure — the
+/// monolithic path touches no cache there either). The returned future
+/// resolves when the shard has integrated the assert.
+///
+/// Read path (Snapshot / InformationGains). Under the coordinator lock,
+/// capture the ledger state and enqueue a read marker to *every* shard.
+/// Queue FIFO order makes the marker a consistent cut: each shard serves
+/// the read after exactly the asserts committed before it. Merging is
+/// bitwise-faithful to the monolithic derivation: member marginals placed
+/// by global id then closure-pinned (RefreshDerivedState order), and
+/// per-component entropy/exhausted digests merged in ascending anchor
+/// order — the same float summation sequence the monolithic loop executes.
+///
+/// Failure semantics. A shard failure (sampler error, injected fault)
+/// fails that request's future and degrades the session: every subsequent
+/// call fails fast with FailedPrecondition carrying the first failure.
+/// Sibling shards are never corrupted — the shard network's staged-commit
+/// Assert leaves its own state consistent too. Destruction closes every
+/// mailbox, lets workers drain (every accepted request's promise is
+/// fulfilled; nothing deadlocks on a dangling future), then joins them.
+///
+/// Lock order: coordinator mutex → queue mutex; workers take only the
+/// degraded-state mutex (a leaf the coordinator also takes last). Producers
+/// may block on a full queue while holding the coordinator lock — safe,
+/// because workers never take that lock.
+class ShardedNetwork {
+ public:
+  /// Builds the shard plan, the K filtered shard networks (sequentially, on
+  /// the calling thread — sampling cost is paid here), and starts the
+  /// workers.
+  static StatusOr<std::unique_ptr<ShardedNetwork>> Create(
+      std::shared_ptr<const CompiledArtifact> artifact,
+      ShardedNetworkOptions options, uint64_t seed);
+
+  ShardedNetwork(const ShardedNetwork&) = delete;
+  ShardedNetwork& operator=(const ShardedNetwork&) = delete;
+
+  /// Closes every shard mailbox, drains and joins the workers. In-flight
+  /// requests complete (or fail cleanly); requests submitted after
+  /// destruction begins fail with FailedPrecondition.
+  ~ShardedNetwork();
+
+  /// Synchronous assert: SubmitAssert + wait.
+  Status Assert(CorrespondenceId c, bool approved) SMN_EXCLUDES(mu_);
+
+  /// Validates and commits the assertion on the coordinator, routes it to
+  /// the owning shard, and returns a future that resolves once the shard
+  /// has integrated it. Rejections (contradictory feedback) resolve the
+  /// future immediately without consuming a revision.
+  std::future<Status> SubmitAssert(CorrespondenceId c, bool approved)
+      SMN_EXCLUDES(mu_);
+
+  /// Records one noisy answer on the coordinator ledger and routes the
+  /// reweight to the owning shard; waits for it to apply. `error_rate` 0
+  /// delegates to Assert (the perfect-expert limit, as in the monolithic
+  /// session).
+  Status AssertSoft(CorrespondenceId c, bool approved, double error_rate)
+      SMN_EXCLUDES(mu_);
+
+  /// Snapshot-consistent merged view across all shards.
+  StatusOr<ShardedSnapshot> Snapshot() SMN_EXCLUDES(mu_);
+
+  /// Information gain IG(c) for every correspondence, merged across shards
+  /// (certain correspondences get 0). Snapshot-consistent like Snapshot.
+  StatusOr<std::vector<double>> InformationGains() SMN_EXCLUDES(mu_);
+
+  /// Number of accepted hard assertions.
+  uint64_t revision() const SMN_EXCLUDES(mu_);
+
+  /// Number of worker shards.
+  size_t shard_count() const { return plan_.shard_count(); }
+
+  /// The component-to-shard routing plan (for tests and load reporting).
+  const ShardPlan& plan() const { return plan_; }
+
+ private:
+  /// Per-component digest a shard reports for snapshot merging: everything
+  /// the monolithic derived-state loop consumes, keyed by anchor so the
+  /// coordinator can replay that loop in ascending anchor order.
+  struct ComponentDigest {
+    CorrespondenceId anchor = 0;
+    double entropy = 0.0;
+    bool exhausted = false;
+    size_t sample_count = 0;
+  };
+
+  /// One shard's contribution to a snapshot-consistent read.
+  struct ShardReadState {
+    Status status;
+    /// (global id, marginal) for every member of every owned component.
+    std::vector<std::pair<CorrespondenceId, double>> member_probabilities;
+    /// One digest per owned component.
+    std::vector<ComponentDigest> components;
+    /// (global id, gain) pairs; filled only for gain reads.
+    std::vector<std::pair<CorrespondenceId, double>> member_gains;
+  };
+
+  /// A mailbox message. Exactly one of the two promises is engaged,
+  /// selected by `kind`; the worker always fulfills it (normal completion,
+  /// failure, or shutdown drain).
+  struct ShardRequest {
+    enum class Kind { kAssert, kAssertSoft, kRead };
+    Kind kind = Kind::kAssert;
+    CorrespondenceId c = 0;
+    bool approved = false;
+    double error_rate = 0.0;
+    /// Global revision stamp for kAssert.
+    uint64_t revision = 0;
+    /// Whether a kRead fills member_gains.
+    bool want_gains = false;
+    /// Shared with the producer so an undeliverable request (queue closed)
+    /// can be failed cleanly instead of dropping the promise.
+    std::shared_ptr<std::promise<Status>> done;
+    std::shared_ptr<std::promise<ShardReadState>> read;
+  };
+
+  ShardedNetwork(std::shared_ptr<const CompiledArtifact> artifact,
+                 ShardedNetworkOptions options);
+
+  /// Shard worker main loop: pops requests until the mailbox is closed and
+  /// drained.
+  void WorkerLoop(size_t shard);
+
+  /// Serves a read request on the worker thread.
+  ShardReadState ReadShard(size_t shard, bool want_gains) const;
+
+  /// Records the first failure; later calls keep the original.
+  void MarkDegraded(const Status& status) SMN_EXCLUDES(degraded_mu_);
+
+  /// OK, or the sticky first-failure status.
+  Status DegradedStatus() const SMN_EXCLUDES(degraded_mu_);
+
+  /// Captures the coordinator state and enqueues a consistent-cut read to
+  /// every shard; returns the per-shard states (coordinator lock released
+  /// while waiting). Out-params may be null.
+  StatusOr<std::vector<ShardReadState>> FanOutRead(bool want_gains,
+                                                   uint64_t* revision_out,
+                                                   uint64_t* soft_out,
+                                                   DeterminedSet* determined_out)
+      SMN_EXCLUDES(mu_);
+
+  const std::shared_ptr<const CompiledArtifact> artifact_;
+  const ShardedNetworkOptions options_;
+  /// Candidate-set size.
+  const size_t correspondence_count_;
+  /// Immutable after Create (worker-thread reads are synchronized by thread
+  /// start).
+  ShardPlan plan_;
+  /// One filtered network per shard. After the workers start, pmns_[k] is
+  /// touched only by worker k (reads and writes), so the networks need no
+  /// locks of their own.
+  std::vector<ProbabilisticNetwork> pmns_;
+  std::vector<std::unique_ptr<BoundedQueue<ShardRequest>>> queues_;
+  std::vector<std::thread> workers_;
+
+  /// Coordinator state: the global ledgers every mutation validates
+  /// against, and the revision counter stamped onto routed asserts.
+  mutable Mutex mu_;
+  Feedback feedback_ SMN_GUARDED_BY(mu_);
+  SoftEvidence soft_evidence_ SMN_GUARDED_BY(mu_);
+  DeterminedSet determined_ SMN_GUARDED_BY(mu_);
+  uint64_t revision_ SMN_GUARDED_BY(mu_) = 0;
+  uint64_t soft_answers_ SMN_GUARDED_BY(mu_) = 0;
+
+  /// Sticky first-failure state. A separate leaf mutex so workers can
+  /// record failures while a producer blocks on a full queue holding mu_.
+  mutable Mutex degraded_mu_;
+  Status degraded_ SMN_GUARDED_BY(degraded_mu_);
+};
+
+}  // namespace server
+}  // namespace smn
+
+#endif  // SMN_SERVER_SHARDED_NETWORK_H_

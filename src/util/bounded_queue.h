@@ -1,0 +1,98 @@
+#ifndef SMN_UTIL_BOUNDED_QUEUE_H_
+#define SMN_UTIL_BOUNDED_QUEUE_H_
+
+#include <deque>
+#include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace smn {
+
+/// Bounded blocking FIFO queue: the mailbox between a sharded session's
+/// coordinator and its shard workers. Multiple producers, any number of
+/// consumers (shard workers use exactly one, which is what makes queue
+/// order an execution order).
+///
+/// Backpressure and shutdown semantics:
+///  - Push blocks while the queue is full; it fails (returns false) once
+///    the queue is closed, including producers already blocked in Push at
+///    close time — a closed queue accepts nothing, so every request either
+///    reaches the consumer or is reported undeliverable to its producer.
+///  - Pop blocks while the queue is empty; after Close it keeps returning
+///    the remaining items until the queue drains, then returns false. The
+///    consumer therefore processes every accepted request before exiting —
+///    no promise is ever dropped with its future left dangling.
+///
+/// Lock order: self-contained (one internal mutex, never held while calling
+/// out). Safe to use under any external lock discipline as a leaf.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A queue holding at most `capacity` items (minimum 1).
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item`, blocking while full. Returns false (item dropped)
+  /// when the queue is or becomes closed.
+  bool Push(T item) SMN_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) {
+      not_full_.Wait(mu_);
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.NotifyOne();
+    return true;
+  }
+
+  /// Dequeues into `*out`, blocking while empty. Returns false only when
+  /// the queue is closed AND drained.
+  bool Pop(T* out) SMN_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) {
+      not_empty_.Wait(mu_);
+    }
+    if (items_.empty()) return false;  // Closed and drained.
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.NotifyOne();
+    return true;
+  }
+
+  /// Closes the queue: wakes every blocked producer (their Push fails) and
+  /// lets consumers drain the remaining items. Idempotent.
+  void Close() SMN_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    closed_ = true;
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
+  }
+
+  /// Current item count (racy the instant it returns; for tests/metrics).
+  size_t size() const SMN_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return items_.size();
+  }
+
+  /// True once Close has run.
+  bool closed() const SMN_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ SMN_GUARDED_BY(mu_);
+  bool closed_ SMN_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace smn
+
+#endif  // SMN_UTIL_BOUNDED_QUEUE_H_

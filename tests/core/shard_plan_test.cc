@@ -1,0 +1,147 @@
+// ShardPlan: the deterministic component-to-shard partition behind sharded
+// sessions. These tests pin the properties the sharded engine relies on —
+// total coverage (every initial component owned by exactly one shard),
+// fixed routing for every correspondence (kNoShard exactly for initially
+// determined ones), LPT balance, and bit-for-bit reproducibility.
+
+#include "core/shard_plan.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/compiled_artifact.h"
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace {
+
+std::shared_ptr<const CompiledArtifact> MakeArtifact(size_t clusters,
+                                                     uint64_t seed) {
+  testing::ClusteredNetworkSpec spec;
+  spec.clusters = clusters;
+  spec.seed = seed;
+  testing::RandomNetwork built = testing::MakeClusteredNetwork(spec);
+  auto network = std::make_unique<Network>(std::move(built.network));
+  auto constraints =
+      std::make_unique<ConstraintSet>(std::move(built.constraints));
+  return CompiledArtifact::TakeOwnership(std::move(network),
+                                         std::move(constraints))
+      .value();
+}
+
+TEST(ShardPlanTest, EveryComponentOwnedByExactlyOneShard) {
+  const auto artifact = MakeArtifact(/*clusters=*/6, /*seed=*/3);
+  const ComponentIndex& index = artifact->initial_index();
+  for (const size_t shard_count : {1u, 2u, 3u, 5u}) {
+    const ShardPlan plan = ShardPlan::Build(
+        index, shard_count, artifact->network().correspondence_count());
+    ASSERT_EQ(plan.shard_count(), shard_count);
+    std::vector<int> owners(index.component_count(), 0);
+    for (size_t k = 0; k < plan.shard_count(); ++k) {
+      // Ascending order is part of the contract: components_of is handed to
+      // ProbabilisticNetwork::Create as its component_filter verbatim.
+      EXPECT_TRUE(std::is_sorted(plan.components_of(k).begin(),
+                                 plan.components_of(k).end()));
+      for (const size_t component : plan.components_of(k)) {
+        ASSERT_LT(component, owners.size());
+        ++owners[component];
+        EXPECT_EQ(plan.ShardOfComponent(component), k);
+      }
+    }
+    for (size_t i = 0; i < owners.size(); ++i) {
+      EXPECT_EQ(owners[i], 1) << "component " << i;
+    }
+  }
+}
+
+TEST(ShardPlanTest, CorrespondenceRoutingMatchesComponentOwnership) {
+  const auto artifact = MakeArtifact(/*clusters=*/5, /*seed=*/11);
+  const ComponentIndex& index = artifact->initial_index();
+  const size_t n = artifact->network().correspondence_count();
+  const ShardPlan plan = ShardPlan::Build(index, /*shard_count=*/3, n);
+  for (CorrespondenceId c = 0; c < n; ++c) {
+    const size_t component = index.ComponentOf(c);
+    if (component == ComponentIndex::kNoComponent) {
+      EXPECT_EQ(plan.ShardOfCorrespondence(c), ShardPlan::kNoShard)
+          << "determined correspondence " << c << " must route nowhere";
+    } else {
+      EXPECT_EQ(plan.ShardOfCorrespondence(c),
+                plan.ShardOfComponent(component));
+    }
+  }
+}
+
+TEST(ShardPlanTest, WeightsAreMemberCountsAndLptBalanced) {
+  const auto artifact = MakeArtifact(/*clusters=*/8, /*seed=*/5);
+  const ComponentIndex& index = artifact->initial_index();
+  const ShardPlan plan = ShardPlan::Build(
+      index, /*shard_count=*/3, artifact->network().correspondence_count());
+
+  size_t largest_component = 0;
+  for (size_t i = 0; i < index.component_count(); ++i) {
+    largest_component =
+        std::max(largest_component, index.component(i).members.size());
+  }
+  size_t heaviest = 0;
+  size_t lightest = static_cast<size_t>(-1);
+  for (size_t k = 0; k < plan.shard_count(); ++k) {
+    size_t members = 0;
+    for (const size_t component : plan.components_of(k)) {
+      members += index.component(component).members.size();
+    }
+    EXPECT_EQ(plan.shard_weight(k), members);
+    heaviest = std::max(heaviest, members);
+    lightest = std::min(lightest, members);
+  }
+  // LPT guarantee: when the lightest shard received its last component, it
+  // was the minimum, so no shard exceeds it by more than one component.
+  EXPECT_LE(heaviest - lightest, largest_component);
+}
+
+TEST(ShardPlanTest, BuildIsDeterministic) {
+  const auto artifact = MakeArtifact(/*clusters=*/7, /*seed=*/19);
+  const size_t n = artifact->network().correspondence_count();
+  const ShardPlan a = ShardPlan::Build(artifact->initial_index(), 4, n);
+  const ShardPlan b = ShardPlan::Build(artifact->initial_index(), 4, n);
+  ASSERT_EQ(a.shard_count(), b.shard_count());
+  for (size_t k = 0; k < a.shard_count(); ++k) {
+    EXPECT_EQ(a.components_of(k), b.components_of(k));
+    EXPECT_EQ(a.shard_weight(k), b.shard_weight(k));
+  }
+  for (CorrespondenceId c = 0; c < n; ++c) {
+    EXPECT_EQ(a.ShardOfCorrespondence(c), b.ShardOfCorrespondence(c));
+  }
+}
+
+TEST(ShardPlanTest, ZeroShardsClampsToOneAndExcessShardsMayBeEmpty) {
+  const auto artifact = MakeArtifact(/*clusters=*/2, /*seed=*/23);
+  const ComponentIndex& index = artifact->initial_index();
+  const size_t n = artifact->network().correspondence_count();
+
+  const ShardPlan clamped = ShardPlan::Build(index, /*shard_count=*/0, n);
+  EXPECT_EQ(clamped.shard_count(), 1u);
+  size_t owned = 0;
+  for (const size_t component : clamped.components_of(0)) {
+    (void)component;
+    ++owned;
+  }
+  EXPECT_EQ(owned, index.component_count());
+
+  // Far more shards than components: every component still owned, the
+  // excess shards are legal but empty.
+  const size_t many = index.component_count() + 5;
+  const ShardPlan wide = ShardPlan::Build(index, many, n);
+  EXPECT_EQ(wide.shard_count(), many);
+  size_t total = 0;
+  for (size_t k = 0; k < wide.shard_count(); ++k) {
+    total += wide.components_of(k).size();
+  }
+  EXPECT_EQ(total, index.component_count());
+}
+
+}  // namespace
+}  // namespace smn

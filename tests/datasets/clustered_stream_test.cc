@@ -1,0 +1,128 @@
+// Streaming clustered-network generator: the arithmetic stream digest must
+// equal the digest of the materialized Network at every size (the stream
+// and the builder define the same network), batches must be pure functions
+// of (seed, cluster index) — independent of the total cluster count — and
+// the materialized structure must match the spec's geometry.
+
+#include "datasets/clustered_stream.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "core/network.h"
+
+namespace smn {
+namespace datasets {
+namespace {
+
+TEST(ClusteredStreamTest, StreamDigestMatchesMaterializedNetworkAcrossSizes) {
+  // Overlapping sizes: each larger spec's prefix clusters are the smaller
+  // spec's clusters, so a digest mismatch isolates the first bad size.
+  for (const size_t clusters : {1u, 3u, 64u, 1024u}) {
+    ClusteredStreamSpec spec;
+    spec.clusters = clusters;
+    spec.candidates_per_cluster = 8;
+    spec.seed = 11;
+    const uint64_t streamed = DigestClusteredStream(spec);
+    const StatusOr<Network> network = MaterializeClusteredStream(spec);
+    ASSERT_TRUE(network.ok()) << network.status().message();
+    EXPECT_EQ(streamed, DigestNetwork(network.value()))
+        << "clusters=" << clusters;
+  }
+}
+
+TEST(ClusteredStreamTest, MillionCandidateStreamMatchesInMemoryBuilder) {
+  // The bench-scale gate: >= 1M candidate correspondences, streamed and
+  // materialized, identical digests. SMN_STREAM_TEST_CLUSTERS scales it
+  // down for constrained environments (sanitizer runs set it in CI).
+  ClusteredStreamSpec spec;
+  spec.clusters = bench::EnvSize("SMN_STREAM_TEST_CLUSTERS", 131072);
+  spec.candidates_per_cluster = 8;
+  spec.seed = 11;
+  const uint64_t streamed = DigestClusteredStream(spec);
+  const StatusOr<Network> network = MaterializeClusteredStream(spec);
+  ASSERT_TRUE(network.ok()) << network.status().message();
+  EXPECT_EQ(streamed, DigestNetwork(network.value()));
+  EXPECT_GE(network.value().correspondence_count(),
+            spec.clusters * spec.candidates_per_cluster * 9 / 10);
+}
+
+TEST(ClusteredStreamTest, BatchContentIsIndependentOfTotalClusterCount) {
+  ClusteredStreamSpec small;
+  small.clusters = 5;
+  small.seed = 42;
+  ClusteredStreamSpec large = small;
+  large.clusters = 50;
+
+  ClusteredNetworkStream small_stream(small);
+  ClusteredNetworkStream large_stream(large);
+  ClusterBatch small_batch;
+  ClusterBatch large_batch;
+  for (size_t k = 0; k < small.clusters; ++k) {
+    ASSERT_TRUE(small_stream.Next(&small_batch));
+    ASSERT_TRUE(large_stream.Next(&large_batch));
+    EXPECT_EQ(small_batch.cluster, large_batch.cluster);
+    EXPECT_EQ(small_batch.first_schema, large_batch.first_schema);
+    EXPECT_EQ(small_batch.first_attribute, large_batch.first_attribute);
+    EXPECT_EQ(small_batch.edges, large_batch.edges);
+    ASSERT_EQ(small_batch.candidates.size(), large_batch.candidates.size());
+    for (size_t i = 0; i < small_batch.candidates.size(); ++i) {
+      EXPECT_EQ(small_batch.candidates[i].a, large_batch.candidates[i].a);
+      EXPECT_EQ(small_batch.candidates[i].b, large_batch.candidates[i].b);
+      EXPECT_EQ(small_batch.candidates[i].confidence,
+                large_batch.candidates[i].confidence);
+    }
+  }
+  EXPECT_FALSE(small_stream.Next(&small_batch));  // Exactly `clusters`.
+  EXPECT_TRUE(large_stream.Next(&large_batch));
+}
+
+TEST(ClusteredStreamTest, MaterializedGeometryMatchesSpec) {
+  ClusteredStreamSpec spec;
+  spec.clusters = 4;
+  spec.candidates_per_cluster = 8;
+  spec.seed = 7;
+  const StatusOr<Network> network = MaterializeClusteredStream(spec);
+  ASSERT_TRUE(network.ok());
+  EXPECT_EQ(network.value().schema_count(), spec.schema_count());
+  EXPECT_EQ(network.value().attribute_count(), spec.attribute_count());
+  // Candidates stay within the target and inside their own cluster.
+  EXPECT_LE(network.value().correspondence_count(),
+            spec.clusters * spec.candidates_per_cluster);
+  const size_t attrs_per_cluster =
+      spec.schemas_per_cluster * spec.ResolvedAttrsPerSchema();
+  for (const Correspondence& c : network.value().correspondences()) {
+    EXPECT_EQ(c.left / attrs_per_cluster, c.right / attrs_per_cluster)
+        << "correspondence crosses clusters";
+  }
+}
+
+TEST(ClusteredStreamTest, ResolvedAttrsPerSchemaMirrorsInMemoryDefault) {
+  ClusteredStreamSpec spec;
+  spec.candidates_per_cluster = 8;
+  EXPECT_EQ(spec.ResolvedAttrsPerSchema(), 3u);  // max(3, 8 / 4)
+  spec.candidates_per_cluster = 40;
+  EXPECT_EQ(spec.ResolvedAttrsPerSchema(), 10u);
+  spec.attrs_per_schema = 5;
+  EXPECT_EQ(spec.ResolvedAttrsPerSchema(), 5u);  // Explicit value wins.
+}
+
+TEST(ClusteredStreamTest, DigestDistinguishesSeedsAndSizes) {
+  ClusteredStreamSpec base;
+  base.clusters = 16;
+  base.seed = 1;
+  ClusteredStreamSpec other_seed = base;
+  other_seed.seed = 2;
+  ClusteredStreamSpec other_size = base;
+  other_size.clusters = 17;
+  const uint64_t digest = DigestClusteredStream(base);
+  EXPECT_NE(digest, DigestClusteredStream(other_seed));
+  EXPECT_NE(digest, DigestClusteredStream(other_size));
+  EXPECT_EQ(digest, DigestClusteredStream(base));  // And is stable.
+}
+
+}  // namespace
+}  // namespace datasets
+}  // namespace smn

@@ -1,0 +1,296 @@
+// Shard-equivalence differential suite: the sharded execution engine must
+// be indistinguishable from a monolithic ProbabilisticNetwork — bitwise —
+// for equal (artifact, options, seed) and assert sequences, at every shard
+// count. The sweep drives both engines in lockstep through mixed scripts
+// (accepted asserts, contradictions, re-asserts, out-of-range ids, soft
+// evidence) over several networks x seeds x K ∈ {1, 2, 4, 7} and compares
+// the full derived state after every step: marginals (exact double
+// equality), uncertainty, exhausted, information gains, and the
+// accept/reject trace.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/compiled_artifact.h"
+#include "core/probabilistic_network.h"
+#include "server/session.h"
+#include "server/sharded_network.h"
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace server {
+namespace {
+
+constexpr size_t kShardCounts[] = {1, 2, 4, 7};
+
+std::shared_ptr<const CompiledArtifact> MakeArtifact(size_t clusters,
+                                                     uint64_t seed) {
+  testing::ClusteredNetworkSpec spec;
+  spec.clusters = clusters;
+  spec.seed = seed;
+  testing::RandomNetwork built = testing::MakeClusteredNetwork(spec);
+  auto network = std::make_unique<Network>(std::move(built.network));
+  auto constraints =
+      std::make_unique<ConstraintSet>(std::move(built.constraints));
+  return CompiledArtifact::TakeOwnership(std::move(network),
+                                         std::move(constraints))
+      .value();
+}
+
+/// One scripted expert action. `soft_error` 0 means a hard assert.
+struct ScriptStep {
+  CorrespondenceId c = 0;
+  bool approved = false;
+  double soft_error = 0.0;
+};
+
+/// Deterministic mixed script: random targets (some will be rejected as
+/// contradictions, some re-assert settled facts — both paths must match),
+/// with every third step a soft answer when `with_soft` is set.
+std::vector<ScriptStep> MakeScript(size_t n, size_t steps, uint64_t seed,
+                                   bool with_soft) {
+  Rng rng(seed);
+  std::vector<ScriptStep> script;
+  script.reserve(steps);
+  for (size_t i = 0; i < steps; ++i) {
+    ScriptStep step;
+    step.c = static_cast<CorrespondenceId>(rng.Index(n));
+    step.approved = rng.UniformDouble() < 0.6;
+    if (with_soft && i % 3 == 1) {
+      step.soft_error = rng.UniformDouble() < 0.5 ? 0.2 : 0.45;
+    }
+    script.push_back(step);
+  }
+  return script;
+}
+
+/// Asserts full derived-state equality between the monolithic network and a
+/// sharded snapshot + gains, bit for bit.
+void ExpectStateEqual(const ProbabilisticNetwork& mono,
+                      ShardedNetwork* sharded, const char* where) {
+  SCOPED_TRACE(where);
+  const StatusOr<ShardedSnapshot> snapshot = sharded->Snapshot();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().message();
+  // vector<double>::operator== is exact bit-level equality for these (no
+  // NaNs in marginals) — precisely the contract under test.
+  EXPECT_EQ(snapshot.value().probabilities, mono.probabilities());
+  EXPECT_EQ(snapshot.value().uncertainty, mono.Uncertainty());
+  EXPECT_EQ(snapshot.value().exhausted, mono.exhausted());
+  EXPECT_EQ(snapshot.value().revision, mono.assertion_count());
+
+  const StatusOr<std::vector<double>> gains = sharded->InformationGains();
+  ASSERT_TRUE(gains.ok()) << gains.status().message();
+  EXPECT_EQ(gains.value(), mono.InformationGains());
+}
+
+/// Drives both engines through `script` in lockstep, comparing status codes
+/// after every step and full state at every step.
+void RunLockstep(const std::shared_ptr<const CompiledArtifact>& artifact,
+                 uint64_t session_seed, const std::vector<ScriptStep>& script,
+                 size_t shards) {
+  Rng mono_rng(session_seed);
+  StatusOr<ProbabilisticNetwork> mono = ProbabilisticNetwork::Create(
+      artifact, ProbabilisticNetworkOptions{}, &mono_rng);
+  ASSERT_TRUE(mono.ok()) << mono.status().message();
+
+  ShardedNetworkOptions options;
+  options.shards = shards;
+  StatusOr<std::unique_ptr<ShardedNetwork>> sharded =
+      ShardedNetwork::Create(artifact, options, session_seed);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+  EXPECT_EQ(sharded.value()->shard_count(), shards);
+
+  ExpectStateEqual(mono.value(), sharded.value().get(), "initial state");
+  for (size_t i = 0; i < script.size(); ++i) {
+    SCOPED_TRACE("step " + std::to_string(i));
+    const ScriptStep& step = script[i];
+    Status mono_status;
+    Status sharded_status;
+    if (step.soft_error == 0.0) {
+      mono_status = mono.value().Assert(step.c, step.approved, &mono_rng);
+      sharded_status = sharded.value()->Assert(step.c, step.approved);
+    } else {
+      mono_status = mono.value().AssertSoft(step.c, step.approved,
+                                            step.soft_error, &mono_rng);
+      sharded_status =
+          sharded.value()->AssertSoft(step.c, step.approved, step.soft_error);
+    }
+    // The accept/reject trace must match exactly: same outcome, same code.
+    EXPECT_EQ(mono_status.ok(), sharded_status.ok())
+        << "mono: " << mono_status.ToString()
+        << " sharded: " << sharded_status.ToString();
+    EXPECT_EQ(mono_status.code(), sharded_status.code());
+    ExpectStateEqual(mono.value(), sharded.value().get(), "after step");
+  }
+}
+
+TEST(ShardEquivalenceTest, HardAssertScriptsMatchAcrossShardCounts) {
+  for (const size_t clusters : {1u, 3u, 6u}) {
+    for (const uint64_t network_seed : {7u, 21u}) {
+      const auto artifact = MakeArtifact(clusters, network_seed);
+      const size_t n = artifact->network().correspondence_count();
+      if (n == 0) continue;
+      const std::vector<ScriptStep> script =
+          MakeScript(n, /*steps=*/12, /*seed=*/100 + network_seed,
+                     /*with_soft=*/false);
+      for (const size_t shards : kShardCounts) {
+        SCOPED_TRACE("clusters=" + std::to_string(clusters) +
+                     " seed=" + std::to_string(network_seed) +
+                     " shards=" + std::to_string(shards));
+        RunLockstep(artifact, /*session_seed=*/1000 + network_seed, script,
+                    shards);
+      }
+    }
+  }
+}
+
+TEST(ShardEquivalenceTest, SoftEvidenceScriptsMatchAcrossShardCounts) {
+  const auto artifact = MakeArtifact(/*clusters=*/4, /*seed=*/13);
+  const size_t n = artifact->network().correspondence_count();
+  ASSERT_GT(n, 0u);
+  const std::vector<ScriptStep> script =
+      MakeScript(n, /*steps=*/15, /*seed=*/77, /*with_soft=*/true);
+  for (const size_t shards : kShardCounts) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    RunLockstep(artifact, /*session_seed=*/2024, script, shards);
+  }
+}
+
+TEST(ShardEquivalenceTest, InvalidInputsRejectedIdenticallyWithoutStateDrift) {
+  const auto artifact = MakeArtifact(/*clusters=*/2, /*seed=*/5);
+  const size_t n = artifact->network().correspondence_count();
+  ASSERT_GT(n, 0u);
+  Rng mono_rng(3);
+  StatusOr<ProbabilisticNetwork> mono = ProbabilisticNetwork::Create(
+      artifact, ProbabilisticNetworkOptions{}, &mono_rng);
+  ASSERT_TRUE(mono.ok());
+  ShardedNetworkOptions options;
+  options.shards = 2;
+  auto sharded = ShardedNetwork::Create(artifact, options, /*seed=*/3);
+  ASSERT_TRUE(sharded.ok());
+
+  struct BadCall {
+    CorrespondenceId c;
+    bool approved;
+    double soft_error;
+  };
+  const BadCall bad_calls[] = {
+      {static_cast<CorrespondenceId>(n + 10), true, 0.0},  // Out of range.
+      {0, true, 0.75},   // Error rate outside [0, 0.5].
+      {0, false, -0.1},  // Negative error rate.
+  };
+  for (const BadCall& call : bad_calls) {
+    Status mono_status;
+    Status sharded_status;
+    if (call.soft_error == 0.0) {
+      mono_status = mono.value().Assert(call.c, call.approved, &mono_rng);
+      sharded_status = sharded.value()->Assert(call.c, call.approved);
+    } else {
+      mono_status = mono.value().AssertSoft(call.c, call.approved,
+                                            call.soft_error, &mono_rng);
+      sharded_status = sharded.value()->AssertSoft(call.c, call.approved,
+                                                   call.soft_error);
+    }
+    EXPECT_FALSE(mono_status.ok());
+    EXPECT_FALSE(sharded_status.ok());
+    EXPECT_EQ(mono_status.code(), sharded_status.code());
+  }
+  // A rejected call consumes no revision and leaves no trace: the engines
+  // still agree bit for bit.
+  EXPECT_EQ(sharded.value()->revision(), 0u);
+  ExpectStateEqual(mono.value(), sharded.value().get(), "after rejections");
+}
+
+TEST(ShardEquivalenceTest, ContradictionRejectedThenSessionStaysLive) {
+  const auto artifact = MakeArtifact(/*clusters=*/3, /*seed=*/9);
+  const size_t n = artifact->network().correspondence_count();
+  ASSERT_GT(n, 1u);
+  ShardedNetworkOptions options;
+  options.shards = 4;
+  auto sharded = ShardedNetwork::Create(artifact, options, /*seed=*/8);
+  ASSERT_TRUE(sharded.ok());
+
+  ASSERT_TRUE(sharded.value()->Assert(0, true).ok());
+  // Contradicting an accepted assert is a coordinator-side rejection: no
+  // revision is consumed and the session keeps serving.
+  const Status contradiction = sharded.value()->Assert(0, false);
+  EXPECT_FALSE(contradiction.ok());
+  EXPECT_EQ(sharded.value()->revision(), 1u);
+  // Re-asserting the same way is the monolithic no-op success — it still
+  // consumes a revision, exactly like a monolithic Assert.
+  EXPECT_TRUE(sharded.value()->Assert(0, true).ok());
+  EXPECT_EQ(sharded.value()->revision(), 2u);
+  const StatusOr<ShardedSnapshot> snapshot = sharded.value()->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().probabilities[0], 1.0);
+}
+
+TEST(ShardEquivalenceTest, SessionLayerShardedMatchesMonolithic) {
+  // The same invariant one layer up: Session(shards=K) vs Session(shards=0)
+  // produce identical snapshots through the uniform Session API.
+  const auto artifact = MakeArtifact(/*clusters=*/3, /*seed=*/17);
+  const size_t n = artifact->network().correspondence_count();
+  ASSERT_GT(n, 0u);
+  auto mono = Session::Create(/*id=*/1, artifact,
+                              ProbabilisticNetworkOptions{}, /*seed=*/5,
+                              /*shards=*/0);
+  auto sharded = Session::Create(/*id=*/2, artifact,
+                                 ProbabilisticNetworkOptions{}, /*seed=*/5,
+                                 /*shards=*/3);
+  ASSERT_TRUE(mono.ok());
+  ASSERT_TRUE(sharded.ok());
+
+  const std::vector<ScriptStep> script =
+      MakeScript(n, /*steps=*/8, /*seed=*/31, /*with_soft=*/true);
+  for (const ScriptStep& step : script) {
+    Status mono_status;
+    Status sharded_status;
+    if (step.soft_error == 0.0) {
+      mono_status = mono.value()->Assert(step.c, step.approved);
+      sharded_status = sharded.value()->Assert(step.c, step.approved);
+    } else {
+      mono_status =
+          mono.value()->AssertSoft(step.c, step.approved, step.soft_error);
+      sharded_status =
+          sharded.value()->AssertSoft(step.c, step.approved, step.soft_error);
+    }
+    EXPECT_EQ(mono_status.ok(), sharded_status.ok());
+    const StatusOr<SessionSnapshot> mono_snapshot = mono.value()->Snapshot();
+    const StatusOr<SessionSnapshot> sharded_snapshot =
+        sharded.value()->Snapshot();
+    ASSERT_TRUE(mono_snapshot.ok());
+    ASSERT_TRUE(sharded_snapshot.ok());
+    EXPECT_EQ(mono_snapshot.value().probabilities,
+              sharded_snapshot.value().probabilities);
+    EXPECT_EQ(mono_snapshot.value().uncertainty,
+              sharded_snapshot.value().uncertainty);
+    EXPECT_EQ(mono_snapshot.value().exhausted,
+              sharded_snapshot.value().exhausted);
+    EXPECT_EQ(mono_snapshot.value().revision,
+              sharded_snapshot.value().revision);
+    EXPECT_EQ(mono_snapshot.value().soft_answer_count,
+              sharded_snapshot.value().soft_answer_count);
+  }
+}
+
+TEST(ShardEquivalenceTest, ReconcileIsMonolithicOnly) {
+  const auto artifact = MakeArtifact(/*clusters=*/2, /*seed=*/4);
+  auto sharded = Session::Create(/*id=*/1, artifact,
+                                 ProbabilisticNetworkOptions{}, /*seed=*/1,
+                                 /*shards=*/2);
+  ASSERT_TRUE(sharded.ok());
+  ReconcileGoal goal;
+  goal.max_assertions = 3;
+  const auto trace = sharded.value()->Reconcile(
+      StrategyKind::kInformationGain, goal,
+      [](CorrespondenceId) { return true; });
+  ASSERT_FALSE(trace.ok());
+  EXPECT_EQ(trace.status().code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace smn

@@ -70,7 +70,7 @@ TEST(SessionManagerTest, CloseRemovesButInFlightSharedPtrStaysValid) {
 
   // The shared_ptr held across the close still works: closing evicts from
   // the registry, it does not tear down state under an in-flight call.
-  const SessionSnapshot snapshot = in_flight->Snapshot();
+  const SessionSnapshot snapshot = in_flight->Snapshot().value();
   EXPECT_EQ(snapshot.session_id, id);
 }
 
@@ -103,8 +103,8 @@ TEST(SessionManagerTest, SessionsOverOneArtifactShareIt) {
   const auto artifact = MakeArtifact();
   auto a = manager.Create(artifact, ProbabilisticNetworkOptions{}, 1).value();
   auto b = manager.Create(artifact, ProbabilisticNetworkOptions{}, 2).value();
-  const SessionSnapshot sa = a->Snapshot();
-  const SessionSnapshot sb = b->Snapshot();
+  const SessionSnapshot sa = a->Snapshot().value();
+  const SessionSnapshot sb = b->Snapshot().value();
   // Distinct mutable state, one immutable artifact underneath.
   EXPECT_NE(sa.session_id, sb.session_id);
   EXPECT_EQ(sa.probabilities.size(), sb.probabilities.size());

@@ -1,0 +1,192 @@
+// Fault injection for the sharded execution engine: a shard worker failing
+// mid-request must surface the error to the caller, degrade the session to
+// fail-fast (no deadlock, no hang on any future), leave sibling state and
+// the shared artifact untouched, and drain its queue cleanly — a fresh
+// session over the same artifact works and still matches the monolithic
+// engine bit for bit.
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/compiled_artifact.h"
+#include "core/probabilistic_network.h"
+#include "server/sharded_network.h"
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace server {
+namespace {
+
+std::shared_ptr<const CompiledArtifact> MakeArtifact(size_t clusters,
+                                                     uint64_t seed) {
+  testing::ClusteredNetworkSpec spec;
+  spec.clusters = clusters;
+  spec.seed = seed;
+  testing::RandomNetwork built = testing::MakeClusteredNetwork(spec);
+  auto network = std::make_unique<Network>(std::move(built.network));
+  auto constraints =
+      std::make_unique<ConstraintSet>(std::move(built.constraints));
+  return CompiledArtifact::TakeOwnership(std::move(network),
+                                         std::move(constraints))
+      .value();
+}
+
+/// First correspondence routed to `shard`, or kInvalidCorrespondence.
+CorrespondenceId OwnedCorrespondence(const ShardedNetwork& net, size_t n,
+                                     size_t shard) {
+  for (CorrespondenceId c = 0; c < n; ++c) {
+    if (net.plan().ShardOfCorrespondence(c) == shard) return c;
+  }
+  return kInvalidCorrespondence;
+}
+
+TEST(ShardedFaultTest, WorkerFailureSurfacesErrorAndDegradesSession) {
+  const auto artifact = MakeArtifact(/*clusters=*/4, /*seed=*/3);
+  ShardedNetworkOptions options;
+  options.shards = 2;
+  std::atomic<bool> armed{false};
+  options.fault_hook = [&](size_t) -> Status {
+    if (armed.load()) return Status::Internal("injected shard fault");
+    return Status::OK();
+  };
+  auto sharded = ShardedNetwork::Create(artifact, options, /*seed=*/7);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+  const size_t n = artifact->network().correspondence_count();
+
+  // Before the fault arms, the session serves normally.
+  const CorrespondenceId healthy =
+      OwnedCorrespondence(*sharded.value(), n, 0);
+  ASSERT_NE(healthy, kInvalidCorrespondence);
+  ASSERT_TRUE(sharded.value()->Assert(healthy, true).ok());
+  ASSERT_TRUE(sharded.value()->Snapshot().ok());
+
+  armed.store(true);
+  const CorrespondenceId victim =
+      OwnedCorrespondence(*sharded.value(), n, 1);
+  ASSERT_NE(victim, kInvalidCorrespondence);
+  const Status failed = sharded.value()->Assert(victim, true);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(failed.message().find("degraded"), std::string::npos)
+      << failed.ToString();
+  EXPECT_NE(failed.message().find("injected shard fault"), std::string::npos)
+      << failed.ToString();
+
+  // Degraded is sticky and session-wide: every later call fails fast with
+  // the first failure — synchronously on the coordinator, no worker round
+  // trip, no hang.
+  const Status after = sharded.value()->Assert(healthy, false);
+  EXPECT_EQ(after.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(sharded.value()->Snapshot().ok());
+  EXPECT_FALSE(sharded.value()->InformationGains().ok());
+  EXPECT_EQ(sharded.value()->AssertSoft(healthy, true, 0.2).code(),
+            StatusCode::kFailedPrecondition);
+  // Destruction of the degraded session must be clean (scope exit).
+}
+
+TEST(ShardedFaultTest, InFlightFuturesAllResolveAfterWorkerFailure) {
+  const auto artifact = MakeArtifact(/*clusters=*/6, /*seed=*/11);
+  ShardedNetworkOptions options;
+  options.shards = 3;
+  options.queue_capacity = 2;  // Real backpressure while the fault lands.
+  std::atomic<int> requests_until_fault{3};
+  options.fault_hook = [&](size_t) -> Status {
+    if (requests_until_fault.fetch_sub(1) <= 0) {
+      return Status::Internal("injected mid-stream fault");
+    }
+    return Status::OK();
+  };
+  auto sharded = ShardedNetwork::Create(artifact, options, /*seed=*/5);
+  ASSERT_TRUE(sharded.ok());
+
+  const size_t n = artifact->network().correspondence_count();
+  std::vector<std::future<Status>> futures;
+  for (CorrespondenceId c = 0; c < n; ++c) {
+    futures.push_back(sharded.value()->SubmitAssert(c, true));
+  }
+  // Every accepted request's promise is fulfilled — success before the
+  // fault, a clean error after — and none of the futures hangs.
+  size_t failures = 0;
+  for (auto& future : futures) {
+    const Status status = future.get();
+    if (!status.ok()) {
+      ++failures;
+      EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+    }
+  }
+  EXPECT_GT(failures, 0u);
+}
+
+TEST(ShardedFaultTest, FreshSessionAfterFailureMatchesMonolithic) {
+  const auto artifact = MakeArtifact(/*clusters=*/3, /*seed=*/19);
+  const size_t n = artifact->network().correspondence_count();
+  ASSERT_GT(n, 0u);
+
+  {
+    ShardedNetworkOptions options;
+    options.shards = 2;
+    options.fault_hook = [](size_t) {
+      return Status::Internal("always failing");
+    };
+    auto broken = ShardedNetwork::Create(artifact, options, /*seed=*/4);
+    ASSERT_TRUE(broken.ok());
+    EXPECT_FALSE(broken.value()->Assert(0, true).ok());
+  }
+
+  // The failure lived and died with that session: the shared artifact is
+  // immutable, so a fresh sharded session reproduces the monolithic engine
+  // exactly.
+  ShardedNetworkOptions clean_options;
+  clean_options.shards = 2;
+  auto fresh = ShardedNetwork::Create(artifact, clean_options, /*seed=*/4);
+  ASSERT_TRUE(fresh.ok());
+  Rng mono_rng(4);
+  StatusOr<ProbabilisticNetwork> mono = ProbabilisticNetwork::Create(
+      artifact, ProbabilisticNetworkOptions{}, &mono_rng);
+  ASSERT_TRUE(mono.ok());
+  for (CorrespondenceId c = 0; c < std::min<size_t>(n, 6); ++c) {
+    const Status mono_status = mono.value().Assert(c, true, &mono_rng);
+    const Status sharded_status = fresh.value()->Assert(c, true);
+    EXPECT_EQ(mono_status.ok(), sharded_status.ok());
+  }
+  const auto snapshot = fresh.value()->Snapshot();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().probabilities, mono.value().probabilities());
+  EXPECT_EQ(snapshot.value().uncertainty, mono.value().Uncertainty());
+}
+
+TEST(ShardedFaultTest, FaultDuringReadFailsReadButNotSiblings) {
+  const auto artifact = MakeArtifact(/*clusters=*/4, /*seed=*/23);
+  ShardedNetworkOptions options;
+  options.shards = 4;
+  std::atomic<bool> armed{false};
+  // Fail exactly one shard's requests; the fan-out read must still resolve
+  // every per-shard future (no partial hang) and report the failure.
+  options.fault_hook = [&](size_t shard) -> Status {
+    if (armed.load() && shard == 2) {
+      return Status::Internal("read-side fault");
+    }
+    return Status::OK();
+  };
+  auto sharded = ShardedNetwork::Create(artifact, options, /*seed=*/9);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_TRUE(sharded.value()->Snapshot().ok());
+
+  armed.store(true);
+  const auto failed = sharded.value()->Snapshot();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kFailedPrecondition);
+  // And again: still an error, still no hang.
+  EXPECT_FALSE(sharded.value()->InformationGains().ok());
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace smn

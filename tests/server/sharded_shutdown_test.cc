@@ -1,0 +1,157 @@
+// Shutdown-ordering stress for sharded execution: destroying a sharded
+// session (or the whole service) with async asserts still in flight must
+// resolve every outstanding future — no deadlock, no dropped promise (a
+// dropped promise makes future::get throw broken_promise), no use after
+// free. Repeated across shard counts and tiny queue capacities so close
+// races genuinely overlap with queued work.
+
+#include <future>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/reconcile_service.h"
+#include "server/sharded_network.h"
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace server {
+namespace {
+
+std::shared_ptr<const CompiledArtifact> MakeArtifact(size_t clusters,
+                                                     uint64_t seed) {
+  testing::ClusteredNetworkSpec spec;
+  spec.clusters = clusters;
+  spec.seed = seed;
+  testing::RandomNetwork built = testing::MakeClusteredNetwork(spec);
+  auto network = std::make_unique<Network>(std::move(built.network));
+  auto constraints =
+      std::make_unique<ConstraintSet>(std::move(built.constraints));
+  return CompiledArtifact::TakeOwnership(std::move(network),
+                                         std::move(constraints))
+      .value();
+}
+
+TEST(ShardedShutdownTest, DestructionResolvesEveryInFlightAssertFuture) {
+  const auto artifact = MakeArtifact(/*clusters=*/5, /*seed=*/3);
+  const size_t n = artifact->network().correspondence_count();
+  ASSERT_GT(n, 0u);
+  // Many iterations x shard counts x capacity 1: the destructor regularly
+  // runs while workers still hold queued requests.
+  for (size_t iteration = 0; iteration < 12; ++iteration) {
+    const size_t shards = 1 + iteration % 4;
+    ShardedNetworkOptions options;
+    options.shards = shards;
+    options.queue_capacity = 1;
+    auto sharded =
+        ShardedNetwork::Create(artifact, options, /*seed=*/iteration);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+
+    std::vector<std::future<Status>> futures;
+    for (CorrespondenceId c = 0; c < n; ++c) {
+      futures.push_back(sharded.value()->SubmitAssert(c, c % 2 == 0));
+    }
+    sharded.value().reset();  // Close, drain, join — futures still pending.
+    for (auto& future : futures) {
+      // Every future resolves to a real Status: integrated before shutdown,
+      // rejected by the coordinator, or failed with the shutdown error.
+      // future::get throwing std::future_error here is the bug this test
+      // exists to catch.
+      const Status status = future.get();
+      if (!status.ok()) {
+        EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+            << status.ToString();
+      }
+    }
+  }
+}
+
+TEST(ShardedShutdownTest, DegradedSessionDestructsCleanlyWithBackloggedQueue) {
+  const auto artifact = MakeArtifact(/*clusters=*/4, /*seed=*/7);
+  const size_t n = artifact->network().correspondence_count();
+  ShardedNetworkOptions options;
+  options.shards = 2;
+  options.queue_capacity = 1;
+  options.fault_hook = [](size_t) {
+    return Status::Internal("fault during shutdown stress");
+  };
+  auto sharded = ShardedNetwork::Create(artifact, options, /*seed=*/1);
+  ASSERT_TRUE(sharded.ok());
+  std::vector<std::future<Status>> futures;
+  for (CorrespondenceId c = 0; c < n; ++c) {
+    futures.push_back(sharded.value()->SubmitAssert(c, true));
+  }
+  sharded.value().reset();
+  for (auto& future : futures) {
+    EXPECT_NO_THROW((void)future.get());
+  }
+}
+
+TEST(ShardedShutdownTest, ServiceTeardownWithShardedSessionsAndPendingWork) {
+  // The full stack: a service opening sharded sessions, async asserts
+  // submitted through the request queue, then service destruction with the
+  // futures unread. The service drains its ThreadPool, each session drains
+  // its shard mailboxes, and every future resolves.
+  testing::RandomNetwork built =
+      testing::MakeClusteredNetwork(testing::ClusteredNetworkSpec{});
+  const size_t n = built.network.correspondence_count();
+  ASSERT_GT(n, 0u);
+  std::vector<std::future<Status>> futures;
+  {
+    ServerOptions options;
+    options.session_shards = 2;
+    options.worker_threads = 2;
+    ReconcileService service(options);
+    auto network = std::make_unique<Network>(std::move(built.network));
+    auto constraints =
+        std::make_unique<ConstraintSet>(std::move(built.constraints));
+    const auto tenant = service.RegisterTenant("shutdown", std::move(network),
+                                               std::move(constraints));
+    ASSERT_TRUE(tenant.ok());
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      const auto session = service.OpenSession(tenant.value(), seed);
+      ASSERT_TRUE(session.ok());
+      for (CorrespondenceId c = 0; c < n; ++c) {
+        futures.push_back(
+            service.SubmitAssert(session.value(), c, c % 2 == 0));
+      }
+    }
+  }
+  for (auto& future : futures) {
+    EXPECT_NO_THROW((void)future.get());
+  }
+}
+
+TEST(ShardedShutdownTest, ShardedSessionsCloseCleanlyThroughTheService) {
+  testing::RandomNetwork built =
+      testing::MakeClusteredNetwork(testing::ClusteredNetworkSpec{});
+  const size_t n = built.network.correspondence_count();
+  ServerOptions options;
+  options.session_shards = 3;
+  ReconcileService service(options);
+  auto network = std::make_unique<Network>(std::move(built.network));
+  auto constraints =
+      std::make_unique<ConstraintSet>(std::move(built.constraints));
+  const auto tenant = service.RegisterTenant("close", std::move(network),
+                                             std::move(constraints));
+  ASSERT_TRUE(tenant.ok());
+  const auto session = service.OpenSession(tenant.value(), /*seed=*/9);
+  ASSERT_TRUE(session.ok());
+  std::vector<std::future<Status>> futures;
+  for (CorrespondenceId c = 0; c < n; ++c) {
+    futures.push_back(service.SubmitAssert(session.value(), c, true));
+  }
+  EXPECT_TRUE(service.Close(session.value()).ok());
+  for (auto& future : futures) {
+    EXPECT_NO_THROW((void)future.get());
+  }
+  // The id is gone; the shard workers went with the session.
+  EXPECT_EQ(service.Snapshot(session.value()).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace smn

@@ -1,0 +1,144 @@
+// BoundedQueue: the coordinator-to-shard mailbox. Pins the contract the
+// sharded session's shutdown and backpressure logic is built on: FIFO
+// order, Push blocking on a full queue until a Pop frees a slot, Close
+// failing blocked and future producers while consumers drain every
+// accepted item.
+
+#include "util/bounded_queue.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace smn {
+namespace {
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> queue(/*capacity=*/4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.Push(i));
+  EXPECT_EQ(queue.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    int out = -1;
+    ASSERT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> queue(/*capacity=*/0);
+  EXPECT_TRUE(queue.Push(7));
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 7);
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  BoundedQueue<int> queue(/*capacity=*/2);
+  int received = -1;
+  std::thread consumer([&] {
+    int out = -1;
+    if (queue.Pop(&out)) received = out;
+  });
+  // The consumer blocks in Pop until this arrives; thread join proves the
+  // wakeup happened.
+  ASSERT_TRUE(queue.Push(42));
+  consumer.join();
+  EXPECT_EQ(received, 42);
+}
+
+TEST(BoundedQueueTest, PushBlocksOnFullUntilPopFreesASlot) {
+  BoundedQueue<int> queue(/*capacity=*/1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    const bool pushed = queue.Push(2);  // Blocks: the queue is full.
+    second_pushed.store(pushed);
+  });
+  // Popping the first item unblocks the producer; both items then arrive in
+  // order.
+  int out = -1;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(BoundedQueueTest, CloseFailsBlockedProducerAndDrainsConsumer) {
+  BoundedQueue<int> queue(/*capacity=*/1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> blocked_push_result{true};
+  std::thread producer([&] {
+    // Blocks on the full queue, then fails when Close arrives: a closed
+    // queue accepts nothing, so the producer learns its item was dropped.
+    blocked_push_result.store(queue.Push(2));
+  });
+  queue.Close();
+  producer.join();
+  EXPECT_FALSE(blocked_push_result.load());
+  EXPECT_TRUE(queue.closed());
+
+  // The accepted item is still delivered (drain), then Pop reports closed.
+  int out = -1;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(queue.Pop(&out));
+}
+
+TEST(BoundedQueueTest, PushAfterCloseFailsAndPopAfterDrainReturnsFalse) {
+  BoundedQueue<int> queue(/*capacity=*/4);
+  queue.Close();
+  EXPECT_FALSE(queue.Push(1));
+  int out = -1;
+  EXPECT_FALSE(queue.Pop(&out));
+  queue.Close();  // Idempotent.
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(/*capacity=*/2);
+  std::atomic<bool> pop_result{true};
+  std::thread consumer([&] {
+    int out = -1;
+    pop_result.store(queue.Pop(&out));  // Blocks: the queue is empty.
+  });
+  queue.Close();
+  consumer.join();
+  EXPECT_FALSE(pop_result.load());
+}
+
+TEST(BoundedQueueTest, ManyProducersOneConsumerDeliversEverything) {
+  // The sharded session's actual shape: multiple producer threads, one
+  // consumer draining in queue order. Every accepted item must arrive
+  // exactly once even with constant backpressure (capacity 2).
+  BoundedQueue<int> queue(/*capacity=*/2);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> seen(kProducers * kPerProducer, 0);
+  std::thread consumer([&] {
+    int out = -1;
+    while (queue.Pop(&out)) ++seen[out];
+  });
+  for (std::thread& producer : producers) producer.join();
+  queue.Close();
+  consumer.join();
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    EXPECT_EQ(seen[i], 1) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace smn
