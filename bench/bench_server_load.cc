@@ -5,10 +5,22 @@
 // assert path (p50/p99), plus the service-layer determinism check: a
 // single-session server run must produce bit-identical marginals to a batch
 // ProbabilisticNetwork driven with the same seed and assertion script.
+//
+// Two durability/overload phases ride along:
+//   recovery — journaled sessions are asserted into shape, the service is
+//     destroyed without a single Close (a crash), and a fresh service
+//     replays the write-ahead journals. Reports the wall time of Recover()
+//     and the hard bit recovered_determinism_ok: every recovered session
+//     must snapshot bitwise identical to its pre-crash self.
+//   shed — a single-worker service with a tight admission bound takes a
+//     submit burst; every request must resolve as either executed or shed
+//     with kUnavailable (+retry hint), and the shed counter must equal the
+//     observed kUnavailable count exactly (shed_ok).
 
 #include <algorithm>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -16,6 +28,7 @@
 #include "bench/synthetic_networks.h"
 #include "core/probabilistic_network.h"
 #include "server/reconcile_service.h"
+#include "util/record_codec.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -25,6 +38,7 @@ namespace smn {
 namespace {
 
 using server::ReconcileService;
+using server::RecoveryReport;
 using server::ServerOptions;
 using server::SessionId;
 using server::SessionSnapshot;
@@ -141,6 +155,155 @@ bool CheckServerBatchDeterminism(size_t clusters,
          batch.value().probabilities();
 }
 
+/// Synchronous asserts under the deterministic pick policy (no Close —
+/// callers decide whether the session survives).
+bool DriveAsserts(ReconcileService* service, SessionId id, size_t rounds) {
+  for (size_t round = 0; round < rounds; ++round) {
+    const StatusOr<SessionSnapshot> snapshot = service->Snapshot(id);
+    if (!snapshot.ok()) return false;
+    const Pick pick = PickNext(snapshot.value().probabilities);
+    if (!pick.found) break;
+    if (!service->Assert(id, pick.c, pick.approved).ok()) return false;
+  }
+  return true;
+}
+
+struct RecoveryBenchResult {
+  bool ran = false;           ///< The phase itself executed without errors.
+  double recovery_ms = 0.0;   ///< Wall time of Recover() alone.
+  size_t recovered_sessions = 0;
+  bool deterministic = false;  ///< Every session bitwise equal pre-crash.
+};
+
+/// Crash-and-replay: journaled sessions, destroy without Close, recover on
+/// a fresh service, compare snapshots bitwise.
+RecoveryBenchResult RunRecoveryPhase(size_t clusters, size_t per_cluster,
+                                     size_t session_count, size_t rounds) {
+  RecoveryBenchResult result;
+  const std::string dir = "./BENCH_server_load_journal";
+  if (!EnsureDirectory(dir).ok()) return result;
+  const StatusOr<std::vector<std::string>> stale = ListDirectory(dir);
+  if (!stale.ok()) return result;
+  for (const std::string& name : stale.value()) {
+    if (!RemoveFile(dir + "/" + name).ok()) return result;
+  }
+  ServerOptions options;
+  options.journal_dir = dir;
+
+  std::vector<SessionId> ids;
+  std::vector<SessionSnapshot> pre_crash;
+  {
+    ReconcileService crashed(options);
+    const StatusOr<TenantId> tenant =
+        RegisterTenant(&crashed, clusters, per_cluster, /*seed=*/11);
+    if (!tenant.ok()) return result;
+    for (size_t s = 0; s < session_count; ++s) {
+      const StatusOr<SessionId> id =
+          crashed.OpenSession(tenant.value(), /*seed=*/2000 + s);
+      if (!id.ok()) return result;
+      if (!DriveAsserts(&crashed, id.value(), rounds)) return result;
+      const StatusOr<SessionSnapshot> snapshot = crashed.Snapshot(id.value());
+      if (!snapshot.ok()) return result;
+      ids.push_back(id.value());
+      pre_crash.push_back(snapshot.value());
+    }
+  }  // Crash: the service dies without closing a single session.
+
+  ReconcileService revived(options);
+  const StatusOr<TenantId> tenant =
+      RegisterTenant(&revived, clusters, per_cluster, /*seed=*/11);
+  if (!tenant.ok()) return result;
+  Stopwatch recover_watch;
+  const StatusOr<RecoveryReport> report = revived.Recover(dir);
+  result.recovery_ms = recover_watch.ElapsedMillis();
+  if (!report.ok()) return result;
+  result.ran = true;
+  result.recovered_sessions = report.value().sessions_recovered;
+
+  bool identical = report.value().sessions_recovered == session_count &&
+                   report.value().failed_sessions == 0 &&
+                   report.value().revision_mismatches == 0;
+  for (size_t s = 0; s < ids.size(); ++s) {
+    const StatusOr<SessionSnapshot> snapshot = revived.Snapshot(ids[s]);
+    if (!snapshot.ok()) {
+      identical = false;
+      break;
+    }
+    identical = identical &&
+                snapshot.value().revision == pre_crash[s].revision &&
+                snapshot.value().probabilities == pre_crash[s].probabilities &&
+                snapshot.value().uncertainty == pre_crash[s].uncertainty &&
+                snapshot.value().soft_answer_count ==
+                    pre_crash[s].soft_answer_count;
+  }
+  // Clean close unlinks the journals, leaving the directory empty for the
+  // next run; a failing close is itself a recovery defect.
+  for (const SessionId id : ids) {
+    if (!revived.Close(id).ok()) identical = false;
+  }
+  result.deterministic = identical;
+  return result;
+}
+
+struct ShedBenchResult {
+  bool ran = false;
+  double burst_ms = 0.0;      ///< Submit + drain wall time of the burst.
+  size_t shed_requests = 0;   ///< Requests refused at admission.
+  bool accounting_exact = false;  ///< shed_ok: see below.
+};
+
+/// Overload burst against a single-worker service with a tight admission
+/// bound. The *count* of shed requests is timing-dependent (and only
+/// reported); the hard bit is the accounting: executed + shed == burst,
+/// the service's shed counter equals the observed kUnavailable count, and
+/// every shed error carries the retry-after hint.
+ShedBenchResult RunShedPhase(size_t clusters, size_t per_cluster,
+                             size_t burst) {
+  ShedBenchResult result;
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.max_queue_depth = 4;
+  ReconcileService service(options);
+  const StatusOr<TenantId> tenant =
+      RegisterTenant(&service, clusters, per_cluster, /*seed=*/11);
+  if (!tenant.ok()) return result;
+  const StatusOr<SessionId> session =
+      service.OpenSession(tenant.value(), /*seed=*/3000);
+  if (!session.ok()) return result;
+  const StatusOr<SessionSnapshot> first = service.Snapshot(session.value());
+  if (!first.ok() || first.value().probabilities.empty()) return result;
+  const size_t width = first.value().probabilities.size();
+
+  Stopwatch burst_watch;
+  std::vector<std::future<Status>> futures;
+  futures.reserve(burst);
+  for (size_t i = 0; i < burst; ++i) {
+    futures.push_back(service.SubmitAssert(
+        session.value(), static_cast<CorrespondenceId>(i % width), true));
+  }
+  size_t executed = 0;
+  size_t shed = 0;
+  bool hinted = true;
+  for (std::future<Status>& future : futures) {
+    const Status status = future.get();
+    if (status.code() == StatusCode::kUnavailable) {
+      ++shed;
+      hinted = hinted && status.message().find("retry") != std::string::npos;
+    } else {
+      // Executed: accepted, or rejected by the engine (a burst of blind
+      // approvals trips one-to-one conflicts) — both consumed a worker slot.
+      ++executed;
+    }
+  }
+  result.burst_ms = burst_watch.ElapsedMillis();
+  result.ran = true;
+  result.shed_requests = shed;
+  result.accounting_exact = executed + shed == burst && hinted &&
+                            service.stats().shed_requests == shed &&
+                            service.stats().expired_requests == 0;
+  return result;
+}
+
 int Run() {
   bench::BenchReporter reporter("server_load");
   const size_t sessions = bench::EnvSize("SMN_BENCH_SESSIONS", 8);
@@ -236,12 +399,50 @@ int Run() {
   reporter.AddEntry("determinism", determinism_watch.ElapsedMillis(), {});
   reporter.AddMetric("determinism_ok", deterministic ? 1.0 : 0.0);
 
+  // Crash-recovery gate: journal, crash, replay; bitwise-equal or bust.
+  const size_t recovery_sessions =
+      bench::EnvSize("SMN_BENCH_RECOVERY_SESSIONS", 4);
+  const RecoveryBenchResult recovery =
+      RunRecoveryPhase(clusters, per_cluster, recovery_sessions, rounds);
+  reporter.AddMetric("recovery_ms", recovery.recovery_ms);
+  reporter.AddMetric("recovered_sessions",
+                     static_cast<double>(recovery.recovered_sessions));
+  reporter.AddMetric("recovered_determinism_ok",
+                     recovery.ran && recovery.deterministic ? 1.0 : 0.0);
+  reporter.AddEntry(
+      "recovery", recovery.recovery_ms,
+      {{"recovered_sessions",
+        static_cast<double>(recovery.recovered_sessions)},
+       {"recovered_determinism_ok",
+        recovery.ran && recovery.deterministic ? 1.0 : 0.0}});
+
+  // Overload gate: a submit burst against a tight admission bound must shed
+  // loudly and account exactly; the shed *count* is load-dependent telemetry.
+  const size_t shed_burst = bench::EnvSize("SMN_BENCH_SHED_BURST", 256);
+  const ShedBenchResult shed = RunShedPhase(clusters, per_cluster, shed_burst);
+  reporter.AddMetric("shed_requests",
+                     static_cast<double>(shed.shed_requests));
+  reporter.AddMetric("shed_ok", shed.ran && shed.accounting_exact ? 1.0 : 0.0);
+  reporter.AddEntry(
+      "shed", shed.burst_ms,
+      {{"shed_requests", static_cast<double>(shed.shed_requests)},
+       {"shed_ok", shed.ran && shed.accounting_exact ? 1.0 : 0.0}});
+
   TablePrinter table({"Sessions", "Sessions/s", "p50 (ms)", "p99 (ms)",
                       "Deterministic"});
   table.AddRow({std::to_string(sessions) + "x" + std::to_string(lifecycles),
                 FormatDouble(sessions_per_sec, 1), FormatDouble(p50, 3),
                 FormatDouble(p99, 3), deterministic ? "yes" : "NO"});
   table.Print(std::cout);
+  std::cout << "\nRecovery: " << recovery.recovered_sessions << "/"
+            << recovery_sessions << " crashed sessions replayed in "
+            << FormatDouble(recovery.recovery_ms, 3) << " ms, bitwise "
+            << (recovery.ran && recovery.deterministic ? "identical"
+                                                       : "DIVERGED")
+            << "\nShed: " << shed.shed_requests << "/" << shed_burst
+            << " requests shed at admission, accounting "
+            << (shed.ran && shed.accounting_exact ? "exact" : "BROKEN")
+            << "\n";
   if (hardware < 4) {
     // Throughput and latency on an underprovisioned runner measure the
     // host, not the service; the regression gate demotes them to warnings

@@ -22,6 +22,12 @@ Rules:
   thread-local     thread_local state outside the documented scratch
                    fallback (src/core/walk_scratch.h). Per-thread state that
                    influences output makes results schedule-dependent.
+  raw-write        fwrite / write(2) / pwrite(v) / writev / fputs / fputc
+                   outside src/util/record_codec.cc — all durable bytes must
+                   flow through the CRC-framed RecordWriter so torn-write
+                   detection and fsync policy stay centralized. Member calls
+                   like std::ostream::write are not raw fd writes and do not
+                   fire.
 
 Suppression: append `// smn-lint: allow(<rule>)` — optionally several,
 comma-separated — to the offending line or the line directly above it, with
@@ -45,6 +51,7 @@ RULES = {
     "wall-clock": "clock read outside util/stopwatch and bench timing",
     "pointer-key": "ordered container keyed by pointer (address order)",
     "thread-local": "thread_local state outside the scratch fallback",
+    "raw-write": "raw byte write outside util/record_codec (RecordWriter)",
 }
 
 # Paths (relative to the repository root, '/'-separated) where a rule does
@@ -53,6 +60,7 @@ ALLOWED_PATHS = {
     "raw-random": ("src/util/rng.h", "src/util/rng.cc"),
     "wall-clock": ("src/util/stopwatch.h",),
     "thread-local": ("src/core/walk_scratch.h",),
+    "raw-write": ("src/util/record_codec.cc",),
 }
 
 CXX_EXTENSIONS = (".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx", ".inl")
@@ -67,6 +75,12 @@ WALL_CLOCK_RE = re.compile(
     r"\b\w*[Cc]lock\s*::\s*now\b"
     r"|(?<![\w.>:])(?:time|clock|gettimeofday|clock_gettime)\s*\(")
 THREAD_LOCAL_RE = re.compile(r"\bthread_local\b")
+# The lookbehind rejects member calls (`stream.write(`, `ptr->write(`) and
+# qualified non-global names; a leading `::` (global namespace, the POSIX
+# syscall) still matches.
+RAW_WRITE_RE = re.compile(
+    r"(?<![\w.>])(?:::\s*)?"
+    r"(?:fwrite|write|pwrite|pwritev|writev|fputs|fputc)\s*\(")
 UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
 ORDERED_DECL_RE = re.compile(r"\bstd\s*::\s*(map|set|multimap|multiset)\s*<")
 RANGE_FOR_HEAD_RE = re.compile(r"\bfor\s*\(")
@@ -276,6 +290,12 @@ def scan_file(path: str, rel: str) -> list[Finding]:
         report(match.start(), "thread-local",
                "thread_local state outside the documented scratch fallback "
                "(src/core/walk_scratch.h)")
+
+    for match in RAW_WRITE_RE.finditer(text):
+        report(match.start(), "raw-write",
+               "raw byte write; durable bytes go through util/record_codec "
+               "(RecordWriter) so CRC framing and fsync policy stay in one "
+               "place")
 
     for match in ORDERED_DECL_RE.finditer(text):
         end = template_argument_span(text, match.end() - 1)

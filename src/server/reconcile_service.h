@@ -6,10 +6,15 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 #include "core/compiled_artifact.h"
+#include "server/session_journal.h"
 #include "server/session_manager.h"
+#include "util/bounded_queue.h"
 #include "util/mutex.h"
+#include "util/stopwatch.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
@@ -35,6 +40,26 @@ struct ServerOptions {
   /// ShardedNetwork). Bitwise identical results either way; Reconcile is
   /// monolithic-only.
   size_t session_shards = 0;
+  /// Write-ahead journal directory; empty (the default) disables
+  /// durability. When set, every session journals its asserts before
+  /// applying them and Recover() can rebuild sessions after a crash. Note
+  /// Reconcile() is unavailable on journaled sessions (it bypasses the
+  /// write-ahead path).
+  std::string journal_dir;
+  /// Journal fsync policy: sync after every N appended records; 0 syncs
+  /// only at session open/close (see JournalOptions::fsync_every).
+  uint64_t journal_fsync_every = 0;
+  /// Per-request deadline for the Submit* paths, in milliseconds, measured
+  /// from submission to execution start. A request still queued past its
+  /// deadline fails with kDeadlineExceeded *without touching the session*.
+  /// 0 (the default) disables deadlines.
+  double request_deadline_ms = 0.0;
+  /// Admission bound for the Submit* paths: at most this many requests
+  /// in flight (queued + executing) at once. When the bound is hit, new
+  /// submissions are shed immediately with kUnavailable (carrying a
+  /// retry-after hint) — callers are never blocked and never silently
+  /// dropped. 0 (the default) disables admission control.
+  size_t max_queue_depth = 0;
 };
 
 /// Monotonic service counters (copied atomically under the stats lock).
@@ -50,6 +75,45 @@ struct ServerStats {
   uint64_t asserts = 0;
   uint64_t soft_asserts = 0;
   uint64_t snapshots = 0;
+  /// Submit* requests refused at admission (kUnavailable) because
+  /// max_queue_depth was reached.
+  uint64_t shed_requests = 0;
+  /// Submit* requests that waited past request_deadline_ms in the queue and
+  /// failed with kDeadlineExceeded before touching their session.
+  uint64_t expired_requests = 0;
+  /// NOT a counter: the current retry-after hint, an EWMA of recent request
+  /// execution latency in milliseconds. What a shed caller should wait
+  /// before retrying (also embedded in the kUnavailable message).
+  double retry_after_ms = 0.0;
+};
+
+/// What Recover() did — every count is per-recovery, not cumulative.
+struct RecoveryReport {
+  /// Sessions rebuilt live from their journals.
+  uint64_t sessions_recovered = 0;
+  /// Journals whose last record was Close (clean shutdown lost the unlink
+  /// race, or the file was copied back); skipped and unlinked.
+  uint64_t sessions_skipped_closed = 0;
+  /// Hard-assert records replayed (accepted and rejected alike).
+  uint64_t asserts_replayed = 0;
+  /// Soft-assert records replayed.
+  uint64_t soft_replayed = 0;
+  /// Replayed assert records the engine rejected — expected to equal the
+  /// number of rejections before the crash (rejected requests are journaled
+  /// too, and determinism makes them reject identically).
+  uint64_t replay_rejected = 0;
+  /// Journal files whose tail failed CRC/length validation and was
+  /// physically truncated to the last durable record.
+  uint64_t truncated_tails = 0;
+  /// Total torn/corrupt bytes dropped across all truncated tails.
+  uint64_t dropped_bytes = 0;
+  /// Journals that could not be recovered at all (undecodable Open record,
+  /// unknown tenant, session rebuild failure). Counted and skipped — one
+  /// bad journal never aborts the rest of recovery.
+  uint64_t failed_sessions = 0;
+  /// Replayed records whose revision stamp disagreed with the replay-local
+  /// counter (log corruption that passed CRC; the record is still applied).
+  uint64_t revision_mismatches = 0;
 };
 
 /// The in-process reconciliation service: the server-shaped frontend over
@@ -119,10 +183,28 @@ class ReconcileService {
                                      AssertionOracle oracle,
                                      const ElicitationPolicy& policy = {});
 
-  /// Closes the session; later calls on its id return NotFound.
+  /// Closes the session; later calls on its id return NotFound. A clean
+  /// close finishes the session's journal (Close record, file unlinked), so
+  /// a closed session is never resurrected by Recover().
   Status Close(SessionId session);
 
-  /// Enqueues Assert on the request queue and returns its future.
+  /// Rebuilds sessions from the write-ahead journals in `journal_dir`
+  /// (normally options_.journal_dir, after constructing a fresh service and
+  /// re-registering the tenants — tenant ids are allocated deterministically,
+  /// so an identical registration order reproduces them). Per journal file:
+  /// a torn/corrupt tail is truncated to the last durable record (counted,
+  /// never fatal); a trailing Close record means the session closed cleanly
+  /// (file unlinked, session skipped); otherwise the session is rebuilt from
+  /// its Open record and its assert records are replayed through the
+  /// deterministic engine, yielding a session bitwise identical to the
+  /// pre-crash one, then its journal is reattached in append mode.
+  StatusOr<RecoveryReport> Recover(const std::string& journal_dir)
+      SMN_EXCLUDES(mu_);
+
+  /// Enqueues Assert on the request queue and returns its future. All
+  /// Submit* paths pass admission control (shed with kUnavailable when the
+  /// in-flight bound is hit) and carry the per-request deadline (see
+  /// ServerOptions).
   std::future<Status> SubmitAssert(SessionId session, CorrespondenceId c,
                                    bool approved);
 
@@ -148,6 +230,66 @@ class ReconcileService {
     std::shared_ptr<const CompiledArtifact> artifact;
   };
 
+  /// The journal configuration derived from options_ (empty dir = off).
+  JournalOptions journal_options() const {
+    return JournalOptions{options_.journal_dir, options_.journal_fsync_every};
+  }
+
+  /// Recovers one journal file, accumulating into `report`. Failures are
+  /// folded into report->failed_sessions by the caller.
+  Status RecoverOne(const std::string& journal_dir, uint64_t session_id,
+                    RecoveryReport* report);
+
+  /// The current retry-after hint (EWMA of execution latency).
+  double RetryAfterHintMs() const SMN_EXCLUDES(stats_mu_);
+
+  /// Folds one observed execution latency into the EWMA.
+  void RecordExecLatency(double exec_ms) SMN_EXCLUDES(stats_mu_);
+
+  /// The shared Submit* shape: admission (shed with kUnavailable when the
+  /// in-flight bound is full), then enqueue, then — at execution start — the
+  /// deadline check (kDeadlineExceeded without touching the session) before
+  /// running `fn`. R is Status or StatusOr<...>; both construct from Status,
+  /// which is what lets shed/expired requests resolve to a plain error.
+  template <typename R, typename Fn>
+  std::future<R> SubmitRequest(Fn fn) {
+    if (admission_ != nullptr && !admission_->TryPush('r')) {
+      {
+        MutexLock lock(stats_mu_);
+        ++stats_.shed_requests;
+      }
+      std::promise<R> shed;
+      shed.set_value(R(Status::Unavailable(
+          "request shed: server at max_queue_depth (" +
+          std::to_string(options_.max_queue_depth) + " in flight); retry in ~" +
+          std::to_string(RetryAfterHintMs()) + " ms")));
+      return shed.get_future();
+    }
+    const Stopwatch queued;
+    return pool_.Submit([this, fn = std::move(fn), queued]() -> R {
+      R result = [&]() -> R {
+        if (options_.request_deadline_ms > 0.0 &&
+            queued.ElapsedMillis() > options_.request_deadline_ms) {
+          MutexLock lock(stats_mu_);
+          ++stats_.expired_requests;
+          return R(Status::DeadlineExceeded(
+              "request waited " + std::to_string(queued.ElapsedMillis()) +
+              " ms in queue, past its " +
+              std::to_string(options_.request_deadline_ms) + " ms deadline"));
+        }
+        const Stopwatch exec;
+        R value = fn();
+        RecordExecLatency(exec.ElapsedMillis());
+        return value;
+      }();
+      if (admission_ != nullptr) {
+        char token = 0;
+        admission_->Pop(&token);  // Our own token: the queue is never empty.
+      }
+      return result;
+    });
+  }
+
   ServerOptions options_;
   SessionManager sessions_;
   mutable Mutex mu_;
@@ -155,9 +297,16 @@ class ReconcileService {
   TenantId next_tenant_ SMN_GUARDED_BY(mu_) = 1;
   mutable Mutex stats_mu_;
   ServerStats stats_ SMN_GUARDED_BY(stats_mu_);
+  /// EWMA (0.9 old / 0.1 new) of Submit* execution latency, the basis of
+  /// the retry-after hint.
+  double ewma_exec_ms_ SMN_GUARDED_BY(stats_mu_) = 0.0;
+  /// Admission token bucket for the Submit* paths (null = no bound): one
+  /// token TryPushed per accepted request, popped at completion. TryPush
+  /// failing IS the shed signal — callers never block on admission.
+  std::unique_ptr<BoundedQueue<char>> admission_;
   /// The request queue backing the Submit* calls. Declared last so its
   /// destructor joins the workers while every member a queued request may
-  /// touch (sessions_, stats_mu_, ...) is still alive.
+  /// touch (sessions_, stats_mu_, admission_, ...) is still alive.
   ThreadPool pool_;
 };
 

@@ -1,0 +1,230 @@
+#include "server/repl.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace smn {
+namespace server {
+namespace {
+
+/// Splits on whitespace into full tokens (never partial reads: a token
+/// either parses completely or the command errors).
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// Strict full-token u64 parse: digits only, no sign, no trailing bytes.
+bool ParseU64(const std::string& token, uint64_t* value) {
+  if (token.empty() || token[0] < '0' || token[0] > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  *value = static_cast<uint64_t>(parsed);
+  return true;
+}
+
+/// Strict full-token double parse.
+bool ParseDouble(const std::string& token, double* value) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+/// The approved flag is exactly "0" or "1" — not just any integer.
+bool ParseBool01(const std::string& token, bool* value) {
+  if (token == "0") {
+    *value = false;
+    return true;
+  }
+  if (token == "1") {
+    *value = true;
+    return true;
+  }
+  return false;
+}
+
+void PrintStatusLine(const Status& status, const char* ok_word,
+                     std::ostream& out) {
+  if (status.ok()) {
+    out << ok_word << "\n";
+  } else {
+    out << "error: " << status.message() << "\n";
+  }
+}
+
+void PrintSnapshot(const SessionSnapshot& snapshot, std::ostream& out) {
+  out << "session " << snapshot.session_id << " revision "
+      << snapshot.revision << " soft " << snapshot.soft_answer_count
+      << " uncertainty " << FormatDouble(snapshot.uncertainty, 4)
+      << (snapshot.exhausted ? " (exhausted)" : "") << "\n";
+  out << "  p = [";
+  for (size_t i = 0; i < snapshot.probabilities.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << FormatDouble(snapshot.probabilities[i], 3);
+  }
+  out << "]\n";
+}
+
+}  // namespace
+
+Repl::Repl(ReconcileService* service, TenantId tenant, ReplOptions options)
+    : service_(service), tenant_(tenant), options_(std::move(options)) {}
+
+bool Repl::HandleLine(const std::string& line, std::ostream& out) {
+  if (line.size() > options_.max_line_length) {
+    out << "error: line of " << line.size() << " bytes exceeds the "
+        << options_.max_line_length << "-byte limit\n";
+    return true;
+  }
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) return true;
+  const std::string& command = tokens[0];
+  const size_t args = tokens.size() - 1;
+
+  if (command == "quit" || command == "exit") {
+    if (args != 0) {
+      out << "error: " << command << " takes no arguments\n";
+      return true;
+    }
+    return false;
+  }
+  if (command == "help") {
+    out << "commands: open <seed> | assert <s> <c> <0|1> | "
+           "soft <s> <c> <0|1> <eps> | snapshot <s> | close <s> | "
+           "recover | stats | quit\n";
+    return true;
+  }
+  if (command == "open") {
+    uint64_t seed = 0;
+    if (args != 1 || !ParseU64(tokens[1], &seed)) {
+      out << "error: usage: open <seed> (seed is a non-negative integer)\n";
+      return true;
+    }
+    StatusOr<SessionId> session = service_->OpenSession(tenant_, seed);
+    if (session.ok()) {
+      out << "session " << session.value() << " open\n";
+    } else {
+      out << "error: " << session.status().message() << "\n";
+    }
+    return true;
+  }
+  if (command == "assert") {
+    uint64_t session = 0;
+    uint64_t c = 0;
+    bool approved = false;
+    if (args != 3 || !ParseU64(tokens[1], &session) ||
+        !ParseU64(tokens[2], &c) || !ParseBool01(tokens[3], &approved)) {
+      out << "error: usage: assert <session> <corr> <0|1>\n";
+      return true;
+    }
+    PrintStatusLine(
+        service_->Assert(session, static_cast<CorrespondenceId>(c), approved),
+        "ok", out);
+    return true;
+  }
+  if (command == "soft") {
+    uint64_t session = 0;
+    uint64_t c = 0;
+    bool approved = false;
+    double eps = 0.0;
+    if (args != 4 || !ParseU64(tokens[1], &session) ||
+        !ParseU64(tokens[2], &c) || !ParseBool01(tokens[3], &approved) ||
+        !ParseDouble(tokens[4], &eps)) {
+      out << "error: usage: soft <session> <corr> <0|1> <eps>\n";
+      return true;
+    }
+    PrintStatusLine(service_->AssertSoft(
+                        session, static_cast<CorrespondenceId>(c), approved,
+                        eps),
+                    "ok", out);
+    return true;
+  }
+  if (command == "snapshot") {
+    uint64_t session = 0;
+    if (args != 1 || !ParseU64(tokens[1], &session)) {
+      out << "error: usage: snapshot <session>\n";
+      return true;
+    }
+    StatusOr<SessionSnapshot> snapshot = service_->Snapshot(session);
+    if (snapshot.ok()) {
+      PrintSnapshot(snapshot.value(), out);
+    } else {
+      out << "error: " << snapshot.status().message() << "\n";
+    }
+    return true;
+  }
+  if (command == "close") {
+    uint64_t session = 0;
+    if (args != 1 || !ParseU64(tokens[1], &session)) {
+      out << "error: usage: close <session>\n";
+      return true;
+    }
+    PrintStatusLine(service_->Close(session), "closed", out);
+    return true;
+  }
+  if (command == "recover") {
+    if (args != 0) {
+      out << "error: recover takes no arguments\n";
+      return true;
+    }
+    if (options_.journal_dir.empty()) {
+      out << "error: no journal directory configured (start smn_server with "
+             "a journal dir argument)\n";
+      return true;
+    }
+    StatusOr<RecoveryReport> report = service_->Recover(options_.journal_dir);
+    if (!report.ok()) {
+      out << "error: " << report.status().message() << "\n";
+      return true;
+    }
+    const RecoveryReport& r = report.value();
+    out << "recovered " << r.sessions_recovered << " sessions ("
+        << r.asserts_replayed << " asserts, " << r.soft_replayed
+        << " soft replayed, " << r.replay_rejected << " rejected) skipped "
+        << r.sessions_skipped_closed << " closed, " << r.failed_sessions
+        << " failed; " << r.truncated_tails << " torn tails ("
+        << r.dropped_bytes << " bytes dropped), " << r.revision_mismatches
+        << " revision mismatches\n";
+    return true;
+  }
+  if (command == "stats") {
+    if (args != 0) {
+      out << "error: stats takes no arguments\n";
+      return true;
+    }
+    const ServerStats stats = service_->stats();
+    out << "opened " << stats.sessions_opened << " closed "
+        << stats.sessions_closed << " asserts " << stats.asserts << " soft "
+        << stats.soft_asserts << " snapshots " << stats.snapshots << " shed "
+        << stats.shed_requests << " expired " << stats.expired_requests
+        << " live " << service_->session_count() << "\n";
+    return true;
+  }
+  out << "error: unknown command '" << command << "' (try 'help')\n";
+  return true;
+}
+
+void Repl::Run(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!HandleLine(line, out)) break;
+  }
+}
+
+}  // namespace server
+}  // namespace smn

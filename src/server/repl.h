@@ -1,0 +1,62 @@
+#ifndef SMN_SERVER_REPL_H_
+#define SMN_SERVER_REPL_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "server/reconcile_service.h"
+
+namespace smn {
+namespace server {
+
+/// REPL configuration.
+struct ReplOptions {
+  /// Lines longer than this are rejected with an error line instead of
+  /// being parsed — the input-hardening bound for piped scripts.
+  size_t max_line_length = 4096;
+  /// Journal directory the `recover` command replays; empty disables it
+  /// (matching a service running without a journal_dir).
+  std::string journal_dir;
+};
+
+/// The line-oriented command loop of smn_server, split from main() so its
+/// parsing is unit-testable. Every command either succeeds with its normal
+/// output or prints exactly one line starting with "error: " — malformed
+/// arguments (non-numeric, missing, trailing junk), oversized lines, and
+/// failed service calls all take the error path; nothing is silently
+/// defaulted (a historical bug: `open abc` used to open seed 0).
+///
+/// Commands:
+///   open <seed>                       open a session over the tenant
+///   assert <session> <corr> <0|1>     integrate a hard assertion
+///   soft <session> <corr> <0|1> <eps> record a noisy answer
+///   snapshot <session>                print revision, H(C,P), marginals
+///   close <session>                   close the session (clean journal end)
+///   recover                           replay the journal dir, print report
+///   stats                             print service counters
+///   help | quit | exit
+class Repl {
+ public:
+  /// Wraps `service` (not owned; must outlive the Repl). Commands act on
+  /// sessions of `tenant`.
+  Repl(ReconcileService* service, TenantId tenant, ReplOptions options = {});
+
+  /// Executes one input line, writing responses to `out`. Returns false
+  /// when the line asked to terminate (quit/exit); true otherwise,
+  /// including on errors.
+  bool HandleLine(const std::string& line, std::ostream& out);
+
+  /// Reads lines from `in` until EOF or quit.
+  void Run(std::istream& in, std::ostream& out);
+
+ private:
+  ReconcileService* const service_;
+  const TenantId tenant_;
+  const ReplOptions options_;
+};
+
+}  // namespace server
+}  // namespace smn
+
+#endif  // SMN_SERVER_REPL_H_

@@ -37,8 +37,29 @@ StatusOr<std::unique_ptr<Session>> Session::Create(
   return session;
 }
 
+uint64_t Session::RevisionLocked() const {
+  return sharded_ != nullptr ? sharded_->revision() : pmn_->assertion_count();
+}
+
+void Session::AttachJournal(std::unique_ptr<SessionLog> log) {
+  MutexLock lock(mu_);
+  journal_ = std::move(log);
+}
+
+Status Session::FinishJournal() {
+  MutexLock lock(mu_);
+  if (journal_ == nullptr) return Status::OK();
+  std::unique_ptr<SessionLog> log = std::move(journal_);
+  return log->LogClose();
+}
+
 Status Session::Assert(CorrespondenceId c, bool approved) {
   MutexLock lock(mu_);
+  if (journal_ != nullptr) {
+    // Write-ahead: on journal failure the request fails here, before the
+    // engine sees it — fail-stop, state untouched.
+    SMN_RETURN_IF_ERROR(journal_->LogAssert(c, approved, RevisionLocked()));
+  }
   if (sharded_ != nullptr) return sharded_->Assert(c, approved);
   return pmn_->Assert(c, approved, &rng_);
 }
@@ -46,6 +67,10 @@ Status Session::Assert(CorrespondenceId c, bool approved) {
 Status Session::AssertSoft(CorrespondenceId c, bool approved,
                            double error_rate) {
   MutexLock lock(mu_);
+  if (journal_ != nullptr) {
+    SMN_RETURN_IF_ERROR(
+        journal_->LogAssertSoft(c, approved, error_rate, soft_answers_));
+  }
   if (sharded_ != nullptr) {
     SMN_RETURN_IF_ERROR(sharded_->AssertSoft(c, approved, error_rate));
   } else {
@@ -85,6 +110,12 @@ StatusOr<ReconcileTrace> Session::Reconcile(StrategyKind kind,
     return Status::Unimplemented(
         "Reconcile requires a monolithic session (shards = 0): the "
         "reconciler loop drives the network directly");
+  }
+  if (journal_ != nullptr) {
+    return Status::FailedPrecondition(
+        "Reconcile is not available on a journaled session: the reconciler "
+        "bypasses the write-ahead path, so its asserts would be lost on "
+        "recovery. Use Assert/AssertSoft, or run without a journal_dir.");
   }
   std::unique_ptr<SelectionStrategy> strategy = MakeStrategy(kind);
   Reconciler reconciler(&*pmn_, strategy.get(), std::move(oracle), policy);

@@ -9,6 +9,7 @@
 #include "core/probabilistic_network.h"
 #include "core/reconciler.h"
 #include "core/selection_strategy.h"
+#include "server/session_journal.h"
 #include "server/sharded_network.h"
 #include "util/mutex.h"
 #include "util/rng.h"
@@ -85,6 +86,22 @@ class Session {
   /// The seed this session's RNG stream started from (immutable, lock-free).
   uint64_t seed() const { return seed_; }
 
+  /// Makes the session durable: every later Assert/AssertSoft is appended
+  /// to `log` BEFORE the engine mutates (write-ahead, under the session
+  /// lock, so journal order is apply order), and a journal-append failure
+  /// fails the request with the session state untouched. Called once,
+  /// before the session is published (OpenSession) or after replay
+  /// (recovery — replay itself runs on an unjournaled session, so nothing
+  /// is re-logged).
+  void AttachJournal(std::unique_ptr<SessionLog> log) SMN_EXCLUDES(mu_);
+
+  /// Clean shutdown of the journal: logs Close (which unlinks the file) and
+  /// detaches. Called by explicit Close and idle-TTL eviction — but NOT by
+  /// the destructor: a session destroyed without FinishJournal (service
+  /// teardown, process death) leaves its journal behind, which is exactly
+  /// what marks it for recovery. No-op OK on an unjournaled session.
+  Status FinishJournal() SMN_EXCLUDES(mu_);
+
   /// Integrates one hard expert assertion. Fails (leaving the state
   /// untouched) when `c` contradicts the session's feedback closure.
   Status Assert(CorrespondenceId c, bool approved) SMN_EXCLUDES(mu_);
@@ -101,7 +118,9 @@ class Session {
   /// Runs Algorithm 1 inside the session until `goal` is met, selecting
   /// with `kind` and eliciting from `oracle` under `policy`. Holds the
   /// session lock for the whole run: concurrent Assert/Snapshot calls
-  /// serialize before or after it.
+  /// serialize before or after it. FailedPrecondition on a journaled
+  /// session: the reconciler drives the network directly, bypassing the
+  /// write-ahead path, so its effects would be invisible to recovery.
   StatusOr<ReconcileTrace> Reconcile(StrategyKind kind,
                                      const ReconcileGoal& goal,
                                      AssertionOracle oracle,
@@ -130,6 +149,13 @@ class Session {
   /// Noisy answers recorded so far (SoftEvidence counts per-correspondence;
   /// this is the session-total the snapshot exposes).
   uint64_t soft_answers_ SMN_GUARDED_BY(mu_) = 0;
+  /// The write-ahead journal; null on a non-durable session. Appended to
+  /// under mu_ before every engine mutation.
+  std::unique_ptr<SessionLog> journal_ SMN_GUARDED_BY(mu_);
+
+  /// The engine's accepted-hard-assert count (the revision stamped into
+  /// journal records).
+  uint64_t RevisionLocked() const SMN_REQUIRES(mu_);
 };
 
 }  // namespace server

@@ -9,7 +9,8 @@ namespace server {
 
 StatusOr<std::shared_ptr<Session>> SessionManager::Create(
     std::shared_ptr<const CompiledArtifact> artifact,
-    const ProbabilisticNetworkOptions& options, uint64_t seed, size_t shards) {
+    const ProbabilisticNetworkOptions& options, uint64_t seed, size_t shards,
+    const PrePublishHook& pre_publish) {
   SessionId id = 0;
   {
     MutexLock lock(mu_);
@@ -17,6 +18,30 @@ StatusOr<std::shared_ptr<Session>> SessionManager::Create(
   }
   // Build outside the lock: drawing the initial sample sets is the
   // expensive part of session creation and must not serialize the server.
+  SMN_ASSIGN_OR_RETURN(
+      std::unique_ptr<Session> session,
+      Session::Create(id, std::move(artifact), options, seed, shards));
+  if (pre_publish) SMN_RETURN_IF_ERROR(pre_publish(*session));
+  std::shared_ptr<Session> shared = std::move(session);
+  {
+    MutexLock lock(mu_);
+    ++tick_;
+    sessions_[id] = Entry{shared, tick_};
+  }
+  return shared;
+}
+
+StatusOr<std::shared_ptr<Session>> SessionManager::Restore(
+    SessionId id, std::shared_ptr<const CompiledArtifact> artifact,
+    const ProbabilisticNetworkOptions& options, uint64_t seed, size_t shards) {
+  {
+    MutexLock lock(mu_);
+    if (sessions_.count(id) != 0) {
+      return Status::AlreadyExists("Restore: session id " +
+                                   std::to_string(id) + " is live");
+    }
+    if (next_id_ <= id) next_id_ = id + 1;
+  }
   SMN_ASSIGN_OR_RETURN(
       std::unique_ptr<Session> session,
       Session::Create(id, std::move(artifact), options, seed, shards));
@@ -71,6 +96,12 @@ size_t SessionManager::ExpireIdle() {
         ++it;
       }
     }
+  }
+  // Finish journals outside the manager lock (lock order manager → session:
+  // FinishJournal takes the session mutex). Best-effort: an eviction must
+  // not fail because the journal's final write did.
+  for (const std::shared_ptr<Session>& session : doomed) {
+    (void)session->FinishJournal();
   }
   return doomed.size();
 }

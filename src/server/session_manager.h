@@ -2,6 +2,7 @@
 #define SMN_SERVER_SESSION_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -39,12 +40,31 @@ class SessionManager {
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
+  /// Runs on a fully built but not yet published session — the service's
+  /// journal-attachment point. A non-OK return aborts the create/restore
+  /// (the session is discarded unpublished).
+  using PrePublishHook = std::function<Status(Session&)>;
+
   /// Creates a session over `artifact`, building its initial sample state
   /// outside the manager lock, and publishes it under a fresh id. `shards`
   /// selects the session's execution engine (see Session::Create): 0 is
-  /// monolithic, K ≥ 1 runs K worker shards.
+  /// monolithic, K ≥ 1 runs K worker shards. `pre_publish`, when set, runs
+  /// after the build and before the session becomes visible (uncontended —
+  /// no other thread can hold the session yet).
   StatusOr<std::shared_ptr<Session>> Create(
       std::shared_ptr<const CompiledArtifact> artifact,
+      const ProbabilisticNetworkOptions& options, uint64_t seed,
+      size_t shards = 0, const PrePublishHook& pre_publish = nullptr)
+      SMN_EXCLUDES(mu_);
+
+  /// Recovery-path Create: rebuilds a session under its *original* id (the
+  /// id its journal was written for) instead of allocating a fresh one, and
+  /// bumps the id allocator past it so post-recovery sessions never collide.
+  /// AlreadyExists when `id` is live. The caller replays the journal into
+  /// the returned session, then runs its own journal reattachment; hence no
+  /// pre-publish hook — the session is published bare.
+  StatusOr<std::shared_ptr<Session>> Restore(
+      SessionId id, std::shared_ptr<const CompiledArtifact> artifact,
       const ProbabilisticNetworkOptions& options, uint64_t seed,
       size_t shards = 0) SMN_EXCLUDES(mu_);
 
@@ -57,7 +77,10 @@ class SessionManager {
   Status Close(SessionId id) SMN_EXCLUDES(mu_);
 
   /// Advances the logical clock and reaps every session idle for more than
-  /// the TTL. No-op (returns 0) when the TTL is 0.
+  /// the TTL. No-op (returns 0) when the TTL is 0. Eviction is a *clean*
+  /// close: each reaped session's journal is finished (Close record, file
+  /// unlinked) outside the manager lock, so an evicted session is never
+  /// resurrected by recovery.
   size_t ExpireIdle() SMN_EXCLUDES(mu_);
 
   /// Number of live sessions.

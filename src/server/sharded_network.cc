@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/fault_injection.h"
+
 namespace smn {
 namespace server {
 
@@ -71,8 +73,13 @@ void ShardedNetwork::WorkerLoop(size_t shard) {
     // requests would compound the divergence. Drain them with the sticky
     // error instead.
     Status degraded = DegradedStatus();
-    if (options_.fault_hook && degraded.ok()) {
-      Status injected = options_.fault_hook(shard);
+    if (degraded.ok()) {
+      // Two fault sources, same degradation path: the global injection
+      // framework (site shard.worker) and the per-network test hook.
+      Status injected = SMN_FAULT_CHECK("shard.worker");
+      if (injected.ok() && options_.fault_hook) {
+        injected = options_.fault_hook(shard);
+      }
       if (!injected.ok()) {
         MarkDegraded(injected);
         degraded = DegradedStatus();

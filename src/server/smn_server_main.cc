@@ -1,51 +1,37 @@
 // smn_server: in-process reconciliation service with a line-oriented request
 // loop on stdin — the server-shaped frontend over the artifact/session split
-// (no sockets; pipe a script in or drive it interactively).
+// (no sockets; pipe a script in or drive it interactively). The command
+// loop itself lives in server/repl.h; this translation unit only assembles
+// the demo service around it.
 //
-// Commands:
-//   open <seed>                       open a session over the demo tenant
-//   assert <session> <corr> <0|1>     integrate a hard assertion
-//   soft <session> <corr> <0|1> <eps> record a noisy answer (error rate eps)
-//   snapshot <session>                print revision, H(C,P), marginals
-//   close <session>                   close the session
-//   stats                             print service counters
-//   quit                              exit
+// Usage: smn_server [journal_dir]
+//
+// With a journal_dir, sessions are durable: every assert is write-ahead
+// journaled, and the `recover` command (or a fresh smn_server on the same
+// directory) rebuilds the sessions a crashed process left behind.
 //
 // The demo tenant is a clustered synthetic network (see
 // bench/synthetic_networks.h); sessions opened with equal seeds are
 // bit-identical, matching a batch ProbabilisticNetwork run over the same
 // seed.
 
-#include <cstdint>
 #include <iostream>
 #include <memory>
-#include <sstream>
 #include <string>
-#include <vector>
+#include <utility>
 
 #include "bench/synthetic_networks.h"
 #include "server/reconcile_service.h"
-#include "util/string_util.h"
+#include "server/repl.h"
 
 namespace smn {
 namespace server {
 namespace {
 
-void PrintSnapshot(const SessionSnapshot& snapshot) {
-  std::cout << "session " << snapshot.session_id << " revision "
-            << snapshot.revision << " soft " << snapshot.soft_answer_count
-            << " uncertainty " << FormatDouble(snapshot.uncertainty, 4)
-            << (snapshot.exhausted ? " (exhausted)" : "") << "\n";
-  std::cout << "  p = [";
-  for (size_t i = 0; i < snapshot.probabilities.size(); ++i) {
-    if (i > 0) std::cout << ", ";
-    std::cout << FormatDouble(snapshot.probabilities[i], 3);
-  }
-  std::cout << "]\n";
-}
-
-int RunServer() {
-  ReconcileService service;
+int RunServer(const std::string& journal_dir) {
+  ServerOptions options;
+  options.journal_dir = journal_dir;
+  ReconcileService service(options);
 
   // Demo tenant: a clustered synthetic network moved onto the heap and
   // handed to the service, which owns it through the tenant artifact.
@@ -66,74 +52,15 @@ int RunServer() {
                    .value()
                    ->network()
                    .correspondence_count()
-            << " candidate correspondences). Type 'help' for commands.\n";
+            << " candidate correspondences"
+            << (journal_dir.empty() ? std::string()
+                                    : ", journaling to " + journal_dir)
+            << "). Type 'help' for commands.\n";
 
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    std::istringstream in(line);
-    std::string command;
-    if (!(in >> command)) continue;
-    if (command == "quit" || command == "exit") break;
-    if (command == "help") {
-      std::cout << "commands: open <seed> | assert <s> <c> <0|1> | "
-                   "soft <s> <c> <0|1> <eps> | snapshot <s> | close <s> | "
-                   "stats | quit\n";
-    } else if (command == "open") {
-      uint64_t seed = 0;
-      in >> seed;
-      StatusOr<SessionId> session = service.OpenSession(tenant.value(), seed);
-      if (session.ok()) {
-        std::cout << "session " << session.value() << " open\n";
-      } else {
-        std::cout << "error: " << session.status().message() << "\n";
-      }
-    } else if (command == "assert") {
-      SessionId session = 0;
-      CorrespondenceId c = 0;
-      int approved = 0;
-      in >> session >> c >> approved;
-      const Status status = service.Assert(session, c, approved != 0);
-      std::cout << (status.ok() ? std::string("ok")
-                                : "error: " + std::string(status.message()))
-                << "\n";
-    } else if (command == "soft") {
-      SessionId session = 0;
-      CorrespondenceId c = 0;
-      int approved = 0;
-      double eps = 0.0;
-      in >> session >> c >> approved >> eps;
-      const Status status =
-          service.AssertSoft(session, c, approved != 0, eps);
-      std::cout << (status.ok() ? std::string("ok")
-                                : "error: " + std::string(status.message()))
-                << "\n";
-    } else if (command == "snapshot") {
-      SessionId session = 0;
-      in >> session;
-      StatusOr<SessionSnapshot> snapshot = service.Snapshot(session);
-      if (snapshot.ok()) {
-        PrintSnapshot(snapshot.value());
-      } else {
-        std::cout << "error: " << snapshot.status().message() << "\n";
-      }
-    } else if (command == "close") {
-      SessionId session = 0;
-      in >> session;
-      const Status status = service.Close(session);
-      std::cout << (status.ok() ? std::string("closed")
-                                : "error: " + std::string(status.message()))
-                << "\n";
-    } else if (command == "stats") {
-      const ServerStats stats = service.stats();
-      std::cout << "opened " << stats.sessions_opened << " closed "
-                << stats.sessions_closed << " asserts " << stats.asserts
-                << " soft " << stats.soft_asserts << " snapshots "
-                << stats.snapshots << " live " << service.session_count()
-                << "\n";
-    } else {
-      std::cout << "unknown command '" << command << "' (try 'help')\n";
-    }
-  }
+  ReplOptions repl_options;
+  repl_options.journal_dir = journal_dir;
+  Repl repl(&service, tenant.value(), std::move(repl_options));
+  repl.Run(std::cin, std::cout);
   return 0;
 }
 
@@ -141,4 +68,10 @@ int RunServer() {
 }  // namespace server
 }  // namespace smn
 
-int main() { return smn::server::RunServer(); }
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::cerr << "usage: smn_server [journal_dir]\n";
+    return 2;
+  }
+  return smn::server::RunServer(argc == 2 ? argv[1] : std::string());
+}

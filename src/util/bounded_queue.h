@@ -4,7 +4,9 @@
 #include <deque>
 #include <utility>
 
+#include "util/fault_injection.h"
 #include "util/mutex.h"
+#include "util/stopwatch.h"
 #include "util/thread_annotations.h"
 
 namespace smn {
@@ -19,6 +21,9 @@ namespace smn {
 ///    the queue is closed, including producers already blocked in Push at
 ///    close time — a closed queue accepts nothing, so every request either
 ///    reaches the consumer or is reported undeliverable to its producer.
+///    TryPush (never blocks) and PushWithDeadline (blocks at most a given
+///    budget) share the same refusal contract; all three report injected
+///    faults at site `bounded_queue.push` as a failed push.
 ///  - Pop blocks while the queue is empty; after Close it keeps returning
 ///    the remaining items until the queue drains, then returns false. The
 ///    consumer therefore processes every accepted request before exiting —
@@ -39,9 +44,43 @@ class BoundedQueue {
   /// Enqueues `item`, blocking while full. Returns false (item dropped)
   /// when the queue is or becomes closed.
   bool Push(T item) SMN_EXCLUDES(mu_) {
+    if (SMN_FAULT_FIRED("bounded_queue.push")) return false;
     MutexLock lock(mu_);
     while (!closed_ && items_.size() >= capacity_) {
       not_full_.Wait(mu_);
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.NotifyOne();
+    return true;
+  }
+
+  /// Enqueues `item` only if there is room right now: never blocks. Returns
+  /// false — with `item` untouched by the queue — when full or closed, the
+  /// same refusal contract as Push on a closed queue. This is the admission
+  /// primitive: callers that must shed load instead of waiting (the server's
+  /// overload path) use TryPush and turn `false` into kUnavailable.
+  bool TryPush(T item) SMN_EXCLUDES(mu_) {
+    if (SMN_FAULT_FIRED("bounded_queue.push")) return false;
+    MutexLock lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.NotifyOne();
+    return true;
+  }
+
+  /// Enqueues `item`, blocking at most `timeout_ms`. Returns false when the
+  /// queue stays full past the deadline or is/becomes closed — close
+  /// semantics are identical to Push: a producer blocked here at Close time
+  /// wakes immediately and fails, it never enqueues onto a closed queue.
+  bool PushWithDeadline(T item, double timeout_ms) SMN_EXCLUDES(mu_) {
+    if (SMN_FAULT_FIRED("bounded_queue.push")) return false;
+    const Stopwatch waited;
+    MutexLock lock(mu_);
+    while (!closed_ && items_.size() >= capacity_) {
+      const double remaining_ms = timeout_ms - waited.ElapsedMillis();
+      if (remaining_ms <= 0.0) return false;
+      not_full_.WaitFor(mu_, remaining_ms);
     }
     if (closed_) return false;
     items_.push_back(std::move(item));

@@ -1,0 +1,226 @@
+#include "util/fault_injection.h"
+
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "util/mutex.h"
+#include "util/rng.h"
+#include "util/thread_annotations.h"
+
+namespace smn {
+namespace {
+
+/// One parsed plan rule. `first` is the 1-based arrival ordinal the rule
+/// starts firing at; `count` the number of consecutive arrivals it covers
+/// (0 = unbounded, the `N+` form). Probabilistic rules set `probability`
+/// instead and ignore the ordinals.
+struct FaultRule {
+  std::string site;
+  uint64_t first = 1;
+  uint64_t count = 1;
+  double probability = -1.0;  // < 0: ordinal rule
+};
+
+struct SiteState {
+  uint64_t arrivals = 0;
+  uint64_t fired = 0;
+};
+
+/// Global injection state. A single leaf mutex: every site is a cold path
+/// (journal I/O, queue hand-off, worker dispatch), and the whole module is
+/// compiled out of production call sites anyway.
+struct Registry {
+  Mutex mu;
+  bool active SMN_GUARDED_BY(mu) = false;
+  bool env_checked SMN_GUARDED_BY(mu) = false;
+  std::vector<FaultRule> rules SMN_GUARDED_BY(mu);
+  /// std::map, not unordered: introspection iterates deterministically.
+  std::map<std::string, SiteState> sites SMN_GUARDED_BY(mu);
+  Rng rng SMN_GUARDED_BY(mu){0};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // Leaked intentionally: process-wide.
+  return *r;
+}
+
+bool ParseOrdinal(const std::string& text, uint64_t* value) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  *value = static_cast<uint64_t>(parsed);
+  return true;
+}
+
+StatusOr<std::vector<FaultRule>> ParsePlan(const std::string& plan) {
+  std::vector<FaultRule> rules;
+  size_t start = 0;
+  while (start <= plan.size()) {
+    size_t comma = plan.find(',', start);
+    if (comma == std::string::npos) comma = plan.size();
+    const std::string token = plan.substr(start, comma - start);
+    start = comma + 1;
+    if (token.empty()) continue;
+    FaultRule rule;
+    const size_t at = token.find('@');
+    const size_t percent = token.find('%');
+    if (at != std::string::npos) {
+      rule.site = token.substr(0, at);
+      std::string ordinal = token.substr(at + 1);
+      if (!ordinal.empty() && ordinal.back() == '+') {
+        rule.count = 0;
+        ordinal.pop_back();
+      } else {
+        const size_t star = ordinal.find('*');
+        if (star != std::string::npos) {
+          if (!ParseOrdinal(ordinal.substr(star + 1), &rule.count) ||
+              rule.count == 0) {
+            return Status::InvalidArgument(
+                "fault plan: bad repeat count in rule '" + token + "'");
+          }
+          ordinal = ordinal.substr(0, star);
+        }
+      }
+      if (!ParseOrdinal(ordinal, &rule.first) || rule.first == 0) {
+        return Status::InvalidArgument(
+            "fault plan: bad arrival ordinal in rule '" + token +
+            "' (want site@N, site@N+, or site@N*M with N >= 1)");
+      }
+    } else if (percent != std::string::npos) {
+      rule.site = token.substr(0, percent);
+      char* end = nullptr;
+      const std::string prob = token.substr(percent + 1);
+      rule.probability = std::strtod(prob.c_str(), &end);
+      if (prob.empty() || end != prob.c_str() + prob.size() ||
+          rule.probability < 0.0 || rule.probability > 1.0) {
+        return Status::InvalidArgument(
+            "fault plan: bad probability in rule '" + token +
+            "' (want site%P with P in [0,1])");
+      }
+    } else {
+      return Status::InvalidArgument(
+          "fault plan: rule '" + token +
+          "' has neither '@' (ordinal) nor '%' (probability)");
+    }
+    if (rule.site.empty()) {
+      return Status::InvalidArgument("fault plan: empty site in rule '" +
+                                     token + "'");
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+/// Picks up SMN_FAULT_INJECTION / SMN_FAULT_PLAN / SMN_FAULT_SEED once, the
+/// first time a site is consulted without a programmatic plan.
+void MaybeConfigureFromEnvLocked(Registry& r) SMN_REQUIRES(r.mu) {
+  if (r.env_checked) return;
+  r.env_checked = true;
+  const char* enabled = std::getenv("SMN_FAULT_INJECTION");
+  if (enabled == nullptr ||
+      (std::string(enabled) != "ON" && std::string(enabled) != "1")) {
+    return;
+  }
+  const char* plan = std::getenv("SMN_FAULT_PLAN");
+  if (plan == nullptr || *plan == '\0') return;
+  StatusOr<std::vector<FaultRule>> rules = ParsePlan(plan);
+  if (!rules.ok()) return;  // A malformed env plan never half-activates.
+  uint64_t seed = 0;
+  const char* seed_env = std::getenv("SMN_FAULT_SEED");
+  if (seed_env != nullptr) ParseOrdinal(seed_env, &seed);
+  r.rules = std::move(rules).value();
+  r.rng = Rng(seed);
+  r.sites.clear();
+  r.active = true;
+}
+
+bool FiredLocked(Registry& r, const char* site) SMN_REQUIRES(r.mu) {
+  MaybeConfigureFromEnvLocked(r);
+  if (!r.active) return false;
+  SiteState& state = r.sites[site];
+  const uint64_t arrival = ++state.arrivals;
+  for (const FaultRule& rule : r.rules) {
+    if (rule.site != site) continue;
+    bool fires = false;
+    if (rule.probability >= 0.0) {
+      fires = r.rng.UniformDouble() < rule.probability;
+    } else if (arrival >= rule.first) {
+      fires = rule.count == 0 || arrival < rule.first + rule.count;
+    }
+    if (fires) {
+      ++state.fired;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status FaultInjection::Configure(const std::string& plan, uint64_t seed) {
+  SMN_ASSIGN_OR_RETURN(std::vector<FaultRule> rules, ParsePlan(plan));
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  r.rules = std::move(rules);
+  r.rng = Rng(seed);
+  r.sites.clear();
+  r.active = true;
+  r.env_checked = true;  // A programmatic plan overrides the environment.
+  return Status::OK();
+}
+
+void FaultInjection::Reset() {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  r.active = false;
+  r.env_checked = true;  // Reset means *off*, not back-to-env.
+  r.rules.clear();
+  r.sites.clear();
+}
+
+bool FaultInjection::Active() {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  MaybeConfigureFromEnvLocked(r);
+  return r.active;
+}
+
+bool FaultInjection::Fired(const char* site) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  return FiredLocked(r, site);
+}
+
+Status FaultInjection::Check(const char* site) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  if (!FiredLocked(r, site)) return Status::OK();
+  return Status::Internal("injected fault at " + std::string(site) +
+                          " (arrival " +
+                          std::to_string(r.sites[site].arrivals) + ")");
+}
+
+size_t FaultInjection::PartialBytes(const char* site, size_t size) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  if (!FiredLocked(r, site)) return size;
+  return size / 2;
+}
+
+uint64_t FaultInjection::Arrivals(const std::string& site) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.arrivals;
+}
+
+uint64_t FaultInjection::FiredCount(const std::string& site) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fired;
+}
+
+}  // namespace smn

@@ -1,6 +1,7 @@
 #ifndef SMN_UTIL_MUTEX_H_
 #define SMN_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -73,6 +74,19 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // Ownership stays with the caller's scope.
+  }
+
+  /// Blocks until notified or `timeout_ms` elapses; returns false on
+  /// timeout. Spurious wakeups are possible either way: callers must
+  /// re-check their predicate in a loop and recompute the remaining budget
+  /// (see BoundedQueue::PushWithDeadline for the canonical shape).
+  bool WaitFor(Mutex& mu, double timeout_ms) SMN_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                               timeout_ms < 0.0 ? 0.0 : timeout_ms));
+    lock.release();  // Ownership stays with the caller's scope.
+    return status == std::cv_status::no_timeout;
   }
 
   /// Wakes one waiting thread (if any).

@@ -1,0 +1,294 @@
+#include "util/record_codec.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/fault_injection.h"
+
+namespace smn {
+namespace {
+
+/// zlib-polynomial CRC table, built once.
+const uint32_t* Crc32Table() {
+  static uint32_t table[256];
+  static bool built = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      table[i] = crc;
+    }
+    return true;
+  }();
+  (void)built;
+  return table;
+}
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+/// Full write(2) loop: retries short writes and EINTR; writes at most
+/// `limit` bytes (the fault-injection torn-prefix bound) before reporting
+/// failure.
+Status WriteFully(int fd, const char* data, size_t size, size_t limit,
+                  const std::string& path) {
+  size_t written = 0;
+  const size_t bound = std::min(size, limit);
+  while (written < bound) {
+    const ssize_t n = ::write(fd, data + written, bound - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(ErrnoMessage("write failed on", path));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (bound < size) {
+    return Status::Internal("injected partial write on '" + path + "' (" +
+                            std::to_string(bound) + " of " +
+                            std::to_string(size) + " bytes)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  const uint32_t* table = Crc32Table();
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void AppendU32(std::string* out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xFFu));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xFFu));
+  }
+}
+
+void AppendF64(std::string* out, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double is not 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+bool ReadU32(std::string_view* in, uint32_t* value) {
+  if (in->size() < 4) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>((*in)[i])) << (8 * i);
+  }
+  in->remove_prefix(4);
+  *value = v;
+  return true;
+}
+
+bool ReadU64(std::string_view* in, uint64_t* value) {
+  if (in->size() < 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>((*in)[i])) << (8 * i);
+  }
+  in->remove_prefix(8);
+  *value = v;
+  return true;
+}
+
+bool ReadF64(std::string_view* in, double* value) {
+  uint64_t bits = 0;
+  if (!ReadU64(in, &bits)) return false;
+  std::memcpy(value, &bits, sizeof(bits));
+  return true;
+}
+
+void AppendRecord(std::string* out, std::string_view payload) {
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  AppendU32(out, Crc32(payload.data(), payload.size()));
+  out->append(payload.data(), payload.size());
+}
+
+RecordParse ParseRecords(std::string_view buffer) {
+  RecordParse parse;
+  const size_t total = buffer.size();
+  std::string_view rest = buffer;
+  for (;;) {
+    std::string_view cursor = rest;
+    uint32_t length = 0;
+    uint32_t crc = 0;
+    if (!ReadU32(&cursor, &length) || !ReadU32(&cursor, &crc)) break;
+    if (length > kMaxRecordPayload || cursor.size() < length) break;
+    if (Crc32(cursor.data(), length) != crc) break;
+    parse.payloads.emplace_back(cursor.substr(0, length));
+    rest = cursor.substr(length);
+    parse.valid_bytes = total - rest.size();
+  }
+  parse.dropped_bytes = total - parse.valid_bytes;
+  return parse;
+}
+
+RecordWriter::RecordWriter(int fd, std::string path)
+    : fd_(fd), path_(std::move(path)) {}
+
+RecordWriter::RecordWriter(RecordWriter&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      records_appended_(other.records_appended_) {
+  other.fd_ = -1;
+}
+
+RecordWriter& RecordWriter::operator=(RecordWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    records_appended_ = other.records_appended_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+RecordWriter::~RecordWriter() { Close(); }
+
+StatusOr<RecordWriter> RecordWriter::Open(const std::string& path,
+                                          bool truncate) {
+  const int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::Internal(ErrnoMessage("open failed for", path));
+  }
+  return RecordWriter(fd, path);
+}
+
+Status RecordWriter::Append(std::string_view payload) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("RecordWriter: append after Close on '" +
+                                      path_ + "'");
+  }
+  if (payload.size() > kMaxRecordPayload) {
+    return Status::InvalidArgument(
+        "RecordWriter: payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxRecordPayload) +
+        "-byte record bound");
+  }
+  SMN_RETURN_IF_ERROR(SMN_FAULT_CHECK("record.append"));
+  std::string framed;
+  framed.reserve(8 + payload.size());
+  AppendRecord(&framed, payload);
+  const size_t limit = SMN_FAULT_PARTIAL("record.append.partial", framed.size());
+  SMN_RETURN_IF_ERROR(WriteFully(fd_, framed.data(), framed.size(), limit,
+                                 path_));
+  ++records_appended_;
+  return Status::OK();
+}
+
+Status RecordWriter::Sync() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("RecordWriter: sync after Close on '" +
+                                      path_ + "'");
+  }
+  SMN_RETURN_IF_ERROR(SMN_FAULT_CHECK("record.sync"));
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(ErrnoMessage("fsync failed on", path_));
+  }
+  return Status::OK();
+}
+
+void RecordWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<std::string> ReadFileBytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no file at '" + path + "'");
+    }
+    return Status::Internal(ErrnoMessage("open failed for", path));
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::Internal(ErrnoMessage("read failed on",
+                                                          path));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    contents.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return contents;
+}
+
+Status TruncateFile(const std::string& path, size_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::Internal(ErrnoMessage("truncate failed on", path));
+  }
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::Internal(ErrnoMessage("unlink failed on", path));
+  }
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::Internal(ErrnoMessage("mkdir failed for", path));
+}
+
+StatusOr<std::vector<std::string>> ListDirectory(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no directory at '" + dir + "'");
+    }
+    return Status::Internal(ErrnoMessage("opendir failed for", dir));
+  }
+  std::vector<std::string> names;
+  for (struct dirent* entry = ::readdir(handle); entry != nullptr;
+       entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat info;
+    const std::string full = dir + "/" + name;
+    if (::stat(full.c_str(), &info) == 0 && S_ISREG(info.st_mode)) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(handle);
+  // readdir order is filesystem-dependent; recovery iterates sorted.
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace smn

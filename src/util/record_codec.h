@@ -1,0 +1,141 @@
+#ifndef SMN_UTIL_RECORD_CODEC_H_
+#define SMN_UTIL_RECORD_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace smn {
+
+/// Length-prefixed, CRC32-checksummed record codec — the wire and file
+/// format of the write-ahead session journal, and the repository's one
+/// sanctioned site for raw file writes (determinism-lint rule `raw-write`
+/// allowlists exactly record_codec.cc; everything else must go through
+/// RecordWriter).
+///
+/// Record layout, little-endian:
+///   u32 payload_length | u32 crc32(payload) | payload bytes
+///
+/// A file is a plain concatenation of records. Torn tails — a crash or an
+/// injected fault mid-append — are detected by length/CRC validation:
+/// ParseRecords returns the longest valid record prefix plus the number of
+/// trailing bytes that failed validation, and recovery truncates the file
+/// to that prefix (counted, never a crash).
+
+/// CRC-32 (ISO 3309 / zlib polynomial, reflected) of `size` bytes.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Appends `value` to `*out` in little-endian byte order.
+void AppendU32(std::string* out, uint32_t value);
+/// Appends `value` to `*out` in little-endian byte order.
+void AppendU64(std::string* out, uint64_t value);
+/// Appends the IEEE-754 bit pattern of `value` (exact roundtrip, NaNs
+/// included) in little-endian byte order.
+void AppendF64(std::string* out, double value);
+
+/// Reads a little-endian u32 from the front of `*in`, advancing it.
+/// Returns false when `*in` is too short (in which case `*in` is unchanged).
+bool ReadU32(std::string_view* in, uint32_t* value);
+/// Reads a little-endian u64 from the front of `*in`, advancing it.
+bool ReadU64(std::string_view* in, uint64_t* value);
+/// Reads a little-endian IEEE-754 double from the front of `*in`.
+bool ReadF64(std::string_view* in, double* value);
+
+/// Frames `payload` as one record (header + bytes) appended to `*out`.
+void AppendRecord(std::string* out, std::string_view payload);
+
+/// Records exceeding this payload size are rejected on write and treated as
+/// corruption on read (a torn length field can claim any size; the bound
+/// keeps a corrupt header from masquerading as a giant record).
+inline constexpr size_t kMaxRecordPayload = 1 << 20;
+
+/// The result of validating a record buffer.
+struct RecordParse {
+  /// The payloads of every valid record, in order.
+  std::vector<std::string> payloads;
+  /// Bytes of the longest valid record prefix (the truncation point).
+  size_t valid_bytes = 0;
+  /// Bytes after the valid prefix (torn or corrupt tail; 0 when clean).
+  size_t dropped_bytes = 0;
+  /// True when the whole buffer parsed as records.
+  bool clean() const { return dropped_bytes == 0; }
+};
+
+/// Splits `buffer` into validated records. Never fails: a corrupt or torn
+/// tail ends the parse and is reported via `dropped_bytes`.
+RecordParse ParseRecords(std::string_view buffer);
+
+/// Append-only record file writer over a POSIX fd. Thread-compatible (the
+/// session journal serializes appends under the session lock). Writes are
+/// unbuffered — every Append is write(2)-visible to same-host readers
+/// immediately; Sync() (fsync) is the durability barrier, driven by the
+/// journal's fsync policy.
+///
+/// Fault sites (see util/fault_injection.h): `record.append` fails an
+/// append before any byte reaches the fd; `record.append.partial` writes a
+/// torn prefix of the framed record, then fails — the torn-tail case the
+/// CRC validation exists for; `record.sync` fails the fsync.
+class RecordWriter {
+ public:
+  /// Opens `path` for appending, creating it (mode 0644) if missing;
+  /// `truncate` starts the file empty.
+  static StatusOr<RecordWriter> Open(const std::string& path, bool truncate);
+
+  RecordWriter(RecordWriter&& other) noexcept;
+  RecordWriter& operator=(RecordWriter&& other) noexcept;
+  RecordWriter(const RecordWriter&) = delete;
+  RecordWriter& operator=(const RecordWriter&) = delete;
+
+  /// Closes the fd (without syncing).
+  ~RecordWriter();
+
+  /// Frames `payload` and writes it fully. On failure (I/O error, injected
+  /// fault) the record may be torn on disk; the caller treats the append as
+  /// not durable either way, and readers drop the torn tail via CRC.
+  Status Append(std::string_view payload);
+
+  /// fsync(2): blocks until everything appended so far is durable.
+  Status Sync();
+
+  /// Closes the fd early (idempotent; the destructor also closes).
+  void Close();
+
+  /// Records appended through this writer since Open.
+  uint64_t records_appended() const { return records_appended_; }
+
+  /// The path this writer appends to.
+  const std::string& path() const { return path_; }
+
+ private:
+  RecordWriter(int fd, std::string path);
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t records_appended_ = 0;
+};
+
+/// Reads the entire file into a string (for record parsing; journal files
+/// are bounded by session lifetimes). NotFound when the file is missing.
+StatusOr<std::string> ReadFileBytes(const std::string& path);
+
+/// Truncates `path` to `size` bytes — how recovery physically drops a torn
+/// tail so later appends extend a valid prefix.
+Status TruncateFile(const std::string& path, size_t size);
+
+/// Unlinks `path`. OK when already gone (idempotent close paths).
+Status RemoveFile(const std::string& path);
+
+/// Creates `path` as a directory if needed (single level, mode 0755).
+Status EnsureDirectory(const std::string& path);
+
+/// Names of the regular files directly under `dir`, sorted (deterministic
+/// recovery scan order). NotFound when `dir` does not exist.
+StatusOr<std::vector<std::string>> ListDirectory(const std::string& dir);
+
+}  // namespace smn
+
+#endif  // SMN_UTIL_RECORD_CODEC_H_

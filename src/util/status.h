@@ -19,6 +19,9 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  kUnavailable,
+  kDeadlineExceeded,
+  kDataLoss,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -60,6 +63,20 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// Transient overload: the caller should back off and retry (the server's
+  /// load-shedding status — never a silent drop).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// The request waited past its deadline and was abandoned before touching
+  /// any session state.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Durable data failed integrity checks (CRC mismatch, torn record).
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

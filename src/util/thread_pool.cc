@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include "util/fault_injection.h"
+
 namespace smn {
 
 size_t ThreadPool::DefaultThreadCount() {
@@ -29,6 +31,19 @@ void ThreadPool::Shutdown() {
   for (std::thread& thread : threads_) {
     if (thread.joinable()) thread.join();
   }
+  // Workers can die early under fault injection (site thread_pool.worker),
+  // leaving tasks queued with no thread to run them. Drain inline so every
+  // future from this pool still becomes ready.
+  for (;;) {
+    std::function<void()> task;
+    {
+      MutexLock lock(mutex_);
+      if (tasks_.empty()) break;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
 }
 
 size_t ThreadPool::pending() const {
@@ -38,6 +53,10 @@ size_t ThreadPool::pending() const {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
+    // Simulated worker death: checked BEFORE popping, so a task is never
+    // taken off the queue and abandoned — Shutdown()'s inline drain (or a
+    // surviving worker) still runs everything submitted.
+    if (SMN_FAULT_FIRED("thread_pool.worker")) return;
     std::function<void()> task;
     {
       MutexLock lock(mutex_);

@@ -68,10 +68,17 @@ class FixtureFindingsTest(unittest.TestCase):
         findings = scan_fixture("thread_local_state.cc")
         self.assertEqual(rule_counts(findings), {"thread-local": 1})
 
+    def test_raw_write_fires_on_fd_writes_but_not_member_writes(self):
+        findings = scan_fixture("raw_write.cc")
+        self.assertEqual(rule_counts(findings), {"raw-write": 5})
+        lines = sorted(f.line for f in findings)
+        self.assertEqual(lines, [9, 10, 11, 15, 16],
+                         "std::ostream::write member calls must not fire")
+
     def test_findings_carry_rule_ids_known_to_the_cli(self):
         for fixture in ("unordered_iter.cc", "banned_random.cc",
                         "banned_clock.cc", "pointer_keyed.cc",
-                        "thread_local_state.cc"):
+                        "thread_local_state.cc", "raw_write.cc"):
             for finding in scan_fixture(fixture):
                 self.assertIn(finding.rule, lint.RULES)
 
@@ -130,6 +137,11 @@ class AllowedPathsTest(unittest.TestCase):
         path = os.path.join(REPO_ROOT, "src", "core", "walk_scratch.h")
         findings = lint.scan_file(path, "src/core/walk_scratch.h")
         self.assertEqual([f for f in findings if f.rule == "thread-local"], [])
+
+    def test_record_codec_may_write_raw_bytes(self):
+        path = os.path.join(REPO_ROOT, "src", "util", "record_codec.cc")
+        findings = lint.scan_file(path, "src/util/record_codec.cc")
+        self.assertEqual([f for f in findings if f.rule == "raw-write"], [])
 
     def test_allowed_paths_reference_real_rules_and_files(self):
         for rule, paths in lint.ALLOWED_PATHS.items():

@@ -1,0 +1,23 @@
+// Fixture: rule `raw-write` must fire on each raw write below, and must
+// stay silent on member-function writes (std::ostream::write) — those are
+// formatting-buffer calls, not durability-path fd writes.
+#include <cstdio>
+#include <fstream>
+#include <unistd.h>
+
+void LibcStreamWrites(std::FILE* file) {
+  fwrite("x", 1, 1, file);  // finding: fwrite
+  fputs("x", file);         // finding: fputs
+  fputc('x', file);         // finding: fputc
+}
+
+void PosixFdWrites(int fd) {
+  ::write(fd, "x", 1);    // finding: ::write
+  pwrite(fd, "x", 1, 0);  // finding: pwrite
+}
+
+void MemberWritesDoNotFire(std::ofstream& out) {
+  out.write("x", 1);  // std::ostream::write — not a raw fd write
+  std::ofstream other("raw_write_fixture.tmp");
+  other.write("x", 1);
+}

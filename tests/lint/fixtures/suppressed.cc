@@ -1,6 +1,7 @@
 // Fixture: every violation below carries a justified
 // `// smn-lint: allow(<rule>)` — the linter must report nothing.
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <unordered_set>
@@ -36,6 +37,12 @@ int SuppressedThreadLocal() {
   // smn-lint: allow(thread-local)
   thread_local int counter = 0;
   return ++counter;
+}
+
+int SuppressedRawWrite() {
+  // Diagnostic dump on a crash path; never part of the durable journal.
+  // smn-lint: allow(raw-write)
+  return fputs("diagnostic\n", stderr);
 }
 
 int SuppressedMultiRule() {

@@ -1,0 +1,202 @@
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/reconcile_service.h"
+#include "tests/testing/test_networks.h"
+#include "util/bounded_queue.h"
+#include "util/fault_injection.h"
+#include "util/record_codec.h"
+#include "util/thread_pool.h"
+
+// Chaos suites exercise the SMN_FAULT_* call sites, which only exist in
+// builds configured with -DSMN_FAULT_INJECTION=ON. Everywhere else the
+// sites fold to constants, so each test self-skips (the suite still builds
+// and registers, keeping the default ctest run green).
+#if defined(SMN_FAULT_INJECTION_ENABLED)
+#define SMN_CHAOS_SKIP() \
+  do {                   \
+  } while (false)
+#else
+#define SMN_CHAOS_SKIP()                                               \
+  GTEST_SKIP() << "fault-injection sites compiled out (reconfigure "   \
+                  "with -DSMN_FAULT_INJECTION=ON)"
+#endif
+
+namespace smn {
+namespace server {
+namespace {
+
+TenantId RegisterTestTenant(ReconcileService* service, uint64_t seed = 7) {
+  testing::ClusteredNetworkSpec spec;
+  spec.seed = seed;
+  testing::RandomNetwork built = testing::MakeClusteredNetwork(spec);
+  auto network = std::make_unique<Network>(std::move(built.network));
+  auto constraints =
+      std::make_unique<ConstraintSet>(std::move(built.constraints));
+  return service
+      ->RegisterTenant("tenant", std::move(network), std::move(constraints))
+      .value();
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  std::string Dir() const {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    return std::string("./chaos_test_") + info->name();
+  }
+
+  ServerOptions JournaledOptions() const {
+    ServerOptions options;
+    options.journal_dir = Dir();
+    return options;
+  }
+
+  void SetUp() override {
+    FaultInjection::Reset();
+    ASSERT_TRUE(EnsureDirectory(Dir()).ok());
+    const std::vector<std::string> stale = ListDirectory(Dir()).value();
+    for (const std::string& name : stale) {
+      ASSERT_TRUE(RemoveFile(Dir() + "/" + name).ok());
+    }
+  }
+
+  void TearDown() override { FaultInjection::Reset(); }
+};
+
+TEST_F(ChaosTest, InjectedAppendFailureFailsTheAssertBeforeMutation) {
+  SMN_CHAOS_SKIP();
+  ReconcileService service(JournaledOptions());
+  const TenantId tenant = RegisterTestTenant(&service);
+  const SessionId id = service.OpenSession(tenant, 5).value();
+  const SessionSnapshot before = service.Snapshot(id).value();
+  {
+    // Configured *after* OpenSession so the Open record's append does not
+    // consume the ordinal: arrival 1 at record.append is our assert.
+    ScopedFaultPlan plan("record.append@1");
+    ASSERT_TRUE(plan.status().ok());
+    const Status failed = service.Assert(id, 0, true);
+    EXPECT_EQ(failed.code(), StatusCode::kInternal);
+    EXPECT_NE(failed.message().find("record.append"), std::string::npos);
+  }
+  // Write-ahead means fail-stop *before* the engine: nothing mutated.
+  const SessionSnapshot after = service.Snapshot(id).value();
+  EXPECT_EQ(after.revision, 0u);
+  EXPECT_EQ(after.probabilities, before.probabilities);
+  // The very same assert succeeds once the fault plan is gone.
+  EXPECT_TRUE(service.Assert(id, 0, true).ok());
+  EXPECT_EQ(service.Snapshot(id).value().revision, 1u);
+}
+
+TEST_F(ChaosTest, TornAppendRecoversToLastDurableRecord) {
+  SMN_CHAOS_SKIP();
+  SessionSnapshot durable;
+  SessionId id = 0;
+  {
+    ReconcileService crashed(JournaledOptions());
+    const TenantId tenant = RegisterTestTenant(&crashed);
+    id = crashed.OpenSession(tenant, 5).value();
+    ASSERT_TRUE(crashed.Assert(id, 0, true).ok());
+    durable = crashed.Snapshot(id).value();
+    // The next append is torn mid-record: the session sees a failed write
+    // (fail-stop, no mutation) and the file gains a garbage tail.
+    ScopedFaultPlan plan("record.append.partial@1");
+    ASSERT_TRUE(plan.status().ok());
+    EXPECT_FALSE(crashed.Assert(id, 1, false).ok());
+    EXPECT_EQ(crashed.Snapshot(id).value().revision, durable.revision);
+  }  // Crash: the service dies without Close, leaving the torn journal.
+
+  ReconcileService recovered(JournaledOptions());
+  RegisterTestTenant(&recovered);
+  const StatusOr<RecoveryReport> report = recovered.Recover(Dir());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->sessions_recovered, 1u);
+  EXPECT_EQ(report->truncated_tails, 1u);
+  EXPECT_GT(report->dropped_bytes, 0u);
+  EXPECT_EQ(report->asserts_replayed, 1u);
+  EXPECT_EQ(report->revision_mismatches, 0u);
+
+  // Recovery replays up to the last durable record — bitwise equal state.
+  const SessionSnapshot replayed = recovered.Snapshot(id).value();
+  EXPECT_EQ(replayed.revision, durable.revision);
+  EXPECT_EQ(replayed.probabilities, durable.probabilities);
+  EXPECT_EQ(replayed.uncertainty, durable.uncertainty);
+  EXPECT_EQ(replayed.soft_answer_count, durable.soft_answer_count);
+}
+
+TEST_F(ChaosTest, ShardWorkerFaultDegradesTheSessionStickily) {
+  SMN_CHAOS_SKIP();
+  ServerOptions options;
+  options.session_shards = 1;  // One worker: arrival ordinals are exact.
+  ReconcileService service(options);
+  const TenantId tenant = RegisterTestTenant(&service);
+  const SessionId id = service.OpenSession(tenant, 5).value();
+  {
+    ScopedFaultPlan plan("shard.worker@1");
+    ASSERT_TRUE(plan.status().ok());
+    const Status failed = service.Assert(id, 0, true);
+    EXPECT_EQ(failed.code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(failed.message().find("degraded"), std::string::npos);
+  }
+  // Degradation is sticky — the shard's state diverged, so the session
+  // keeps refusing even after the fault plan is gone.
+  EXPECT_EQ(service.Snapshot(id).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.Assert(id, 1, true).code(),
+            StatusCode::kFailedPrecondition);
+  // Other sessions are unaffected (degradation is per-session).
+  const SessionId fresh = service.OpenSession(tenant, 6).value();
+  EXPECT_TRUE(service.Assert(fresh, 0, true).ok());
+}
+
+TEST_F(ChaosTest, QueuePushFaultIsReportedAsAFailedPush) {
+  SMN_CHAOS_SKIP();
+  BoundedQueue<int> queue(2);
+  ScopedFaultPlan plan("bounded_queue.push@1");
+  ASSERT_TRUE(plan.status().ok());
+  EXPECT_FALSE(queue.Push(1));  // Arrival 1: injected refusal, item dropped.
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_TRUE(queue.TryPush(2));  // Arrival 2: the rule is spent.
+  EXPECT_TRUE(queue.PushWithDeadline(3, 50.0));
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST_F(ChaosTest, WorkerDeathNeverAbandonsSubmittedFutures) {
+  SMN_CHAOS_SKIP();
+  std::future<int> orphan;
+  {
+    // Every worker dies at its first scheduling point, so nothing drains
+    // the queue while the pool lives.
+    ScopedFaultPlan plan("thread_pool.worker@1+");
+    ASSERT_TRUE(plan.status().ok());
+    ThreadPool pool(2);
+    orphan = pool.Submit([] { return 41 + 1; });
+  }  // ~ThreadPool joins the dead workers, then drains the queue inline.
+  EXPECT_EQ(orphan.get(), 42);
+}
+
+TEST_F(ChaosTest, SyncFaultSurfacesOnCloseButStillClosesTheSession) {
+  SMN_CHAOS_SKIP();
+  ReconcileService service(JournaledOptions());
+  const TenantId tenant = RegisterTestTenant(&service);
+  const SessionId id = service.OpenSession(tenant, 5).value();
+  ASSERT_TRUE(service.Assert(id, 0, true).ok());
+  {
+    ScopedFaultPlan plan("record.sync@1");
+    ASSERT_TRUE(plan.status().ok());
+    // Close succeeds at the service level (the session is gone) even when
+    // the journal's final sync fails — durability is best-effort on the
+    // way down; the journal file is at worst recovered as live next boot.
+    EXPECT_TRUE(service.Close(id).ok());
+  }
+  EXPECT_EQ(service.session_count(), 0u);
+  EXPECT_EQ(service.Assert(id, 0, true).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace smn

@@ -1,0 +1,218 @@
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/reconcile_service.h"
+#include "tests/testing/test_networks.h"
+
+namespace smn {
+namespace server {
+namespace {
+
+/// Registers a clustered test network as a tenant and returns its id.
+TenantId RegisterTestTenant(ReconcileService* service, uint64_t seed = 7) {
+  testing::ClusteredNetworkSpec spec;
+  spec.seed = seed;
+  testing::RandomNetwork built = testing::MakeClusteredNetwork(spec);
+  auto network = std::make_unique<Network>(std::move(built.network));
+  auto constraints =
+      std::make_unique<ConstraintSet>(std::move(built.constraints));
+  return service
+      ->RegisterTenant("tenant", std::move(network), std::move(constraints))
+      .value();
+}
+
+ServerOptions Options(size_t worker_threads, size_t max_queue_depth,
+                      double request_deadline_ms = 0.0) {
+  ServerOptions options;
+  options.worker_threads = worker_threads;
+  options.max_queue_depth = max_queue_depth;
+  options.request_deadline_ms = request_deadline_ms;
+  return options;
+}
+
+/// Deterministically wedges the request-queue worker: runs Reconcile on a
+/// background thread with an oracle that parks on a latch, so the session
+/// lock is held until Release(). Any Submit* against the same session then
+/// blocks its worker on that lock — no sleeps, no scheduling races.
+class SessionBlocker {
+ public:
+  SessionBlocker(ReconcileService* service, SessionId session) {
+    thread_ = std::thread([this, service, session] {
+      ReconcileGoal goal;
+      goal.max_assertions = 1;
+      const StatusOr<ReconcileTrace> trace = service->Reconcile(
+          session, StrategyKind::kInformationGain, goal,
+          [this](CorrespondenceId c) {
+            if (!entered_signaled_.exchange(true)) entered_.set_value();
+            release_gate_.wait();
+            return c % 2 == 0;
+          });
+      EXPECT_TRUE(trace.ok()) << trace.status();
+    });
+    entered_.get_future().wait();  // The session lock is held from here on.
+  }
+
+  void Release() {
+    if (!released_.exchange(true)) release_.set_value();
+  }
+
+  ~SessionBlocker() {
+    Release();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::promise<void> entered_;
+  std::atomic<bool> entered_signaled_{false};
+  std::promise<void> release_;
+  std::shared_future<void> release_gate_{release_.get_future().share()};
+  std::atomic<bool> released_{false};
+  std::thread thread_;
+};
+
+TEST(OverloadTest, ShedsWithUnavailableWhenDepthIsExceeded) {
+  ReconcileService service(Options(/*worker_threads=*/1, /*max_queue_depth=*/2));
+  const TenantId tenant = RegisterTestTenant(&service);
+  const SessionId id = service.OpenSession(tenant, 3).value();
+  SessionBlocker blocker(&service, id);
+
+  // Tokens are taken on the submitting thread, so exactly depth=2 requests
+  // are admitted regardless of how far the (wedged) worker got.
+  std::future<Status> first = service.SubmitAssert(id, 0, true);
+  std::future<Status> second = service.SubmitAssert(id, 0, true);
+  std::future<Status> shed = service.SubmitAssert(id, 0, true);
+
+  // The shed future is ready *immediately* — overload never blocks callers.
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const Status status = shed.get();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("retry"), std::string::npos);
+  EXPECT_EQ(service.stats().shed_requests, 1u);
+
+  blocker.Release();
+  // Admitted requests complete normally once the worker unwedges.
+  EXPECT_NE(first.get().code(), StatusCode::kUnavailable);
+  EXPECT_NE(second.get().code(), StatusCode::kUnavailable);
+}
+
+TEST(OverloadTest, TokensAreReleasedAtCompletion) {
+  ReconcileService service(Options(/*worker_threads=*/1, /*max_queue_depth=*/1));
+  const TenantId tenant = RegisterTestTenant(&service);
+  const SessionId id = service.OpenSession(tenant, 3).value();
+  {
+    SessionBlocker blocker(&service, id);
+    std::future<Status> admitted = service.SubmitAssert(id, 0, true);
+    std::future<Status> shed = service.SubmitAssert(id, 0, true);
+    EXPECT_EQ(shed.get().code(), StatusCode::kUnavailable);
+    blocker.Release();
+    admitted.wait();
+  }
+  // After every in-flight request completed, admission is open again.
+  std::future<Status> fresh = service.SubmitAssert(id, 0, true);
+  EXPECT_NE(fresh.get().code(), StatusCode::kUnavailable);
+}
+
+TEST(OverloadTest, SynchronousPathBypassesAdmission) {
+  ReconcileService service(Options(/*worker_threads=*/1, /*max_queue_depth=*/1));
+  const TenantId tenant = RegisterTestTenant(&service);
+  const SessionId blocked = service.OpenSession(tenant, 3).value();
+  const SessionId open = service.OpenSession(tenant, 4).value();
+  SessionBlocker blocker(&service, blocked);
+
+  std::future<Status> admitted = service.SubmitAssert(blocked, 0, true);
+  std::future<Status> shed = service.SubmitAssert(open, 0, true);
+  EXPECT_EQ(shed.get().code(), StatusCode::kUnavailable);
+  // Admission bounds the *request queue*; the synchronous path runs on the
+  // caller's thread and is unaffected by a full queue.
+  EXPECT_TRUE(service.Assert(open, 0, true).ok());
+  EXPECT_EQ(service.Snapshot(open).value().revision, 1u);
+
+  blocker.Release();
+  admitted.wait();
+}
+
+TEST(OverloadTest, ShedAccountingIsExactUnderABurst) {
+  constexpr size_t kDepth = 2;
+  constexpr size_t kBurst = 64;
+  ReconcileService service(Options(/*worker_threads=*/1, kDepth));
+  const TenantId tenant = RegisterTestTenant(&service);
+  const SessionId id = service.OpenSession(tenant, 3).value();
+  SessionBlocker blocker(&service, id);
+
+  std::vector<std::future<Status>> futures;
+  size_t ready_at_submit = 0;
+  for (size_t i = 0; i < kBurst; ++i) {
+    futures.push_back(service.SubmitAssert(id, 0, true));
+    if (futures.back().wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      ++ready_at_submit;
+    }
+  }
+  // Worker wedged, tokens taken at submit: exactly kDepth admitted, the
+  // rest shed synchronously. Nothing blocked, nothing silently dropped.
+  EXPECT_EQ(ready_at_submit, kBurst - kDepth);
+  EXPECT_EQ(service.stats().shed_requests, kBurst - kDepth);
+
+  blocker.Release();
+  size_t shed = 0;
+  for (auto& future : futures) {
+    const Status status = future.get();  // Every future resolves.
+    if (status.code() == StatusCode::kUnavailable) ++shed;
+  }
+  EXPECT_EQ(shed, kBurst - kDepth);
+  // Execution latency of the admitted requests fed the EWMA, so shed
+  // responses now carry a positive retry-after hint.
+  EXPECT_GT(service.stats().retry_after_ms, 0.0);
+}
+
+TEST(OverloadTest, ExpiredRequestsFailWithoutTouchingTheSession) {
+  // Deadline generous enough that an idle worker reliably *starts* the
+  // occupancy request in time, short enough to expire during the wedge.
+  ReconcileService service(
+      Options(/*worker_threads=*/1, /*max_queue_depth=*/0,
+              /*request_deadline_ms=*/50.0));
+  const TenantId tenant = RegisterTestTenant(&service);
+  const SessionId blocked = service.OpenSession(tenant, 3).value();
+  const SessionId victim = service.OpenSession(tenant, 4).value();
+  SessionBlocker blocker(&service, blocked);
+
+  // Occupy the single worker on the wedged session, then queue a request
+  // for the victim session and hold the wedge past the deadline.
+  std::future<Status> occupancy = service.SubmitAssert(blocked, 0, true);
+  std::future<Status> late = service.SubmitAssert(victim, 0, true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  blocker.Release();
+
+  const Status status = late.get();
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  // The deadline is checked before the session is touched: no mutation.
+  EXPECT_EQ(service.Snapshot(victim).value().revision, 0u);
+  EXPECT_GE(service.stats().expired_requests, 1u);
+  occupancy.wait();
+}
+
+TEST(OverloadTest, UnboundedByDefault) {
+  ReconcileService service(Options(/*worker_threads=*/1, /*max_queue_depth=*/0));
+  const TenantId tenant = RegisterTestTenant(&service);
+  const SessionId id = service.OpenSession(tenant, 3).value();
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(service.SubmitAssert(id, 0, true));
+  }
+  for (auto& future : futures) {
+    EXPECT_NE(future.get().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(service.stats().shed_requests, 0u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace smn

@@ -125,7 +125,9 @@ TEST(ReconcileServiceTest, SnapshotIsConsistentUnderConcurrentWrites) {
 }
 
 TEST(ReconcileServiceTest, AsyncSubmitPathMatchesSyncResults) {
-  ReconcileService service(ServerOptions{{}, /*worker_threads=*/2, 0});
+  ServerOptions options;
+  options.worker_threads = 2;
+  ReconcileService service(options);
   const TenantId tenant = RegisterTestTenant(&service);
   const SessionId async_id = service.OpenSession(tenant, 9).value();
   const SessionId sync_id = service.OpenSession(tenant, 9).value();
@@ -171,11 +173,13 @@ TEST(ReconcileServiceTest, DestructionDrainsPendingAsyncRequests) {
   // ran against dead mutexes. Drop the service with async work in flight
   // and never call get(); the drain must complete against live members
   // (caught by ASAN/TSAN if the member order regresses).
+  ServerOptions options;
+  options.worker_threads = 2;
   for (int round = 0; round < 4; ++round) {
     std::future<Status> pending_assert;
     std::future<StatusOr<SessionSnapshot>> pending_snapshot;
     {
-      ReconcileService service(ServerOptions{{}, /*worker_threads=*/2, 0});
+      ReconcileService service(options);
       const TenantId tenant = RegisterTestTenant(&service);
       const SessionId id = service.OpenSession(tenant, 11).value();
       for (int i = 0; i < 16; ++i) {

@@ -1,0 +1,190 @@
+#include "server/repl.h"
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/test_networks.h"
+#include "util/record_codec.h"
+
+namespace smn {
+namespace server {
+namespace {
+
+TenantId RegisterTestTenant(ReconcileService* service, uint64_t seed = 7) {
+  testing::ClusteredNetworkSpec spec;
+  spec.seed = seed;
+  testing::RandomNetwork built = testing::MakeClusteredNetwork(spec);
+  auto network = std::make_unique<Network>(std::move(built.network));
+  auto constraints =
+      std::make_unique<ConstraintSet>(std::move(built.constraints));
+  return service
+      ->RegisterTenant("tenant", std::move(network), std::move(constraints))
+      .value();
+}
+
+class ReplTest : public ::testing::Test {
+ protected:
+  ReplTest() : tenant_(RegisterTestTenant(&service_)) {}
+
+  /// Runs one line and returns everything it printed.
+  std::string Line(const std::string& line) {
+    std::ostringstream out;
+    EXPECT_TRUE(repl_.HandleLine(line, out));
+    return out.str();
+  }
+
+  ReconcileService service_;
+  TenantId tenant_;
+  Repl repl_{&service_, tenant_};
+};
+
+TEST_F(ReplTest, ValidFlowOpensAssertsAndCloses) {
+  EXPECT_EQ(Line("open 5"), "session 1 open\n");
+  EXPECT_EQ(Line("assert 1 0 1"), "ok\n");
+  EXPECT_EQ(Line("soft 1 2 1 0.25"), "ok\n");
+  const std::string snapshot = Line("snapshot 1");
+  EXPECT_NE(snapshot.find("session 1 revision 1 soft 1"), std::string::npos);
+  EXPECT_NE(snapshot.find("p = ["), std::string::npos);
+  EXPECT_EQ(Line("close 1"), "closed\n");
+  EXPECT_EQ(service_.session_count(), 0u);
+}
+
+TEST_F(ReplTest, MalformedSeedIsRejectedWithoutOpeningASession) {
+  // The historical bug this pins: `open abc` used to parse as seed 0 and
+  // silently open a session. Now it must error and open *nothing*.
+  const std::string out = Line("open abc");
+  EXPECT_EQ(out, "error: usage: open <seed> (seed is a non-negative integer)\n");
+  EXPECT_EQ(service_.session_count(), 0u);
+  EXPECT_EQ(service_.stats().sessions_opened, 0u);
+}
+
+TEST_F(ReplTest, TrailingAndMissingArgumentsAreRejected) {
+  EXPECT_EQ(Line("open"),
+            "error: usage: open <seed> (seed is a non-negative integer)\n");
+  EXPECT_EQ(Line("open 5 extra"),
+            "error: usage: open <seed> (seed is a non-negative integer)\n");
+  EXPECT_EQ(Line("assert 1 0"), "error: usage: assert <session> <corr> <0|1>\n");
+  EXPECT_EQ(Line("snapshot"), "error: usage: snapshot <session>\n");
+  EXPECT_EQ(Line("close one"), "error: usage: close <session>\n");
+  EXPECT_EQ(Line("quit now"), "error: quit takes no arguments\n");
+  EXPECT_EQ(service_.session_count(), 0u);
+}
+
+TEST_F(ReplTest, PartialNumericTokensAreRejected) {
+  // strtoull would happily stop at the first non-digit; the REPL must not.
+  EXPECT_EQ(Line("open 5x"),
+            "error: usage: open <seed> (seed is a non-negative integer)\n");
+  EXPECT_EQ(Line("open -1"),
+            "error: usage: open <seed> (seed is a non-negative integer)\n");
+  EXPECT_EQ(Line("assert 1 0x2 1"),
+            "error: usage: assert <session> <corr> <0|1>\n");
+  EXPECT_EQ(service_.session_count(), 0u);
+}
+
+TEST_F(ReplTest, ApprovedFlagMustBeExactlyZeroOrOne) {
+  ASSERT_EQ(Line("open 5"), "session 1 open\n");
+  EXPECT_EQ(Line("assert 1 0 2"), "error: usage: assert <session> <corr> <0|1>\n");
+  EXPECT_EQ(Line("assert 1 0 true"),
+            "error: usage: assert <session> <corr> <0|1>\n");
+  EXPECT_EQ(Line("soft 1 0 yes 0.1"),
+            "error: usage: soft <session> <corr> <0|1> <eps>\n");
+  // Nothing was integrated by the malformed attempts.
+  EXPECT_NE(Line("snapshot 1").find("revision 0 soft 0"), std::string::npos);
+}
+
+TEST_F(ReplTest, OversizedLinesAreRejectedUnparsed) {
+  ReplOptions options;
+  options.max_line_length = 32;
+  Repl tight(&service_, tenant_, options);
+  std::ostringstream out;
+  const std::string huge = "open " + std::string(64, '1');
+  EXPECT_TRUE(tight.HandleLine(huge, out));
+  EXPECT_EQ(out.str(), "error: line of 69 bytes exceeds the 32-byte limit\n");
+  EXPECT_EQ(service_.session_count(), 0u);
+}
+
+TEST_F(ReplTest, UnknownCommandsErrorWithAHint) {
+  EXPECT_EQ(Line("frobnicate"),
+            "error: unknown command 'frobnicate' (try 'help')\n");
+}
+
+TEST_F(ReplTest, ServiceErrorsSurfaceAsErrorLines) {
+  const std::string out = Line("assert 99 0 1");
+  EXPECT_EQ(out.rfind("error: ", 0), 0u);  // NotFound from the service.
+}
+
+TEST_F(ReplTest, StatsLineCarriesOverloadCounters) {
+  const std::string out = Line("stats");
+  EXPECT_NE(out.find("shed 0 expired 0"), std::string::npos);
+  EXPECT_NE(out.find("live 0"), std::string::npos);
+}
+
+TEST_F(ReplTest, RecoverWithoutAJournalDirIsAnError) {
+  EXPECT_EQ(Line("recover"),
+            "error: no journal directory configured (start smn_server with a "
+            "journal dir argument)\n");
+  EXPECT_EQ(Line("recover now"), "error: recover takes no arguments\n");
+}
+
+TEST_F(ReplTest, RunStopsOnQuitAndEof) {
+  {
+    std::istringstream in("open 5\nquit\nopen 6\n");
+    std::ostringstream out;
+    repl_.Run(in, out);
+    EXPECT_EQ(out.str(), "session 1 open\n");  // Nothing after quit ran.
+  }
+  {
+    std::istringstream in("open 7\n");  // EOF without quit also terminates.
+    std::ostringstream out;
+    repl_.Run(in, out);
+    EXPECT_EQ(out.str(), "session 2 open\n");
+  }
+}
+
+TEST(ReplRecoveryTest, RecoverCommandRebuildsSessionsAcrossServices) {
+  const std::string dir = "./repl_test_recovery";
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  const std::vector<std::string> stale = ListDirectory(dir).value();
+  for (const std::string& name : stale) {
+    ASSERT_TRUE(RemoveFile(dir + "/" + name).ok());
+  }
+  ServerOptions options;
+  options.journal_dir = dir;
+  ReplOptions repl_options;
+  repl_options.journal_dir = dir;
+
+  std::string durable_snapshot;
+  {
+    ReconcileService crashed(options);
+    Repl repl(&crashed, RegisterTestTenant(&crashed), repl_options);
+    std::ostringstream out;
+    EXPECT_TRUE(repl.HandleLine("open 5", out));
+    EXPECT_TRUE(repl.HandleLine("assert 1 0 1", out));
+    std::ostringstream snapshot;
+    EXPECT_TRUE(repl.HandleLine("snapshot 1", snapshot));
+    durable_snapshot = snapshot.str();
+  }  // Crash without close.
+
+  ReconcileService revived(options);
+  Repl repl(&revived, RegisterTestTenant(&revived), repl_options);
+  std::ostringstream out;
+  EXPECT_TRUE(repl.HandleLine("recover", out));
+  EXPECT_EQ(out.str(),
+            "recovered 1 sessions (1 asserts, 0 soft replayed, 0 rejected) "
+            "skipped 0 closed, 0 failed; 0 torn tails (0 bytes dropped), "
+            "0 revision mismatches\n");
+  // The recovered session answers under its original id, bit-identically.
+  std::ostringstream snapshot;
+  EXPECT_TRUE(repl.HandleLine("snapshot 1", snapshot));
+  EXPECT_EQ(snapshot.str(), durable_snapshot);
+  EXPECT_TRUE(repl.HandleLine("close 1", snapshot));
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace smn

@@ -1,7 +1,9 @@
 #include "server/session_manager.h"
 
+#include <atomic>
 #include <memory>
 #include <set>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -96,6 +98,125 @@ TEST(SessionManagerTest, ZeroTtlNeverExpires) {
       manager.Create(artifact, ProbabilisticNetworkOptions{}, 1).value()->id();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(manager.ExpireIdle(), 0u);
   EXPECT_TRUE(manager.Lookup(id).ok());
+}
+
+TEST(SessionManagerTest, EvictionRacingInFlightAssertsFailsCleanly) {
+  // The TTL reaper may evict a session while an assert on it is mid-flight.
+  // The contract: the in-flight call finishes safely on its shared_ptr (the
+  // manager drops its reference, it never destroys state under a live
+  // call), and *later* lookups get NotFound — a clean failure, never a
+  // use-after-free (ASAN/TSAN builds of this test prove the "never").
+  const auto artifact = MakeArtifact();
+  for (int round = 0; round < 8; ++round) {
+    SessionManager manager(/*idle_ttl=*/1);
+    const SessionId victim =
+        manager.Create(artifact, ProbabilisticNetworkOptions{}, 1).value()->id();
+    const SessionId pacer =
+        manager.Create(artifact, ProbabilisticNetworkOptions{}, 2).value()->id();
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> completed{0};
+
+    std::thread writer([&] {
+      while (!stop.load()) {
+        // Resolve-then-call, exactly like the service's request paths.
+        StatusOr<std::shared_ptr<Session>> session = manager.Lookup(victim);
+        if (!session.ok()) {
+          EXPECT_EQ(session.status().code(), StatusCode::kNotFound);
+          break;  // Evicted: from here on the id stays NotFound.
+        }
+        // The assert may run entirely after eviction; the shared_ptr keeps
+        // the session alive through the call either way.
+        const Status status = session.value()->Assert(0, true);
+        EXPECT_TRUE(status.ok() ||
+                    status.code() == StatusCode::kInvalidArgument)
+            << status;
+        completed.fetch_add(1);
+      }
+    });
+    std::thread reaper([&] {
+      // Age `victim` by touching only `pacer`, then reap — concurrently
+      // with the writer's Lookup/Assert cycle.
+      for (int i = 0; i < 16; ++i) {
+        ASSERT_TRUE(manager.Lookup(pacer).ok());
+        manager.ExpireIdle();
+      }
+      stop.store(true);
+    });
+    writer.join();
+    reaper.join();
+    // Post-eviction the id is gone for good.
+    EXPECT_FALSE(manager.Lookup(victim).ok());
+    EXPECT_TRUE(manager.Lookup(pacer).ok());
+  }
+}
+
+TEST(SessionManagerTest, RestorePublishesUnderTheOriginalId) {
+  SessionManager manager;
+  const auto artifact = MakeArtifact();
+  auto restored =
+      manager.Restore(/*id=*/7, artifact, ProbabilisticNetworkOptions{}, 5);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored.value()->id(), 7u);
+  EXPECT_EQ(manager.Lookup(7).value().get(), restored.value().get());
+  // The allocator is bumped past restored ids: the next Create never
+  // collides with a recovered session.
+  const SessionId fresh =
+      manager.Create(artifact, ProbabilisticNetworkOptions{}, 1).value()->id();
+  EXPECT_EQ(fresh, 8u);
+}
+
+TEST(SessionManagerTest, RestoreRefusesALiveId) {
+  SessionManager manager;
+  const auto artifact = MakeArtifact();
+  const SessionId live =
+      manager.Create(artifact, ProbabilisticNetworkOptions{}, 1).value()->id();
+  EXPECT_EQ(manager.Restore(live, artifact, ProbabilisticNetworkOptions{}, 5)
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SessionManagerTest, RestoreBelowTheAllocatorDoesNotLowerIt) {
+  SessionManager manager;
+  const auto artifact = MakeArtifact();
+  // Allocate 1..3, close 2, restore it: the allocator must stay at 4.
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    ASSERT_TRUE(
+        manager.Create(artifact, ProbabilisticNetworkOptions{}, seed).ok());
+  }
+  ASSERT_TRUE(manager.Close(2).ok());
+  ASSERT_TRUE(
+      manager.Restore(2, artifact, ProbabilisticNetworkOptions{}, 5).ok());
+  const SessionId fresh =
+      manager.Create(artifact, ProbabilisticNetworkOptions{}, 9).value()->id();
+  EXPECT_EQ(fresh, 4u);
+}
+
+TEST(SessionManagerTest, PrePublishHookRunsBeforeVisibility) {
+  SessionManager manager;
+  const auto artifact = MakeArtifact();
+  SessionId seen = 0;
+  auto session = manager.Create(
+      artifact, ProbabilisticNetworkOptions{}, 1, /*shards=*/0,
+      [&seen](Session& s) {
+        seen = s.id();
+        return Status::OK();
+      });
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(seen, session.value()->id());
+  EXPECT_EQ(manager.size(), 1u);
+}
+
+TEST(SessionManagerTest, PrePublishFailureAbortsTheCreate) {
+  SessionManager manager;
+  const auto artifact = MakeArtifact();
+  auto session = manager.Create(
+      artifact, ProbabilisticNetworkOptions{}, 1, /*shards=*/0,
+      [](Session&) { return Status::Internal("journal unavailable"); });
+  EXPECT_EQ(session.status().code(), StatusCode::kInternal);
+  // The failed session was never published.
+  EXPECT_EQ(manager.size(), 0u);
+  EXPECT_FALSE(manager.Lookup(1).ok());
 }
 
 TEST(SessionManagerTest, SessionsOverOneArtifactShareIt) {

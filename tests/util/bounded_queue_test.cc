@@ -140,5 +140,97 @@ TEST(BoundedQueueTest, ManyProducersOneConsumerDeliversEverything) {
   }
 }
 
+TEST(BoundedQueueTest, TryPushNeverBlocks) {
+  BoundedQueue<int> queue(/*capacity=*/2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // Full: immediate refusal, no wait.
+  int out = -1;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.TryPush(3));  // Room again.
+}
+
+TEST(BoundedQueueTest, TryPushFailsOnClosedQueue) {
+  BoundedQueue<int> queue(/*capacity=*/4);
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(1));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueueTest, PushWithDeadlineSucceedsImmediatelyWhenRoomExists) {
+  BoundedQueue<int> queue(/*capacity=*/1);
+  EXPECT_TRUE(queue.PushWithDeadline(7, /*timeout_ms=*/0.0));
+  int out = -1;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 7);
+}
+
+TEST(BoundedQueueTest, PushWithDeadlineTimesOutOnFullQueue) {
+  BoundedQueue<int> queue(/*capacity=*/1);
+  ASSERT_TRUE(queue.Push(1));
+  EXPECT_FALSE(queue.PushWithDeadline(2, /*timeout_ms=*/5.0));
+  EXPECT_EQ(queue.size(), 1u);  // The timed-out item was not enqueued.
+}
+
+TEST(BoundedQueueTest, PushWithDeadlineSucceedsWhenConsumerDrains) {
+  BoundedQueue<int> queue(/*capacity=*/1);
+  ASSERT_TRUE(queue.Push(1));
+  std::thread consumer([&] {
+    int out = -1;
+    ASSERT_TRUE(queue.Pop(&out));
+  });
+  // A generous deadline: succeeds as soon as the consumer makes room. The
+  // consumer may pop before or after this blocks; both orders must succeed.
+  EXPECT_TRUE(queue.PushWithDeadline(2, /*timeout_ms=*/60000.0));
+  consumer.join();
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(BoundedQueueTest, PushWithDeadlineFailsOnClosedQueue) {
+  BoundedQueue<int> queue(/*capacity=*/4);
+  queue.Close();
+  EXPECT_FALSE(queue.PushWithDeadline(1, /*timeout_ms=*/60000.0));
+}
+
+TEST(BoundedQueueTest, TimedPushRacingCloseFailsPromptlyNotAtDeadline) {
+  // Regression: a producer blocked in PushWithDeadline when Close lands
+  // must wake and fail immediately — same contract as Push — not sit out
+  // its full deadline (and never enqueue onto the closed queue).
+  BoundedQueue<int> queue(/*capacity=*/1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<int> result{-1};
+  std::thread producer([&] {
+    // Deadline far beyond the test timeout: only Close can end this early.
+    result.store(queue.PushWithDeadline(2, /*timeout_ms=*/600000.0) ? 1 : 0);
+  });
+  // Close while the producer is (or is about to be) blocked; either
+  // interleaving must end in a prompt failed push.
+  queue.Close();
+  producer.join();
+  EXPECT_EQ(result.load(), 0);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(BoundedQueueTest, ManyTimedProducersRacingCloseNeverEnqueue) {
+  BoundedQueue<int> queue(/*capacity=*/1);
+  ASSERT_TRUE(queue.Push(0));
+  constexpr int kProducers = 8;
+  std::atomic<int> failed{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      if (!queue.PushWithDeadline(p + 1, /*timeout_ms=*/600000.0)) {
+        failed.fetch_add(1);
+      }
+    });
+  }
+  queue.Close();
+  for (std::thread& producer : producers) producer.join();
+  EXPECT_EQ(failed.load(), kProducers);
+  EXPECT_EQ(queue.size(), 1u);  // Only the pre-close item.
+}
+
 }  // namespace
 }  // namespace smn

@@ -1,0 +1,144 @@
+#include "util/fault_injection.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace smn {
+namespace {
+
+// The FaultInjection class is compiled in every build (only the SMN_FAULT_*
+// call-site macros are gated), so the plan parser and the arrival scheduler
+// are under test here regardless of -DSMN_FAULT_INJECTION.
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::Reset(); }
+};
+
+TEST_F(FaultInjectionTest, InactiveByDefaultAfterReset) {
+  FaultInjection::Reset();
+  EXPECT_FALSE(FaultInjection::Active());
+  EXPECT_FALSE(FaultInjection::Fired("some.site"));
+  EXPECT_TRUE(FaultInjection::Check("some.site").ok());
+  EXPECT_EQ(FaultInjection::PartialBytes("some.site", 100), 100u);
+}
+
+TEST_F(FaultInjectionTest, MalformedPlansAreRejectedWithoutActivating) {
+  FaultInjection::Reset();
+  const std::vector<std::string> bad = {
+      "bogus",        // no @ or %
+      "site@0",       // ordinals are 1-based
+      "site@",        // missing ordinal
+      "site@2*0",     // zero repeat
+      "site@x",       // non-numeric
+      "site%2.0",     // probability out of range
+      "site%-0.1",    // negative probability
+      "site%",        // missing probability
+      "@1",           // empty site
+      "%0.5",         // empty site
+  };
+  for (const std::string& plan : bad) {
+    EXPECT_EQ(FaultInjection::Configure(plan).code(),
+              StatusCode::kInvalidArgument)
+        << "plan: " << plan;
+  }
+  EXPECT_FALSE(FaultInjection::Active());
+}
+
+TEST_F(FaultInjectionTest, OrdinalRuleFiresExactlyOnce) {
+  ASSERT_TRUE(FaultInjection::Configure("s@2").ok());
+  EXPECT_FALSE(FaultInjection::Fired("s"));
+  EXPECT_TRUE(FaultInjection::Fired("s"));
+  EXPECT_FALSE(FaultInjection::Fired("s"));
+  EXPECT_EQ(FaultInjection::Arrivals("s"), 3u);
+  EXPECT_EQ(FaultInjection::FiredCount("s"), 1u);
+}
+
+TEST_F(FaultInjectionTest, RangeRuleCoversConsecutiveArrivals) {
+  ASSERT_TRUE(FaultInjection::Configure("s@2*2").ok());
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i) fired.push_back(FaultInjection::Fired("s"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, true, false, false}));
+}
+
+TEST_F(FaultInjectionTest, OpenEndedRuleFiresForever) {
+  ASSERT_TRUE(FaultInjection::Configure("s@3+").ok());
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i) fired.push_back(FaultInjection::Fired("s"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, true}));
+}
+
+TEST_F(FaultInjectionTest, SitesAreIndependent) {
+  ASSERT_TRUE(FaultInjection::Configure("a@1").ok());
+  EXPECT_FALSE(FaultInjection::Fired("b"));
+  EXPECT_TRUE(FaultInjection::Fired("a"));
+  EXPECT_EQ(FaultInjection::Arrivals("b"), 1u);
+  EXPECT_EQ(FaultInjection::FiredCount("b"), 0u);
+}
+
+TEST_F(FaultInjectionTest, MultiRulePlansCompose) {
+  ASSERT_TRUE(FaultInjection::Configure("a@1,b@2").ok());
+  EXPECT_TRUE(FaultInjection::Fired("a"));
+  EXPECT_FALSE(FaultInjection::Fired("b"));
+  EXPECT_TRUE(FaultInjection::Fired("b"));
+}
+
+TEST_F(FaultInjectionTest, ProbabilisticRuleIsSeedDeterministic) {
+  const auto run = [](uint64_t seed) {
+    EXPECT_TRUE(FaultInjection::Configure("s%0.5", seed).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(FaultInjection::Fired("s"));
+    return fired;
+  };
+  const std::vector<bool> first = run(42);
+  const std::vector<bool> second = run(42);
+  EXPECT_EQ(first, second);  // Same seed, same schedule — reproducible chaos.
+  int count = 0;
+  for (const bool f : first) count += f ? 1 : 0;
+  EXPECT_GT(count, 10);  // p=0.5 over 64 draws: far from never...
+  EXPECT_LT(count, 54);  // ...and far from always.
+}
+
+TEST_F(FaultInjectionTest, CheckWrapsTheSiteIntoAnInternalStatus) {
+  ASSERT_TRUE(FaultInjection::Configure("io.site@1").ok());
+  const Status status = FaultInjection::Check("io.site");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("io.site"), std::string::npos);
+  EXPECT_NE(status.message().find("arrival 1"), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, PartialBytesHalvesOnFire) {
+  ASSERT_TRUE(FaultInjection::Configure("w@1").ok());
+  EXPECT_EQ(FaultInjection::PartialBytes("w", 100), 50u);
+  EXPECT_EQ(FaultInjection::PartialBytes("w", 100), 100u);  // Rule spent.
+}
+
+TEST_F(FaultInjectionTest, ConfigureResetsCounters) {
+  ASSERT_TRUE(FaultInjection::Configure("s@1").ok());
+  EXPECT_TRUE(FaultInjection::Fired("s"));
+  ASSERT_TRUE(FaultInjection::Configure("s@1").ok());
+  EXPECT_EQ(FaultInjection::Arrivals("s"), 0u);
+  EXPECT_TRUE(FaultInjection::Fired("s"));  // Fresh arrival 1 fires again.
+}
+
+TEST_F(FaultInjectionTest, ScopedPlanConfiguresAndResets) {
+  {
+    ScopedFaultPlan plan("s@1");
+    ASSERT_TRUE(plan.status().ok());
+    EXPECT_TRUE(FaultInjection::Active());
+    EXPECT_TRUE(FaultInjection::Fired("s"));
+  }
+  EXPECT_FALSE(FaultInjection::Active());
+  EXPECT_FALSE(FaultInjection::Fired("s"));
+}
+
+TEST_F(FaultInjectionTest, ScopedPlanReportsParseFailure) {
+  ScopedFaultPlan plan("not a plan");
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(FaultInjection::Active());
+}
+
+}  // namespace
+}  // namespace smn

@@ -1,0 +1,275 @@
+#include "util/record_codec.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace smn {
+namespace {
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The standard CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(check.data(), check.size()), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32("", 0), 0u); }
+
+TEST(WireTest, U32Roundtrip) {
+  std::string buffer;
+  AppendU32(&buffer, 0);
+  AppendU32(&buffer, 0xDEADBEEFu);
+  AppendU32(&buffer, std::numeric_limits<uint32_t>::max());
+  ASSERT_EQ(buffer.size(), 12u);
+  std::string_view in = buffer;
+  uint32_t value = 1;
+  ASSERT_TRUE(ReadU32(&in, &value));
+  EXPECT_EQ(value, 0u);
+  ASSERT_TRUE(ReadU32(&in, &value));
+  EXPECT_EQ(value, 0xDEADBEEFu);
+  ASSERT_TRUE(ReadU32(&in, &value));
+  EXPECT_EQ(value, std::numeric_limits<uint32_t>::max());
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(WireTest, U64Roundtrip) {
+  std::string buffer;
+  AppendU64(&buffer, 0x0123456789ABCDEFull);
+  std::string_view in = buffer;
+  uint64_t value = 0;
+  ASSERT_TRUE(ReadU64(&in, &value));
+  EXPECT_EQ(value, 0x0123456789ABCDEFull);
+}
+
+TEST(WireTest, LittleEndianLayout) {
+  std::string buffer;
+  AppendU32(&buffer, 0x04030201u);
+  EXPECT_EQ(buffer[0], '\x01');
+  EXPECT_EQ(buffer[3], '\x04');
+}
+
+TEST(WireTest, F64RoundtripIsBitExact) {
+  const std::vector<double> values = {0.0,
+                                      -0.0,
+                                      1.0,
+                                      -1.5,
+                                      0.1,
+                                      std::numeric_limits<double>::min(),
+                                      std::numeric_limits<double>::denorm_min(),
+                                      std::numeric_limits<double>::infinity()};
+  for (const double v : values) {
+    std::string buffer;
+    AppendF64(&buffer, v);
+    std::string_view in = buffer;
+    double out = 99.0;
+    ASSERT_TRUE(ReadF64(&in, &out));
+    EXPECT_EQ(std::signbit(out), std::signbit(v));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(WireTest, ShortReadFailsAndLeavesInputUntouched) {
+  std::string buffer;
+  AppendU32(&buffer, 7);
+  std::string_view in = std::string_view(buffer).substr(0, 3);
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  EXPECT_FALSE(ReadU32(&in, &u32));
+  EXPECT_FALSE(ReadU64(&in, &u64));
+  EXPECT_EQ(in.size(), 3u);
+}
+
+TEST(ParseRecordsTest, RoundtripsMultipleRecords) {
+  std::string buffer;
+  const std::vector<std::string> payloads = {"alpha", "", "gamma gamma"};
+  for (const std::string& p : payloads) AppendRecord(&buffer, p);
+  const RecordParse parse = ParseRecords(buffer);
+  EXPECT_TRUE(parse.clean());
+  EXPECT_EQ(parse.valid_bytes, buffer.size());
+  EXPECT_EQ(parse.dropped_bytes, 0u);
+  EXPECT_EQ(parse.payloads, payloads);
+}
+
+TEST(ParseRecordsTest, EmptyBufferIsClean) {
+  const RecordParse parse = ParseRecords("");
+  EXPECT_TRUE(parse.clean());
+  EXPECT_TRUE(parse.payloads.empty());
+}
+
+TEST(ParseRecordsTest, TornTailIsDroppedNotFatal) {
+  std::string buffer;
+  AppendRecord(&buffer, "first");
+  AppendRecord(&buffer, "second");
+  const size_t two_records = buffer.size();
+  AppendRecord(&buffer, "third");
+  // Tear the last record: keep its header and half its payload.
+  buffer.resize(two_records + 8 + 2);
+  const RecordParse parse = ParseRecords(buffer);
+  EXPECT_FALSE(parse.clean());
+  EXPECT_EQ(parse.valid_bytes, two_records);
+  EXPECT_EQ(parse.dropped_bytes, buffer.size() - two_records);
+  EXPECT_EQ(parse.payloads, (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(ParseRecordsTest, CorruptPayloadStopsTheParse) {
+  std::string buffer;
+  AppendRecord(&buffer, "first");
+  const size_t one_record = buffer.size();
+  AppendRecord(&buffer, "second");
+  AppendRecord(&buffer, "third");
+  buffer[one_record + 8] ^= 0x01;  // Flip a bit in "second"'s payload.
+  const RecordParse parse = ParseRecords(buffer);
+  // "second" fails its CRC; "third" is unreachable (record boundaries are
+  // only known by walking), so both are dropped.
+  EXPECT_EQ(parse.payloads, (std::vector<std::string>{"first"}));
+  EXPECT_EQ(parse.valid_bytes, one_record);
+}
+
+TEST(ParseRecordsTest, OversizedLengthHeaderIsCorruption) {
+  std::string buffer;
+  AppendU32(&buffer, static_cast<uint32_t>(kMaxRecordPayload + 1));
+  AppendU32(&buffer, 0);
+  buffer.append(16, 'x');
+  const RecordParse parse = ParseRecords(buffer);
+  EXPECT_TRUE(parse.payloads.empty());
+  EXPECT_EQ(parse.dropped_bytes, buffer.size());
+}
+
+class RecordWriterTest : public ::testing::Test {
+ protected:
+  std::string Path() const {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    return std::string("./record_codec_test_") + info->name() + ".bin";
+  }
+
+  void SetUp() override { ASSERT_TRUE(RemoveFile(Path()).ok()); }
+  void TearDown() override { ASSERT_TRUE(RemoveFile(Path()).ok()); }
+};
+
+TEST_F(RecordWriterTest, AppendsParseableRecords) {
+  {
+    StatusOr<RecordWriter> writer = RecordWriter::Open(Path(), true);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE(writer->Append("one").ok());
+    ASSERT_TRUE(writer->Append("two").ok());
+    ASSERT_TRUE(writer->Sync().ok());
+    EXPECT_EQ(writer->records_appended(), 2u);
+    EXPECT_EQ(writer->path(), Path());
+  }
+  const StatusOr<std::string> bytes = ReadFileBytes(Path());
+  ASSERT_TRUE(bytes.ok());
+  const RecordParse parse = ParseRecords(bytes.value());
+  EXPECT_TRUE(parse.clean());
+  EXPECT_EQ(parse.payloads, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST_F(RecordWriterTest, AppendModeExtendsExistingRecords) {
+  {
+    StatusOr<RecordWriter> writer = RecordWriter::Open(Path(), true);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("one").ok());
+  }
+  {
+    StatusOr<RecordWriter> writer = RecordWriter::Open(Path(), false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("two").ok());
+  }
+  const RecordParse parse = ParseRecords(ReadFileBytes(Path()).value());
+  EXPECT_EQ(parse.payloads, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST_F(RecordWriterTest, TruncateModeDiscardsExistingRecords) {
+  {
+    StatusOr<RecordWriter> writer = RecordWriter::Open(Path(), true);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("stale").ok());
+  }
+  {
+    StatusOr<RecordWriter> writer = RecordWriter::Open(Path(), true);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("fresh").ok());
+  }
+  const RecordParse parse = ParseRecords(ReadFileBytes(Path()).value());
+  EXPECT_EQ(parse.payloads, (std::vector<std::string>{"fresh"}));
+}
+
+TEST_F(RecordWriterTest, AppendAfterCloseFailsPrecondition) {
+  StatusOr<RecordWriter> writer = RecordWriter::Open(Path(), true);
+  ASSERT_TRUE(writer.ok());
+  writer->Close();
+  EXPECT_EQ(writer->Append("late").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->Sync().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RecordWriterTest, OversizedPayloadIsRejectedBeforeWriting) {
+  StatusOr<RecordWriter> writer = RecordWriter::Open(Path(), true);
+  ASSERT_TRUE(writer.ok());
+  const std::string huge(kMaxRecordPayload + 1, 'x');
+  EXPECT_EQ(writer->Append(huge).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(writer->records_appended(), 0u);
+  writer->Close();
+  EXPECT_EQ(ReadFileBytes(Path()).value(), "");
+}
+
+TEST_F(RecordWriterTest, TruncateFileDropsTornTail) {
+  {
+    StatusOr<RecordWriter> writer = RecordWriter::Open(Path(), true);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("durable").ok());
+  }
+  std::string bytes = ReadFileBytes(Path()).value();
+  const size_t durable = bytes.size();
+  // Simulate a torn append by writing garbage after the valid record.
+  {
+    StatusOr<RecordWriter> writer = RecordWriter::Open(Path(), false);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append("torn-soon").ok());
+  }
+  bytes = ReadFileBytes(Path()).value();
+  bytes.resize(durable + 5);  // Torn mid-header of the second record.
+  ASSERT_TRUE(TruncateFile(Path(), durable).ok());
+  const RecordParse parse = ParseRecords(ReadFileBytes(Path()).value());
+  EXPECT_TRUE(parse.clean());
+  EXPECT_EQ(parse.payloads, (std::vector<std::string>{"durable"}));
+}
+
+TEST(FileUtilTest, RemoveFileIsIdempotent) {
+  EXPECT_TRUE(RemoveFile("./record_codec_test_never_created").ok());
+}
+
+TEST(FileUtilTest, ReadMissingFileIsNotFound) {
+  EXPECT_EQ(ReadFileBytes("./record_codec_test_missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FileUtilTest, ListMissingDirectoryIsNotFound) {
+  EXPECT_EQ(ListDirectory("./record_codec_test_missing_dir").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FileUtilTest, EnsureAndListDirectory) {
+  const std::string dir = "./record_codec_test_dir";
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  ASSERT_TRUE(EnsureDirectory(dir).ok());  // Idempotent.
+  // Start clean, then create files in non-sorted order.
+  const std::vector<std::string> stale = ListDirectory(dir).value();
+  for (const std::string& name : stale) {
+    ASSERT_TRUE(RemoveFile(dir + "/" + name).ok());
+  }
+  for (const char* name : {"b.bin", "a.bin", "c.bin"}) {
+    StatusOr<RecordWriter> writer =
+        RecordWriter::Open(dir + "/" + name, true);
+    ASSERT_TRUE(writer.ok());
+  }
+  EXPECT_EQ(ListDirectory(dir).value(),
+            (std::vector<std::string>{"a.bin", "b.bin", "c.bin"}));
+  for (const char* name : {"a.bin", "b.bin", "c.bin"}) {
+    ASSERT_TRUE(RemoveFile(dir + "/" + name).ok());
+  }
+}
+
+}  // namespace
+}  // namespace smn

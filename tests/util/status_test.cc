@@ -48,6 +48,19 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
+}
+
+TEST(StatusTest, ServerErrorFactories) {
+  const Status shed = Status::Unavailable("busy");
+  EXPECT_EQ(shed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(shed.message(), "busy");
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::DataLoss("torn").code(), StatusCode::kDataLoss);
 }
 
 Status FailWhenNegative(int value) {
