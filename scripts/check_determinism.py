@@ -20,8 +20,9 @@ Rules:
   pointer-key      std::map / std::set keyed by a pointer type: ordered by
                    address, i.e. by ASLR. Key by a stable id instead.
   thread-local     thread_local state outside the documented scratch
-                   fallback (src/core/walk_scratch.h). Per-thread state that
-                   influences output makes results schedule-dependent.
+                   fallback (src/core/walk_scratch.h) and the lock-debug
+                   held-lock stack (src/util/lock_rank.cc), which is
+                   diagnostic-only and compiled out of release builds.
   raw-write        fwrite / write(2) / pwrite(v) / writev / fputs / fputc
                    outside src/util/record_codec.cc — all durable bytes must
                    flow through the CRC-framed RecordWriter so torn-write
@@ -33,6 +34,9 @@ Suppression: append `// smn-lint: allow(<rule>)` — optionally several,
 comma-separated — to the offending line or the line directly above it, with
 a comment justifying why the construct cannot reach the output.
 
+Shared walking/suppression/reporting machinery lives in scripts/lintlib.py
+(also used by check_locking.py); this file holds only the determinism rules.
+
 Usage:
   check_determinism.py [paths...]       # default: src/
   check_determinism.py --list-rules
@@ -40,10 +44,14 @@ Usage:
 
 from __future__ import annotations
 
-import argparse
 import os
 import re
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lintlib  # noqa: E402
+
+Finding = lintlib.Finding
 
 RULES = {
     "unordered-iter": "iteration over an unordered container",
@@ -59,13 +67,9 @@ RULES = {
 ALLOWED_PATHS = {
     "raw-random": ("src/util/rng.h", "src/util/rng.cc"),
     "wall-clock": ("src/util/stopwatch.h",),
-    "thread-local": ("src/core/walk_scratch.h",),
+    "thread-local": ("src/core/walk_scratch.h", "src/util/lock_rank.cc"),
     "raw-write": ("src/util/record_codec.cc",),
 }
-
-CXX_EXTENSIONS = (".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx", ".inl")
-
-ALLOW_RE = re.compile(r"//\s*smn-lint:\s*allow\(([^)]*)\)")
 
 RAW_RANDOM_RE = re.compile(
     r"(?<![\w.>:])(?:rand|srand|random|arc4random|getrandom)\s*\("
@@ -85,116 +89,6 @@ UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
 ORDERED_DECL_RE = re.compile(r"\bstd\s*::\s*(map|set|multimap|multiset)\s*<")
 RANGE_FOR_HEAD_RE = re.compile(r"\bfor\s*\(")
 ITER_LOOP_RE = re.compile(r"=\s*(\w+)(?:\.|->)(?:c?begin)\s*\(")
-IDENT_RE = re.compile(r"[A-Za-z_]\w*")
-
-# Identifier tokens that can trail a declarator's type but are not the
-# variable name.
-NON_NAME_TOKENS = {"const", "constexpr", "static", "mutable", "inline",
-                   "noexcept", "override", "final"}
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blanks comment bodies and string/char literals, preserving offsets
-    (every replaced character becomes a space; newlines survive) so line
-    numbers and column positions keep matching the original text."""
-    out = []
-    i, n = 0, len(text)
-    state = None  # None | 'line' | 'block' | '"' | "'"
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state is None:
-            if c == "/" and nxt == "/":
-                state = "line"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block"
-                out.append("  ")
-                i += 2
-                continue
-            if c in "\"'":
-                state = c
-                out.append(c)
-                i += 1
-                continue
-            out.append(c)
-        elif state == "line":
-            if c == "\n":
-                state = None
-                out.append(c)
-            else:
-                out.append(" ")
-        elif state == "block":
-            if c == "*" and nxt == "/":
-                state = None
-                out.append("  ")
-                i += 2
-                continue
-            out.append("\n" if c == "\n" else " ")
-        else:  # inside a string or char literal
-            if c == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if c == state:
-                state = None
-            out.append(c if c in (state, "\n") else " ")
-        i += 1
-    return "".join(out)
-
-
-def line_of(text: str, offset: int) -> int:
-    return text.count("\n", 0, offset) + 1
-
-
-def template_argument_span(text: str, open_angle: int) -> int:
-    """Returns the offset just past the '>' matching the '<' at open_angle,
-    or -1 when unbalanced (macro soup); callers then skip the site."""
-    depth = 0
-    i = open_angle
-    while i < len(text):
-        c = text[i]
-        if c == "<":
-            depth += 1
-        elif c == ">":
-            depth -= 1
-            if depth == 0:
-                return i + 1
-        elif c in ";{":  # statement ended before the template closed
-            return -1
-        i += 1
-    return -1
-
-
-def declared_name_after(text: str, pos: int) -> str | None:
-    """The declared identifier following a type that ends at `pos` — skips
-    trailing '>'/'&'/'*'/whitespace and non-name keywords."""
-    i = pos
-    while i < len(text) and text[i] in ">&* \t\n":
-        i += 1
-    match = IDENT_RE.match(text, i)
-    while match and match.group(0) in NON_NAME_TOKENS:
-        i = match.end()
-        while i < len(text) and text[i] in "&* \t\n":
-            i += 1
-        match = IDENT_RE.match(text, i)
-    return match.group(0) if match else None
-
-
-def unordered_variables(text: str) -> set[str]:
-    """Names declared with a type mentioning an unordered container —
-    including nested uses like std::vector<std::unordered_set<T>>."""
-    names = set()
-    for match in UNORDERED_DECL_RE.finditer(text):
-        end = template_argument_span(text, match.end() - 1)
-        if end < 0:
-            continue
-        name = declared_name_after(text, end)
-        if name:
-            names.add(name)
-    return names
 
 
 def range_for_sequences(text: str):
@@ -233,49 +127,20 @@ def range_for_sequences(text: str):
 def root_identifier(expression: str) -> str | None:
     """First identifier of a range-for sequence expression: `left[i]` ->
     `left`, `*store` -> `store`, `Foo()` -> `Foo`."""
-    match = IDENT_RE.search(expression)
+    match = lintlib.IDENT_RE.search(expression)
     while match and match.group(0) in ("const", "auto", "std"):
-        match = IDENT_RE.search(expression, match.end())
+        match = lintlib.IDENT_RE.search(expression, match.end())
     return match.group(0) if match else None
-
-
-class Finding:
-    def __init__(self, path: str, line: int, rule: str, message: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def allowed_rules(raw_lines: list[str], line: int) -> set[str]:
-    """Rules suppressed for 1-indexed `line` (same line or the line above)."""
-    rules: set[str] = set()
-    for index in (line - 1, line - 2):
-        if 0 <= index < len(raw_lines):
-            match = ALLOW_RE.search(raw_lines[index])
-            if match:
-                rules.update(
-                    r.strip() for r in match.group(1).split(",") if r.strip())
-    return rules
 
 
 def scan_file(path: str, rel: str) -> list[Finding]:
     with open(path, "r", encoding="utf-8", errors="replace") as handle:
         raw = handle.read()
     raw_lines = raw.splitlines()
-    text = strip_comments_and_strings(raw)
+    text = lintlib.strip_comments_and_strings(raw)
     findings: list[Finding] = []
-
-    def report(offset: int, rule: str, message: str) -> None:
-        if rel.replace(os.sep, "/") in ALLOWED_PATHS.get(rule, ()):
-            return
-        line = line_of(text, offset)
-        if rule in allowed_rules(raw_lines, line):
-            return
-        findings.append(Finding(rel, line, rule, message))
+    report = lintlib.make_reporter(rel, text, raw_lines, findings,
+                                   ALLOWED_PATHS)
 
     for match in RAW_RANDOM_RE.finditer(text):
         report(match.start(), "raw-random",
@@ -298,7 +163,7 @@ def scan_file(path: str, rel: str) -> list[Finding]:
                "place")
 
     for match in ORDERED_DECL_RE.finditer(text):
-        end = template_argument_span(text, match.end() - 1)
+        end = lintlib.template_argument_span(text, match.end() - 1)
         if end < 0:
             continue
         arguments = text[match.end():end - 1]
@@ -319,7 +184,7 @@ def scan_file(path: str, rel: str) -> list[Finding]:
                    f"std::{match.group(1)} keyed by a pointer iterates in "
                    "address order; key by a stable id instead")
 
-    suspects = unordered_variables(text)
+    suspects = lintlib.typed_variable_names(text, UNORDERED_DECL_RE)
     for offset, sequence in range_for_sequences(text):
         root = root_identifier(sequence)
         if (root and root in suspects) or "unordered_" in sequence:
@@ -334,57 +199,9 @@ def scan_file(path: str, rel: str) -> list[Finding]:
     return findings
 
 
-def iter_sources(paths: list[str], root: str):
-    for path in paths:
-        absolute = os.path.abspath(path)
-        if os.path.isfile(absolute):
-            yield absolute, os.path.relpath(absolute, root)
-            continue
-        for directory, subdirs, files in os.walk(absolute):
-            # `fixtures` directories hold deliberately-violating lint test
-            # inputs (tests/lint/fixtures); they are scanned only when named
-            # as explicit file arguments.
-            subdirs[:] = [d for d in subdirs if d != "fixtures"]
-            for name in sorted(files):
-                if name.endswith(CXX_EXTENSIONS):
-                    full = os.path.join(directory, name)
-                    yield full, os.path.relpath(full, root)
-
-
 def main() -> int:
-    parser = argparse.ArgumentParser(
-        description=__doc__,
-        formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("paths", nargs="*", default=["src"],
-                        help="files or directories to scan (default: src)")
-    parser.add_argument("--root", default=os.getcwd(),
-                        help="repository root for ALLOWED_PATHS matching and "
-                             "report paths (default: cwd)")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print the rule ids and exit")
-    args = parser.parse_args()
-
-    if args.list_rules:
-        for rule, description in RULES.items():
-            print(f"{rule}: {description}")
-        return 0
-
-    paths = args.paths or ["src"]
-    findings: list[Finding] = []
-    scanned = 0
-    for full, rel in iter_sources(paths, os.path.abspath(args.root)):
-        scanned += 1
-        findings.extend(scan_file(full, rel))
-
-    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
-        print(finding, file=sys.stderr)
-    if findings:
-        print(f"\n{len(findings)} determinism-lint finding(s) in {scanned} "
-              f"file(s). Suppress a justified site with "
-              f"'// smn-lint: allow(<rule>)'.", file=sys.stderr)
-        return 1
-    print(f"determinism lint: {scanned} file(s) clean")
-    return 0
+    return lintlib.run_cli(__doc__, "determinism-lint", RULES, scan_file,
+                           ["src"])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Shared machinery for the repo-specific C++ linters
+(check_determinism.py, check_locking.py): comment/string stripping that
+preserves offsets, `// smn-lint: allow(<rule>)` suppression parsing,
+declaration parsing helpers, the Finding type, source walking, and the
+common CLI driver. Rule *content* stays in each linter; everything
+mechanical lives here exactly once.
+
+Self-tested through tests/lint/check_locking_test.py (LintlibTest) and
+exercised by both linters' fixture suites.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx", ".inl")
+
+ALLOW_RE = re.compile(r"//\s*smn-lint:\s*allow\(([^)]*)\)")
+
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+# Identifier tokens that can trail a declarator's type but are not the
+# variable name.
+NON_NAME_TOKENS = {"const", "constexpr", "static", "mutable", "inline",
+                   "noexcept", "override", "final"}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comment bodies and string/char literals, preserving offsets
+    (every replaced character becomes a space; newlines survive) so line
+    numbers and column positions keep matching the original text."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # inside a string or char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+            out.append(c if c in (state, "\n") else " ")
+        i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def template_argument_span(text: str, open_angle: int) -> int:
+    """Returns the offset just past the '>' matching the '<' at open_angle,
+    or -1 when unbalanced (macro soup); callers then skip the site."""
+    depth = 0
+    i = open_angle
+    while i < len(text):
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{":  # statement ended before the template closed
+            return -1
+        i += 1
+    return -1
+
+
+def declared_name_after(text: str, pos: int) -> str | None:
+    """The declared identifier following a type that ends at `pos` — skips
+    trailing '>'/'&'/'*'/whitespace and non-name keywords."""
+    i = pos
+    while i < len(text) and text[i] in ">&* \t\n":
+        i += 1
+    match = IDENT_RE.match(text, i)
+    while match and match.group(0) in NON_NAME_TOKENS:
+        i = match.end()
+        while i < len(text) and text[i] in "&* \t\n":
+            i += 1
+        match = IDENT_RE.match(text, i)
+    return match.group(0) if match else None
+
+
+def typed_variable_names(text: str, type_re: re.Pattern) -> set[str]:
+    """Names declared with a (possibly nested) template type whose opening
+    token matches `type_re` — the regex must end at the type's '<', e.g.
+    r'future\\s*<'. Catches std::vector<std::future<T>> f too: the declared
+    name follows the *outer* '>' chain, which declared_name_after skips."""
+    names = set()
+    for match in type_re.finditer(text):
+        end = template_argument_span(text, match.end() - 1)
+        if end < 0:
+            continue
+        name = declared_name_after(text, end)
+        if name:
+            names.add(name)
+    return names
+
+
+class Finding:
+    """One lint finding: a (path, line, rule, message) tuple with the
+    canonical `path:line: [rule] message` rendering."""
+
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def allowed_rules(raw_lines: list[str], line: int) -> set[str]:
+    """Rules suppressed for 1-indexed `line` (same line or the line above)."""
+    rules: set[str] = set()
+    for index in (line - 1, line - 2):
+        if 0 <= index < len(raw_lines):
+            match = ALLOW_RE.search(raw_lines[index])
+            if match:
+                rules.update(
+                    r.strip() for r in match.group(1).split(",") if r.strip())
+    return rules
+
+
+def make_reporter(rel: str, text: str, raw_lines: list[str],
+                  findings: list[Finding], allowed_paths: dict):
+    """The shared reporting closure: path allowlist, then line-scoped
+    `// smn-lint: allow(...)` suppression, then append to `findings`."""
+    normalized = rel.replace(os.sep, "/")
+
+    def report(offset: int, rule: str, message: str) -> None:
+        if normalized in allowed_paths.get(rule, ()):
+            return
+        line = line_of(text, offset)
+        if rule in allowed_rules(raw_lines, line):
+            return
+        findings.append(Finding(rel, line, rule, message))
+
+    return report
+
+
+def iter_sources(paths: list[str], root: str):
+    """Yields (absolute, root-relative) paths of every C++ source under
+    `paths`. `fixtures` directories hold deliberately-violating lint test
+    inputs (tests/lint/fixtures); they are scanned only when named as
+    explicit file arguments."""
+    for path in paths:
+        absolute = os.path.abspath(path)
+        if os.path.isfile(absolute):
+            yield absolute, os.path.relpath(absolute, root)
+            continue
+        for directory, subdirs, files in os.walk(absolute):
+            subdirs[:] = [d for d in subdirs if d != "fixtures"]
+            for name in sorted(files):
+                if name.endswith(CXX_EXTENSIONS):
+                    full = os.path.join(directory, name)
+                    yield full, os.path.relpath(full, root)
+
+
+def load_script(path: str, module_name: str):
+    """Imports a linter script by file path (the fixture-runner idiom the
+    self-test suites share): returns the loaded module."""
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_cli(description: str, lint_name: str, rules: dict, scan_file,
+            default_paths: list[str]) -> int:
+    """The shared CLI driver: argument parsing, source walking, sorted
+    reporting, and the exit-code contract CI keys off (0 clean, 1 findings).
+    `scan_file(full, rel)` is the linter's rule engine."""
+    parser = argparse.ArgumentParser(
+        description=description,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", default=default_paths,
+                        help=f"files or directories to scan "
+                             f"(default: {' '.join(default_paths)})")
+    parser.add_argument("--root", default=os.getcwd(),
+                        help="repository root for allowlist matching and "
+                             "report paths (default: cwd)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule ids and exit")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, text in rules.items():
+            print(f"{rule}: {text}")
+        return 0
+
+    paths = args.paths or default_paths
+    findings: list[Finding] = []
+    scanned = 0
+    for full, rel in iter_sources(paths, os.path.abspath(args.root)):
+        scanned += 1
+        findings.extend(scan_file(full, rel))
+
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        print(finding, file=sys.stderr)
+    if findings:
+        print(f"\n{len(findings)} {lint_name} finding(s) in {scanned} "
+              f"file(s). Suppress a justified site with "
+              f"'// smn-lint: allow(<rule>)'.", file=sys.stderr)
+        return 1
+    print(f"{lint_name}: {scanned} file(s) clean")
+    return 0

@@ -62,7 +62,8 @@ ProbabilisticNetwork::ProbabilisticNetwork(
       options_(options),
       feedback_(artifact_->network().correspondence_count()),
       soft_evidence_(artifact_->network().correspondence_count()),
-      lazy_mu_(std::make_unique<Mutex>()) {}
+      lazy_mu_(std::make_unique<Mutex>("pn.sample_view",
+                                       LockRank::kSampleView)) {}
 
 StatusOr<ProbabilisticNetwork> ProbabilisticNetwork::Create(
     const Network& network, const ConstraintSet& constraints,

@@ -315,7 +315,7 @@ class ProbabilisticNetwork {
     /// mutated under const accessors (everything above is written solely by
     /// the exclusive Assert/AssertSoft paths). Caches live behind
     /// unique_ptr, so the non-movable mutex never has to move.
-    mutable Mutex gains_mu_;
+    mutable Mutex gains_mu_{"pn.component_gains", LockRank::kComponentGains};
     /// Lazily computed member gains (aligned with members).
     mutable std::vector<double> member_gains SMN_GUARDED_BY(gains_mu_);
     /// True when member_gains is up to date.

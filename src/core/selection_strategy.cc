@@ -133,7 +133,7 @@ class InformationGainStrategy : public SelectionStrategy {
   };
 
   /// Guards the incremental gain bookkeeping below across Select calls.
-  Mutex mu_;
+  Mutex mu_{"strategy.gain_cache", LockRank::kSelectionStrategy};
   /// instance_id() of the network the cached state belongs to (0 = none).
   uint64_t instance_id_ SMN_GUARDED_BY(mu_) = 0;
   std::unordered_map<CorrespondenceId, Entry> best_ SMN_GUARDED_BY(mu_);

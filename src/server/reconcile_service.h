@@ -292,10 +292,10 @@ class ReconcileService {
 
   ServerOptions options_;
   SessionManager sessions_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"service.tenants", LockRank::kServiceRegistry};
   std::map<TenantId, Tenant> tenants_ SMN_GUARDED_BY(mu_);
   TenantId next_tenant_ SMN_GUARDED_BY(mu_) = 1;
-  mutable Mutex stats_mu_;
+  mutable Mutex stats_mu_{"service.stats", LockRank::kServiceStats};
   ServerStats stats_ SMN_GUARDED_BY(stats_mu_);
   /// EWMA (0.9 old / 0.1 new) of Submit* execution latency, the basis of
   /// the retry-after hint.

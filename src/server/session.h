@@ -132,7 +132,7 @@ class Session {
 
   const SessionId id_;
   const uint64_t seed_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"session.state", LockRank::kSession};
   /// The session's RNG stream: consumed once by Create (the network split)
   /// and then by reconciliation steps, exactly like a batch run's local Rng.
   Rng rng_ SMN_GUARDED_BY(mu_);

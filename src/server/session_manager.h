@@ -94,7 +94,7 @@ class SessionManager {
   };
 
   const uint64_t idle_ttl_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"session_manager.sessions", LockRank::kSessionManager};
   /// std::map (not unordered) so iteration — expiry scans — is in id order,
   /// per the repository determinism contract.
   std::map<SessionId, Entry> sessions_ SMN_GUARDED_BY(mu_);

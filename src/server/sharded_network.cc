@@ -210,6 +210,10 @@ std::future<Status> ShardedNetwork::SubmitAssert(CorrespondenceId c,
   request.approved = approved;
   request.revision = revision_;
   request.done = done;
+  // Push under shard.coordinator is rank-upward (queue.state is a leaf
+  // above it) and cycle-free: a full queue blocks on the shard worker,
+  // which drains its mailbox without ever taking the coordinator lock.
+  // smn-lint: allow(blocking-in-lock)
   if (!queues_[shard]->Push(std::move(request))) {
     done->set_value(
         Status::FailedPrecondition("sharded session is shutting down"));
@@ -239,6 +243,9 @@ Status ShardedNetwork::AssertSoft(CorrespondenceId c, bool approved,
       request.approved = approved;
       request.error_rate = error_rate;
       request.done = done;
+      // Same cycle-freedom argument as Assert: workers drain the queue
+      // without acquiring shard.coordinator.
+      // smn-lint: allow(blocking-in-lock)
       if (!queues_[shard]->Push(std::move(request))) {
         done->set_value(
             Status::FailedPrecondition("sharded session is shutting down"));
@@ -274,6 +281,9 @@ ShardedNetwork::FanOutRead(bool want_gains, uint64_t* revision_out,
       request.kind = ShardRequest::Kind::kRead;
       request.want_gains = want_gains;
       request.read = read;
+      // Same cycle-freedom argument as Assert: workers drain the queue
+      // without acquiring shard.coordinator.
+      // smn-lint: allow(blocking-in-lock)
       if (!queues_[k]->Push(std::move(request))) {
         ShardReadState unavailable;
         unavailable.status =

@@ -240,7 +240,7 @@ class ShardedNetwork {
 
   /// Coordinator state: the global ledgers every mutation validates
   /// against, and the revision counter stamped onto routed asserts.
-  mutable Mutex mu_;
+  mutable Mutex mu_{"shard.coordinator", LockRank::kShardCoordinator};
   Feedback feedback_ SMN_GUARDED_BY(mu_);
   SoftEvidence soft_evidence_ SMN_GUARDED_BY(mu_);
   DeterminedSet determined_ SMN_GUARDED_BY(mu_);
@@ -249,7 +249,7 @@ class ShardedNetwork {
 
   /// Sticky first-failure state. A separate leaf mutex so workers can
   /// record failures while a producer blocks on a full queue holding mu_.
-  mutable Mutex degraded_mu_;
+  mutable Mutex degraded_mu_{"shard.degraded", LockRank::kShardDegraded};
   Status degraded_ SMN_GUARDED_BY(degraded_mu_);
 };
 

@@ -31,7 +31,7 @@ struct SiteState {
 /// (journal I/O, queue hand-off, worker dispatch), and the whole module is
 /// compiled out of production call sites anyway.
 struct Registry {
-  Mutex mu;
+  Mutex mu{"fault.registry", LockRank::kFaultRegistry};
   bool active SMN_GUARDED_BY(mu) = false;
   bool env_checked SMN_GUARDED_BY(mu) = false;
   std::vector<FaultRule> rules SMN_GUARDED_BY(mu);

@@ -1,0 +1,209 @@
+#include "util/lock_rank.h"
+
+#if defined(SMN_LOCK_DEBUG_ENABLED)
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+
+namespace smn {
+namespace lock_debug {
+namespace {
+
+/// One entry of a thread's held-lock stack.
+struct HeldLock {
+  const void* mu = nullptr;
+  const char* name = nullptr;
+  uint32_t rank = LockRank::kUnranked;
+};
+
+/// The calling thread's held locks, acquisition order. Debug-only
+/// diagnostic state: it never influences engine output, which is why it is
+/// exempt from the determinism lint's thread-local rule (see ALLOWED_PATHS
+/// in scripts/check_determinism.py).
+// smn-lint: allow(thread-local)
+thread_local std::vector<HeldLock> tls_held;
+
+/// The process-global observed acquired-while-holding graph. Guarded by a
+/// raw std::mutex on purpose: smn::Mutex calls back into this module, so
+/// using it here would recurse. This file is a sanctioned implementation
+/// site of the locking lint's raw-sync rule (scripts/check_locking.py).
+struct Graph {
+  std::mutex mu;
+  /// (holder name, acquired name) -> observation count. std::map so every
+  /// iteration (dump, cycle check) is deterministic.
+  std::map<LockEdge, uint64_t> edges;
+};
+
+Graph& graph() {
+  static Graph* g = new Graph();  // Leaked intentionally: process-wide.
+  return *g;
+}
+
+/// Registers the at-exit edge dump the first time a ranked lock is seen,
+/// when SMN_LOCK_GRAPH_OUT names a file. One registration per process.
+void MaybeRegisterAtExitDump() {
+  static const bool registered = [] {
+    const char* path = std::getenv("SMN_LOCK_GRAPH_OUT");
+    if (path == nullptr || *path == '\0') return false;
+    std::atexit([] {
+      const char* out = std::getenv("SMN_LOCK_GRAPH_OUT");
+      if (out != nullptr && *out != '\0') DumpEdges(out);
+    });
+    return true;
+  }();
+  (void)registered;
+}
+
+[[noreturn]] void FailStop(const char* why, const char* name, uint32_t rank) {
+  std::fprintf(stderr,
+               "smn lock-rank violation: %s acquiring '%s' (rank %u)\n",
+               why, name, rank);
+  std::fprintf(stderr, "  held by this thread (acquisition order):\n");
+  for (const HeldLock& held : tls_held) {
+    std::fprintf(stderr, "    '%s' (rank %u)\n",
+                 held.name == nullptr ? "<unranked>" : held.name, held.rank);
+  }
+  std::fprintf(stderr,
+               "  declared order: see LockRank in src/util/lock_rank.h and "
+               "the ARCHITECTURE.md lock-order inventory\n");
+  std::abort();
+}
+
+}  // namespace
+
+void OnLockAttempt(const void* mu, const char* name, uint32_t rank) {
+  // Self-deadlock (re-acquiring a non-reentrant mutex) is caught even for
+  // unranked locks — the stack knows the address either way.
+  for (const HeldLock& held : tls_held) {
+    if (held.mu == mu) {
+      FailStop("re-acquisition of an already-held mutex (self-deadlock)",
+               name == nullptr ? "<unranked>" : name, rank);
+    }
+  }
+  if (rank == LockRank::kUnranked) return;
+  MaybeRegisterAtExitDump();
+  for (const HeldLock& held : tls_held) {
+    if (held.rank != LockRank::kUnranked && held.rank >= rank) {
+      FailStop("rank not strictly above every held lock", name, rank);
+    }
+  }
+  // Record the acquired-while-holding edges before blocking: the *attempt*
+  // is what can deadlock, so an attempt that never returns still leaves its
+  // evidence in the graph.
+  if (!tls_held.empty()) {
+    Graph& g = graph();
+    std::lock_guard<std::mutex> lock(g.mu);
+    for (const HeldLock& held : tls_held) {
+      if (held.rank == LockRank::kUnranked) continue;
+      ++g.edges[LockEdge(held.name, name)];
+    }
+  }
+}
+
+void OnLockAcquired(const void* mu, const char* name, uint32_t rank) {
+  tls_held.push_back(HeldLock{mu, name, rank});
+}
+
+void OnTryLockAcquired(const void* mu, const char* name, uint32_t rank) {
+  tls_held.push_back(HeldLock{mu, name, rank});
+}
+
+void OnLockReleased(const void* mu) {
+  for (size_t i = tls_held.size(); i > 0; --i) {
+    if (tls_held[i - 1].mu == mu) {
+      tls_held.erase(tls_held.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+size_t HeldLockCount() { return tls_held.size(); }
+
+std::vector<LockEdge> ObservedEdges() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  std::vector<LockEdge> edges;
+  edges.reserve(g.edges.size());
+  for (const auto& entry : g.edges) edges.push_back(entry.first);
+  return edges;
+}
+
+bool EdgesContainCycle(const std::vector<LockEdge>& edges,
+                       std::string* cycle_out) {
+  std::map<std::string, std::vector<std::string>> adjacency;
+  for (const LockEdge& edge : edges) {
+    adjacency[edge.first].push_back(edge.second);
+    adjacency[edge.second];  // Ensure sinks exist as nodes.
+  }
+  // Iterative three-color DFS; the gray stack is the cycle witness.
+  std::set<std::string> done;
+  for (const auto& entry : adjacency) {
+    if (done.count(entry.first) != 0) continue;
+    std::vector<std::pair<std::string, size_t>> stack{{entry.first, 0}};
+    std::set<std::string> gray{entry.first};
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const std::vector<std::string>& out = adjacency[node];
+      if (next < out.size()) {
+        const std::string& target = out[next++];
+        if (gray.count(target) != 0) {
+          if (cycle_out != nullptr) {
+            std::string witness = target;
+            for (size_t i = 0; i < stack.size(); ++i) {
+              if (stack[i].first == target) {
+                witness = target;
+                for (size_t j = i + 1; j < stack.size(); ++j) {
+                  witness += " -> " + stack[j].first;
+                }
+                break;
+              }
+            }
+            *cycle_out = witness + " -> " + target;
+          }
+          return true;
+        }
+        if (done.count(target) == 0) {
+          stack.emplace_back(target, 0);
+          gray.insert(target);
+        }
+      } else {
+        done.insert(node);
+        gray.erase(node);
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+bool ObservedCycle(std::string* cycle_out) {
+  return EdgesContainCycle(ObservedEdges(), cycle_out);
+}
+
+bool DumpEdges(const std::string& path) {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  // Append mode: every test process adds its observations; the merge script
+  // aggregates duplicates.
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  for (const auto& [edge, count] : g.edges) {
+    out << edge.first << '\t' << edge.second << '\t' << count << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+void ResetGraphForTest() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.edges.clear();
+}
+
+}  // namespace lock_debug
+}  // namespace smn
+
+#endif  // SMN_LOCK_DEBUG_ENABLED

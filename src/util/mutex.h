@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "util/lock_rank.h"
 #include "util/thread_annotations.h"
 
 namespace smn {
@@ -18,24 +19,74 @@ namespace smn {
 /// capability transfers, which is what lets SMN_GUARDED_BY declarations be
 /// enforced at compile time. Non-reentrant, non-movable — a mutex address
 /// is its identity for both the analysis and the waiting threads.
+///
+/// Deadlock freedom: the two-argument constructor gives the mutex a
+/// debug-only (name, rank) identity from the LockRank partial order
+/// (util/lock_rank.h). Under -DSMN_LOCK_DEBUG=ON every blocking Lock checks
+/// the calling thread's held-lock stack and fail-stops on a rank inversion,
+/// and every acquired-while-holding edge feeds the process-global lock-order
+/// graph. In a normal build the identity compiles away entirely — no
+/// storage, no per-acquisition cost — so ranked and unranked mutexes are
+/// byte-identical. The locking lint (scripts/check_locking.py) requires
+/// every mutex under src/ to declare a rank.
 class SMN_CAPABILITY("mutex") Mutex {
  public:
+  /// An unranked mutex (LockRank::kUnranked): exempt from rank checking.
+  /// For ad-hoc test locks; engine mutexes must use the ranked constructor.
   Mutex() = default;
+
+#if defined(SMN_LOCK_DEBUG_ENABLED)
+  /// A ranked mutex. `name` must be a string literal (stored, not copied);
+  /// `rank` is its position in the LockRank partial order.
+  Mutex(const char* name, uint32_t rank) : name_(name), rank_(rank) {}
+#else
+  /// A ranked mutex; without SMN_LOCK_DEBUG the identity is discarded.
+  Mutex(const char*, uint32_t) {}
+#endif
+
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  /// Blocks until the calling thread holds the mutex exclusively.
-  void Lock() SMN_ACQUIRE() { mu_.lock(); }
+  /// Blocks until the calling thread holds the mutex exclusively. Under
+  /// SMN_LOCK_DEBUG, fail-stops first on any rank-order violation.
+  void Lock() SMN_ACQUIRE() {
+#if defined(SMN_LOCK_DEBUG_ENABLED)
+    lock_debug::OnLockAttempt(this, name_, rank_);
+    mu_.lock();
+    lock_debug::OnLockAcquired(this, name_, rank_);
+#else
+    mu_.lock();
+#endif
+  }
 
   /// Releases the mutex. Caller must hold it.
-  void Unlock() SMN_RELEASE() { mu_.unlock(); }
+  void Unlock() SMN_RELEASE() {
+#if defined(SMN_LOCK_DEBUG_ENABLED)
+    lock_debug::OnLockReleased(this);
+#endif
+    mu_.unlock();
+  }
 
   /// Acquires the mutex iff it is free; returns whether it was acquired.
-  bool TryLock() SMN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  /// Exempt from the rank check: a try-acquisition never waits, so it
+  /// cannot participate in a deadlock cycle.
+  bool TryLock() SMN_TRY_ACQUIRE(true) {
+#if defined(SMN_LOCK_DEBUG_ENABLED)
+    if (!mu_.try_lock()) return false;
+    lock_debug::OnTryLockAcquired(this, name_, rank_);
+    return true;
+#else
+    return mu_.try_lock();
+#endif
+  }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+#if defined(SMN_LOCK_DEBUG_ENABLED)
+  const char* name_ = nullptr;
+  uint32_t rank_ = LockRank::kUnranked;
+#endif
 };
 
 /// Scoped exclusive lock on a Mutex (the RAII shape the analysis models as
@@ -58,7 +109,10 @@ class SMN_SCOPED_CAPABILITY MutexLock {
 /// while blocking and reacquires it before returning, so from the analysis'
 /// point of view (and the caller's invariant discipline) the capability is
 /// held across the call — hence SMN_REQUIRES rather than acquire/release
-/// annotations. Use the classic predicate loop:
+/// annotations. The lock-rank held stack is likewise unchanged across a
+/// Wait: the caller held the mutex before and holds it after, and the
+/// per-thread stack is never inspected cross-thread, so the blocked
+/// interval needs no special casing. Use the classic predicate loop:
 ///
 ///   MutexLock lock(mu_);
 ///   while (!ready_) cv_.Wait(mu_);
@@ -82,9 +136,12 @@ class CondVar {
   /// (see BoundedQueue::PushWithDeadline for the canonical shape).
   bool WaitFor(Mutex& mu, double timeout_ms) SMN_REQUIRES(mu) {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
-    const std::cv_status status =
-        cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
-                               timeout_ms < 0.0 ? 0.0 : timeout_ms));
+    // The negated comparison clamps NaN along with negatives: NaN fails
+    // every ordered comparison, so `timeout_ms < 0.0 ? 0.0 : timeout_ms`
+    // would forward NaN into wait_for (an unspecified-duration wait).
+    const double clamped_ms = !(timeout_ms > 0.0) ? 0.0 : timeout_ms;
+    const std::cv_status status = cv_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(clamped_ms));
     lock.release();  // Ownership stays with the caller's scope.
     return status == std::cv_status::no_timeout;
   }

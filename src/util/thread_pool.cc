@@ -60,7 +60,9 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       MutexLock lock(mutex_);
-      while (!stopping_ && tasks_.empty()) wake_.Wait(mutex_);
+      // CondVar::Wait releases mutex_ for the blocked interval and pool.queue
+      // is a leaf (never held while running a task), so no cycle can form.
+      while (!stopping_ && tasks_.empty()) wake_.Wait(mutex_);  // smn-lint: allow(blocking-in-lock)
       if (tasks_.empty()) return;  // stopping_ set and queue drained.
       task = std::move(tasks_.front());
       tasks_.pop();

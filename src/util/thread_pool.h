@@ -91,7 +91,7 @@ class ThreadPool {
   void WorkerLoop() SMN_EXCLUDES(mutex_);
 
   std::vector<std::thread> threads_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{"pool.queue", LockRank::kThreadPool};
   CondVar wake_;
   std::queue<std::function<void()>> tasks_ SMN_GUARDED_BY(mutex_);
   bool stopping_ SMN_GUARDED_BY(mutex_) = false;

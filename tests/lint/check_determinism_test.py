@@ -11,7 +11,6 @@ unittest runner (pytest collects these too).
 from __future__ import annotations
 
 import collections
-import importlib.util
 import os
 import subprocess
 import sys
@@ -20,17 +19,13 @@ import unittest
 TEST_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(os.path.dirname(TEST_DIR))
 FIXTURES = os.path.join(TEST_DIR, "fixtures")
-LINTER = os.path.join(REPO_ROOT, "scripts", "check_determinism.py")
+SCRIPTS = os.path.join(REPO_ROOT, "scripts")
+LINTER = os.path.join(SCRIPTS, "check_determinism.py")
 
+sys.path.insert(0, SCRIPTS)
+import lintlib  # noqa: E402
 
-def load_linter():
-    spec = importlib.util.spec_from_file_location("check_determinism", LINTER)
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    return module
-
-
-lint = load_linter()
+lint = lintlib.load_script(LINTER, "check_determinism")
 
 
 def scan_fixture(name):

@@ -1,0 +1,42 @@
+// Fixture: known blocking calls inside and outside MutexLock scopes —
+// `blocking-in-lock` must fire only on the calls made while a scoped lock
+// is live, including through nested scopes and on std::future get().
+#include <future>
+
+#include "util/bounded_queue.h"
+#include "util/mutex.h"
+#include "util/thread_pool.h"
+
+namespace smn {
+
+int BlockingUnderLock(Mutex& mu, BoundedQueue<int>& queue, CondVar& cv,
+                      ThreadPool& pool) {
+  MutexLock lock(mu);
+  queue.Push(1);  // fires
+  cv.Wait(mu);  // fires
+  std::future<int> pending = pool.Submit([] { return 1; });  // fires: Submit
+  return pending.get();  // fires: future get under lock
+}
+
+int BlockingOutsideLock(Mutex& mu, BoundedQueue<int>& queue) {
+  {
+    MutexLock lock(mu);
+    // Critical section touches only in-memory state.
+  }
+  queue.Push(2);  // clean: the scope above has closed
+  std::future<int> done = std::async([] { return 3; });
+  return done.get();  // clean: no lock held
+}
+
+int NestedScopes(Mutex& a, Mutex& b, BoundedQueue<int>& queue) {
+  int out = 0;
+  MutexLock outer(a);
+  {
+    MutexLock inner(b);
+    queue.Pop(&out);  // fires
+  }
+  queue.PushWithDeadline(3, 5.0);  // fires: outer is still held
+  return out;
+}
+
+}  // namespace smn

@@ -1,0 +1,52 @@
+// Fixture: idiomatic locking — the linter must report nothing even when
+// scanned as a src/ path. Ranked mutexes, scoped locks over pure in-memory
+// critical sections, TryLock with a balanced manual release, blocking calls
+// only after the scope closes, and comments naming banned constructs.
+#include <memory>
+
+#include "util/bounded_queue.h"
+#include "util/lock_rank.h"
+#include "util/mutex.h"
+
+namespace smn {
+
+class Engine {
+ public:
+  int Read() const {
+    MutexLock lock(mu_);
+    return value_;  // pure in-memory critical section: nothing blocks
+  }
+
+  bool TryBump() {
+    // TryLock never waits, so it cannot deadlock; the manual pair below is
+    // balanced (Lock-rule receivers are matched per file).
+    if (!mu_.TryLock()) return false;
+    ++value_;
+    mu_.Unlock();
+    return true;
+  }
+
+ private:
+  mutable Mutex mu_{"fixture.state", LockRank::kSession};
+  std::unique_ptr<Mutex> lazy_ =
+      std::make_unique<Mutex>("fixture.lazy", LockRank::kSampleView);
+  int value_ = 0;
+};
+
+int BlockingOutsideTheLock(Mutex& mu, BoundedQueue<int>& queue) {
+  int out = 0;
+  {
+    MutexLock lock(mu);
+    ++out;
+  }
+  queue.Pop(&out);  // clean: no lock held here
+  return out;
+}
+
+const char* MentionsBannedNamesInComments() {
+  // Never hold a MutexLock across BoundedQueue::Push or future.get(); use
+  // std::mutex nowhere outside util/mutex.h.
+  return "std::mutex MutexLock(mu) .Lock()";
+}
+
+}  // namespace smn

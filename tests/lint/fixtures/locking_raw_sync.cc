@@ -1,0 +1,24 @@
+// Fixture: raw std:: synchronization primitives — `raw-sync` must fire on
+// every use below (the lock_guard line fires twice: once for the guard,
+// once for its std::mutex template argument).
+#include <condition_variable>
+#include <mutex>
+
+namespace smn {
+
+std::mutex g_mu;                       // fires
+std::condition_variable g_cv;          // fires
+
+int GuardedByRawLock() {
+  std::lock_guard<std::mutex> lock(g_mu);  // fires twice
+  return 1;
+}
+
+int MemberNamedMutexIsClean() {
+  // Identifiers merely *containing* the banned names must not fire.
+  int my_mutex_count = 0;
+  int condition_variable_like = 0;
+  return my_mutex_count + condition_variable_like;
+}
+
+}  // namespace smn

@@ -1,0 +1,25 @@
+// Fixture: manual lock hygiene — `unpaired-lock` must fire on the manual
+// Lock() with no Unlock() in the file and on the temporary MutexLock, and
+// stay silent on the balanced manual pair.
+#include "util/mutex.h"
+
+namespace smn {
+
+int LeakyManualLock(Mutex& mu) {
+  mu.Lock();  // fires: no mu.Unlock() anywhere in this file
+  return 1;
+}
+
+int TemporaryLock(Mutex& mu) {
+  MutexLock(mu);  // fires: unlocked again at the semicolon, guards nothing
+  return 2;
+}
+
+int BalancedManualPair(Mutex& other) {
+  other.Lock();  // clean: paired with the Unlock below
+  const int value = 3;
+  other.Unlock();
+  return value;
+}
+
+}  // namespace smn

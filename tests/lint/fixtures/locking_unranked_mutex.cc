@@ -1,0 +1,24 @@
+// Fixture: engine mutexes without a (name, LockRank) identity — scanned as
+// a src/ path, `mutex-rank` must fire on the bare member declaration, the
+// empty make_unique, and the bare new; the ranked and reference
+// declarations must stay clean. Scanned as a tests/ path nothing fires:
+// tests may use ad-hoc unranked locks.
+#include <memory>
+
+#include "util/lock_rank.h"
+#include "util/mutex.h"
+
+namespace smn {
+
+class Registry {
+ private:
+  Mutex mu_;  // fires: bare declaration, no rank
+  std::unique_ptr<Mutex> lazy_ = std::make_unique<Mutex>();  // fires
+  Mutex* heap_ = new Mutex();  // fires
+  Mutex ranked_{"fixture.ranked", LockRank::kSession};  // clean
+  std::unique_ptr<Mutex> ranked_lazy_ =
+      std::make_unique<Mutex>("fixture.lazy", LockRank::kSampleView);  // clean
+  Mutex& alias_ = ranked_;  // clean: a reference, not a new mutex
+};
+
+}  // namespace smn

@@ -1,0 +1,158 @@
+#include "util/mutex.h"
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/stopwatch.h"
+
+namespace smn {
+namespace {
+
+// Generous wall-clock bound for operations that must return immediately:
+// loose enough for a loaded CI machine, tight enough that an unbounded wait
+// (the NaN regression below) still fails the test rather than hanging it.
+constexpr double kPromptMillis = 30000.0;
+
+TEST(MutexTest, LockProvidesMutualExclusion) {
+  Mutex mu;
+  int counter = 0;  // Non-atomic on purpose: torn without the mutex (and
+                    // flagged by TSAN, which runs this suite in CI).
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mu, &counter] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldAndSucceedsAfterRelease) {
+  Mutex mu;
+  mu.Lock();
+  // Probed from another thread: TryLock on the calling thread would
+  // self-deadlock under SMN_LOCK_DEBUG (and is UB on std::mutex anyway).
+  std::thread prober([&mu] { EXPECT_FALSE(mu.TryLock()); });
+  prober.join();
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(CondVarTest, WaitWakesOnNotifyAndReleasesMutexWhileBlocked) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  // The producer takes the same mutex the waiter holds: it can only
+  // proceed because Wait releases the mutex for the blocked interval.
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(mu);
+    // Leaf test lock; Wait releases it while blocked — no cycle possible.
+    while (!ready) cv.Wait(mu);  // smn-lint: allow(blocking-in-lock)
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int awake = 0;
+  constexpr int kWaiters = 3;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      // Leaf test lock; released while blocked — same argument as above.
+      while (!go) cv.Wait(mu);  // smn-lint: allow(blocking-in-lock)
+      ++awake;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+    cv.NotifyAll();
+  }
+  for (std::thread& thread : waiters) thread.join();
+  EXPECT_EQ(awake, kWaiters);
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  // Bounded wait on a leaf test lock, timeout path under test.
+  // smn-lint: allow(blocking-in-lock)
+  EXPECT_FALSE(cv.WaitFor(mu, 5.0));
+}
+
+TEST(CondVarTest, WaitForReturnsTrueWhenNotifiedBeforeTheDeadline) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  bool notified = false;
+  {
+    MutexLock lock(mu);
+    while (!ready) {
+      // Bounded wait on a leaf test lock; released while blocked.
+      // smn-lint: allow(blocking-in-lock)
+      notified = cv.WaitFor(mu, /*timeout_ms=*/60000.0);
+      if (!notified) break;  // Never: the producer notifies long before.
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ready);
+}
+
+TEST(CondVarTest, WaitForClampsZeroAndNegativeTimeoutsToImmediate) {
+  Mutex mu;
+  CondVar cv;
+  const Stopwatch elapsed;
+  MutexLock lock(mu);
+  // All immediate-return paths on a leaf test lock.
+  // smn-lint: allow(blocking-in-lock)
+  EXPECT_FALSE(cv.WaitFor(mu, 0.0));
+  // smn-lint: allow(blocking-in-lock)
+  EXPECT_FALSE(cv.WaitFor(mu, -250.0));
+  // smn-lint: allow(blocking-in-lock)
+  EXPECT_FALSE(cv.WaitFor(mu, -std::numeric_limits<double>::infinity()));
+  EXPECT_LT(elapsed.ElapsedMillis(), kPromptMillis);
+}
+
+TEST(CondVarTest, WaitForClampsNaNTimeoutToImmediate) {
+  // Regression: the clamp used to be `timeout_ms < 0.0 ? 0.0 : timeout_ms`,
+  // which forwards NaN (NaN fails every ordered comparison) into
+  // cv_.wait_for — a wait of unspecified, potentially unbounded duration.
+  // The negated form `!(timeout_ms > 0.0)` clamps NaN along with negatives,
+  // so this returns immediately with a timeout.
+  Mutex mu;
+  CondVar cv;
+  const Stopwatch elapsed;
+  MutexLock lock(mu);
+  // Immediate-return path on a leaf test lock.
+  // smn-lint: allow(blocking-in-lock)
+  EXPECT_FALSE(cv.WaitFor(mu, std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_LT(elapsed.ElapsedMillis(), kPromptMillis);
+}
+
+}  // namespace
+}  // namespace smn
